@@ -1,0 +1,29 @@
+//! `dcp-analytic` — the closed-form models behind the paper's analytical
+//! tables and figures.
+//!
+//! * [`pfc_distance`] — Table 1: maximum lossless distance under PFC per
+//!   switching ASIC (Eq. 1);
+//! * [`tracking_memory`] — Table 3: packet-tracking memory of BDP bitmaps,
+//!   linked chunks and DCP's counters;
+//! * [`packet_rate`] — Fig. 7: theoretical packet rate vs out-of-order
+//!   degree at a 300 MHz RNIC clock;
+//! * [`resources`] — Table 4 substitute: per-QP hardware state accounting
+//!   (the software-reproducible proxy for FPGA LUT/BRAM counts);
+//! * [`wrr`] — the §4.2 control-queue weight rule, re-exported from
+//!   `dcp-core` for one-stop analytical access.
+
+pub mod packet_rate;
+pub mod pfc_distance;
+pub mod resources;
+pub mod tracking_memory;
+
+/// The §4.2 WRR weight rule (defined in `dcp-core`, re-exported here so the
+/// bench harness has all analytics in one place).
+pub mod wrr {
+    pub use dcp_core::switch::{effective_wrr_weight, ho_size_ratio, wrr_weight};
+}
+
+pub use packet_rate::{cycles_per_packet, fig7_series, packet_rate_mpps, Scheme};
+pub use pfc_distance::{table1, SwitchAsic, ASICS};
+pub use resources::{dcp_state, gbn_state, irn_state, table4_equivalent, StateAccount};
+pub use tracking_memory::{table3_10k_qps, table3_per_qp, TrackingScenario};

@@ -1,0 +1,103 @@
+//! Fig. 7: theoretical packet rate (Mpps) versus out-of-order degree for
+//! the three tracking schemes, at a 300 MHz RNIC clock.
+//!
+//! The model counts pipeline steps per packet:
+//! * **BDP-sized bitmap** — constant: compute address (1) + access (1);
+//! * **linked chunk** — O(n): walking to the n-th 128-bit chunk costs one
+//!   check + one pointer chase per hop;
+//! * **DCP** — constant: increment one counter.
+
+/// Per-packet processing cycles for each scheme at OOO degree `d` packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    BdpBitmap,
+    LinkedChunk,
+    Dcp,
+}
+
+/// Packets per 128-bit chunk.
+const CHUNK_BITS: u64 = 128;
+
+/// Cycles to process one packet at out-of-order degree `ooo`.
+pub fn cycles_per_packet(scheme: Scheme, ooo: u64) -> u64 {
+    match scheme {
+        // Address computation + slot access.
+        Scheme::BdpBitmap => 2,
+        // One membership check per chunk traversed, then the access.
+        Scheme::LinkedChunk => {
+            let hops = ooo / CHUNK_BITS;
+            2 + 2 * hops
+        }
+        // Counter increment (the completion check shares the same cycle).
+        Scheme::Dcp => 1,
+    }
+}
+
+/// Theoretical packet rate in Mpps at `clock_mhz` for OOO degree `ooo`.
+pub fn packet_rate_mpps(scheme: Scheme, ooo: u64, clock_mhz: f64) -> f64 {
+    clock_mhz / cycles_per_packet(scheme, ooo) as f64
+}
+
+/// The Fig. 7 series: OOO degrees 0..=448 in steps of 64, at 300 MHz.
+pub fn fig7_series() -> Vec<(u64, f64, f64, f64)> {
+    (0..=7)
+        .map(|i| {
+            let ooo = i * 64;
+            (
+                ooo,
+                packet_rate_mpps(Scheme::BdpBitmap, ooo, 300.0),
+                packet_rate_mpps(Scheme::LinkedChunk, ooo, 300.0),
+                packet_rate_mpps(Scheme::Dcp, ooo, 300.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schemes_do_not_degrade() {
+        for ooo in [0, 64, 256, 448] {
+            assert_eq!(cycles_per_packet(Scheme::BdpBitmap, ooo), 2);
+            assert_eq!(cycles_per_packet(Scheme::Dcp, ooo), 1);
+        }
+    }
+
+    #[test]
+    fn linked_chunk_degrades_linearly() {
+        let c0 = cycles_per_packet(Scheme::LinkedChunk, 0);
+        let c128 = cycles_per_packet(Scheme::LinkedChunk, 128);
+        let c256 = cycles_per_packet(Scheme::LinkedChunk, 256);
+        assert!(c0 < c128 && c128 < c256);
+        assert_eq!(c256 - c128, c128 - c0, "linear in chunks traversed");
+    }
+
+    #[test]
+    fn rates_support_400g_line_rate_only_for_constant_schemes() {
+        // §4.5: 50 Mpps ≈ 400 Gbps at 1 KB MTU. At 300 MHz, both constant
+        // schemes exceed it at any OOO degree; linked chunks fall below it
+        // once the OOO degree grows past a few chunks.
+        let line = 50.0;
+        assert!(packet_rate_mpps(Scheme::Dcp, 448, 300.0) > line);
+        assert!(packet_rate_mpps(Scheme::BdpBitmap, 448, 300.0) > line);
+        assert!(packet_rate_mpps(Scheme::LinkedChunk, 0, 300.0) > line);
+        assert!(packet_rate_mpps(Scheme::LinkedChunk, 448, 300.0) < line);
+    }
+
+    #[test]
+    fn fig7_series_shape() {
+        let s = fig7_series();
+        assert_eq!(s.len(), 8);
+        // DCP (constant) ≥ BDP (constant) > linked chunk (decreasing).
+        for (ooo, bdp, chunk, dcp) in &s {
+            assert!(dcp >= bdp, "at {ooo}");
+            if *ooo > 64 {
+                assert!(chunk < bdp, "at {ooo}");
+            }
+        }
+        let chunks: Vec<f64> = s.iter().map(|r| r.2).collect();
+        assert!(chunks.windows(2).all(|w| w[1] <= w[0]), "monotone decreasing");
+    }
+}

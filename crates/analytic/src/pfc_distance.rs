@@ -1,0 +1,114 @@
+//! Table 1: the maximum lossless communication distance under PFC, per
+//! Eq. (1) of the paper:
+//!
+//! ```text
+//! L = buffer / (bandwidth × one-hop-delay-per-km × 2)
+//! ```
+//!
+//! where one kilometre of fibre costs 5 µs one way (footnote 3), so the
+//! buffer must absorb `bandwidth × RTT` of in-flight headroom per paused
+//! queue.
+
+/// A commodity switching ASIC from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchAsic {
+    pub name: &'static str,
+    pub ports: u32,
+    /// Per-port bandwidth in Gbps.
+    pub gbps_per_port: f64,
+    /// Total packet buffer in bytes.
+    pub buffer_bytes: u64,
+}
+
+/// The six ASICs of Table 1.
+pub const ASICS: [SwitchAsic; 6] = [
+    SwitchAsic { name: "Tomahawk 3", ports: 32, gbps_per_port: 400.0, buffer_bytes: 64 << 20 },
+    SwitchAsic { name: "Tomahawk 5", ports: 64, gbps_per_port: 800.0, buffer_bytes: 165 << 20 },
+    SwitchAsic { name: "Tofino 1", ports: 32, gbps_per_port: 100.0, buffer_bytes: 20 << 20 },
+    SwitchAsic { name: "Tofino 2", ports: 32, gbps_per_port: 400.0, buffer_bytes: 64 << 20 },
+    SwitchAsic { name: "Spectrum", ports: 32, gbps_per_port: 100.0, buffer_bytes: 16 << 20 },
+    SwitchAsic { name: "Spectrum-4", ports: 64, gbps_per_port: 800.0, buffer_bytes: 160 << 20 },
+];
+
+impl SwitchAsic {
+    /// Buffer per port per 100 Gbps, in MB — Table 1's third row.
+    pub fn buffer_per_port_per_100g_mb(&self) -> f64 {
+        let mb = self.buffer_bytes as f64 / (1 << 20) as f64;
+        mb / self.ports as f64 / (self.gbps_per_port / 100.0)
+    }
+
+    /// Maximum lossless distance in km when each port runs `queues`
+    /// lossless queues (Table 1 reports 1 and 8).
+    ///
+    /// Eq. (1): the available buffer per (port, queue) must cover one RTT of
+    /// in-flight bytes: `L = buffer / (bw × 2 × delay_per_km)` with
+    /// 5 µs/km ⇒ bytes-per-km-RTT = bw(Gbps) × 10 µs / 8 = 1250 × Gbps
+    /// bytes.
+    pub fn max_lossless_km(&self, queues: u32) -> f64 {
+        let buffer_per_queue = self.buffer_bytes as f64 / (self.ports * queues) as f64;
+        let bytes_per_km_rtt = self.gbps_per_port * 1e9 / 8.0 * (2.0 * 5e-6);
+        buffer_per_queue / bytes_per_km_rtt
+    }
+}
+
+/// Renders Table 1 rows: `(name, buffer/port/100G MB, km @ 1 queue, km @ 8 queues)`.
+pub fn table1() -> Vec<(String, f64, f64, f64)> {
+    ASICS
+        .iter()
+        .map(|a| {
+            (
+                a.name.to_string(),
+                a.buffer_per_port_per_100g_mb(),
+                a.max_lossless_km(1),
+                a.max_lossless_km(8),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asic(name: &str) -> SwitchAsic {
+        *ASICS.iter().find(|a| a.name == name).unwrap()
+    }
+
+    #[test]
+    fn buffer_per_port_matches_table1() {
+        // Table 1: TH3 0.5 MB, TH5 0.32 MB, Tofino1 0.62 MB, Spectrum-4 0.31.
+        assert!((asic("Tomahawk 3").buffer_per_port_per_100g_mb() - 0.5).abs() < 0.01);
+        assert!((asic("Tomahawk 5").buffer_per_port_per_100g_mb() - 0.32).abs() < 0.01);
+        assert!((asic("Tofino 1").buffer_per_port_per_100g_mb() - 0.62).abs() < 0.01);
+        assert!((asic("Spectrum-4").buffer_per_port_per_100g_mb() - 0.31).abs() < 0.01);
+    }
+
+    #[test]
+    fn lossless_distance_matches_table1_single_queue() {
+        // Table 1: TH3 4.1 km, TH5 2.62 km, Tofino1 5.08 km, Spectrum 4.1 km.
+        assert!((asic("Tomahawk 3").max_lossless_km(1) - 4.1).abs() < 0.15);
+        assert!((asic("Tomahawk 5").max_lossless_km(1) - 2.62).abs() < 0.12);
+        assert!((asic("Tofino 1").max_lossless_km(1) - 5.08).abs() < 0.2);
+        assert!((asic("Spectrum").max_lossless_km(1) - 4.1).abs() < 0.15);
+        assert!((asic("Spectrum-4").max_lossless_km(1) - 2.56).abs() < 0.12);
+    }
+
+    #[test]
+    fn eight_queues_divide_distance_by_eight() {
+        for a in ASICS {
+            let r = a.max_lossless_km(1) / a.max_lossless_km(8);
+            assert!((r - 8.0).abs() < 1e-9, "{}: ratio {r}", a.name);
+        }
+        // Table 1: TH3 @ 8 queues = 512 m.
+        assert!((asic("Tomahawk 3").max_lossless_km(8) - 0.512).abs() < 0.02);
+    }
+
+    #[test]
+    fn no_asic_reaches_tens_of_km() {
+        // The paper's conclusion from Table 1: commodity switches cannot
+        // scale PFC to tens of kilometres.
+        for a in ASICS {
+            assert!(a.max_lossless_km(1) < 10.0, "{}", a.name);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks for the mechanisms whose per-packet cost the
+//! paper argues about: the bitmap-free tracker vs a bitmap (Fig. 7's
+//! empirical companion), wire encode/decode, RetransQ operations and raw
+//! event-loop throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcp_core::tracking::MsgTracker;
+use dcp_rdma::headers::*;
+use dcp_rdma::qp::{RetransEntry, RetransQueue};
+use dcp_rdma::wire::{decode, encode};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// Counter-based tracking: one tracker op per packet (DCP, §4.5).
+fn bench_tracker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_tracking");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("dcp_counter", |b| {
+        let mut t = MsgTracker::new(64);
+        let mut msn = 0u32;
+        let mut i = 0u32;
+        b.iter(|| {
+            let last = i == 63;
+            t.on_packet(black_box(msn), 0, last, i, 64 * 1024, true, 0);
+            if last {
+                t.drain_completed();
+                msn += 1;
+                i = 0;
+            } else {
+                i += 1;
+            }
+        });
+    });
+    // Bitmap-based tracking (the RxCore style): an ordered-set insert +
+    // cumulative advance per packet, with a standing OOO window.
+    for ooo in [0u32, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("bitmap_set", ooo), &ooo, |b, &ooo| {
+            b.iter_batched(
+                || ((1..=ooo).map(|k| k * 2).collect::<BTreeSet<u32>>(), 0u32),
+                |(mut set, mut epsn)| {
+                    for _ in 0..64 {
+                        set.insert(black_box(epsn));
+                        while set.remove(&epsn) {
+                            epsn += 1;
+                        }
+                        epsn += 1;
+                    }
+                    (set, epsn)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut ip = Ipv4Header::new(0x0a000001, 0x0a000002, DcpTag::Data, 1098);
+    ip.set_sretry_no(1);
+    let header = PacketHeader {
+        eth: EthHeader::new(MacAddr::from_host(1), MacAddr::from_host(2)),
+        ip,
+        udp: UdpHeader::roce(0x1234, 1078),
+        bth: Bth { opcode: RdmaOpcode::WriteMiddle, dest_qpn: 77, psn: 1234, ack_req: false },
+        dcp: Some(DcpDataExt { msn: 5, ssn: None }),
+        reth: Some(Reth { vaddr: 0xdead_b000, rkey: 9, dma_len: 1024 }),
+        aeth: None,
+    };
+    let bytes = encode(&header);
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_data", |b| b.iter(|| encode(black_box(&header))));
+    g.bench_function("decode_data", |b| b.iter(|| decode(black_box(&bytes)).unwrap()));
+    g.bench_function("trim_to_header_only", |b| b.iter(|| black_box(&header).trim_to_header_only()));
+    let ho_bytes = encode(&header.trim_to_header_only());
+    g.bench_function("decode_header_only", |b| b.iter(|| decode(black_box(&ho_bytes)).unwrap()));
+    g.finish();
+}
+
+fn bench_retransq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retransq");
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("push16_fetch16", |b| {
+        let mut q = RetransQueue::new();
+        b.iter(|| {
+            for psn in 0..16 {
+                q.push(RetransEntry { msn: 0, psn });
+            }
+            black_box(q.fetch(16))
+        });
+    });
+    g.finish();
+}
+
+/// Raw simulator throughput: a full 1 MB DCP transfer per iteration.
+fn bench_event_loop(c: &mut Criterion) {
+    use dcp_core::{dcp_pair, dcp_switch_config, DcpConfig};
+    use dcp_netsim::packet::FlowId;
+    use dcp_netsim::{topology, LoadBalance, Simulator, US};
+    use dcp_rdma::qp::WorkReqOp;
+    use dcp_transport::cc::NoCc;
+    use dcp_transport::common::{FlowCfg, Placement};
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.bench_function("dcp_flow_1mb", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            let topo = topology::two_switch_testbed(
+                &mut sim,
+                dcp_switch_config(LoadBalance::Ecmp, 16),
+                1,
+                100.0,
+                &[100.0],
+                US,
+                US,
+            );
+            let flow = FlowId(1);
+            let cfg = FlowCfg::sender(flow, topo.hosts[0], topo.hosts[1], DcpTag::Data);
+            let (tx, rx) = dcp_pair(cfg, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+            sim.install_endpoint(topo.hosts[0], flow, Box::new(tx));
+            sim.install_endpoint(topo.hosts[1], flow, Box::new(rx));
+            sim.post(topo.hosts[0], flow, 0, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+            sim.run_to_quiescence(dcp_netsim::SEC);
+            black_box(sim.now())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracker, bench_wire, bench_retransq, bench_event_loop);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: §7's hypothetical direct HO return vs the deployed
+//! bounce-via-receiver path.
+//!
+//! The deployed design sends a trimmed notification on to the receiver,
+//! which swaps addresses and returns it — costing up to a full extra
+//! receiver leg before the sender learns of the loss. §7 sketches (and
+//! rejects, for ASIC state reasons) returning it straight from the trimming
+//! switch. The simulator can afford the mapping table, so this bench
+//! quantifies what the paper left on the table: transfer time under forced
+//! loss, with the sender→switch→receiver legs made asymmetric by a long
+//! cross-switch link.
+
+use dcp_bench::stream_goodput;
+use dcp_core::dcp_switch_config;
+use dcp_netsim::time::{fiber_delay_km, Nanos, MS, SEC, US};
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_workloads::{CcKind, TransportKind};
+
+/// One 8 MB stream over a `km`-long cross link; 2% forced loss at the
+/// sender-side switch (the trim point far from the receiver, where §7's
+/// saving is largest). Returns goodput in Gbps.
+fn run(direct: bool, km: f64) -> f64 {
+    let mut cfg = dcp_switch_config(LoadBalance::Ecmp, 16);
+    cfg.ho_direct_return = direct;
+    let mut sim = Simulator::new(67);
+    let delay: Nanos = fiber_delay_km(km);
+    let topo = topology::two_switch_testbed(&mut sim, cfg, 1, 100.0, &[100.0], US, delay);
+    sim.switch_mut(topo.leaves[0]).cfg.forced_loss_rate = 0.02;
+    let _ = MS;
+    stream_goodput(&mut sim, &topo, TransportKind::Dcp, CcKind::None, 0, 1, 8 << 20, 600 * SEC)
+}
+
+fn main() {
+    println!("Ablation — §7 back-to-sender HO return (8 MB stream, 2% forced loss)");
+    println!("{:>12}{:>18}{:>16}{:>10}", "link", "bounce (Gbps)", "direct (Gbps)", "gain");
+    for km in [0.2, 10.0, 100.0] {
+        let bounce = run(false, km);
+        let direct = run(true, km);
+        println!(
+            "{:>9} km{bounce:>18.1}{direct:>16.1}{:>9.1}%",
+            km,
+            (direct / bounce - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("Expected shape: negligible difference intra-DC (the receiver leg is ~µs),");
+    println!("growing with distance — the loss notification saves one receiver leg per");
+    println!("retransmission. This is the latency the paper trades away to keep switches");
+    println!("stateless (§7).");
+}

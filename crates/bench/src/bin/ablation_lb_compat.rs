@@ -1,0 +1,68 @@
+//! Ablation: transport × load-balancer compatibility (Table 2's R2 column,
+//! measured).
+//!
+//! One 16 MB stream over four parallel 25 G paths under each LB scheme.
+//! In-order transports (GBN) only tolerate flow-stable LBs; IRN survives
+//! but retransmits spuriously under packet-level LBs; DCP is order-
+//! tolerant everywhere and uses the full aggregate capacity.
+
+use dcp_bench::stream_goodput;
+use dcp_core::dcp_switch_config;
+use dcp_netsim::switch::SwitchConfig;
+use dcp_netsim::time::{SEC, US};
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_workloads::{CcKind, TransportKind};
+
+fn run(kind: TransportKind, lb: LoadBalance) -> (f64, u64) {
+    let cfg = match kind {
+        TransportKind::Dcp => {
+            let mut c = dcp_switch_config(lb, 16);
+            c.lb = lb;
+            c
+        }
+        _ => SwitchConfig::lossy(lb),
+    };
+    let mut sim = Simulator::new(59);
+    let topo = topology::two_switch_testbed(&mut sim, cfg, 1, 100.0, &[25.0; 4], US, US);
+    let cc = if kind == TransportKind::Dcp {
+        CcKind::Dcqcn { gbps: 100.0 }
+    } else {
+        CcKind::Bdp { gbps: 100.0, rtt: 12 * US }
+    };
+    let g = stream_goodput(&mut sim, &topo, kind, cc, 0, 1, 16 << 20, 600 * SEC);
+    let retx = sim.endpoint_stats(topo.hosts[0], dcp_netsim::packet::FlowId(1)).retx_pkts;
+    (g, retx)
+}
+
+fn main() {
+    println!("Ablation — transport x load balancer: goodput (Gbps) / retransmissions");
+    println!("(one flow, four parallel 25G paths; aggregate capacity 100G)");
+    let lbs: [(&str, LoadBalance); 4] = [
+        ("ECMP", LoadBalance::Ecmp),
+        ("Flowlet", LoadBalance::Flowlet { gap_ns: 50_000 }),
+        ("AR", LoadBalance::AdaptiveRouting),
+        ("Spray", LoadBalance::Spray),
+    ];
+    print!("{:<10}", "");
+    for (n, _) in &lbs {
+        print!("{n:>18}");
+    }
+    println!();
+    for (label, kind) in [
+        ("GBN", TransportKind::Gbn),
+        ("IRN", TransportKind::Irn),
+        ("DCP", TransportKind::Dcp),
+    ] {
+        print!("{label:<10}");
+        for &(_, lb) in &lbs {
+            let (g, retx) = run(kind, lb);
+            print!("{:>12.1} /{retx:>4}", g);
+        }
+        println!();
+    }
+    println!();
+    println!("Expected shape (Table 2): GBN collapses under packet-level LB (AR/Spray);");
+    println!("IRN completes but with spurious retransmissions; DCP reaches the aggregate");
+    println!("capacity with zero spurious retransmissions under every scheme. ECMP and");
+    println!("flowlet pin a single flow to one 25G path by design.");
+}

@@ -1,0 +1,134 @@
+//! `dcp_sim` — a configurable command-line front-end for the simulator, so
+//! downstream users can run custom experiments without writing Rust.
+//!
+//! ```text
+//! USAGE: dcp_sim [KEY=VALUE]...
+//!
+//!   transport=dcp|gbn|irn|mprdma|rack|timeout   (default dcp)
+//!   cc=none|bdp|dcqcn                           (default per transport)
+//!   lb=ecmp|ar|spray|flowlet                    (default ar)
+//!   topo=clos|testbed                           (default clos)
+//!   spines=N leaves=N hosts=N                   (default 4 4 4)
+//!   load=F                                      (default 0.3)
+//!   flows=N                                     (default 400)
+//!   loss=F          forced loss rate            (default 0)
+//!   incast=N        add N-to-1 incast at 10% load
+//!   seed=N                                      (default 1)
+//!   delay_us=N      leaf-spine delay            (default 1)
+//!   csv=PATH        write per-flow results as CSV
+//! ```
+//!
+//! Prints overall FCT slowdown percentiles, transport counters and fabric
+//! counters, in a stable greppable format.
+
+use dcp_core::dcp_switch_config;
+use dcp_netsim::switch::SwitchConfig;
+use dcp_netsim::time::{Nanos, SEC, US};
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_workloads::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn parse_args() -> HashMap<String, String> {
+    std::env::args()
+        .skip(1)
+        .filter_map(|a| {
+            let (k, v) = a.split_once('=')?;
+            Some((k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let transport = match get("transport", "dcp").as_str() {
+        "dcp" => TransportKind::Dcp,
+        "gbn" => TransportKind::Gbn,
+        "irn" => TransportKind::Irn,
+        "mprdma" => TransportKind::MpRdma,
+        "rack" => TransportKind::RackTlp,
+        "timeout" => TransportKind::TimeoutOnly,
+        other => panic!("unknown transport {other:?}"),
+    };
+    let lb = match get("lb", "ar").as_str() {
+        "ecmp" => LoadBalance::Ecmp,
+        "ar" => LoadBalance::AdaptiveRouting,
+        "spray" => LoadBalance::Spray,
+        "flowlet" => LoadBalance::Flowlet { gap_ns: 50_000 },
+        other => panic!("unknown lb {other:?}"),
+    };
+    let cc = match (get("cc", "").as_str(), transport) {
+        ("none", _) => CcKind::None,
+        ("bdp", _) => CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+        ("dcqcn", _) => CcKind::Dcqcn { gbps: 100.0 },
+        ("", TransportKind::Dcp) => CcKind::Dcqcn { gbps: 100.0 },
+        ("", TransportKind::MpRdma) => CcKind::None,
+        ("", _) => CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+        (other, _) => panic!("unknown cc {other:?}"),
+    };
+    let seed: u64 = get("seed", "1").parse().unwrap();
+    let load: f64 = get("load", "0.3").parse().unwrap();
+    let n_flows: usize = get("flows", "400").parse().unwrap();
+    let loss: f64 = get("loss", "0").parse().unwrap();
+    let delay: Nanos = get("delay_us", "1").parse::<u64>().unwrap() * US;
+
+    let mut cfg = match transport {
+        TransportKind::Dcp => dcp_switch_config(lb, 20),
+        TransportKind::MpRdma => {
+            let mut c = SwitchConfig::lossless(lb);
+            c.ecn = Some(dcp_netsim::EcnConfig::default_100g());
+            c
+        }
+        _ => SwitchConfig::lossy(lb),
+    };
+    cfg.forced_loss_rate = loss;
+    if cc == (CcKind::Dcqcn { gbps: 100.0 }) && cfg.ecn.is_none() {
+        cfg.ecn = Some(dcp_netsim::EcnConfig::default_100g());
+    }
+
+    let mut sim = Simulator::new(seed);
+    let topo = if get("topo", "clos") == "testbed" {
+        topology::two_switch_testbed(&mut sim, cfg, 8, 100.0, &[100.0; 8], US, delay)
+    } else {
+        let spines: usize = get("spines", "4").parse().unwrap();
+        let leaves: usize = get("leaves", "4").parse().unwrap();
+        let hosts: usize = get("hosts", "4").parse().unwrap();
+        topology::clos(&mut sim, cfg, spines, leaves, hosts, 100.0, 100.0, US, delay)
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdcb);
+    let mut flows = poisson_flows(&mut rng, &SizeDist::websearch(), topo.hosts.len(), 100.0, load, n_flows);
+    if let Some(n) = args.get("incast") {
+        let fan: usize = n.parse().unwrap();
+        let horizon = flows.last().map(|f| f.start).unwrap_or(SEC / 100);
+        flows = merge(flows, incast_flows(&mut rng, topo.hosts.len(), 100.0, 0.1, fan, 64 * 1024, horizon));
+    }
+
+    let records = run_flows(&mut sim, &topo, transport, cc, &flows, 600 * SEC);
+    let ideal = IdealFct { base_delay: 2 * US + 2 * delay, gbps: 100.0, mtu: 1024, header: 74 };
+    let ns = sim.net_stats();
+    let retx: u64 = records.iter().map(|r| r.tx.retx_pkts).sum();
+    let rtos: u64 = records.iter().map(|r| r.tx.timeouts).sum();
+    let dups: u64 = records.iter().map(|r| r.rx.duplicates).sum();
+
+    println!("dcp_sim transport={transport:?} lb={lb:?} cc={cc:?} load={load} flows={} loss={loss} seed={seed}", flows.len());
+    println!("result unfinished={} now_ms={:.2}", unfinished(&records), sim.now() as f64 / 1e6);
+    println!(
+        "result slowdown p50={:.2} p95={:.2} p99={:.2}",
+        overall_slowdown(&records, &ideal, 50.0),
+        overall_slowdown(&records, &ideal, 95.0),
+        overall_slowdown(&records, &ideal, 99.0)
+    );
+    println!("result transport retx={retx} rtos={rtos} duplicates={dups}");
+    println!(
+        "result fabric trims={} data_drops={} ho_drops={} ack_drops={} ecn_marks={} pauses={}",
+        ns.trims, ns.data_drops, ns.ho_drops, ns.ack_drops, ns.ecn_marks, ns.pauses_sent
+    );
+    if let Some(path) = args.get("csv") {
+        let csv = dcp_workloads::to_csv(&records);
+        std::fs::write(path, csv).expect("write csv");
+        println!("result csv={path}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Deep dive: the control plane under incast, watched at the bottleneck
+//! queue.
+//!
+//! Samples the victim-port data and control queues every 50 µs during an
+//! 8-to-1 incast. The §4.2 mechanism in action: the data queue pins at the
+//! trim threshold while the control queue, drained by its WRR share, stays
+//! shallow — the visible reason HO packets never die.
+
+use dcp_core::dcp_switch_config;
+use dcp_netsim::packet::FlowId;
+use dcp_netsim::time::{MS, US};
+use dcp_netsim::trace::QueueTracer;
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_rdma::qp::WorkReqOp;
+use dcp_workloads::{endpoint_pair, CcKind, TransportKind};
+
+const FAN_IN: usize = 8;
+
+fn main() {
+    let mut cfg = dcp_switch_config(LoadBalance::Ecmp, FAN_IN + 2);
+    cfg.data_q_threshold = 64 * 1024;
+    let mut sim = Simulator::new(53);
+    let topo = topology::two_switch_testbed(&mut sim, cfg, FAN_IN, 100.0, &[100.0], US, US);
+    let victim = topo.hosts[FAN_IN];
+    for i in 0..FAN_IN {
+        let flow = FlowId(i as u32 + 1);
+        let (tx, rx) = endpoint_pair(TransportKind::Dcp, CcKind::None, flow, topo.hosts[i], victim);
+        sim.install_endpoint(topo.hosts[i], flow, tx);
+        sim.install_endpoint(victim, flow, rx);
+        for m in 0..8u64 {
+            sim.post(topo.hosts[i], flow, m, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+        }
+    }
+    // The bottleneck is switch 1's cross-link egress (all senders funnel
+    // through it): port FAN_IN, the first port added after the host ports.
+    let mut tracer = QueueTracer::new(topo.leaves[0], FAN_IN, 50 * US);
+    while sim.now() < 8 * MS {
+        if sim.step().is_none() {
+            break;
+        }
+        tracer.poll(&sim);
+    }
+    println!("Deep dive — victim egress queues during an {FAN_IN}-to-1 incast (DCP, no CC)");
+    println!("{:>10}{:>14}{:>14}", "t (us)", "data (KB)", "ctrl (KB)");
+    for s in tracer.samples.iter().step_by(4) {
+        println!(
+            "{:>10}{:>14.1}{:>14.2}",
+            s.at / US,
+            s.data_bytes as f64 / 1024.0,
+            s.ctrl_bytes as f64 / 1024.0
+        );
+    }
+    let ns = sim.net_stats();
+    println!();
+    println!(
+        "peak data queue {:.0} KB (threshold 64 KB + one burst); peak ctrl queue {:.2} KB;",
+        tracer.peak_data() as f64 / 1024.0,
+        tracer.peak_ctrl() as f64 / 1024.0
+    );
+    println!("trims {}, HO drops {} — the WRR share keeps the control plane shallow and lossless.", ns.trims, ns.ho_drops);
+}

@@ -1,0 +1,38 @@
+//! Fig. 10: loss recovery efficiency — goodput of a long-running flow under
+//! artificially enforced loss rates, DCP vs CX5 (RNIC-GBN).
+
+use dcp_bench::stream_goodput;
+use dcp_core::dcp_switch_config;
+use dcp_netsim::switch::SwitchConfig;
+use dcp_netsim::time::{SEC, US};
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_workloads::{CcKind, TransportKind};
+
+fn run(kind: TransportKind, loss: f64) -> f64 {
+    let mut cfg = match kind {
+        TransportKind::Dcp => dcp_switch_config(LoadBalance::Ecmp, 16),
+        _ => SwitchConfig::lossy(LoadBalance::Ecmp),
+    };
+    cfg.forced_loss_rate = loss;
+    let mut sim = Simulator::new(11);
+    let topo = topology::two_switch_testbed(&mut sim, cfg, 1, 100.0, &[100.0], US, US);
+    let cc = if kind == TransportKind::Dcp {
+        CcKind::None
+    } else {
+        CcKind::Bdp { gbps: 100.0, rtt: 12 * US }
+    };
+    stream_goodput(&mut sim, &topo, kind, cc, 0, 1, 16 << 20, 600 * SEC)
+}
+
+fn main() {
+    println!("Fig. 10 — goodput (Gbps) vs enforced loss rate, 16 MB stream");
+    println!("{:>8}{:>12}{:>12}{:>12}", "loss", "CX5(GBN)", "DCP", "DCP/CX5");
+    for loss in [0.0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05] {
+        let cx5 = run(TransportKind::Gbn, loss);
+        let dcp = run(TransportKind::Dcp, loss);
+        println!("{:>7.2}%{cx5:>12.1}{dcp:>12.1}{:>12.1}x", loss * 100.0, dcp / cx5.max(1e-9));
+    }
+    println!();
+    println!("Paper shape: 1.6x at 0.01% rising to ~72x at 5%; DCP stays near line rate");
+    println!("while GBN collapses.");
+}

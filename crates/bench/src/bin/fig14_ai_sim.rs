@@ -1,0 +1,60 @@
+//! Fig. 14: large-scale AI workloads — groups running AllReduce/AllToAll
+//! simultaneously on the CLOS; JCT per group and FCT distribution.
+
+use dcp_bench::{build_clos, default_cc, Scale};
+use dcp_core::dcp_switch_config;
+use dcp_netsim::switch::SwitchConfig;
+use dcp_netsim::time::{MS, SEC, US};
+use dcp_netsim::LoadBalance;
+use dcp_workloads::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    // Paper: 16 groups × 16 hosts, 300 MB per collective. Quick: 4 × 4,
+    // 48 MB.
+    let (n_groups, group_size, bytes) = match scale {
+        Scale::Quick => (4usize, 4usize, 48u64 << 20),
+        Scale::Full => (16, 16, 300 << 20),
+    };
+    println!("Fig. 14 — AI workloads: {n_groups} groups x {group_size}, {} MB each ({})", bytes >> 20, scale.label());
+    let schemes: Vec<(&str, TransportKind, SwitchConfig)> = vec![
+        ("PFC", TransportKind::Gbn, SwitchConfig::lossless(LoadBalance::Ecmp)),
+        ("IRN", TransportKind::Irn, SwitchConfig::lossy(LoadBalance::AdaptiveRouting)),
+        ("MP-RDMA", TransportKind::MpRdma, {
+            let mut c = SwitchConfig::lossless(LoadBalance::Ecmp);
+            c.ecn = Some(dcp_netsim::EcnConfig::default_100g());
+            c
+        }),
+        ("DCP", TransportKind::Dcp, dcp_switch_config(LoadBalance::AdaptiveRouting, 20)),
+    ];
+    // Groups stripe across leaves so collectives cross the spine layer.
+    let hosts = scale.clos_dims().1 * scale.clos_dims().2;
+    let groups: Vec<Group> = (0..n_groups)
+        .map(|g| Group {
+            members: (0..group_size).map(|m| (g + m * n_groups) % hosts).collect(),
+            total_bytes: bytes,
+        })
+        .collect();
+    for which in [Collective::RingAllReduce, Collective::AllToAll] {
+        println!("\n{which:?}: JCT (ms) per scheme");
+        println!("{:<10}{:>10}{:>10}{:>12}{:>16}", "scheme", "min", "max", "mean", "FCT P95 (ms)");
+        for (label, kind, cfg) in &schemes {
+            let (mut sim, topo) = build_clos(5, *cfg, scale, US);
+            let res = run_collective(&mut sim, &topo, *kind, default_cc(*kind), &groups, which, 600 * SEC);
+            let jcts: Vec<f64> = res.iter().map(|r| r.jct as f64 / MS as f64).collect();
+            let min = jcts.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = jcts.iter().cloned().fold(0.0, f64::max);
+            let mean = jcts.iter().sum::<f64>() / jcts.len() as f64;
+            let mut fcts: Vec<f64> = res
+                .iter()
+                .flat_map(|r| r.fcts.iter().map(|&f| f as f64 / MS as f64))
+                .collect();
+            let p95 = percentile(&mut fcts, 95.0);
+            println!("{label:<10}{min:>10.2}{max:>10.2}{mean:>12.2}{p95:>16.2}");
+        }
+    }
+    println!();
+    println!("Paper shape: DCP has the lowest JCT (38–61% below the baselines on");
+    println!("AllReduce), driven by the best per-flow tail; collectives are gated by");
+    println!("their slowest flow.");
+}

@@ -1,0 +1,38 @@
+//! Table 3: receiver packet-tracking memory — BDP-sized bitmaps vs linked
+//! chunks vs DCP's bitmap-free counters.
+
+use dcp_analytic::{table3_10k_qps, table3_per_qp};
+
+fn fmt(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2} MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1024 {
+        format!("{:.1} KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn main() {
+    println!("Table 3 — packet-tracking memory (intra-DC: 400 Gbps, 10 us RTT, 1 KB MTU)");
+    println!("{:<22}{:>14}{:>22}{:>12}", "", "BDP-sized", "Linked chunk", "DCP");
+    let (bdp, (lmin, lmax), dcp) = table3_per_qp();
+    println!(
+        "{:<22}{:>14}{:>22}{:>12}",
+        "Per-QP",
+        fmt(bdp),
+        format!("{}~{}", fmt(lmin), fmt(lmax)),
+        fmt(dcp)
+    );
+    let (bdp_k, (lmin_k, lmax_k), dcp_k) = table3_10k_qps();
+    println!(
+        "{:<22}{:>14}{:>22}{:>12}",
+        "10k QPs",
+        fmt(bdp_k),
+        format!("{}~{}", fmt(lmin_k), fmt(lmax_k)),
+        fmt(dcp_k)
+    );
+    println!();
+    println!("Paper shape: DCP per-QP tracking is an order of magnitude below BDP bitmaps;");
+    println!("10k QPs of bitmaps exceed typical ~2 MB RNIC SRAM, DCP stays well under 0.5 MB.");
+}

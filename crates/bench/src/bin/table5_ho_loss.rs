@@ -1,0 +1,71 @@
+//! Table 5: robustness of the lossless control plane — HO-packet loss rate
+//! under severe incast, for WRR weights configured as if the switch radix
+//! were N = 22 and N = 16, with and without DCQCN.
+//!
+//! The metric is the *ratio of lost HO packets over all HO packets* during
+//! a fixed simulated window of sustained incast (the paper measures the
+//! same ratio over its run); senders keep their queues full throughout.
+
+use dcp_core::{dcp_switch_config, effective_wrr_weight};
+use dcp_netsim::packet::FlowId;
+use dcp_netsim::time::MS;
+use dcp_netsim::{topology, EcnConfig, LoadBalance, Simulator, US};
+use dcp_rdma::qp::WorkReqOp;
+use dcp_workloads::{endpoint_pair, CcKind, TransportKind};
+
+/// Sustains a `fan_in`-to-1 incast for 20 ms of simulated time with the
+/// weight derived for `n_cfg` ports; returns (HO drops, total HOs).
+fn run(fan_in: usize, n_cfg: usize, with_cc: bool) -> (u64, u64) {
+    let mut cfg = dcp_switch_config(LoadBalance::Ecmp, n_cfg);
+    cfg.ctrl_weight = effective_wrr_weight(n_cfg, dcp_rdma::MTU, 8.0);
+    cfg.data_q_threshold = 16 * 1024;
+    // Small shared buffer so control-queue overload can actually drop.
+    cfg.buffer_bytes = 2 << 20;
+    if with_cc {
+        cfg.ecn = Some(EcnConfig { kmin: 8 * 1024, kmax: 16 * 1024, pmax: 0.2 });
+    }
+    let mut sim = Simulator::new(41);
+    let topo = topology::two_switch_testbed(&mut sim, cfg, fan_in, 100.0, &[100.0], US, US);
+    let victim = topo.hosts[fan_in];
+    let cc = if with_cc { CcKind::Dcqcn { gbps: 100.0 } } else { CcKind::None };
+    for i in 0..fan_in {
+        let flow = FlowId(i as u32 + 1);
+        let (tx, rx) = endpoint_pair(TransportKind::Dcp, cc, flow, topo.hosts[i], victim);
+        sim.install_endpoint(topo.hosts[i], flow, tx);
+        sim.install_endpoint(victim, flow, rx);
+        // Enough messages to keep the incast saturated for the window.
+        for m in 0..64u64 {
+            sim.post(topo.hosts[i], flow, m, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+        }
+    }
+    sim.run_until(20 * MS);
+    let ns = sim.net_stats();
+    (ns.ho_drops, ns.ho_forwarded + ns.ho_drops)
+}
+
+fn main() {
+    let full = std::env::var("DCP_FULL").map(|v| v == "1").unwrap_or(false);
+    let incasts: &[usize] = if full { &[128, 255] } else { &[16, 32] };
+    println!("Table 5 — HO-packet loss ratio over a 20 ms sustained incast window");
+    println!("(trim threshold 16 KB, 2 MB shared buffer, w = (N-1)/(r-N+1), fallback 8.0)");
+    println!("{:<24}{:>14}{:>14}", "setting", "w/o CC", "w/ CC");
+    for &n_cfg in &[22usize, 16] {
+        for &fan in incasts {
+            let row = format!("N={n_cfg}; {fan}-to-1");
+            let mut cols = Vec::new();
+            for with_cc in [false, true] {
+                let (drops, total) = run(fan, n_cfg, with_cc);
+                cols.push(if total == 0 {
+                    "no HOs".to_string()
+                } else {
+                    format!("{:.3}%", drops as f64 / total as f64 * 100.0)
+                });
+            }
+            println!("{row:<24}{:>14}{:>14}", cols[0], cols[1]);
+        }
+    }
+    println!();
+    println!("Paper shape: zero HO loss in nearly every configuration; only the most");
+    println!("extreme incast without CC loses a fraction of a percent (paper: 0.16% at");
+    println!("255-to-1 with N=16), and enabling CC eliminates even that.");
+}

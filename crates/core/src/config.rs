@@ -1,0 +1,69 @@
+//! DCP-RNIC configuration: the §4.3–§4.5 microarchitecture parameters.
+
+use dcp_netsim::time::{Nanos, MS, US};
+
+/// Applications post large transfers as a sequence of bounded messages (the
+/// NCCL pattern §4.5 cites). This is the chunk size the workload runner
+/// uses; it bounds how long the coarse fallback timer can go without an
+/// eMSN-advancing ACK.
+pub const MSG_CHUNK_BYTES: u64 = 1 << 20;
+
+/// How the Tx path turns header-only notifications into retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetransMode {
+    /// The strawman of §4.3 challenge #1: each HO packet triggers its own
+    /// WQE fetch + data fetch, i.e. two PCIe round trips per retransmitted
+    /// packet (footnote 9: ≈4 Gbps at 1 µs PCIe RTT). Kept for the
+    /// ablation benchmark.
+    PerHo,
+    /// The paper's design: entries accumulate in the host-memory RetransQ
+    /// and the Tx path fetches up to `min(16, len, awin/MTU)` per round,
+    /// amortizing PCIe latency.
+    Batched,
+}
+
+/// PCIe transaction model.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieConfig {
+    /// Round-trip latency between the RNIC and host memory (footnote 9
+    /// assumes 1 µs).
+    pub rtt: Nanos,
+    /// Maximum retransmission entries fetched per batch (16 in §4.3,
+    /// 16 × 1 KB = the 16 KB `round_quota`).
+    pub batch: usize,
+}
+
+impl Default for PcieConfig {
+    fn default() -> Self {
+        PcieConfig { rtt: US, batch: 16 }
+    }
+}
+
+/// Full DCP-RNIC configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DcpConfig {
+    /// Coarse-grained fallback timeout on the `unaMSN` message (§4.5). The
+    /// paper keeps this deliberately coarse — it only fires when the
+    /// lossless-control-plane assumption is violated.
+    pub coarse_timeout: Nanos,
+    /// DCQCN NP interval for receiver-side CNP generation.
+    pub cnp_interval: Nanos,
+    pub retrans_mode: RetransMode,
+    pub pcie: PcieConfig,
+    /// Messages the receiver tracks concurrently per QP. The FPGA prototype
+    /// provisions 8 (NCCL's outstanding-message depth, §4.5); the software
+    /// model defaults higher so arbitrary workloads don't hit the cap.
+    pub max_tracked_msgs: usize,
+}
+
+impl Default for DcpConfig {
+    fn default() -> Self {
+        DcpConfig {
+            coarse_timeout: 10 * MS,
+            cnp_interval: 50 * US,
+            retrans_mode: RetransMode::Batched,
+            pcie: PcieConfig::default(),
+            max_tracked_msgs: 64,
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! DCP-RNIC sender: HO-based retransmission (§4.3) with the host-memory
+//! RetransQ, batched PCIe fetches, and the coarse-grained timeout fallback
+//! with `sRetryNo` rounds (§4.5).
+//!
+//! The sender keeps **no bitmap and no per-packet timer**: loss events
+//! arrive as header-only packets naming exactly the (MSN, PSN) to resend.
+//! Because HO packets are stateless, entries are queued in host memory and
+//! fetched in batches so the congestion-control module can regulate the
+//! retransmission rate (§4.3 challenge #2) and PCIe latency is amortized
+//! (challenge #1).
+
+use crate::config::{DcpConfig, RetransMode};
+use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::stats::TransportStats;
+use dcp_rdma::headers::DcpTag;
+use dcp_rdma::qp::{RetransEntry, WorkReqOp};
+use dcp_transport::cc::CongestionControl;
+use dcp_transport::common::{data_packet, desc_at, tokens, FlowCfg, TxBook};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer token for a PCIe fetch completion.
+const FETCH: u64 = 5 << tokens::KIND_SHIFT;
+
+/// The DCP-RNIC requester.
+pub struct DcpSender {
+    cfg: FlowCfg,
+    dcfg: DcpConfig,
+    book: TxBook,
+    cc: Box<dyn CongestionControl>,
+    /// Next new PSN.
+    snd_nxt: u32,
+    /// Host-memory retransmission queue (§4.3).
+    retransq: VecDeque<RetransEntry>,
+    /// Entries fetched onto the NIC, ready to retransmit.
+    fetched: VecDeque<RetransEntry>,
+    fetch_inflight: bool,
+    /// Per-message retry round; only populated after coarse timeouts.
+    retry_no: HashMap<u32, u8>,
+    /// Timeout-triggered retransmissions (whole unaMSN message).
+    timeout_q: VecDeque<(u32, u32)>,
+    coarse_gen: u64,
+    coarse_armed: bool,
+    pace_armed: bool,
+    cc_tick_armed: bool,
+    uid: u64,
+    stats: TransportStats,
+    /// PCIe round trips spent on the retransmission path (ablation metric).
+    pub pcie_fetches: u64,
+}
+
+impl DcpSender {
+    pub fn new(cfg: FlowCfg, dcfg: DcpConfig, cc: Box<dyn CongestionControl>) -> Self {
+        assert_eq!(cfg.data_tag, DcpTag::Data, "DCP traffic must carry the Data tag");
+        DcpSender {
+            cfg,
+            dcfg,
+            book: TxBook::new(),
+            cc,
+            snd_nxt: 0,
+            retransq: VecDeque::new(),
+            fetched: VecDeque::new(),
+            fetch_inflight: false,
+            retry_no: HashMap::new(),
+            timeout_q: VecDeque::new(),
+            coarse_gen: 0,
+            coarse_armed: false,
+            pace_armed: false,
+            cc_tick_armed: false,
+            uid: 0,
+            stats: TransportStats::default(),
+            pcie_fetches: 0,
+        }
+    }
+
+    /// Length of the host-memory RetransQ (mirrored in the QPC, §4.3).
+    pub fn retransq_len(&self) -> usize {
+        self.retransq.len()
+    }
+
+    fn arm_coarse(&mut self, ctx: &mut EndpointCtx) {
+        self.coarse_gen += 1;
+        self.coarse_armed = true;
+        ctx.timers.push((ctx.now + self.dcfg.coarse_timeout, tokens::RTO | self.coarse_gen));
+    }
+
+    /// Kicks off a PCIe fetch of retransmission entries if one is needed.
+    fn maybe_fetch(&mut self, ctx: &mut EndpointCtx) {
+        if self.fetch_inflight || self.retransq.is_empty() || !self.fetched.is_empty() {
+            return;
+        }
+        self.fetch_inflight = true;
+        let latency = match self.dcfg.retrans_mode {
+            // Batched: the Tx path issues one batched read (entries + WQEs
+            // pipelined with the payload DMA).
+            RetransMode::Batched => self.dcfg.pcie.rtt,
+            // Per-HO strawman: WQE fetch then data fetch, serialized.
+            RetransMode::PerHo => 2 * self.dcfg.pcie.rtt,
+        };
+        ctx.timers.push((ctx.now + latency, FETCH));
+    }
+
+    fn build(&mut self, msn: u32, psn: u32, is_retx: bool) -> Option<Packet> {
+        let m = *self.book.by_msn(msn)?;
+        if psn < m.first_psn || psn >= m.first_psn + m.pkt_count {
+            return None;
+        }
+        let desc = desc_at(&m, self.cfg.mtu, psn);
+        let sretry = self.retry_no.get(&msn).copied().unwrap_or(0);
+        self.uid += 1;
+        Some(data_packet(&self.cfg, &m, desc, psn, sretry, is_retx, self.uid))
+    }
+}
+
+impl Endpoint for DcpSender {
+    fn post(&mut self, wr_id: u64, op: WorkReqOp, len: u64) {
+        self.book.post(wr_id, op, len, self.cfg.mtu);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        match pkt.dcp_tag() {
+            DcpTag::HeaderOnly => {
+                // A loss notification bounced back by the receiver: extract
+                // (MSN, PSN) and DMA it into the RetransQ (§4.3 Rx path).
+                self.stats.ho_received += 1;
+                let msn = pkt.msn().expect("HO packets carry the MSN");
+                let psn = pkt.psn();
+                // Stale-round filter: the HO's sRetryNo (retained through
+                // trimming because it lives in the IP header, Fig. 4a) must
+                // match the message's current round. A notification about a
+                // pre-timeout copy must not trigger a retransmission — the
+                // timeout round already resent everything, and acting on it
+                // would deliver a duplicate that corrupts the receiver's
+                // packet count (§4.5).
+                let current = self.retry_no.get(&msn).copied().unwrap_or(0);
+                if pkt.header.ip.sretry_no() == current && self.book.by_msn(msn).is_some() {
+                    self.retransq.push_back(RetransEntry { msn, psn });
+                    self.maybe_fetch(ctx);
+                }
+            }
+            DcpTag::Ack => {
+                if pkt.ext == PktExt::Cnp {
+                    self.stats.cnps += 1;
+                    self.cc.on_congestion(ctx.now);
+                    return;
+                }
+                let Some(aeth) = pkt.header.aeth else { return };
+                let emsn = aeth.emsn;
+                let retired = self.book.retire_below(emsn);
+                if !retired.is_empty() {
+                    for m in &retired {
+                        self.retry_no.remove(&m.wqe.msn);
+                        self.cc.on_ack(ctx.now, m.wqe.len);
+                        ctx.completions.push(Completion {
+                            host: self.cfg.local,
+                            flow: self.cfg.flow,
+                            wr_id: m.wqe.wr_id,
+                            kind: CompletionKind::SendComplete,
+                            bytes: m.wqe.len,
+                            imm: 0,
+                            at: ctx.now,
+                        });
+                    }
+                    // Progress: reset the coarse fallback timer (§4.5).
+                    if self.book.is_empty() {
+                        self.coarse_armed = false;
+                    } else {
+                        self.arm_coarse(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        match tokens::kind(token) {
+            tokens::RTO => {
+                if !self.coarse_armed || tokens::generation(token) != self.coarse_gen {
+                    return;
+                }
+                let Some(msn) = self.book.una_msn() else {
+                    self.coarse_armed = false;
+                    return;
+                };
+                // Coarse fallback: bump the message's retry round and resend
+                // all of it (§4.5). HO-triggered entries from older rounds
+                // become harmless: the receiver ignores old rounds.
+                self.stats.timeouts += 1;
+                let r = self.retry_no.entry(msn).or_insert(0);
+                *r = r.saturating_add(1);
+                let m = *self.book.by_msn(msn).expect("unaMSN present");
+                // The full-message resend supersedes any queued HO entries
+                // for this message; acting on both would duplicate packets
+                // within the new round.
+                self.retransq.retain(|e| e.msn != msn);
+                self.fetched.retain(|e| e.msn != msn);
+                self.timeout_q.clear();
+                for psn in m.first_psn..m.first_psn + m.pkt_count {
+                    self.timeout_q.push_back((msn, psn));
+                }
+                self.arm_coarse(ctx);
+            }
+            tokens::PACE => self.pace_armed = false,
+            tokens::CC_TICK => {
+                self.cc_tick_armed = false;
+                if let Some(next) = self.cc.on_tick(ctx.now) {
+                    if !self.book.is_empty() {
+                        self.cc_tick_armed = true;
+                        ctx.timers.push((next, tokens::CC_TICK));
+                    }
+                }
+            }
+            _ if tokens::kind(token) == FETCH => {
+                // PCIe fetch completed: entries are now on the NIC.
+                self.fetch_inflight = false;
+                self.pcie_fetches += 1;
+                let n = match self.dcfg.retrans_mode {
+                    RetransMode::Batched => self.dcfg.pcie.batch.min(self.retransq.len()),
+                    RetransMode::PerHo => 1.min(self.retransq.len()),
+                };
+                self.fetched.extend(self.retransq.drain(..n));
+            }
+            _ => {}
+        }
+    }
+
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+        // Pacing gate from the CC module; applies to retransmissions too,
+        // which is exactly how DCP makes the retransmission rate
+        // controllable (§4.3 challenge #2).
+        let t = self.cc.next_send_time(ctx.now);
+        if t > ctx.now {
+            if self.has_pending() && !self.pace_armed {
+                self.pace_armed = true;
+                ctx.timers.push((t, tokens::PACE));
+            }
+            return None;
+        }
+        // 1. Timeout-round retransmissions.
+        while let Some((msn, psn)) = self.timeout_q.pop_front() {
+            if let Some(pkt) = self.build(msn, psn, true) {
+                self.stats.retx_pkts += 1;
+                self.cc.on_send(ctx.now, pkt.wire_bytes());
+                return Some(pkt);
+            }
+        }
+        // 2. Fetched HO-named retransmissions.
+        while let Some(e) = self.fetched.pop_front() {
+            self.maybe_fetch(ctx);
+            if let Some(pkt) = self.build(e.msn, e.psn, true) {
+                self.stats.retx_pkts += 1;
+                self.cc.on_send(ctx.now, pkt.wire_bytes());
+                return Some(pkt);
+            }
+        }
+        self.maybe_fetch(ctx);
+        // 3. New data.
+        if self.snd_nxt < self.book.next_psn() {
+            let (m, _) = self.book.locate(self.snd_nxt).expect("unsent psn locates");
+            let m = *m;
+            let psn = self.snd_nxt;
+            let desc = desc_at(&m, self.cfg.mtu, psn);
+            let sretry = self.retry_no.get(&m.wqe.msn).copied().unwrap_or(0);
+            self.uid += 1;
+            let pkt = data_packet(&self.cfg, &m, desc, psn, sretry, false, self.uid);
+            self.snd_nxt += 1;
+            self.stats.data_pkts += 1;
+            self.cc.on_send(ctx.now, pkt.wire_bytes());
+            if !self.coarse_armed {
+                self.arm_coarse(ctx);
+            }
+            if !self.cc_tick_armed {
+                if let Some(next) = self.cc.on_tick(ctx.now) {
+                    self.cc_tick_armed = true;
+                    ctx.timers.push((next, tokens::CC_TICK));
+                }
+            }
+            return Some(pkt);
+        }
+        None
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.timeout_q.is_empty() || !self.fetched.is_empty() || self.snd_nxt < self.book.next_psn()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.book.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::time::Nanos;
+    use dcp_rdma::headers::{Aeth, RdmaOpcode};
+    use dcp_transport::cc::NoCc;
+    use dcp_transport::common::ack_packet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FlowCfg {
+        FlowCfg::sender(FlowId(1), NodeId(0), NodeId(1), DcpTag::Data)
+    }
+
+    fn ctx<'a>(
+        now: Nanos,
+        t: &'a mut Vec<(Nanos, u64)>,
+        c: &'a mut Vec<Completion>,
+        r: &'a mut StdRng,
+    ) -> EndpointCtx<'a> {
+        EndpointCtx { now, timers: t, completions: c, rng: r }
+    }
+
+    fn sender(mode: RetransMode) -> DcpSender {
+        let dcfg = DcpConfig { retrans_mode: mode, ..Default::default() };
+        let mut s = DcpSender::new(cfg(), dcfg, Box::new(NoCc::default()));
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
+        s
+    }
+
+    /// A header-only notification for (msn, psn), as bounced by the receiver.
+    fn ho(msn: u32, psn: u32) -> Packet {
+        let scfg = cfg();
+        let mut book = TxBook::new();
+        let m = book.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024, scfg.mtu);
+        let mut pkt = data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, 0);
+        pkt.header = pkt.header.trim_to_header_only();
+        pkt.payload_len = 0;
+        pkt.desc = None;
+        let mut h = pkt.header;
+        h.swap_src_dst(scfg.local_qpn.0);
+        pkt.header = h;
+        let _ = msn;
+        pkt
+    }
+
+    #[test]
+    fn ho_notification_triggers_precise_retransmit() {
+        let mut s = sender(RetransMode::Batched);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        assert_eq!(s.stats().data_pkts, 8);
+        s.on_packet(ho(0, 3), &mut ctx(1000, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().ho_received, 1);
+        assert_eq!(s.retransq_len(), 1);
+        // Entry is fetched after one PCIe RTT...
+        assert!(s.pull(&mut ctx(1000, &mut t, &mut c, &mut r)).is_none(), "not fetched yet");
+        let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == FETCH).copied().unwrap();
+        assert_eq!(at, 1000 + 1000, "1 µs PCIe RTT");
+        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        assert_eq!(p.psn(), 3, "retransmits exactly the PSN the HO named");
+        assert!(p.is_retx);
+        assert_eq!(s.stats().retx_pkts, 1);
+    }
+
+    #[test]
+    fn batched_fetch_amortizes_pcie() {
+        let mut s = sender(RetransMode::Batched);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        for psn in 0..8 {
+            s.on_packet(ho(0, psn), &mut ctx(1000, &mut t, &mut c, &mut r));
+        }
+        let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == FETCH).copied().unwrap();
+        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        let mut n = 0;
+        while s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 8, "whole batch retransmitted after a single fetch");
+        assert_eq!(s.pcie_fetches, 1);
+    }
+
+    #[test]
+    fn per_ho_mode_serializes_fetches() {
+        let mut s = sender(RetransMode::PerHo);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        for psn in 0..4 {
+            s.on_packet(ho(0, psn), &mut ctx(1000, &mut t, &mut c, &mut r));
+        }
+        // First fetch completes at +2 µs and yields exactly one entry.
+        let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == FETCH).copied().unwrap();
+        assert_eq!(at, 1000 + 2000);
+        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        let mut n = 0;
+        while s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1, "per-HO mode retransmits one packet per 2 PCIe RTTs");
+    }
+
+    #[test]
+    fn emsn_ack_retires_and_completes() {
+        let mut s = sender(RetransMode::Batched);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let rcfg = FlowCfg::receiver_of(&cfg());
+        let mut ack = ack_packet(&rcfg, PktExt::None, 1, 0);
+        ack.header.aeth = Some(Aeth { syndrome: 0, emsn: 1 });
+        assert_eq!(ack.header.bth.opcode, RdmaOpcode::Acknowledge);
+        s.on_packet(ack, &mut ctx(5000, &mut t, &mut c, &mut r));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].wr_id, 1);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn coarse_timeout_resends_whole_message_with_bumped_round() {
+        let mut s = sender(RetransMode::Batched);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 1);
+        let mut psns = vec![];
+        let mut rounds = vec![];
+        while let Some(p) = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)) {
+            psns.push(p.psn());
+            rounds.push(p.header.ip.sretry_no());
+        }
+        assert_eq!(psns, (0..8).collect::<Vec<_>>(), "all packets of unaMSN resent");
+        assert!(rounds.iter().all(|&r| r == 1), "retry round bumped to 1");
+    }
+
+    #[test]
+    fn stale_ho_for_retired_message_is_ignored() {
+        let mut s = sender(RetransMode::Batched);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let rcfg = FlowCfg::receiver_of(&cfg());
+        let mut ack = ack_packet(&rcfg, PktExt::None, 1, 0);
+        ack.header.aeth = Some(Aeth { syndrome: 0, emsn: 1 });
+        s.on_packet(ack, &mut ctx(5000, &mut t, &mut c, &mut r));
+        s.on_packet(ho(0, 3), &mut ctx(6000, &mut t, &mut c, &mut r));
+        assert_eq!(s.retransq_len(), 0, "HO for an acknowledged message is dropped");
+        assert!(!s.has_pending());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the bitmap-free tracker (§4.5): under *any* arrival
+//! permutation — with duplicates filtered per the exactly-once contract and
+//! retry rounds interleaved — messages complete exactly once, in MSN order,
+//! and never complete with packets missing.
+
+use dcp_core::tracking::{MsgTracker, Track};
+use proptest::prelude::*;
+
+/// One synthetic arrival: (msn, packet index, round).
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    msn: u32,
+    index: u32,
+    round: u8,
+}
+
+/// Generates messages of 1..=6 packets and a shuffled single-round arrival
+/// order covering each packet exactly once.
+fn exactly_once_schedule() -> impl Strategy<Value = (Vec<u32>, Vec<Arrival>)> {
+    proptest::collection::vec(1u32..=6, 1..=5).prop_flat_map(|sizes| {
+        let arrivals: Vec<Arrival> = sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(msn, &n)| (0..n).map(move |index| Arrival { msn: msn as u32, index, round: 0 }))
+            .collect();
+        let len = arrivals.len();
+        (Just(sizes), Just(arrivals).prop_shuffle().prop_map(move |v| v), Just(len))
+            .prop_map(|(s, a, _)| (s, a))
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_permutation_completes_all_messages_in_order((sizes, arrivals) in exactly_once_schedule()) {
+        let mut t = MsgTracker::new(64);
+        let mut completed = Vec::new();
+        for a in &arrivals {
+            let pkts = sizes[a.msn as usize];
+            let is_last = a.index == pkts - 1;
+            let r = t.on_packet(a.msn, a.round, is_last, a.index, pkts as u64 * 1024, true, 0);
+            prop_assert_eq!(r, Track::Counted);
+            completed.extend(t.drain_completed());
+        }
+        // All messages completed, exactly once, in MSN order.
+        prop_assert_eq!(completed.len(), sizes.len());
+        for (i, c) in completed.iter().enumerate() {
+            prop_assert_eq!(c.msn, i as u32);
+            prop_assert_eq!(c.bytes, sizes[i] as u64 * 1024);
+        }
+        prop_assert_eq!(t.tracked(), 0);
+        prop_assert_eq!(t.emsn(), sizes.len() as u32);
+    }
+
+    #[test]
+    fn incomplete_rounds_never_complete(
+        pkts in 2u32..=8,
+        drop_ix in 0u32..8,
+        order in proptest::collection::vec(0u32..8, 0..32),
+    ) {
+        // Deliver every packet except `drop_ix` (mod pkts), possibly with
+        // repeated old-round noise: the message must NOT complete.
+        let drop_ix = drop_ix % pkts;
+        let mut t = MsgTracker::new(8);
+        for i in 0..pkts {
+            if i == drop_ix {
+                continue;
+            }
+            t.on_packet(0, 1, i == pkts - 1, i, pkts as u64 * 1024, true, 0);
+        }
+        // Old-round (round 0) stragglers, any indices: all ignored.
+        for &i in &order {
+            let i = i % pkts;
+            let r = t.on_packet(0, 0, i == pkts - 1, i, pkts as u64 * 1024, true, 0);
+            prop_assert_eq!(r, Track::OldRound);
+        }
+        prop_assert!(t.drain_completed().is_empty(), "missing packet must block completion");
+        // Delivering the gap completes it.
+        t.on_packet(0, 1, drop_ix == pkts - 1, drop_ix, pkts as u64 * 1024, true, 0);
+        prop_assert_eq!(t.drain_completed().len(), 1);
+    }
+
+    #[test]
+    fn round_bump_always_restarts_count(
+        pkts in 2u32..=8,
+        prefix in 1u32..8,
+    ) {
+        let pkts = pkts.max(2);
+        let prefix = prefix.min(pkts - 1);
+        let mut t = MsgTracker::new(8);
+        // Round 0 delivers a strict prefix.
+        for i in 0..prefix {
+            t.on_packet(0, 0, false, i, 0, true, 0);
+        }
+        // Round 1 delivers everything *except* one packet: still incomplete,
+        // even though total arrivals ≥ pkts.
+        for i in 1..pkts {
+            t.on_packet(0, 1, i == pkts - 1, i, pkts as u64 * 1024, true, 0);
+        }
+        prop_assert!(t.drain_completed().is_empty());
+        t.on_packet(0, 1, false, 0, 0, true, 0);
+        prop_assert_eq!(t.drain_completed().len(), 1);
+    }
+}

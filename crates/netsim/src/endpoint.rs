@@ -1,0 +1,76 @@
+//! The contract between the host NIC model and a transport implementation.
+//!
+//! The NIC *pulls* packets (smoltcp-style polling): whenever the host's wire
+//! is free, the QP scheduler offers each endpoint a chance to emit. An
+//! endpoint that is pacing (rate limit, window exhausted) returns `None` and
+//! must arrange a timer so it gets polled again; an endpoint with nothing to
+//! say reports `has_pending() == false` and is skipped until a packet or
+//! timer wakes it.
+
+use crate::packet::{FlowId, NodeId, Packet};
+use crate::stats::TransportStats;
+use crate::time::Nanos;
+use rand::rngs::StdRng;
+
+/// Message-level completion surfaced to the application/driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    pub host: NodeId,
+    pub flow: FlowId,
+    pub wr_id: u64,
+    pub kind: CompletionKind,
+    pub bytes: u64,
+    pub imm: u32,
+    pub at: Nanos,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// Sender-side WQE retired (message fully acknowledged).
+    SendComplete,
+    /// Receiver-side message fully arrived and delivered in MSN order.
+    RecvComplete,
+}
+
+/// Mutable context handed to endpoint callbacks.
+pub struct EndpointCtx<'a> {
+    pub now: Nanos,
+    /// Absolute-time timer requests `(fire_at, token)`; the simulator
+    /// delivers them back through [`Endpoint::on_timer`].
+    pub timers: &'a mut Vec<(Nanos, u64)>,
+    /// Completions to surface to the experiment runner.
+    pub completions: &'a mut Vec<Completion>,
+    /// The simulation's deterministic RNG.
+    pub rng: &'a mut StdRng,
+}
+
+/// One side of a transport connection, attached to a host NIC.
+pub trait Endpoint {
+    /// Posts a Work Request on a sender endpoint. Receiver endpoints keep
+    /// the default, which panics — posting to one is a harness bug.
+    fn post(&mut self, wr_id: u64, op: dcp_rdma::qp::WorkReqOp, len: u64) {
+        let _ = (wr_id, op, len);
+        panic!("this endpoint does not accept work requests");
+    }
+
+    /// A packet addressed to this endpoint arrived from the wire.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx);
+
+    /// A previously requested timer fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx);
+
+    /// The NIC can transmit: return the next packet, or `None` if pacing or
+    /// out of permitted sends. Contract: if this returns `None` while
+    /// [`Endpoint::has_pending`] is true, a timer must already be pending.
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet>;
+
+    /// Whether the endpoint currently wants wire time.
+    fn has_pending(&self) -> bool;
+
+    /// Transport counters for the harness.
+    fn stats(&self) -> TransportStats;
+
+    /// True once every posted message has been fully delivered/acknowledged.
+    /// Used by runners to detect quiescence.
+    fn is_done(&self) -> bool;
+}

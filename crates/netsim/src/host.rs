@@ -1,0 +1,182 @@
+//! The host NIC model: endpoint registry, QP scheduling and wire pacing.
+//!
+//! A host owns one full-duplex link (single-NIC servers, as in the paper's
+//! simulations). Its transmit side implements the RNIC QP Scheduler of §4.3
+//! as a round-robin over endpoints with a per-round byte quota
+//! (`round_quota`, default 16 KB ≈ the PCIe BDP), pulling packets from
+//! transports only when the wire is free.
+
+use crate::endpoint::{Completion, Endpoint, EndpointCtx};
+use crate::link::Link;
+use crate::packet::{FlowId, NodeId, Packet, PortId};
+use crate::sim::{Event, NodeCtx};
+use crate::time::{tx_time, Nanos};
+use dcp_rdma::qp::WorkReqOp;
+use std::collections::HashMap;
+
+/// Default per-round quota of the QP scheduler (§4.3: 16 KB ≈ PCIe BDP).
+pub const ROUND_QUOTA: i64 = 16 * 1024;
+
+pub struct Host {
+    pub id: NodeId,
+    /// Outgoing link; set when the topology wires the host up.
+    pub link: Option<Link>,
+    endpoints: Vec<Box<dyn Endpoint>>,
+    by_flow: HashMap<FlowId, usize>,
+    busy: bool,
+    /// PFC PAUSE received from the ToR.
+    pub paused: bool,
+    cursor: usize,
+    quota_left: i64,
+    round_quota: i64,
+}
+
+impl Host {
+    pub fn new(id: NodeId) -> Self {
+        Host {
+            id,
+            link: None,
+            endpoints: Vec::new(),
+            by_flow: HashMap::new(),
+            busy: false,
+            paused: false,
+            cursor: 0,
+            quota_left: ROUND_QUOTA,
+            round_quota: ROUND_QUOTA,
+        }
+    }
+
+    /// Registers a transport endpoint for `flow`; packets of that flow
+    /// arriving at this host are delivered to it.
+    pub fn install(&mut self, flow: FlowId, ep: Box<dyn Endpoint>) -> usize {
+        let ix = self.endpoints.len();
+        self.endpoints.push(ep);
+        let prev = self.by_flow.insert(flow, ix);
+        assert!(prev.is_none(), "flow {flow:?} already installed on host {:?}", self.id);
+        ix
+    }
+
+    pub fn endpoint(&self, flow: FlowId) -> Option<&dyn Endpoint> {
+        self.by_flow.get(&flow).map(|&ix| self.endpoints[ix].as_ref())
+    }
+
+    pub fn endpoint_mut(&mut self, flow: FlowId) -> Option<&mut Box<dyn Endpoint>> {
+        self.by_flow.get(&flow).map(|&ix| &mut self.endpoints[ix])
+    }
+
+    pub fn endpoints(&self) -> impl Iterator<Item = &dyn Endpoint> {
+        self.endpoints.iter().map(|e| e.as_ref())
+    }
+
+    /// Posts a Work Request on the sender endpoint of `flow`.
+    pub fn post(&mut self, flow: FlowId, wr_id: u64, op: WorkReqOp, len: u64) {
+        let ep = self
+            .endpoint_mut(flow)
+            .unwrap_or_else(|| panic!("no endpoint for flow {flow:?}"));
+        ep.post(wr_id, op, len);
+    }
+
+    fn run_endpoint<R>(
+        &mut self,
+        ix: usize,
+        ctx: &mut NodeCtx,
+        f: impl FnOnce(&mut dyn Endpoint, &mut EndpointCtx) -> R,
+    ) -> R {
+        let mut timers: Vec<(Nanos, u64)> = Vec::new();
+        let mut comps: Vec<Completion> = Vec::new();
+        let r = {
+            let mut ectx = EndpointCtx {
+                now: ctx.now,
+                timers: &mut timers,
+                completions: &mut comps,
+                rng: ctx.rng,
+            };
+            f(self.endpoints[ix].as_mut(), &mut ectx)
+        };
+        for (at, token) in timers {
+            ctx.out.push((at, Event::EndpointTimer { node: self.id, ep: ix, token }));
+        }
+        ctx.completions.extend(comps);
+        r
+    }
+
+    /// A packet addressed to this host arrived.
+    pub fn on_packet(&mut self, pkt: Packet, ctx: &mut NodeCtx) {
+        let Some(&ix) = self.by_flow.get(&pkt.flow) else {
+            debug_assert!(false, "host {:?} got packet for unknown flow {:?}", self.id, pkt.flow);
+            return;
+        };
+        self.run_endpoint(ix, ctx, |ep, ectx| ep.on_packet(pkt, ectx));
+        self.try_transmit(ctx);
+    }
+
+    /// A timer for endpoint `ep` fired.
+    pub fn on_timer(&mut self, ep: usize, token: u64, ctx: &mut NodeCtx) {
+        self.run_endpoint(ep, ctx, |e, ectx| e.on_timer(token, ectx));
+        self.try_transmit(ctx);
+    }
+
+    /// The wire finished serializing the previous packet.
+    pub fn on_port_free(&mut self, ctx: &mut NodeCtx) {
+        self.busy = false;
+        self.try_transmit(ctx);
+    }
+
+    /// PFC PAUSE/RESUME from the ToR.
+    pub fn on_pfc(&mut self, pause: bool, ctx: &mut NodeCtx) {
+        self.paused = pause;
+        if !pause {
+            self.try_transmit(ctx);
+        }
+    }
+
+    fn advance(&mut self) {
+        self.cursor = (self.cursor + 1) % self.endpoints.len().max(1);
+        self.quota_left = self.round_quota;
+    }
+
+    /// QP scheduler: offer wire time round-robin with a byte quota.
+    pub fn try_transmit(&mut self, ctx: &mut NodeCtx) {
+        if self.busy || self.paused || self.endpoints.is_empty() {
+            return;
+        }
+        let Some(link) = self.link else { return };
+        let n = self.endpoints.len();
+        let mut attempts = 0;
+        while attempts < n {
+            let ix = self.cursor;
+            if !self.endpoints[ix].has_pending() {
+                self.advance();
+                attempts += 1;
+                continue;
+            }
+            let pulled = self.run_endpoint(ix, ctx, |ep, ectx| ep.pull(ectx));
+            match pulled {
+                Some(mut pkt) => {
+                    pkt.sent_at = ctx.now;
+                    let bytes = pkt.wire_bytes();
+                    self.quota_left -= bytes as i64;
+                    if self.quota_left <= 0 {
+                        self.advance();
+                    }
+                    let tx = tx_time(bytes, link.gbps);
+                    self.busy = true;
+                    ctx.out.push((ctx.now + tx, Event::PortFree { node: self.id, port: 0 }));
+                    ctx.out.push((
+                        ctx.now + tx + link.delay,
+                        Event::PacketArrive { node: link.to, port: link.to_port, pkt },
+                    ));
+                    return;
+                }
+                None => {
+                    // Pacing: the endpoint owes us a timer. Move on.
+                    self.advance();
+                    attempts += 1;
+                }
+            }
+        }
+    }
+
+    /// Ingress port of a host is always 0 (single NIC).
+    pub const PORT: PortId = 0;
+}

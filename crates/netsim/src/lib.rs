@@ -1,0 +1,43 @@
+//! `dcp-netsim` — a deterministic discrete-event network simulator.
+//!
+//! This crate is the substrate the DCP paper evaluates on: the NS3-style
+//! packet-level simulation fabric (§6.2) plus the mechanisms the paper adds
+//! to switches. It provides:
+//!
+//! * an event loop with stable `(time, sequence)` ordering ([`sim`]);
+//! * output-queued switches with separate data and control queues, a
+//!   weighted-round-robin egress scheduler, DCP packet trimming, ECN
+//!   marking, PFC pause/resume and forced-loss injection ([`switch`]);
+//! * flow-level ECMP, packet-level adaptive routing and spraying
+//!   ([`routing`]);
+//! * a host NIC model with a QP scheduler (round-robin with a byte quota,
+//!   mirroring §4.3's fetch-and-drop rounds) ([`host`]);
+//! * the [`endpoint::Endpoint`] trait transports implement, pulled by the
+//!   NIC smoltcp-style whenever the wire is free;
+//! * topology builders for the paper's testbed and CLOS fabrics
+//!   ([`topology`]).
+//!
+//! Determinism: all randomness flows from one seeded RNG, there is no wall
+//! clock, and same-seed runs produce identical traces — asserted by tests.
+
+pub mod endpoint;
+pub mod host;
+pub mod link;
+pub mod packet;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod switch;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+pub use link::Link;
+pub use packet::{FlowId, NodeId, Packet, PktExt, PortId};
+pub use routing::LoadBalance;
+pub use sim::{Event, Node, NodeCtx, Simulator};
+pub use stats::{NetStats, TransportStats};
+pub use switch::{EcnConfig, PfcConfig, SwitchConfig};
+pub use time::{bdp_bytes, fiber_delay_km, tx_time, Nanos, MS, NS, SEC, US};
+pub use topology::Topology;

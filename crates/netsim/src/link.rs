@@ -1,0 +1,24 @@
+//! Unidirectional links between node ports.
+
+use crate::packet::{NodeId, PortId};
+use crate::time::Nanos;
+
+/// A one-way link attached to an egress port. Full-duplex cables are two
+/// `Link`s, one per direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Node at the far end.
+    pub to: NodeId,
+    /// Ingress port index on the far-end node.
+    pub to_port: PortId,
+    /// Line rate in Gbps.
+    pub gbps: f64,
+    /// Propagation delay.
+    pub delay: Nanos,
+}
+
+impl Link {
+    pub fn new(to: NodeId, to_port: PortId, gbps: f64, delay: Nanos) -> Self {
+        Link { to, to_port, gbps, delay }
+    }
+}

@@ -1,0 +1,163 @@
+//! The simulated packet: a parsed header stack plus simulation metadata.
+//!
+//! Payload *bytes* are not carried (they would dominate simulation cost);
+//! instead data packets carry their [`PacketDescriptor`], which — combined
+//! with the deterministic pattern generator in `dcp-rdma::memory` — lets the
+//! receiver perform real direct placement that integrity tests can verify.
+
+use crate::time::Nanos;
+use dcp_rdma::headers::{DcpTag, PacketHeader};
+use dcp_rdma::segment::PacketDescriptor;
+
+/// Identifies a flow (one RC connection) across the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// Identifies a node (host or switch) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The IPv4 address assigned to this node (10.x.y.z from the index).
+    pub fn ip(self) -> u32 {
+        0x0a00_0000 | self.0
+    }
+
+    /// Inverse of [`NodeId::ip`].
+    pub fn from_ip(ip: u32) -> NodeId {
+        NodeId(ip & 0x00ff_ffff)
+    }
+}
+
+/// Port index within a node.
+pub type PortId = usize;
+
+/// Transport-specific acknowledgment payloads.
+///
+/// These model fields that real implementations encode in vendor-specific
+/// header extensions; keeping them as a typed enum lets every baseline speak
+/// through the same fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PktExt {
+    None,
+    /// Go-Back-N ACK: cumulative PSN (next expected).
+    GbnAck { epsn: u32 },
+    /// Go-Back-N NAK: receiver saw a gap; retransmit from `epsn`.
+    GbnNak { epsn: u32 },
+    /// IRN selective ACK: cumulative `epsn` plus the out-of-order PSN whose
+    /// arrival triggered this SACK (§2.2).
+    Sack { epsn: u32, sacked_psn: u32 },
+    /// DCQCN Congestion Notification Packet.
+    Cnp,
+    /// MP-RDMA per-path ACK: cumulative PSN, the PSN being acknowledged, the
+    /// path it travelled, and whether it was ECN-marked.
+    MpAck { epsn: u32, acked_psn: u32, path: u16, ecn: bool },
+    /// Software-TCP cumulative ACK (byte-based).
+    TcpAck { ack_seq: u64 },
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Unique id of this packet *copy* (retransmissions get fresh uids).
+    pub uid: u64,
+    pub flow: FlowId,
+    pub header: PacketHeader,
+    /// Payload bytes carried (0 for ACK/HO/CNP).
+    pub payload_len: u32,
+    /// Placement descriptor for data packets.
+    pub desc: Option<PacketDescriptor>,
+    /// Transport-specific extension.
+    pub ext: PktExt,
+    /// Time the sender put the packet on the wire (RTT estimation).
+    pub sent_at: Nanos,
+    /// True for retransmitted copies.
+    pub is_retx: bool,
+    /// Ingress port on the node currently holding the packet; maintained by
+    /// the simulator for PFC ingress accounting.
+    pub ingress: PortId,
+}
+
+impl Packet {
+    /// Total bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.header.wire_header_bytes() + self.payload_len as usize
+    }
+
+    pub fn dcp_tag(&self) -> DcpTag {
+        self.header.ip.dcp_tag()
+    }
+
+    /// Destination node, derived from the IP header.
+    pub fn dst_node(&self) -> NodeId {
+        NodeId::from_ip(self.header.ip.dst)
+    }
+
+    /// Source node, derived from the IP header.
+    pub fn src_node(&self) -> NodeId {
+        NodeId::from_ip(self.header.ip.src)
+    }
+
+    /// PSN from the BTH.
+    pub fn psn(&self) -> u32 {
+        self.header.bth.psn
+    }
+
+    /// MSN from the DCP extension (data/HO packets).
+    pub fn msn(&self) -> Option<u32> {
+        self.header.dcp.map(|d| d.msn)
+    }
+
+    /// True for packets that deliver payload toward application memory.
+    pub fn is_data(&self) -> bool {
+        self.desc.is_some() && self.dcp_tag() != DcpTag::HeaderOnly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_rdma::headers::*;
+
+    fn pkt(tag: DcpTag, payload: u32) -> Packet {
+        Packet {
+            uid: 1,
+            flow: FlowId(3),
+            header: PacketHeader {
+                eth: EthHeader::new(MacAddr::from_host(0), MacAddr::from_host(1)),
+                ip: Ipv4Header::new(NodeId(5).ip(), NodeId(9).ip(), tag, 0),
+                udp: UdpHeader::roce(100, 0),
+                bth: Bth { opcode: RdmaOpcode::WriteMiddle, dest_qpn: 1, psn: 10, ack_req: false },
+                dcp: Some(DcpDataExt { msn: 2, ssn: None }),
+                reth: Some(Reth { vaddr: 0, rkey: 0, dma_len: payload }),
+                aeth: None,
+            },
+            payload_len: payload,
+            desc: None,
+            ext: PktExt::None,
+            sent_at: 0,
+            is_retx: false,
+            ingress: 0,
+        }
+    }
+
+    #[test]
+    fn node_ip_roundtrip() {
+        for n in [0u32, 1, 255, 65_535, 1_000_000] {
+            assert_eq!(NodeId::from_ip(NodeId(n).ip()), NodeId(n));
+        }
+    }
+
+    #[test]
+    fn wire_bytes_include_payload() {
+        let p = pkt(DcpTag::Data, 1024);
+        assert_eq!(p.wire_bytes(), p.header.wire_header_bytes() + 1024);
+    }
+
+    #[test]
+    fn src_dst_derived_from_ip() {
+        let p = pkt(DcpTag::Data, 0);
+        assert_eq!(p.src_node(), NodeId(5));
+        assert_eq!(p.dst_node(), NodeId(9));
+    }
+}

@@ -1,0 +1,219 @@
+//! Routing tables and load-balancing policies.
+//!
+//! Every switch holds a table mapping destination node → the set of
+//! equal-cost egress ports, and a [`LoadBalance`] policy that picks one per
+//! packet: ECMP (flow hash), adaptive routing (least-loaded egress queue,
+//! the paper's in-network AR from §5), or per-packet spraying.
+
+use crate::packet::{NodeId, Packet, PortId};
+use std::collections::HashMap;
+
+/// Load-balancing scheme a switch applies among equal-cost ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBalance {
+    /// Flow-level ECMP: hash of (src, dst, UDP source port), stable per flow.
+    Ecmp,
+    /// Packet-level adaptive routing: choose the candidate egress port with
+    /// the smallest queued byte count (§5: "selects the egress port with the
+    /// lowest queue length").
+    AdaptiveRouting,
+    /// Per-packet spraying: uniform random among candidates.
+    Spray,
+    /// Flowlet switching (CONGA/LetFlow-class, the paper's §8 "compromise"
+    /// between ECMP and packet-level LB): a flow sticks to its port until
+    /// an idle gap of `gap_ns` opens, then re-picks the least-loaded port.
+    /// Needs per-flow switch state, which [`crate::switch::Switch`] keeps.
+    Flowlet { gap_ns: u64 },
+}
+
+/// Destination-based routing table with equal-cost candidate sets.
+#[derive(Debug, Default, Clone)]
+pub struct RoutingTable {
+    routes: HashMap<NodeId, Vec<PortId>>,
+}
+
+impl RoutingTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_route(&mut self, dst: NodeId, ports: Vec<PortId>) {
+        assert!(!ports.is_empty(), "route to {dst:?} needs at least one port");
+        self.routes.insert(dst, ports);
+    }
+
+    pub fn candidates(&self, dst: NodeId) -> Option<&[PortId]> {
+        self.routes.get(&dst).map(|v| v.as_slice())
+    }
+}
+
+/// FNV-1a-style mix for ECMP hashing; salted per switch so collisions are
+/// not correlated along a path.
+fn ecmp_hash(src: u32, dst: u32, sport: u16, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for b in src
+        .to_be_bytes()
+        .into_iter()
+        .chain(dst.to_be_bytes())
+        .chain(sport.to_be_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Final avalanche so low bits are well mixed for small modulus.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// Picks the egress port for `pkt` among `candidates`.
+///
+/// `queue_bytes(port)` reports the current egress occupancy for adaptive
+/// routing; `spray_roll` supplies the random draw for spraying (taken from
+/// the simulation RNG by the caller so this function stays pure).
+pub fn select_port(
+    lb: LoadBalance,
+    pkt: &Packet,
+    candidates: &[PortId],
+    salt: u64,
+    queue_bytes: impl Fn(PortId) -> usize,
+    spray_roll: u64,
+) -> PortId {
+    debug_assert!(!candidates.is_empty());
+    if candidates.len() == 1 {
+        return candidates[0];
+    }
+    match lb {
+        LoadBalance::Ecmp => {
+            let h = ecmp_hash(pkt.header.ip.src, pkt.header.ip.dst, pkt.header.udp.src_port, salt);
+            candidates[(h % candidates.len() as u64) as usize]
+        }
+        LoadBalance::AdaptiveRouting => {
+            // Least-loaded egress; ties break by flow hash so that a
+            // balanced fabric keeps flows path-stable (real AR pipelines
+            // behave this way, and it is what lets in-order transports
+            // survive AR on symmetric paths — Fig. 11's 1:1 column).
+            let min_q = candidates.iter().map(|&c| queue_bytes(c)).min().unwrap();
+            let tied: Vec<PortId> = candidates.iter().copied().filter(|&c| queue_bytes(c) == min_q).collect();
+            if tied.len() == 1 {
+                tied[0]
+            } else {
+                let h = ecmp_hash(pkt.header.ip.src, pkt.header.ip.dst, pkt.header.udp.src_port, salt);
+                tied[(h % tied.len() as u64) as usize]
+            }
+        }
+        LoadBalance::Spray => candidates[(spray_roll % candidates.len() as u64) as usize],
+        // Flowlet needs per-flow state and is resolved by the switch before
+        // reaching this stateless helper; a fresh flowlet picks like AR.
+        LoadBalance::Flowlet { .. } => {
+            let min_q = candidates.iter().map(|&c| queue_bytes(c)).min().unwrap();
+            let tied: Vec<PortId> = candidates.iter().copied().filter(|&c| queue_bytes(c) == min_q).collect();
+            if tied.len() == 1 {
+                tied[0]
+            } else {
+                let h = ecmp_hash(pkt.header.ip.src, pkt.header.ip.dst, pkt.header.udp.src_port, salt);
+                tied[(h % tied.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PktExt};
+    use dcp_rdma::headers::*;
+
+    fn pkt(src: u32, dst: u32, sport: u16) -> Packet {
+        Packet {
+            uid: 0,
+            flow: FlowId(0),
+            header: PacketHeader {
+                eth: EthHeader::new(MacAddr::from_host(0), MacAddr::from_host(1)),
+                ip: Ipv4Header::new(src, dst, DcpTag::Data, 0),
+                udp: UdpHeader::roce(sport, 0),
+                bth: Bth { opcode: RdmaOpcode::SendOnly, dest_qpn: 0, psn: 0, ack_req: false },
+                dcp: None,
+                reth: None,
+                aeth: None,
+            },
+            payload_len: 0,
+            desc: None,
+            ext: PktExt::None,
+            sent_at: 0,
+            is_retx: false,
+            ingress: 0,
+        }
+    }
+
+    #[test]
+    fn ecmp_is_stable_per_flow() {
+        let cands = vec![0, 1, 2, 3];
+        let p = pkt(1, 2, 777);
+        let first = select_port(LoadBalance::Ecmp, &p, &cands, 42, |_| 0, 0);
+        for _ in 0..10 {
+            assert_eq!(select_port(LoadBalance::Ecmp, &p, &cands, 42, |_| 0, 0), first);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_across_flows() {
+        let cands = vec![0, 1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for sport in 0..64 {
+            let p = pkt(1, 2, sport);
+            seen.insert(select_port(LoadBalance::Ecmp, &p, &cands, 42, |_| 0, 0));
+        }
+        assert_eq!(seen.len(), 4, "64 flows should hit all 4 ports");
+    }
+
+    #[test]
+    fn adaptive_routing_picks_least_loaded() {
+        let cands = vec![0, 1, 2];
+        let p = pkt(1, 2, 5);
+        let loads = [300usize, 100, 200];
+        let got = select_port(LoadBalance::AdaptiveRouting, &p, &cands, 0, |port| loads[port], 0);
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn adaptive_routing_ties_are_flow_stable() {
+        // Equal queues: the same flow always picks the same port, and
+        // different flows spread.
+        let cands = vec![0, 1, 2];
+        let p = pkt(1, 2, 5);
+        let first = select_port(LoadBalance::AdaptiveRouting, &p, &cands, 0, |_| 7, 0);
+        for _ in 0..5 {
+            assert_eq!(select_port(LoadBalance::AdaptiveRouting, &p, &cands, 0, |_| 7, 0), first);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for sport in 0..64 {
+            let p = pkt(1, 2, sport);
+            seen.insert(select_port(LoadBalance::AdaptiveRouting, &p, &cands, 0, |_| 7, 0));
+        }
+        assert!(seen.len() > 1, "distinct flows must spread across tied ports");
+    }
+
+    #[test]
+    fn spray_uses_roll() {
+        let cands = vec![4, 5, 6];
+        let p = pkt(1, 2, 5);
+        assert_eq!(select_port(LoadBalance::Spray, &p, &cands, 0, |_| 0, 0), 4);
+        assert_eq!(select_port(LoadBalance::Spray, &p, &cands, 0, |_| 0, 1), 5);
+        assert_eq!(select_port(LoadBalance::Spray, &p, &cands, 0, |_| 0, 5), 6);
+    }
+
+    #[test]
+    fn single_candidate_short_circuits() {
+        let p = pkt(1, 2, 5);
+        assert_eq!(select_port(LoadBalance::AdaptiveRouting, &p, &[9], 0, |_| 0, 0), 9);
+    }
+
+    #[test]
+    fn routing_table_lookup() {
+        let mut rt = RoutingTable::new();
+        rt.add_route(NodeId(7), vec![1, 2]);
+        assert_eq!(rt.candidates(NodeId(7)), Some(&[1, 2][..]));
+        assert_eq!(rt.candidates(NodeId(8)), None);
+    }
+}

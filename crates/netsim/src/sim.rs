@@ -1,0 +1,326 @@
+//! The deterministic event loop.
+//!
+//! A single binary heap orders events by `(time, sequence)`; the sequence
+//! tiebreak makes same-instant ordering stable, so a given seed always
+//! produces an identical packet trace. Node handlers never touch other
+//! nodes directly — they emit `(time, Event)` pairs through [`NodeCtx`].
+
+use crate::endpoint::{Completion, Endpoint};
+use crate::host::Host;
+use crate::link::Link;
+use crate::packet::{FlowId, NodeId, Packet, PortId};
+use crate::stats::{NetStats, TransportStats};
+use crate::switch::{Switch, SwitchConfig};
+use crate::time::Nanos;
+use dcp_rdma::qp::WorkReqOp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Everything that can happen in the fabric.
+// A packet rides inside its arrival event by design; boxing it would cost
+// an allocation per hop on the hottest path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Event {
+    /// A packet finished propagating and arrives at `node` on `port`.
+    PacketArrive { node: NodeId, port: PortId, pkt: Packet },
+    /// `node`'s egress `port` finished serializing its current packet.
+    PortFree { node: NodeId, port: PortId },
+    /// A PFC PAUSE (`pause = true`) or RESUME frame arrives at `node`.
+    Pfc { node: NodeId, port: PortId, pause: bool },
+    /// A transport timer fires on endpoint `ep` of host `node`.
+    EndpointTimer { node: NodeId, ep: usize, token: u64 },
+}
+
+impl Event {
+    fn node(&self) -> NodeId {
+        match self {
+            Event::PacketArrive { node, .. }
+            | Event::PortFree { node, .. }
+            | Event::Pfc { node, .. }
+            | Event::EndpointTimer { node, .. } => *node,
+        }
+    }
+}
+
+/// Context handed to node handlers: the clock, the RNG, and the buffers for
+/// emitted events and completions.
+pub struct NodeCtx<'a> {
+    pub now: Nanos,
+    pub rng: &'a mut StdRng,
+    pub out: &'a mut Vec<(Nanos, Event)>,
+    pub completions: &'a mut VecDeque<Completion>,
+}
+
+/// A node in the fabric.
+#[allow(clippy::large_enum_variant)]
+pub enum Node {
+    Host(Host),
+    Switch(Switch),
+    /// Transient placeholder while a node is being processed.
+    Empty,
+}
+
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(o.at, o.seq))
+    }
+}
+
+/// The simulator: owns all nodes, the event queue and the RNG.
+pub struct Simulator {
+    now: Nanos,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    pub nodes: Vec<Node>,
+    pub rng: StdRng,
+    completions: VecDeque<Completion>,
+    scratch: Vec<(Nanos, Event)>,
+}
+
+impl Simulator {
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            completions: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Creates a host; wire it with the `connect_*` helpers.
+    pub fn add_host(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Host(Host::new(id)));
+        id
+    }
+
+    /// Creates a switch with the given policy.
+    pub fn add_switch(&mut self, cfg: SwitchConfig) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Switch(Switch::new(id, cfg)));
+        id
+    }
+
+    pub fn host(&self, id: NodeId) -> &Host {
+        match &self.nodes[id.0 as usize] {
+            Node::Host(h) => h,
+            _ => panic!("{id:?} is not a host"),
+        }
+    }
+
+    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+        match &mut self.nodes[id.0 as usize] {
+            Node::Host(h) => h,
+            _ => panic!("{id:?} is not a host"),
+        }
+    }
+
+    pub fn switch(&self, id: NodeId) -> &Switch {
+        match &self.nodes[id.0 as usize] {
+            Node::Switch(s) => s,
+            _ => panic!("{id:?} is not a switch"),
+        }
+    }
+
+    pub fn switch_mut(&mut self, id: NodeId) -> &mut Switch {
+        match &mut self.nodes[id.0 as usize] {
+            Node::Switch(s) => s,
+            _ => panic!("{id:?} is not a switch"),
+        }
+    }
+
+    /// Connects a host to a switch full-duplex; returns the switch port
+    /// facing the host.
+    pub fn connect_host_switch(&mut self, host: NodeId, sw: NodeId, gbps: f64, delay: Nanos) -> PortId {
+        let port = self
+            .switch_mut(sw)
+            .add_port(Link::new(host, Host::PORT, gbps, delay));
+        self.host_mut(host).link = Some(Link::new(sw, port, gbps, delay));
+        // The switch's incoming link on `port` originates at the host.
+        self.switch_mut(sw).set_peer(port, (host, Host::PORT));
+        port
+    }
+
+    /// Connects two switches full-duplex; returns `(port_on_a, port_on_b)`.
+    pub fn connect_switches(&mut self, a: NodeId, b: NodeId, gbps: f64, delay: Nanos) -> (PortId, PortId) {
+        // Reserve the port numbers first so the links can reference them.
+        let pa = self.switch(a).ports.len();
+        let pb = self.switch(b).ports.len();
+        let got_a = self.switch_mut(a).add_port(Link::new(b, pb, gbps, delay));
+        let got_b = self.switch_mut(b).add_port(Link::new(a, pa, gbps, delay));
+        debug_assert_eq!((got_a, got_b), (pa, pb));
+        self.switch_mut(a).set_peer(pa, (b, pb));
+        self.switch_mut(b).set_peer(pb, (a, pa));
+        (pa, pb)
+    }
+
+    /// Directly connects two hosts (the Fig. 8 back-to-back setup).
+    pub fn connect_hosts(&mut self, a: NodeId, b: NodeId, gbps: f64, delay: Nanos) {
+        self.host_mut(a).link = Some(Link::new(b, Host::PORT, gbps, delay));
+        self.host_mut(b).link = Some(Link::new(a, Host::PORT, gbps, delay));
+    }
+
+    /// Installs a transport endpoint for `flow` on `host`.
+    pub fn install_endpoint(&mut self, host: NodeId, flow: FlowId, ep: Box<dyn Endpoint>) {
+        self.host_mut(host).install(flow, ep);
+    }
+
+    /// Posts a Work Request on `flow`'s sender endpoint and kicks the NIC.
+    pub fn post(&mut self, host: NodeId, flow: FlowId, wr_id: u64, op: WorkReqOp, len: u64) {
+        self.host_mut(host).post(flow, wr_id, op, len);
+        self.kick(host);
+    }
+
+    /// Gives `host`'s NIC a transmission opportunity now.
+    pub fn kick(&mut self, host: NodeId) {
+        self.with_node(host, |node, ctx| {
+            if let Node::Host(h) = node {
+                h.try_transmit(ctx);
+            }
+        });
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, at: Nanos, ev: Event) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut Node, &mut NodeCtx)) {
+        let mut node = std::mem::replace(&mut self.nodes[id.0 as usize], Node::Empty);
+        let mut out = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = NodeCtx {
+                now: self.now,
+                rng: &mut self.rng,
+                out: &mut out,
+                completions: &mut self.completions,
+            };
+            f(&mut node, &mut ctx);
+        }
+        self.nodes[id.0 as usize] = node;
+        for (at, ev) in out.drain(..) {
+            self.seq += 1;
+            self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        }
+        self.scratch = out;
+    }
+
+    /// Processes one event; returns its timestamp, or `None` if idle.
+    pub fn step(&mut self) -> Option<Nanos> {
+        let Reverse(s) = self.queue.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        let node_id = s.ev.node();
+        self.with_node(node_id, |node, ctx| match (node, s.ev) {
+            (Node::Host(h), Event::PacketArrive { pkt, .. }) => h.on_packet(pkt, ctx),
+            (Node::Host(h), Event::PortFree { .. }) => h.on_port_free(ctx),
+            (Node::Host(h), Event::Pfc { pause, .. }) => h.on_pfc(pause, ctx),
+            (Node::Host(h), Event::EndpointTimer { ep, token, .. }) => h.on_timer(ep, token, ctx),
+            (Node::Switch(sw), Event::PacketArrive { port, pkt, .. }) => sw.on_packet(port, pkt, ctx),
+            (Node::Switch(sw), Event::PortFree { port, .. }) => sw.on_port_free(port, ctx),
+            (Node::Switch(sw), Event::Pfc { port, pause, .. }) => sw.on_pfc(port, pause, ctx),
+            (Node::Switch(_), Event::EndpointTimer { .. }) => {
+                unreachable!("switches have no endpoints")
+            }
+            (Node::Empty, _) => unreachable!("event for node under processing"),
+        });
+        Some(s.at)
+    }
+
+    /// Processes the next event only if it is due at or before `limit`;
+    /// returns `None` (without advancing) otherwise or when idle.
+    pub fn step_bounded(&mut self, limit: Nanos) -> Option<Nanos> {
+        match self.queue.peek() {
+            Some(Reverse(s)) if s.at <= limit => self.step(),
+            _ => None,
+        }
+    }
+
+    /// Runs until the queue is empty or the clock passes `t`.
+    pub fn run_until(&mut self, t: Nanos) {
+        while let Some(Reverse(s)) = self.queue.peek() {
+            if s.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until every event is processed or `deadline` passes. Returns
+    /// true if the queue drained.
+    pub fn run_to_quiescence(&mut self, deadline: Nanos) -> bool {
+        while let Some(Reverse(s)) = self.queue.peek() {
+            if s.at > deadline {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    /// Drains completions surfaced since the last call.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        self.completions.drain(..).collect()
+    }
+
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Aggregated fabric counters across all switches.
+    pub fn net_stats(&self) -> NetStats {
+        let mut total = NetStats::default();
+        for n in &self.nodes {
+            if let Node::Switch(s) = n {
+                total.merge(&s.stats);
+            }
+        }
+        total
+    }
+
+    /// Transport counters of `flow`'s endpoint on `host`.
+    pub fn endpoint_stats(&self, host: NodeId, flow: FlowId) -> TransportStats {
+        self.host(host)
+            .endpoint(flow)
+            .unwrap_or_else(|| panic!("no endpoint for {flow:?} on {host:?}"))
+            .stats()
+    }
+
+    /// Whether `flow`'s endpoint on `host` reports itself finished.
+    pub fn endpoint_done(&self, host: NodeId, flow: FlowId) -> bool {
+        self.host(host)
+            .endpoint(flow)
+            .map(|e| e.is_done())
+            .unwrap_or(true)
+    }
+}

@@ -1,0 +1,114 @@
+//! Counters collected by the fabric and by transports.
+
+use serde::{Deserialize, Serialize};
+
+/// Fabric-side counters, aggregated across all switches.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Data packets trimmed to header-only by the DCP trimming module.
+    pub trims: u64,
+    /// Data packets dropped (threshold exceeded without trimming, or the
+    /// forced-loss injector fired on a non-DCP packet).
+    pub data_drops: u64,
+    /// Header-only packets dropped — violations of the lossless control
+    /// plane (Table 5 measures this).
+    pub ho_drops: u64,
+    /// ACK/CNP-class packets dropped at an over-threshold data queue.
+    pub ack_drops: u64,
+    /// Packets dropped because the shared buffer was exhausted.
+    pub buffer_drops: u64,
+    /// Header-only packets that traversed the fabric.
+    pub ho_forwarded: u64,
+    /// ECN CE marks applied.
+    pub ecn_marks: u64,
+    /// PFC PAUSE frames emitted.
+    pub pauses_sent: u64,
+    /// PFC RESUME frames emitted.
+    pub resumes_sent: u64,
+    /// Total data packets forwarded by switches.
+    pub data_forwarded: u64,
+}
+
+impl NetStats {
+    pub fn merge(&mut self, o: &NetStats) {
+        self.trims += o.trims;
+        self.data_drops += o.data_drops;
+        self.ho_drops += o.ho_drops;
+        self.ack_drops += o.ack_drops;
+        self.buffer_drops += o.buffer_drops;
+        self.ho_forwarded += o.ho_forwarded;
+        self.ecn_marks += o.ecn_marks;
+        self.pauses_sent += o.pauses_sent;
+        self.resumes_sent += o.resumes_sent;
+        self.data_forwarded += o.data_forwarded;
+    }
+}
+
+/// Transport-side counters every endpoint exposes, used by the experiment
+/// harness (retransmission ratios in Fig. 1, timeout counts in Fig. 2, …).
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// First-transmission data packets sent.
+    pub data_pkts: u64,
+    /// Retransmitted data packets sent.
+    pub retx_pkts: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Header-only loss notifications received (DCP sender).
+    pub ho_received: u64,
+    /// Duplicate data packets observed (receiver side) — every duplicate is
+    /// a spurious retransmission that reached the receiver.
+    pub duplicates: u64,
+    /// Data packets received (including duplicates).
+    pub pkts_received: u64,
+    /// Bytes of application payload delivered (first copies only).
+    pub goodput_bytes: u64,
+    /// CNPs received (DCQCN senders).
+    pub cnps: u64,
+}
+
+impl TransportStats {
+    pub fn merge(&mut self, o: &TransportStats) {
+        self.data_pkts += o.data_pkts;
+        self.retx_pkts += o.retx_pkts;
+        self.timeouts += o.timeouts;
+        self.ho_received += o.ho_received;
+        self.duplicates += o.duplicates;
+        self.pkts_received += o.pkts_received;
+        self.goodput_bytes += o.goodput_bytes;
+        self.cnps += o.cnps;
+    }
+
+    /// Ratio of retransmitted packets to first-transmission packets —
+    /// the y-axis of Fig. 1a.
+    pub fn retx_ratio(&self) -> f64 {
+        if self.data_pkts == 0 {
+            0.0
+        } else {
+            self.retx_pkts as f64 / self.data_pkts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = NetStats { trims: 1, ho_drops: 2, ..Default::default() };
+        let b = NetStats { trims: 10, data_drops: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.trims, 11);
+        assert_eq!(a.data_drops, 5);
+        assert_eq!(a.ho_drops, 2);
+    }
+
+    #[test]
+    fn retx_ratio_handles_zero() {
+        let s = TransportStats::default();
+        assert_eq!(s.retx_ratio(), 0.0);
+        let s = TransportStats { data_pkts: 100, retx_pkts: 25, ..Default::default() };
+        assert!((s.retx_ratio() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Topology builders for the paper's three experimental fabrics.
+//!
+//! * [`back_to_back`] — two directly cabled hosts (Fig. 8 perftest).
+//! * [`two_switch_testbed`] — the Fig. 9 testbed: two switches, 8 hosts
+//!   each, parallel cross-switch links (optionally with unequal capacity,
+//!   Fig. 11).
+//! * [`clos`] — the simulation fabric: a two-layer CLOS of leaf and spine
+//!   switches with configurable leaf–spine delay (intra-DC 1 µs, cross-DC
+//!   500 µs / 5 ms for Fig. 15).
+
+use crate::packet::NodeId;
+use crate::sim::Simulator;
+use crate::switch::SwitchConfig;
+use crate::time::Nanos;
+
+/// Handle to the built fabric.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub hosts: Vec<NodeId>,
+    pub leaves: Vec<NodeId>,
+    pub spines: Vec<NodeId>,
+    /// Link rate between hosts and leaves (Gbps).
+    pub host_gbps: f64,
+}
+
+impl Topology {
+    /// The leaf switch a host attaches to, given `hosts_per_leaf`.
+    pub fn leaf_of(&self, host_ix: usize, hosts_per_leaf: usize) -> NodeId {
+        self.leaves[host_ix / hosts_per_leaf]
+    }
+}
+
+/// Two hosts on a direct cable (Fig. 8).
+pub fn back_to_back(sim: &mut Simulator, gbps: f64, delay: Nanos) -> Topology {
+    let a = sim.add_host();
+    let b = sim.add_host();
+    sim.connect_hosts(a, b, gbps, delay);
+    Topology { hosts: vec![a, b], leaves: vec![], spines: vec![], host_gbps: gbps }
+}
+
+/// The Fig. 9 testbed: two switches with `hosts_per_switch` hosts each and
+/// `cross_gbps.len()` parallel cross-switch links whose rates may differ
+/// (Fig. 11 sets ratios 1:1, 1:4, 1:10).
+pub fn two_switch_testbed(
+    sim: &mut Simulator,
+    cfg: SwitchConfig,
+    hosts_per_switch: usize,
+    host_gbps: f64,
+    cross_gbps: &[f64],
+    host_delay: Nanos,
+    cross_delay: Nanos,
+) -> Topology {
+    let s1 = sim.add_switch(cfg);
+    let s2 = sim.add_switch(cfg);
+    let mut hosts = Vec::new();
+    let mut s1_host_ports = Vec::new();
+    let mut s2_host_ports = Vec::new();
+    for i in 0..2 * hosts_per_switch {
+        let h = sim.add_host();
+        let sw = if i < hosts_per_switch { s1 } else { s2 };
+        let port = sim.connect_host_switch(h, sw, host_gbps, host_delay);
+        if i < hosts_per_switch {
+            s1_host_ports.push((h, port));
+        } else {
+            s2_host_ports.push((h, port));
+        }
+        hosts.push(h);
+    }
+    let mut cross_s1 = Vec::new();
+    let mut cross_s2 = Vec::new();
+    for &g in cross_gbps {
+        let (p1, p2) = sim.connect_switches(s1, s2, g, cross_delay);
+        cross_s1.push(p1);
+        cross_s2.push(p2);
+    }
+    // Routing: local hosts via their access port, remote hosts via the
+    // cross-switch candidate set.
+    for &(h, port) in &s1_host_ports {
+        sim.switch_mut(s1).routing.add_route(h, vec![port]);
+        sim.switch_mut(s2).routing.add_route(h, cross_s2.clone());
+    }
+    for &(h, port) in &s2_host_ports {
+        sim.switch_mut(s2).routing.add_route(h, vec![port]);
+        sim.switch_mut(s1).routing.add_route(h, cross_s1.clone());
+    }
+    Topology { hosts, leaves: vec![s1, s2], spines: vec![], host_gbps }
+}
+
+/// A two-layer CLOS: `n_leaf` leaves with `hosts_per_leaf` hosts each, all
+/// connected to `n_spine` spines. Host links and leaf–spine links run at
+/// `host_gbps` and `spine_gbps`; `leaf_spine_delay` models the DC diameter
+/// (1 µs intra-DC; 500 µs / 5 ms for the 100 km / 1000 km cross-DC runs).
+#[allow(clippy::too_many_arguments)]
+pub fn clos(
+    sim: &mut Simulator,
+    cfg: SwitchConfig,
+    n_spine: usize,
+    n_leaf: usize,
+    hosts_per_leaf: usize,
+    host_gbps: f64,
+    spine_gbps: f64,
+    host_delay: Nanos,
+    leaf_spine_delay: Nanos,
+) -> Topology {
+    let spines: Vec<NodeId> = (0..n_spine).map(|_| sim.add_switch(cfg)).collect();
+    let mut leaves = Vec::new();
+    let mut hosts = Vec::new();
+    // leaf_uplinks[l][s] = port on leaf l toward spine s
+    let mut leaf_uplinks: Vec<Vec<usize>> = Vec::new();
+    // spine_downlinks[s][l] = port on spine s toward leaf l
+    let mut spine_downlinks: Vec<Vec<usize>> = vec![Vec::new(); n_spine];
+    let mut host_ports: Vec<Vec<(NodeId, usize)>> = Vec::new();
+
+    for _l in 0..n_leaf {
+        let leaf = sim.add_switch(cfg);
+        let mut local = Vec::new();
+        for _ in 0..hosts_per_leaf {
+            let h = sim.add_host();
+            let port = sim.connect_host_switch(h, leaf, host_gbps, host_delay);
+            local.push((h, port));
+            hosts.push(h);
+        }
+        let mut ups = Vec::new();
+        for (s, &spine) in spines.iter().enumerate() {
+            let (pl, ps) = sim.connect_switches(leaf, spine, spine_gbps, leaf_spine_delay);
+            ups.push(pl);
+            spine_downlinks[s].push(ps);
+        }
+        leaves.push(leaf);
+        leaf_uplinks.push(ups);
+        host_ports.push(local);
+    }
+
+    // Leaf routing: local hosts down their access port; remote hosts up via
+    // all spines. Spine routing: each host down via its leaf's port.
+    for (l, leaf) in leaves.iter().enumerate() {
+        for (l2, locals) in host_ports.iter().enumerate() {
+            for &(h, port) in locals {
+                if l2 == l {
+                    sim.switch_mut(*leaf).routing.add_route(h, vec![port]);
+                } else {
+                    sim.switch_mut(*leaf).routing.add_route(h, leaf_uplinks[l].clone());
+                }
+            }
+        }
+    }
+    for (s, spine) in spines.iter().enumerate() {
+        for (l, locals) in host_ports.iter().enumerate() {
+            for &(h, _) in locals {
+                sim.switch_mut(*spine).routing.add_route(h, vec![spine_downlinks[s][l]]);
+            }
+        }
+    }
+    Topology { hosts, leaves, spines, host_gbps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::LoadBalance;
+
+    #[test]
+    fn clos_wiring_counts() {
+        let mut sim = Simulator::new(1);
+        let topo = clos(
+            &mut sim,
+            SwitchConfig::lossy(LoadBalance::Ecmp),
+            4,
+            4,
+            8,
+            100.0,
+            100.0,
+            1000,
+            1000,
+        );
+        assert_eq!(topo.hosts.len(), 32);
+        assert_eq!(topo.leaves.len(), 4);
+        assert_eq!(topo.spines.len(), 4);
+        // Each leaf: 8 host ports + 4 uplinks.
+        for &leaf in &topo.leaves {
+            assert_eq!(sim.switch(leaf).ports.len(), 12);
+        }
+        // Each spine: 4 downlinks.
+        for &spine in &topo.spines {
+            assert_eq!(sim.switch(spine).ports.len(), 4);
+        }
+    }
+
+    #[test]
+    fn clos_routes_exist_for_all_pairs() {
+        let mut sim = Simulator::new(1);
+        let topo = clos(
+            &mut sim,
+            SwitchConfig::lossy(LoadBalance::Ecmp),
+            2,
+            2,
+            2,
+            100.0,
+            100.0,
+            1000,
+            1000,
+        );
+        for &leaf in &topo.leaves {
+            for &h in &topo.hosts {
+                assert!(sim.switch(leaf).routing.candidates(h).is_some());
+            }
+        }
+        for &spine in &topo.spines {
+            for &h in &topo.hosts {
+                let c = sim.switch(spine).routing.candidates(h).unwrap();
+                assert_eq!(c.len(), 1, "spines have a single down route");
+            }
+        }
+    }
+
+    #[test]
+    fn testbed_cross_links_are_candidates_for_remote_hosts() {
+        let mut sim = Simulator::new(1);
+        let topo = two_switch_testbed(
+            &mut sim,
+            SwitchConfig::lossy(LoadBalance::AdaptiveRouting),
+            8,
+            100.0,
+            &[100.0; 8],
+            1000,
+            1000,
+        );
+        let s1 = topo.leaves[0];
+        let remote = topo.hosts[12];
+        let c = sim.switch(s1).routing.candidates(remote).unwrap();
+        assert_eq!(c.len(), 8, "8 parallel cross links");
+        let local = topo.hosts[3];
+        assert_eq!(sim.switch(s1).routing.candidates(local).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn back_to_back_links_hosts() {
+        let mut sim = Simulator::new(1);
+        let topo = back_to_back(&mut sim, 100.0, 500);
+        let a = sim.host(topo.hosts[0]);
+        assert_eq!(a.link.unwrap().to, topo.hosts[1]);
+    }
+}

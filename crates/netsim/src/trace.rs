@@ -1,0 +1,110 @@
+//! Queue-occupancy tracing: periodic samples of switch queue depths, for
+//! deep-dive analyses of the control/data plane dynamics (e.g. watching
+//! the WRR keep the control queue shallow while the data queue saturates
+//! during an incast).
+
+use crate::packet::{NodeId, PortId};
+use crate::sim::{Node, Simulator};
+use crate::time::Nanos;
+use serde::Serialize;
+
+/// One sample of one port's queues.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QueueSample {
+    pub at: Nanos,
+    pub data_bytes: usize,
+    pub ctrl_bytes: usize,
+}
+
+/// Samples a specific switch egress port at a fixed period while driving
+/// the simulation.
+#[derive(Debug)]
+pub struct QueueTracer {
+    pub switch: NodeId,
+    pub port: PortId,
+    pub period: Nanos,
+    next_at: Nanos,
+    pub samples: Vec<QueueSample>,
+}
+
+impl QueueTracer {
+    pub fn new(switch: NodeId, port: PortId, period: Nanos) -> Self {
+        assert!(period > 0);
+        QueueTracer { switch, port, period, next_at: 0, samples: Vec::new() }
+    }
+
+    /// Takes any samples that are due at or before the simulator's current
+    /// time. Call after each `step()` (cheap: no-op until the period
+    /// elapses).
+    pub fn poll(&mut self, sim: &Simulator) {
+        while self.next_at <= sim.now() {
+            let at = self.next_at;
+            self.next_at += self.period;
+            let Node::Switch(sw) = &sim.nodes[self.switch.0 as usize] else {
+                panic!("tracer target is not a switch");
+            };
+            let p = &sw.ports[self.port];
+            self.samples.push(QueueSample {
+                at,
+                data_bytes: p.data_queue_bytes(),
+                ctrl_bytes: p.ctrl_queue_bytes(),
+            });
+        }
+    }
+
+    /// Peak data-queue occupancy observed.
+    pub fn peak_data(&self) -> usize {
+        self.samples.iter().map(|s| s.data_bytes).max().unwrap_or(0)
+    }
+
+    /// Peak control-queue occupancy observed.
+    pub fn peak_ctrl(&self) -> usize {
+        self.samples.iter().map(|s| s.ctrl_bytes).max().unwrap_or(0)
+    }
+
+    /// Time-average of the data queue in bytes.
+    pub fn mean_data(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.data_bytes as f64).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::LoadBalance;
+    use crate::switch::SwitchConfig;
+    use crate::time::US;
+    use crate::topology;
+
+    #[test]
+    fn tracer_samples_at_period() {
+        let mut sim = Simulator::new(1);
+        let topo = topology::two_switch_testbed(
+            &mut sim,
+            SwitchConfig::lossy(LoadBalance::Ecmp),
+            1,
+            100.0,
+            &[100.0],
+            US,
+            US,
+        );
+        let mut tracer = QueueTracer::new(topo.leaves[0], 0, US);
+        sim.run_until(10 * US);
+        tracer.poll(&sim);
+        assert_eq!(tracer.samples.len(), 11, "samples at 0..=10 µs");
+        assert_eq!(tracer.peak_data(), 0, "idle fabric has empty queues");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a switch")]
+    fn tracer_rejects_hosts() {
+        let mut sim = Simulator::new(1);
+        let topo = topology::back_to_back(&mut sim, 100.0, 500);
+        let mut tracer = QueueTracer::new(topo.hosts[0], 0, US);
+        sim.run_until(US);
+        tracer.poll(&sim);
+    }
+}

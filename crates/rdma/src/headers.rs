@@ -1,0 +1,535 @@
+//! RoCEv2 packet headers with the DCP extensions of Fig. 4.
+//!
+//! The structs here are the *parsed* representation that the simulator moves
+//! around; [`crate::wire`] provides the byte-exact encoding used to check
+//! sizes (e.g. the 57-byte header-only packet) and round-trip fidelity.
+
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// Derives a locally-administered MAC from a small host index, the way
+    /// the testbed assigns `02-00-00-00-00-xx` style addresses.
+    pub fn from_host(ix: u32) -> Self {
+        let b = ix.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+/// The 2-bit DCP tag carried in the IP ToS field (§4.2).
+///
+/// It classifies every packet in the fabric into the four categories the
+/// DCP-Switch dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum DcpTag {
+    /// `00` — non-DCP traffic; dropped when the data queue is over threshold.
+    NonDcp = 0b00,
+    /// `01` — DCP ACK packets (carry `eMSN`); dropped when over threshold.
+    Ack = 0b01,
+    /// `10` — DCP data packets (normal and retransmitted); trimmed when the
+    /// data queue is over threshold.
+    Data = 0b10,
+    /// `11` — header-only packets produced by trimming; always enqueued in
+    /// the control queue.
+    HeaderOnly = 0b11,
+}
+
+impl DcpTag {
+    /// Parses the tag from the two reserved ToS bits.
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => DcpTag::NonDcp,
+            0b01 => DcpTag::Ack,
+            0b10 => DcpTag::Data,
+            _ => DcpTag::HeaderOnly,
+        }
+    }
+
+    /// Returns the two ToS bits encoding this tag.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+}
+
+/// RoCEv2 Base Transport Header opcodes used in this reproduction.
+///
+/// Only the RC (reliable connection) Send / Write / Write-with-Immediate
+/// families and ACK are modelled, matching §4.4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RdmaOpcode {
+    SendFirst,
+    SendMiddle,
+    SendLast,
+    SendOnly,
+    WriteFirst,
+    WriteMiddle,
+    WriteLast,
+    WriteOnly,
+    WriteLastImm,
+    WriteOnlyImm,
+    Acknowledge,
+}
+
+impl RdmaOpcode {
+    /// True for packets that begin a message.
+    pub fn is_first(self) -> bool {
+        matches!(
+            self,
+            RdmaOpcode::SendFirst
+                | RdmaOpcode::SendOnly
+                | RdmaOpcode::WriteFirst
+                | RdmaOpcode::WriteOnly
+                | RdmaOpcode::WriteOnlyImm
+        )
+    }
+
+    /// True for packets that end a message (trigger completion checks).
+    pub fn is_last(self) -> bool {
+        matches!(
+            self,
+            RdmaOpcode::SendLast
+                | RdmaOpcode::SendOnly
+                | RdmaOpcode::WriteLast
+                | RdmaOpcode::WriteOnly
+                | RdmaOpcode::WriteLastImm
+                | RdmaOpcode::WriteOnlyImm
+        )
+    }
+
+    /// True for the two-sided Send family, which consumes a Receive WQE.
+    pub fn is_send(self) -> bool {
+        matches!(
+            self,
+            RdmaOpcode::SendFirst | RdmaOpcode::SendMiddle | RdmaOpcode::SendLast | RdmaOpcode::SendOnly
+        )
+    }
+
+    /// True for the one-sided Write family (with or without immediate).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            RdmaOpcode::WriteFirst
+                | RdmaOpcode::WriteMiddle
+                | RdmaOpcode::WriteLast
+                | RdmaOpcode::WriteOnly
+                | RdmaOpcode::WriteLastImm
+                | RdmaOpcode::WriteOnlyImm
+        )
+    }
+
+    /// True if the packet carries an immediate value (consumes a Receive WQE
+    /// at message completion).
+    pub fn has_immediate(self) -> bool {
+        matches!(self, RdmaOpcode::WriteLastImm | RdmaOpcode::WriteOnlyImm)
+    }
+
+    /// IBTA wire encoding (RC transport, 0x00 opcode class).
+    pub fn wire_code(self) -> u8 {
+        match self {
+            RdmaOpcode::SendFirst => 0x00,
+            RdmaOpcode::SendMiddle => 0x01,
+            RdmaOpcode::SendLast => 0x02,
+            RdmaOpcode::SendOnly => 0x04,
+            RdmaOpcode::WriteFirst => 0x06,
+            RdmaOpcode::WriteMiddle => 0x07,
+            RdmaOpcode::WriteLast => 0x08,
+            RdmaOpcode::WriteLastImm => 0x09,
+            RdmaOpcode::WriteOnly => 0x0a,
+            RdmaOpcode::WriteOnlyImm => 0x0b,
+            RdmaOpcode::Acknowledge => 0x11,
+        }
+    }
+
+    /// Inverse of [`RdmaOpcode::wire_code`].
+    pub fn from_wire(code: u8) -> Option<Self> {
+        Some(match code {
+            0x00 => RdmaOpcode::SendFirst,
+            0x01 => RdmaOpcode::SendMiddle,
+            0x02 => RdmaOpcode::SendLast,
+            0x04 => RdmaOpcode::SendOnly,
+            0x06 => RdmaOpcode::WriteFirst,
+            0x07 => RdmaOpcode::WriteMiddle,
+            0x08 => RdmaOpcode::WriteLast,
+            0x09 => RdmaOpcode::WriteLastImm,
+            0x0a => RdmaOpcode::WriteOnly,
+            0x0b => RdmaOpcode::WriteOnlyImm,
+            0x11 => RdmaOpcode::Acknowledge,
+            _ => return None,
+        })
+    }
+}
+
+/// Ethernet II header (14 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthHeader {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    /// `0x0800` for IPv4 in this reproduction.
+    pub ethertype: u16,
+}
+
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+impl EthHeader {
+    pub const WIRE_BYTES: usize = 14;
+
+    pub fn new(src: MacAddr, dst: MacAddr) -> Self {
+        EthHeader { dst, src, ethertype: ETHERTYPE_IPV4 }
+    }
+}
+
+/// IPv4 header (20 bytes, no options). The DCP tag lives in the two
+/// low-order ToS bits, and the `sRetryNo` retry round rides in the low byte
+/// of the identification field — Fig. 4a draws both inside the IP header,
+/// which is what lets a trimmed 57-byte header-only packet still carry the
+/// retry round back to the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    pub src: u32,
+    pub dst: u32,
+    /// Type-of-Service byte. Bits 0..2 carry the DCP tag; bits 2..8 keep
+    /// the DSCP/ECN semantics of the fabric.
+    pub tos: u8,
+    /// Total length of the IP datagram (header + payload), maintained by the
+    /// trimming module when a packet is converted to header-only.
+    pub total_len: u16,
+    pub ttl: u8,
+    /// UDP for RoCEv2.
+    pub protocol: u8,
+    /// RoCEv2 leaves identification free (no fragmentation); DCP claims the
+    /// low byte for `sRetryNo` (§4.5).
+    pub identification: u16,
+}
+
+pub const IPPROTO_UDP: u8 = 17;
+/// The ECN Congestion-Experienced codepoint we model inside the ToS byte.
+/// (DCP reserves the two *low* bits for its tag in Fig. 4; to keep tag and
+/// ECN independent in the model, ECN-CE is tracked as bit 7.)
+pub const TOS_ECN_CE: u8 = 0b1000_0000;
+
+impl Ipv4Header {
+    pub const WIRE_BYTES: usize = 20;
+
+    /// Builds a RoCEv2 IPv4 header with the given DCP tag.
+    pub fn new(src: u32, dst: u32, tag: DcpTag, total_len: u16) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            tos: tag.bits(),
+            total_len,
+            ttl: 64,
+            protocol: IPPROTO_UDP,
+            identification: 0,
+        }
+    }
+
+    pub fn dcp_tag(&self) -> DcpTag {
+        DcpTag::from_bits(self.tos)
+    }
+
+    pub fn set_dcp_tag(&mut self, tag: DcpTag) {
+        self.tos = (self.tos & !0b11) | tag.bits();
+    }
+
+    pub fn ecn_ce(&self) -> bool {
+        self.tos & TOS_ECN_CE != 0
+    }
+
+    pub fn set_ecn_ce(&mut self, ce: bool) {
+        if ce {
+            self.tos |= TOS_ECN_CE;
+        } else {
+            self.tos &= !TOS_ECN_CE;
+        }
+    }
+
+    /// The sender retry round (`sRetryNo`, §4.5), carried in the low byte
+    /// of the identification field so it survives packet trimming.
+    pub fn sretry_no(&self) -> u8 {
+        self.identification as u8
+    }
+
+    pub fn set_sretry_no(&mut self, r: u8) {
+        self.identification = (self.identification & 0xff00) | r as u16;
+    }
+}
+
+/// UDP header (8 bytes). RoCEv2 uses destination port 4791.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// RoCEv2 senders vary the source port for ECMP entropy.
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub len: u16,
+}
+
+pub const ROCE_UDP_PORT: u16 = 4791;
+
+impl UdpHeader {
+    pub const WIRE_BYTES: usize = 8;
+
+    pub fn roce(src_port: u16, len: u16) -> Self {
+        UdpHeader { src_port, dst_port: ROCE_UDP_PORT, len }
+    }
+}
+
+/// InfiniBand Base Transport Header (12 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bth {
+    pub opcode: RdmaOpcode,
+    /// Destination Queue Pair Number (24 bits on the wire).
+    pub dest_qpn: u32,
+    /// Packet Sequence Number (24 bits on the wire; monotonically assigned
+    /// per QP in this reproduction and masked at encode time).
+    pub psn: u32,
+    /// Solicited-event / ack-request bit.
+    pub ack_req: bool,
+}
+
+impl Bth {
+    pub const WIRE_BYTES: usize = 12;
+}
+
+/// RDMA Extended Transport Header (16 bytes): remote address for Writes.
+///
+/// DCP departs from the standard by carrying a RETH in **every** packet of a
+/// Write message — first, middle and last — so any out-of-order packet can be
+/// placed directly into application memory (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reth {
+    /// Remote virtual address *for this packet's payload* (already offset by
+    /// the packet's position inside the message).
+    pub vaddr: u64,
+    pub rkey: u32,
+    /// Length of the payload this packet carries toward `vaddr`.
+    pub dma_len: u32,
+}
+
+impl Reth {
+    pub const WIRE_BYTES: usize = 16;
+}
+
+/// ACK Extended Transport Header (4 bytes). DCP reuses the 24-bit MSN field
+/// to carry the cumulative expected-MSN (`eMSN`, Fig. 4b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Aeth {
+    pub syndrome: u8,
+    /// In DCP ACKs, the receiver's updated `eMSN` (§4.5).
+    pub emsn: u32,
+}
+
+impl Aeth {
+    pub const WIRE_BYTES: usize = 4;
+}
+
+/// DCP-specific header extension carried by data packets (Fig. 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DcpDataExt {
+    /// Message Sequence Number: posting order of the request in the SQ
+    /// (3 bytes on the wire; part of the 57-byte trimmed header).
+    pub msn: u32,
+    /// Send Sequence Number, present only for two-sided operations (Send,
+    /// and the last packet of Write-with-Immediate). Identifies the Receive
+    /// WQE an OOO packet must match (§4.4). 3 bytes when present.
+    ///
+    /// Note: `sRetryNo` is *not* here — Fig. 4a places it inside the IP
+    /// header (see [`Ipv4Header::sretry_no`]) so trimming preserves it.
+    pub ssn: Option<u32>,
+}
+
+/// The fully parsed header stack of one packet in the fabric.
+///
+/// This is the representation the simulator's switches and RNIC models
+/// inspect; [`crate::wire`] can render it to exact bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketHeader {
+    pub eth: EthHeader,
+    pub ip: Ipv4Header,
+    pub udp: UdpHeader,
+    pub bth: Bth,
+    /// Present on data packets.
+    pub dcp: Option<DcpDataExt>,
+    /// Present on Write-family packets (every packet under DCP).
+    pub reth: Option<Reth>,
+    /// Present on ACK packets.
+    pub aeth: Option<Aeth>,
+}
+
+impl PacketHeader {
+    /// Wire size of this header stack in bytes.
+    ///
+    /// A trimmed header-only packet retains only Ethernet + IP + UDP + BTH +
+    /// MSN = 57 bytes (footnote 6); SSN (3 B), RETH (16 B) and AETH (4 B)
+    /// add to full data/ACK packets when present. `sRetryNo` costs nothing:
+    /// it reuses the IP identification byte.
+    pub fn wire_header_bytes(&self) -> usize {
+        let mut n = EthHeader::WIRE_BYTES + Ipv4Header::WIRE_BYTES + UdpHeader::WIRE_BYTES + Bth::WIRE_BYTES;
+        if self.bth.opcode == RdmaOpcode::Acknowledge {
+            // ACKs carry only the AETH; the eMSN rides in its MSN field.
+            return n + if self.aeth.is_some() { Aeth::WIRE_BYTES } else { 0 };
+        }
+        if let Some(d) = &self.dcp {
+            n += 3; // MSN
+            if self.ip.dcp_tag() != DcpTag::HeaderOnly && d.ssn.is_some() {
+                n += 3;
+            }
+        }
+        if self.ip.dcp_tag() != DcpTag::HeaderOnly {
+            if self.reth.is_some() {
+                n += Reth::WIRE_BYTES;
+            }
+            if self.aeth.is_some() {
+                n += Aeth::WIRE_BYTES;
+            }
+        }
+        n
+    }
+
+    /// Converts this header into the header-only form produced by the
+    /// trimming module: tag becomes `11`, payload-specific extensions are cut
+    /// and the IP total length shrinks to the retained 57 bytes.
+    pub fn trim_to_header_only(&self) -> PacketHeader {
+        let mut ho = *self;
+        ho.ip.set_dcp_tag(DcpTag::HeaderOnly);
+        ho.ip.total_len = (crate::HO_PACKET_BYTES - EthHeader::WIRE_BYTES) as u16;
+        ho.reth = None;
+        ho.aeth = None;
+        if let Some(d) = &mut ho.dcp {
+            // The SSN lives outside the 57 retained bytes; sRetryNo is in
+            // the IP header and therefore survives the trim.
+            d.ssn = None;
+        }
+        ho
+    }
+
+    /// Implements the receiver-side bounce of a header-only packet (§4.1
+    /// step 2): swap source and destination IP so the packet travels back to
+    /// the sender. The QPN swap is performed by the receiver RNIC, which
+    /// knows the peer QPN from its QP context (see §7 "Back-to-sender").
+    pub fn swap_src_dst(&mut self, sender_qpn: u32) {
+        std::mem::swap(&mut self.ip.src, &mut self.ip.dst);
+        std::mem::swap(&mut self.eth.src, &mut self.eth.dst);
+        self.bth.dest_qpn = sender_qpn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_header(ssn: Option<u32>, reth: bool) -> PacketHeader {
+        PacketHeader {
+            eth: EthHeader::new(MacAddr::from_host(1), MacAddr::from_host(2)),
+            ip: Ipv4Header::new(0x0a000001, 0x0a000002, DcpTag::Data, 1081),
+            udp: UdpHeader::roce(0xc000, 1061),
+            bth: Bth { opcode: RdmaOpcode::SendMiddle, dest_qpn: 7, psn: 42, ack_req: false },
+            dcp: Some(DcpDataExt { msn: 3, ssn }),
+            reth: if reth {
+                Some(Reth { vaddr: 0x1000, rkey: 1, dma_len: 1024 })
+            } else {
+                None
+            },
+            aeth: None,
+        }
+    }
+
+    #[test]
+    fn dcp_tag_roundtrip() {
+        for tag in [DcpTag::NonDcp, DcpTag::Ack, DcpTag::Data, DcpTag::HeaderOnly] {
+            assert_eq!(DcpTag::from_bits(tag.bits()), tag);
+        }
+    }
+
+    #[test]
+    fn tag_and_ecn_are_independent() {
+        let mut ip = Ipv4Header::new(1, 2, DcpTag::Data, 100);
+        ip.set_ecn_ce(true);
+        assert_eq!(ip.dcp_tag(), DcpTag::Data);
+        assert!(ip.ecn_ce());
+        ip.set_dcp_tag(DcpTag::HeaderOnly);
+        assert!(ip.ecn_ce());
+        assert_eq!(ip.dcp_tag(), DcpTag::HeaderOnly);
+    }
+
+    #[test]
+    fn opcode_wire_roundtrip() {
+        for op in [
+            RdmaOpcode::SendFirst,
+            RdmaOpcode::SendMiddle,
+            RdmaOpcode::SendLast,
+            RdmaOpcode::SendOnly,
+            RdmaOpcode::WriteFirst,
+            RdmaOpcode::WriteMiddle,
+            RdmaOpcode::WriteLast,
+            RdmaOpcode::WriteOnly,
+            RdmaOpcode::WriteLastImm,
+            RdmaOpcode::WriteOnlyImm,
+            RdmaOpcode::Acknowledge,
+        ] {
+            assert_eq!(RdmaOpcode::from_wire(op.wire_code()), Some(op));
+        }
+        assert_eq!(RdmaOpcode::from_wire(0xff), None);
+    }
+
+    #[test]
+    fn opcode_classification() {
+        assert!(RdmaOpcode::SendOnly.is_first() && RdmaOpcode::SendOnly.is_last());
+        assert!(RdmaOpcode::WriteFirst.is_first() && !RdmaOpcode::WriteFirst.is_last());
+        assert!(RdmaOpcode::WriteLastImm.has_immediate());
+        assert!(!RdmaOpcode::WriteLast.has_immediate());
+        assert!(RdmaOpcode::SendMiddle.is_send() && !RdmaOpcode::SendMiddle.is_write());
+        assert!(RdmaOpcode::WriteOnlyImm.is_write());
+    }
+
+    #[test]
+    fn header_only_is_57_bytes() {
+        let ho = data_header(Some(9), true).trim_to_header_only();
+        assert_eq!(ho.wire_header_bytes(), crate::HO_PACKET_BYTES);
+        assert_eq!(ho.ip.dcp_tag(), DcpTag::HeaderOnly);
+        assert!(ho.reth.is_none());
+    }
+
+    #[test]
+    fn full_data_header_sizes() {
+        // One-sided Write middle packet: base 57 + RETH 16 (sRetryNo rides
+        // free inside the IP identification byte).
+        let h = data_header(None, true);
+        assert_eq!(h.wire_header_bytes(), 57 + 16);
+        // Two-sided Send packet: base 57 + SSN 3.
+        let h = data_header(Some(5), false);
+        assert_eq!(h.wire_header_bytes(), 57 + 3);
+    }
+
+    #[test]
+    fn sretry_survives_trimming() {
+        let mut h = data_header(Some(4), true);
+        h.ip.set_sretry_no(3);
+        let ho = h.trim_to_header_only();
+        assert_eq!(ho.ip.sretry_no(), 3, "retry round rides in the retained IP header");
+        assert_eq!(ho.wire_header_bytes(), crate::HO_PACKET_BYTES);
+    }
+
+    #[test]
+    fn swap_src_dst_bounces_to_sender() {
+        let mut h = data_header(None, true).trim_to_header_only();
+        let (s, d) = (h.ip.src, h.ip.dst);
+        h.swap_src_dst(99);
+        assert_eq!(h.ip.src, d);
+        assert_eq!(h.ip.dst, s);
+        assert_eq!(h.bth.dest_qpn, 99);
+    }
+
+    #[test]
+    fn trim_preserves_msn_and_psn() {
+        let h = data_header(Some(4), true);
+        let ho = h.trim_to_header_only();
+        assert_eq!(ho.bth.psn, h.bth.psn);
+        assert_eq!(ho.dcp.unwrap().msn, h.dcp.unwrap().msn);
+        // SSN is not part of the 57-byte retained header.
+        assert_eq!(ho.dcp.unwrap().ssn, None);
+    }
+}

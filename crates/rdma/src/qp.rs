@@ -1,0 +1,341 @@
+//! Queue Pair descriptors: Work Queue Elements, Completion Queue entries and
+//! the queue containers an RNIC schedules over.
+//!
+//! A Reliable-Connection QP in this reproduction is the pair of endpoints a
+//! transport instance drives: the requester holds the Send Queue (SQ) and —
+//! under DCP — the host-memory Retransmission Queue (RetransQ, §4.3); the
+//! responder holds the Receive Queue (RQ). Both sides own a Completion Queue
+//! (CQ).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Queue Pair Number (24 bits on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Qpn(pub u32);
+
+/// Identifies one endpoint of a connection: the host and the QP on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QpEndpointId {
+    pub host: u32,
+    pub qpn: Qpn,
+}
+
+/// The operation a send Work Request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkReqOp {
+    /// Two-sided Send: consumes a Receive WQE at the responder.
+    Send,
+    /// One-sided Write to `remote_addr`.
+    Write { remote_addr: u64, rkey: u32 },
+    /// One-sided Write that also delivers an immediate value, consuming a
+    /// Receive WQE at the responder on completion.
+    WriteImm { remote_addr: u64, rkey: u32, imm: u32 },
+}
+
+impl WorkReqOp {
+    /// True for operations that consume a Receive WQE at the responder and
+    /// therefore carry an SSN under DCP (§4.4).
+    pub fn consumes_recv_wqe(&self) -> bool {
+        !matches!(self, WorkReqOp::Write { .. })
+    }
+}
+
+/// A send-side Work Queue Element: one message posted to the SQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendWqe {
+    /// Application-chosen identifier returned in the completion.
+    pub wr_id: u64,
+    pub op: WorkReqOp,
+    /// Local virtual address of the message payload.
+    pub local_addr: u64,
+    /// Message length in bytes. Zero-length messages occupy one packet.
+    pub len: u64,
+    /// Message Sequence Number: posting order in the SQ, assigned at post
+    /// time and carried in every packet of the message (Fig. 4a).
+    pub msn: u32,
+    /// Send Sequence Number for two-sided operations: posting order among
+    /// the WQEs that consume Receive WQEs (§4.4). `None` for plain Writes.
+    pub ssn: Option<u32>,
+    /// Whether the application asked for a completion on this WQE.
+    pub signaled: bool,
+}
+
+impl SendWqe {
+    /// Number of packets this message segments into at the given MTU.
+    pub fn packet_count(&self, mtu: usize) -> u32 {
+        if self.len == 0 {
+            1
+        } else {
+            self.len.div_ceil(mtu as u64) as u32
+        }
+    }
+}
+
+/// A receive-side Work Queue Element: one buffer posted to the RQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecvWqe {
+    pub wr_id: u64,
+    pub addr: u64,
+    pub len: u64,
+}
+
+/// What a completion describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CqeKind {
+    /// A send-side WQE finished (message fully acknowledged).
+    SendComplete,
+    /// A receive-side WQE finished (message fully arrived, in MSN order).
+    RecvComplete,
+}
+
+/// A Completion Queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cqe {
+    pub wr_id: u64,
+    pub qpn: Qpn,
+    pub kind: CqeKind,
+    pub byte_len: u64,
+    /// Immediate value for `WriteImm`, zero otherwise.
+    pub imm: u32,
+}
+
+/// Send queue: WQEs awaiting transmission or acknowledgment, in MSN order.
+///
+/// The RNIC's fetch-and-drop strategy (§4.3) is modelled by transports
+/// reading entries by index without removing them; entries are retired only
+/// when the message is acknowledged.
+#[derive(Debug, Default, Clone)]
+pub struct SendQueue {
+    entries: VecDeque<SendWqe>,
+    next_msn: u32,
+    next_ssn: u32,
+}
+
+impl SendQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a Work Request, assigning its MSN (and SSN if two-sided).
+    /// Returns the assigned MSN.
+    pub fn post(&mut self, wr_id: u64, op: WorkReqOp, local_addr: u64, len: u64, signaled: bool) -> u32 {
+        let msn = self.next_msn;
+        self.next_msn += 1;
+        let ssn = if op.consumes_recv_wqe() {
+            let s = self.next_ssn;
+            self.next_ssn += 1;
+            Some(s)
+        } else {
+            None
+        };
+        self.entries.push_back(SendWqe { wr_id, op, local_addr, len, msn, ssn, signaled });
+        msn
+    }
+
+    /// Looks up the WQE with the given MSN, if still outstanding.
+    pub fn by_msn(&self, msn: u32) -> Option<&SendWqe> {
+        let front = self.entries.front()?.msn;
+        let ix = msn.checked_sub(front)? as usize;
+        self.entries.get(ix)
+    }
+
+    /// Retires all WQEs with `msn < emsn` (cumulative acknowledgment),
+    /// returning them oldest-first so completions can be generated.
+    pub fn retire_below(&mut self, emsn: u32) -> Vec<SendWqe> {
+        let mut done = Vec::new();
+        while let Some(front) = self.entries.front() {
+            if front.msn < emsn {
+                done.push(self.entries.pop_front().unwrap());
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// MSN that the next posted WQE would receive.
+    pub fn next_msn(&self) -> u32 {
+        self.next_msn
+    }
+
+    /// Oldest outstanding (unacknowledged) MSN, if any — the `unaMSN` the
+    /// DCP coarse timeout fallback tracks (§4.5).
+    pub fn una_msn(&self) -> Option<u32> {
+        self.entries.front().map(|w| w.msn)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &SendWqe> {
+        self.entries.iter()
+    }
+}
+
+/// Receive queue: buffers posted by the application, consumed in SSN order.
+#[derive(Debug, Default, Clone)]
+pub struct RecvQueue {
+    entries: VecDeque<RecvWqe>,
+    /// SSN of the WQE at the front of the queue.
+    front_ssn: u32,
+}
+
+impl RecvQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn post(&mut self, wqe: RecvWqe) {
+        self.entries.push_back(wqe);
+    }
+
+    /// Looks up the Receive WQE matching a given SSN without consuming it —
+    /// what the DCP receiver does when an out-of-order Send packet arrives
+    /// carrying its SSN (§4.4).
+    pub fn by_ssn(&self, ssn: u32) -> Option<&RecvWqe> {
+        let ix = ssn.checked_sub(self.front_ssn)? as usize;
+        self.entries.get(ix)
+    }
+
+    /// Consumes the front WQE once the message with `front_ssn` completes.
+    pub fn consume_front(&mut self) -> Option<RecvWqe> {
+        let w = self.entries.pop_front()?;
+        self.front_ssn += 1;
+        Some(w)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A retransmission entry: the metadata the DCP Rx path extracts from a
+/// header-only packet and DMA-writes into the host-memory RetransQ (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetransEntry {
+    pub msn: u32,
+    pub psn: u32,
+}
+
+/// Host-memory retransmission queue, one per QP (§4.3).
+///
+/// Allocated alongside the SQ/RQ/CQ at QP creation and managed exclusively
+/// by the RNIC; its length is mirrored in the QPC so the Tx path can check
+/// emptiness without a PCIe round trip.
+#[derive(Debug, Default, Clone)]
+pub struct RetransQueue {
+    entries: VecDeque<RetransEntry>,
+}
+
+impl RetransQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, e: RetransEntry) {
+        self.entries.push_back(e);
+    }
+
+    /// Fetches up to `n` entries — the batched-fetch of §4.3, bounded by
+    /// `min(16, len, awin/MTU)` at the call site.
+    pub fn fetch(&mut self, n: usize) -> Vec<RetransEntry> {
+        let take = n.min(self.entries.len());
+        self.entries.drain(..take).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_assigns_monotonic_msn_and_ssn_only_for_two_sided() {
+        let mut sq = SendQueue::new();
+        let m0 = sq.post(1, WorkReqOp::Send, 0, 100, true);
+        let m1 = sq.post(2, WorkReqOp::Write { remote_addr: 0x100, rkey: 1 }, 0, 100, true);
+        let m2 = sq.post(3, WorkReqOp::WriteImm { remote_addr: 0x200, rkey: 1, imm: 7 }, 0, 100, true);
+        assert_eq!((m0, m1, m2), (0, 1, 2));
+        assert_eq!(sq.by_msn(0).unwrap().ssn, Some(0));
+        assert_eq!(sq.by_msn(1).unwrap().ssn, None);
+        assert_eq!(sq.by_msn(2).unwrap().ssn, Some(1));
+    }
+
+    #[test]
+    fn retire_below_is_cumulative() {
+        let mut sq = SendQueue::new();
+        for i in 0..5 {
+            sq.post(i, WorkReqOp::Send, 0, 10, true);
+        }
+        let done = sq.retire_below(3);
+        assert_eq!(done.len(), 3);
+        assert_eq!(sq.una_msn(), Some(3));
+        assert!(sq.by_msn(2).is_none());
+        assert!(sq.by_msn(3).is_some());
+        // Retiring below an already-retired point is a no-op.
+        assert!(sq.retire_below(2).is_empty());
+    }
+
+    #[test]
+    fn packet_count_rounds_up_and_handles_zero_len() {
+        let wqe = SendWqe {
+            wr_id: 0,
+            op: WorkReqOp::Send,
+            local_addr: 0,
+            len: 2049,
+            msn: 0,
+            ssn: Some(0),
+            signaled: true,
+        };
+        assert_eq!(wqe.packet_count(1024), 3);
+        let zero = SendWqe { len: 0, ..wqe };
+        assert_eq!(zero.packet_count(1024), 1);
+        let exact = SendWqe { len: 2048, ..wqe };
+        assert_eq!(exact.packet_count(1024), 2);
+    }
+
+    #[test]
+    fn recv_queue_matches_by_ssn_and_consumes_in_order() {
+        let mut rq = RecvQueue::new();
+        for i in 0..3u64 {
+            rq.post(RecvWqe { wr_id: i, addr: i * 0x1000, len: 0x1000 });
+        }
+        assert_eq!(rq.by_ssn(2).unwrap().wr_id, 2);
+        assert_eq!(rq.by_ssn(3), None);
+        assert_eq!(rq.consume_front().unwrap().wr_id, 0);
+        // After consuming SSN 0, SSN 1 is at the front.
+        assert_eq!(rq.by_ssn(1).unwrap().wr_id, 1);
+        assert_eq!(rq.by_ssn(0), None, "consumed SSN no longer matches");
+    }
+
+    #[test]
+    fn retransq_fetch_is_fifo_and_bounded() {
+        let mut rq = RetransQueue::new();
+        for psn in 0..10 {
+            rq.push(RetransEntry { msn: 0, psn });
+        }
+        let batch = rq.fetch(4);
+        assert_eq!(batch.iter().map(|e| e.psn).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(rq.len(), 6);
+        let rest = rq.fetch(100);
+        assert_eq!(rest.len(), 6);
+        assert!(rq.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Message segmentation: turning a Work Queue Element into the per-packet
+//! descriptors a transport transmits.
+//!
+//! Under DCP every packet is self-describing (§4.4): Write packets all carry
+//! a RETH whose `vaddr` is already offset to the packet's own position, and
+//! two-sided packets all carry the SSN. The segmenter produces exactly that,
+//! so retransmitting any single PSN requires no neighbouring state — the
+//! property HO-based retransmission depends on.
+
+use crate::headers::RdmaOpcode;
+use crate::qp::{SendWqe, WorkReqOp};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to emit (or re-emit) one packet of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketDescriptor {
+    pub opcode: RdmaOpcode,
+    /// PSN offset of this packet within the message (0-based).
+    pub index: u32,
+    /// Offset of this packet's payload within the message.
+    pub offset: u64,
+    /// Payload bytes carried (may be zero for zero-length messages).
+    pub payload_len: u32,
+    /// Remote virtual address for Write-family packets (already offset).
+    pub remote_addr: Option<u64>,
+    pub rkey: Option<u32>,
+    /// Immediate delivered by the final packet of a WriteImm.
+    pub imm: Option<u32>,
+    /// SSN carried by this packet: every Send packet, and only the last
+    /// packet of a Write-with-Immediate (§4.4).
+    pub ssn: Option<u32>,
+}
+
+/// Segments `wqe` at `mtu`, returning descriptors for `indices` (or all
+/// packets when `indices` is `None` — convenience for full transmission).
+///
+/// Descriptor generation is random-access by design: the DCP sender
+/// retransmits single PSNs named by header-only packets, so
+/// [`descriptor_for`] is the primitive and full segmentation iterates it.
+pub fn segment_message(wqe: &SendWqe, mtu: usize) -> Vec<PacketDescriptor> {
+    let n = wqe.packet_count(mtu);
+    (0..n).map(|i| descriptor_for(wqe, mtu, i)).collect()
+}
+
+/// Builds the descriptor for packet `index` of `wqe`'s message.
+///
+/// # Panics
+/// Panics if `index` is out of range for the message — callers derive the
+/// index from PSN arithmetic and a violation is a transport bug.
+pub fn descriptor_for(wqe: &SendWqe, mtu: usize, index: u32) -> PacketDescriptor {
+    let total = wqe.packet_count(mtu);
+    assert!(index < total, "packet index {index} out of range ({total} packets)");
+    let first = index == 0;
+    let last = index == total - 1;
+    let offset = index as u64 * mtu as u64;
+    let payload_len = if wqe.len == 0 {
+        0
+    } else {
+        (wqe.len - offset).min(mtu as u64) as u32
+    };
+    let (opcode, remote_addr, rkey, imm) = match wqe.op {
+        WorkReqOp::Send => {
+            let op = match (first, last) {
+                (true, true) => RdmaOpcode::SendOnly,
+                (true, false) => RdmaOpcode::SendFirst,
+                (false, false) => RdmaOpcode::SendMiddle,
+                (false, true) => RdmaOpcode::SendLast,
+            };
+            (op, None, None, None)
+        }
+        WorkReqOp::Write { remote_addr, rkey } => {
+            let op = match (first, last) {
+                (true, true) => RdmaOpcode::WriteOnly,
+                (true, false) => RdmaOpcode::WriteFirst,
+                (false, false) => RdmaOpcode::WriteMiddle,
+                (false, true) => RdmaOpcode::WriteLast,
+            };
+            (op, Some(remote_addr + offset), Some(rkey), None)
+        }
+        WorkReqOp::WriteImm { remote_addr, rkey, imm } => {
+            let op = match (first, last) {
+                (true, true) => RdmaOpcode::WriteOnlyImm,
+                (true, false) => RdmaOpcode::WriteFirst,
+                (false, false) => RdmaOpcode::WriteMiddle,
+                (false, true) => RdmaOpcode::WriteLastImm,
+            };
+            (op, Some(remote_addr + offset), Some(rkey), if last { Some(imm) } else { None })
+        }
+    };
+    // SSN: all Send packets; only the immediate-carrying last packet of a
+    // WriteImm (Fig. 4a).
+    let ssn = match wqe.op {
+        WorkReqOp::Send => wqe.ssn,
+        WorkReqOp::WriteImm { .. } if last => wqe.ssn,
+        _ => None,
+    };
+    PacketDescriptor { opcode, index, offset, payload_len, remote_addr, rkey, imm, ssn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wqe(op: WorkReqOp, len: u64) -> SendWqe {
+        SendWqe { wr_id: 1, op, local_addr: 0x8000, len, msn: 4, ssn: op.consumes_recv_wqe().then_some(2), signaled: true }
+    }
+
+    #[test]
+    fn single_packet_send_is_send_only() {
+        let d = segment_message(&wqe(WorkReqOp::Send, 500), 1024);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].opcode, RdmaOpcode::SendOnly);
+        assert_eq!(d[0].payload_len, 500);
+        assert_eq!(d[0].ssn, Some(2));
+    }
+
+    #[test]
+    fn multi_packet_send_opcode_sequence() {
+        let d = segment_message(&wqe(WorkReqOp::Send, 3000), 1024);
+        assert_eq!(
+            d.iter().map(|p| p.opcode).collect::<Vec<_>>(),
+            vec![RdmaOpcode::SendFirst, RdmaOpcode::SendMiddle, RdmaOpcode::SendLast]
+        );
+        assert_eq!(d[2].payload_len, 3000 - 2048);
+        // Every Send packet carries the SSN.
+        assert!(d.iter().all(|p| p.ssn == Some(2)));
+    }
+
+    #[test]
+    fn write_packets_all_carry_offset_reth() {
+        let d = segment_message(&wqe(WorkReqOp::Write { remote_addr: 0x10_000, rkey: 9 }, 2500), 1024);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].remote_addr, Some(0x10_000));
+        assert_eq!(d[1].remote_addr, Some(0x10_000 + 1024));
+        assert_eq!(d[2].remote_addr, Some(0x10_000 + 2048));
+        assert!(d.iter().all(|p| p.rkey == Some(9)));
+        assert!(d.iter().all(|p| p.ssn.is_none()), "plain Writes never carry SSN");
+    }
+
+    #[test]
+    fn write_imm_carries_ssn_and_imm_only_on_last() {
+        let d = segment_message(&wqe(WorkReqOp::WriteImm { remote_addr: 0x100, rkey: 1, imm: 0xbeef }, 2048), 1024);
+        assert_eq!(d[0].opcode, RdmaOpcode::WriteFirst);
+        assert_eq!(d[1].opcode, RdmaOpcode::WriteLastImm);
+        assert_eq!(d[0].ssn, None);
+        assert_eq!(d[1].ssn, Some(2));
+        assert_eq!(d[0].imm, None);
+        assert_eq!(d[1].imm, Some(0xbeef));
+    }
+
+    #[test]
+    fn zero_length_message_is_one_empty_packet() {
+        let d = segment_message(&wqe(WorkReqOp::Send, 0), 1024);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].payload_len, 0);
+        assert_eq!(d[0].opcode, RdmaOpcode::SendOnly);
+    }
+
+    #[test]
+    fn descriptor_for_is_random_access_consistent() {
+        let w = wqe(WorkReqOp::Write { remote_addr: 0x0, rkey: 3 }, 10_000);
+        let all = segment_message(&w, 1024);
+        for (i, d) in all.iter().enumerate() {
+            assert_eq!(&descriptor_for(&w, 1024, i as u32), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn descriptor_for_rejects_bad_index() {
+        let w = wqe(WorkReqOp::Send, 1024);
+        descriptor_for(&w, 1024, 1);
+    }
+
+    #[test]
+    fn payload_lengths_sum_to_message_length() {
+        for len in [1u64, 1023, 1024, 1025, 4096, 99_999] {
+            let d = segment_message(&wqe(WorkReqOp::Send, len), 1024);
+            assert_eq!(d.iter().map(|p| p.payload_len as u64).sum::<u64>(), len, "len={len}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: wire encode/decode round-trips for arbitrary headers, and
+//! encoded length always equals the computed header size.
+
+use dcp_rdma::headers::*;
+use dcp_rdma::wire::{decode, encode};
+use proptest::prelude::*;
+
+fn arb_opcode() -> impl Strategy<Value = RdmaOpcode> {
+    prop_oneof![
+        Just(RdmaOpcode::SendFirst),
+        Just(RdmaOpcode::SendMiddle),
+        Just(RdmaOpcode::SendLast),
+        Just(RdmaOpcode::SendOnly),
+        Just(RdmaOpcode::WriteFirst),
+        Just(RdmaOpcode::WriteMiddle),
+        Just(RdmaOpcode::WriteLast),
+        Just(RdmaOpcode::WriteOnly),
+        Just(RdmaOpcode::WriteLastImm),
+        Just(RdmaOpcode::WriteOnlyImm),
+    ]
+}
+
+prop_compose! {
+    fn arb_data_header()(
+        op in arb_opcode(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        qpn in 0u32..0x0100_0000,
+        psn in 0u32..0x0100_0000,
+        msn in 0u32..0x0100_0000,
+        ssn in 0u32..0x0100_0000,
+        sretry in any::<u8>(),
+        vaddr in any::<u64>(),
+        rkey in any::<u32>(),
+        dma_len in any::<u32>(),
+        sport in any::<u16>(),
+        ecn in any::<bool>(),
+        ack_req in any::<bool>(),
+    ) -> PacketHeader {
+        let mut ip = Ipv4Header::new(src, dst, DcpTag::Data, 1081);
+        ip.set_ecn_ce(ecn);
+        ip.set_sretry_no(sretry);
+        let needs_ssn = op.is_send() || op.has_immediate();
+        PacketHeader {
+            eth: EthHeader::new(MacAddr::from_host(1), MacAddr::from_host(2)),
+            ip,
+            udp: UdpHeader::roce(sport, 1061),
+            bth: Bth { opcode: op, dest_qpn: qpn, psn, ack_req },
+            dcp: Some(DcpDataExt { msn, ssn: needs_ssn.then_some(ssn) }),
+            reth: op.is_write().then_some(Reth { vaddr, rkey, dma_len }),
+            aeth: None,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn data_header_roundtrips(h in arb_data_header()) {
+        let bytes = encode(&h);
+        prop_assert_eq!(bytes.len(), h.wire_header_bytes());
+        let decoded = decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn trimmed_header_roundtrips_at_57_bytes(h in arb_data_header()) {
+        let ho = h.trim_to_header_only();
+        let bytes = encode(&ho);
+        prop_assert_eq!(bytes.len(), dcp_rdma::HO_PACKET_BYTES);
+        let decoded = decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.bth.psn, h.bth.psn);
+        prop_assert_eq!(decoded.dcp.unwrap().msn, h.dcp.unwrap().msn);
+        prop_assert_eq!(decoded.ip.dcp_tag(), DcpTag::HeaderOnly);
+        // ECN marking survives trimming (the ToS byte is retained).
+        prop_assert_eq!(decoded.ip.ecn_ce(), h.ip.ecn_ce());
+    }
+
+    #[test]
+    fn ack_header_roundtrips(emsn in 0u32..0x0100_0000, syndrome in any::<u8>(), qpn in 0u32..0x0100_0000) {
+        let h = PacketHeader {
+            eth: EthHeader::new(MacAddr::from_host(1), MacAddr::from_host(2)),
+            ip: Ipv4Header::new(0xa, 0xb, DcpTag::Ack, 62),
+            udp: UdpHeader::roce(0x1000, 42),
+            bth: Bth { opcode: RdmaOpcode::Acknowledge, dest_qpn: qpn, psn: 0, ack_req: false },
+            dcp: None,
+            reth: None,
+            aeth: Some(Aeth { syndrome, emsn }),
+        };
+        let bytes = encode(&h);
+        prop_assert_eq!(bytes.len(), h.wire_header_bytes());
+        prop_assert_eq!(decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn decode_never_panics_on_random_bytes(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode(&bytes::Bytes::from(data));
+    }
+}

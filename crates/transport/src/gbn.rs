@@ -1,0 +1,420 @@
+//! RNIC-GBN: the Go-Back-N transport of traditional RoCEv2 RNICs
+//! (Mellanox CX5 class — the paper's testbed baseline, §2.1/§6.1).
+//!
+//! Receiver: strictly in-order. An out-of-order arrival elicits one NAK
+//! carrying the expected PSN and is discarded; everything already received
+//! is acknowledged cumulatively. Sender: on NAK or RTO it rewinds `snd_nxt`
+//! to the cumulative pointer and resends the entire window — the behaviour
+//! whose loss sensitivity motivates the whole paper (Fig. 10).
+
+use crate::cc::CongestionControl;
+use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, Placement, TxBook};
+use crate::rxcore::RxCore;
+use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::stats::TransportStats;
+use dcp_netsim::time::{Nanos, US};
+use dcp_rdma::qp::WorkReqOp;
+use std::collections::VecDeque;
+
+/// Tunables for the GBN pair.
+#[derive(Debug, Clone, Copy)]
+pub struct GbnConfig {
+    /// Retransmission timeout.
+    pub rto: Nanos,
+    /// DCQCN NP interval for CNP generation at the receiver.
+    pub cnp_interval: Nanos,
+}
+
+impl Default for GbnConfig {
+    fn default() -> Self {
+        GbnConfig { rto: 200 * US, cnp_interval: 50 * US }
+    }
+}
+
+/// Go-Back-N sender.
+pub struct GbnSender {
+    cfg: FlowCfg,
+    gcfg: GbnConfig,
+    book: TxBook,
+    cc: Box<dyn CongestionControl>,
+    /// Oldest unacknowledged PSN.
+    snd_una: u32,
+    /// Next PSN to (re)transmit.
+    snd_nxt: u32,
+    /// Highest PSN ever sent + 1 (for retransmission detection).
+    max_sent: u32,
+    rto_gen: u64,
+    rto_armed: bool,
+    pace_armed: bool,
+    cc_tick_armed: bool,
+    uid: u64,
+    stats: TransportStats,
+}
+
+impl GbnSender {
+    pub fn new(cfg: FlowCfg, gcfg: GbnConfig, cc: Box<dyn CongestionControl>) -> Self {
+        GbnSender {
+            cfg,
+            gcfg,
+            book: TxBook::new(),
+            cc,
+            snd_una: 0,
+            snd_nxt: 0,
+            max_sent: 0,
+            rto_gen: 0,
+            rto_armed: false,
+            pace_armed: false,
+            cc_tick_armed: false,
+            uid: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        ctx.timers.push((ctx.now + self.gcfg.rto, tokens::RTO | self.rto_gen));
+    }
+
+    fn inflight_bytes(&self) -> u64 {
+        (self.snd_nxt.saturating_sub(self.snd_una)) as u64 * self.cfg.mtu as u64
+    }
+
+    fn retire(&mut self, epsn: u32, ctx: &mut EndpointCtx) {
+        for m in self.book.retire_psn_below(epsn) {
+            ctx.completions.push(Completion {
+                host: self.cfg.local,
+                flow: self.cfg.flow,
+                wr_id: m.wqe.wr_id,
+                kind: CompletionKind::SendComplete,
+                bytes: m.wqe.len,
+                imm: 0,
+                at: ctx.now,
+            });
+        }
+    }
+}
+
+impl Endpoint for GbnSender {
+    fn post(&mut self, wr_id: u64, op: WorkReqOp, len: u64) {
+        self.book.post(wr_id, op, len, self.cfg.mtu);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        match pkt.ext {
+            PktExt::GbnAck { epsn } => {
+                if epsn > self.snd_una {
+                    self.cc.on_ack(ctx.now, (epsn - self.snd_una) as u64 * self.cfg.mtu as u64);
+                    self.snd_una = epsn;
+                    // After a NAK rewind, in-flight originals may still
+                    // advance the cumulative ACK past the rewound snd_nxt.
+                    self.snd_nxt = self.snd_nxt.max(epsn);
+                    self.retire(epsn, ctx);
+                    if self.snd_una < self.max_sent {
+                        self.arm_rto(ctx);
+                    } else {
+                        self.rto_armed = false;
+                    }
+                }
+            }
+            PktExt::GbnNak { epsn } => {
+                // Go back: rewind to the receiver's expected PSN.
+                if epsn > self.snd_una {
+                    self.snd_una = epsn;
+                    self.retire(epsn, ctx);
+                }
+                self.snd_nxt = self.snd_una;
+                self.arm_rto(ctx);
+            }
+            PktExt::Cnp => {
+                self.stats.cnps += 1;
+                self.cc.on_congestion(ctx.now);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        match tokens::kind(token) {
+            tokens::RTO => {
+                if self.rto_armed && tokens::generation(token) == self.rto_gen && self.snd_una < self.max_sent {
+                    self.stats.timeouts += 1;
+                    self.snd_nxt = self.snd_una;
+                    self.arm_rto(ctx);
+                }
+            }
+            tokens::PACE => {
+                self.pace_armed = false;
+            }
+            tokens::CC_TICK => {
+                self.cc_tick_armed = false;
+                if let Some(next) = self.cc.on_tick(ctx.now) {
+                    if !self.book.is_empty() {
+                        self.cc_tick_armed = true;
+                        ctx.timers.push((next, tokens::CC_TICK));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+        if self.snd_nxt >= self.book.next_psn() {
+            return None;
+        }
+        // Pacing gate (rate-based CC).
+        let t = self.cc.next_send_time(ctx.now);
+        if t > ctx.now {
+            if !self.pace_armed {
+                self.pace_armed = true;
+                ctx.timers.push((t, tokens::PACE));
+            }
+            return None;
+        }
+        // Window gate.
+        if self.cc.awin(self.inflight_bytes()) < self.cfg.mtu as u64 {
+            return None;
+        }
+        let psn = self.snd_nxt;
+        let (m, _) = self.book.locate(psn).expect("unacked psn locates");
+        let m = *m;
+        let desc = desc_at(&m, self.cfg.mtu, psn);
+        let is_retx = psn < self.max_sent;
+        self.uid += 1;
+        let pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        self.snd_nxt += 1;
+        self.max_sent = self.max_sent.max(self.snd_nxt);
+        if is_retx {
+            self.stats.retx_pkts += 1;
+        } else {
+            self.stats.data_pkts += 1;
+        }
+        self.cc.on_send(ctx.now, pkt.wire_bytes());
+        if !self.rto_armed {
+            self.arm_rto(ctx);
+        }
+        if !self.cc_tick_armed {
+            if let Some(next) = self.cc.on_tick(ctx.now) {
+                self.cc_tick_armed = true;
+                ctx.timers.push((next, tokens::CC_TICK));
+            }
+        }
+        Some(pkt)
+    }
+
+    fn has_pending(&self) -> bool {
+        self.snd_nxt < self.book.next_psn()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.book.is_empty()
+    }
+}
+
+/// Go-Back-N receiver: in-order acceptance, NAK on gaps.
+pub struct GbnReceiver {
+    cfg: FlowCfg,
+    rx: RxCore,
+    cnp: CnpGen,
+    /// One NAK per gap episode; reset when the expected PSN arrives.
+    nak_outstanding: bool,
+    out: VecDeque<Packet>,
+    uid: u64,
+}
+
+impl GbnReceiver {
+    pub fn new(cfg: FlowCfg, gcfg: GbnConfig, placement: Placement) -> Self {
+        // In-order only: any OOO arrival is outside the (zero-size) window.
+        let rx = RxCore::new(cfg.local, cfg.flow, 0, placement);
+        GbnReceiver {
+            cfg,
+            rx,
+            cnp: CnpGen::new(gcfg.cnp_interval),
+            nak_outstanding: false,
+            out: VecDeque::new(),
+            uid: 0,
+        }
+    }
+
+    fn queue(&mut self, ext: PktExt) {
+        self.uid += 1;
+        self.out.push_back(ack_packet(&self.cfg, ext, 0, self.uid));
+    }
+}
+
+impl Endpoint for GbnReceiver {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        if !pkt.is_data() {
+            return;
+        }
+        if pkt.header.ip.ecn_ce() && self.cnp.should_send(ctx.now) {
+            self.queue(PktExt::Cnp);
+        }
+        let psn = pkt.psn();
+        if psn == self.rx.epsn {
+            self.rx.on_data(&pkt, ctx);
+            self.nak_outstanding = false;
+            self.queue(PktExt::GbnAck { epsn: self.rx.epsn });
+        } else if psn < self.rx.epsn {
+            // Duplicate of something already delivered: re-ACK.
+            self.rx.stats.duplicates += 1;
+            self.rx.stats.pkts_received += 1;
+            self.queue(PktExt::GbnAck { epsn: self.rx.epsn });
+        } else {
+            // Gap: discard (GBN receivers hold no OOO state) and NAK once.
+            self.rx.stats.pkts_received += 1;
+            if !self.nak_outstanding {
+                self.nak_outstanding = true;
+                self.queue(PktExt::GbnNak { epsn: self.rx.epsn });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+
+    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
+        self.out.pop_front()
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.rx.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Builds a connected GBN sender/receiver pair for `flow` from `src` to
+/// `dst` with the given CC and payload placement.
+pub fn gbn_pair(
+    cfg: FlowCfg,
+    gcfg: GbnConfig,
+    cc: Box<dyn CongestionControl>,
+    placement: Placement,
+) -> (GbnSender, GbnReceiver) {
+    let rcfg = FlowCfg::receiver_of(&cfg);
+    (GbnSender::new(cfg, gcfg, cc), GbnReceiver::new(rcfg, gcfg, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_rdma::headers::DcpTag;
+    use crate::cc::StaticWindow;
+    use dcp_netsim::packet::{FlowId, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FlowCfg {
+        FlowCfg::sender(FlowId(1), NodeId(0), NodeId(1), DcpTag::NonDcp)
+    }
+
+    fn ctx<'a>(
+        now: Nanos,
+        t: &'a mut Vec<(Nanos, u64)>,
+        c: &'a mut Vec<Completion>,
+        r: &'a mut StdRng,
+    ) -> EndpointCtx<'a> {
+        EndpointCtx { now, timers: t, completions: c, rng: r }
+    }
+
+    #[test]
+    fn sender_emits_sequential_psns_within_window() {
+        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 3 * 1024 }));
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 10 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let mut psns = vec![];
+        while let Some(p) = s.pull(&mut ctx(0, &mut t, &mut c, &mut r)) {
+            psns.push(p.psn());
+        }
+        assert_eq!(psns, vec![0, 1, 2], "BDP window of 3 packets gates the burst");
+        assert!(s.has_pending());
+    }
+
+    #[test]
+    fn nak_rewinds_and_resends() {
+        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 8 * 1024 }));
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        for _ in 0..5 {
+            s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).unwrap();
+        }
+        // Receiver saw 0,1 then a gap: NAK epsn=2.
+        let nak = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnNak { epsn: 2 }, 0, 0);
+        s.on_packet(nak, &mut ctx(1000, &mut t, &mut c, &mut r));
+        let p = s.pull(&mut ctx(1000, &mut t, &mut c, &mut r)).unwrap();
+        assert_eq!(p.psn(), 2);
+        assert!(p.is_retx);
+        assert_eq!(s.stats().retx_pkts, 1);
+    }
+
+    #[test]
+    fn cumulative_ack_retires_messages() {
+        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 64 * 1024 }));
+        s.post(7, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 2 }, 0, 0);
+        s.on_packet(ack, &mut ctx(5000, &mut t, &mut c, &mut r));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].wr_id, 7);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn rto_rewinds_without_feedback() {
+        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 64 * 1024 }));
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (at, token) = t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 1);
+        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        assert_eq!(p.psn(), 0);
+        assert!(p.is_retx);
+    }
+
+    #[test]
+    fn stale_rto_is_ignored_after_progress() {
+        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 64 * 1024 }));
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (at, stale) = t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        // Full ACK arrives before the timer fires.
+        let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 2 }, 0, 0);
+        s.on_packet(ack, &mut ctx(100, &mut t, &mut c, &mut r));
+        s.on_timer(stale, &mut ctx(at, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn receiver_naks_once_per_gap() {
+        let scfg = cfg();
+        let mut book = TxBook::new();
+        let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 4 * 1024, scfg.mtu);
+        let mk = |psn: u32| data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64);
+        let mut rx = GbnReceiver::new(FlowCfg::receiver_of(&scfg), GbnConfig::default(), Placement::Virtual);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        rx.on_packet(mk(0), &mut ctx(0, &mut t, &mut c, &mut r));
+        rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));
+        rx.on_packet(mk(3), &mut ctx(2, &mut t, &mut c, &mut r));
+        let mut outs = vec![];
+        while let Some(p) = rx.pull(&mut ctx(3, &mut t, &mut c, &mut r)) {
+            outs.push(p.ext);
+        }
+        assert_eq!(outs, vec![PktExt::GbnAck { epsn: 1 }, PktExt::GbnNak { epsn: 1 }], "one ACK, one NAK, no NAK repeat");
+    }
+}

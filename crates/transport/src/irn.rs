@@ -1,0 +1,496 @@
+//! IRN — the paper's representative RNIC-SR design (§2.2, Mittal et al.).
+//!
+//! Receiver: accepts packets in any order (direct placement), sends a
+//! cumulative ACK for in-order arrivals and a SACK — carrying both the
+//! cumulative ePSN and the PSN of the out-of-order packet — for every OOO
+//! arrival. Sender: maintains a bitmap of SACKed PSNs; a packet is
+//! considered lost **only if a higher PSN has been SACKed**; loss recovery
+//! is entered at most once and left only when the cumulative ACK passes the
+//! recovery point, so re-dropped retransmissions and lost tail packets can
+//! be recovered only by RTO. Flow control is a static BDP window.
+//!
+//! Those three properties are exactly what Figs. 1 and 2 exercise: under
+//! packet-level load balancing the OOO-triggered SACKs cause spurious
+//! retransmissions, and tail/retransmission losses pile up RTOs.
+
+use crate::cc::CongestionControl;
+use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, Placement, TxBook};
+use crate::rxcore::{Accept, RxCore};
+use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::stats::TransportStats;
+use dcp_netsim::time::{Nanos, US};
+use dcp_rdma::qp::WorkReqOp;
+use std::collections::{BTreeSet, VecDeque};
+
+/// IRN tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct IrnConfig {
+    pub rto: Nanos,
+    pub cnp_interval: Nanos,
+}
+
+impl Default for IrnConfig {
+    fn default() -> Self {
+        IrnConfig { rto: 200 * US, cnp_interval: 50 * US }
+    }
+}
+
+/// IRN sender: selective repeat with a SACK bitmap and single-entry loss
+/// recovery mode.
+pub struct IrnSender {
+    cfg: FlowCfg,
+    icfg: IrnConfig,
+    book: TxBook,
+    cc: Box<dyn CongestionControl>,
+    snd_una: u32,
+    snd_nxt: u32,
+    max_sent: u32,
+    /// SACKed PSNs above `snd_una` — the sender-side bitmap.
+    sacked: BTreeSet<u32>,
+    in_recovery: bool,
+    recovery_point: u32,
+    /// PSNs queued for retransmission.
+    retx_q: VecDeque<u32>,
+    /// PSNs already retransmitted in this recovery episode ("the sender
+    /// enters the loss recovery mode only once", §2.2).
+    retx_done: BTreeSet<u32>,
+    rto_gen: u64,
+    rto_armed: bool,
+    pace_armed: bool,
+    cc_tick_armed: bool,
+    uid: u64,
+    stats: TransportStats,
+}
+
+impl IrnSender {
+    pub fn new(cfg: FlowCfg, icfg: IrnConfig, cc: Box<dyn CongestionControl>) -> Self {
+        IrnSender {
+            cfg,
+            icfg,
+            book: TxBook::new(),
+            cc,
+            snd_una: 0,
+            snd_nxt: 0,
+            max_sent: 0,
+            sacked: BTreeSet::new(),
+            in_recovery: false,
+            recovery_point: 0,
+            retx_q: VecDeque::new(),
+            retx_done: BTreeSet::new(),
+            rto_gen: 0,
+            rto_armed: false,
+            pace_armed: false,
+            cc_tick_armed: false,
+            uid: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        ctx.timers.push((ctx.now + self.icfg.rto, tokens::RTO | self.rto_gen));
+    }
+
+    fn inflight_bytes(&self) -> u64 {
+        (self.snd_nxt.saturating_sub(self.snd_una)) as u64 * self.cfg.mtu as u64
+    }
+
+    fn advance_cum(&mut self, epsn: u32, ctx: &mut EndpointCtx) {
+        if epsn <= self.snd_una {
+            return;
+        }
+        self.cc.on_ack(ctx.now, (epsn - self.snd_una) as u64 * self.cfg.mtu as u64);
+        self.snd_una = epsn;
+        while let Some(&p) = self.sacked.first() {
+            if p < epsn {
+                self.sacked.remove(&p);
+            } else {
+                break;
+            }
+        }
+        // Cumulative progress above SACKed holes subsumes them.
+        while self.sacked.remove(&self.snd_una) {
+            self.snd_una += 1;
+        }
+        for m in self.book.retire_psn_below(self.snd_una) {
+            ctx.completions.push(Completion {
+                host: self.cfg.local,
+                flow: self.cfg.flow,
+                wr_id: m.wqe.wr_id,
+                kind: CompletionKind::SendComplete,
+                bytes: m.wqe.len,
+                imm: 0,
+                at: ctx.now,
+            });
+        }
+        if self.in_recovery && self.snd_una >= self.recovery_point {
+            self.in_recovery = false;
+            self.retx_done.clear();
+            self.retx_q.clear();
+        }
+        if self.snd_una < self.max_sent {
+            self.arm_rto(ctx);
+        } else {
+            self.rto_armed = false;
+        }
+    }
+
+    /// Marks losses exposed by the SACK bitmap: every un-SACKed PSN below
+    /// the highest SACKed one, not retransmitted in this episode.
+    fn mark_losses(&mut self) {
+        let Some(&hi) = self.sacked.last() else { return };
+        for psn in self.snd_una..hi {
+            if !self.sacked.contains(&psn) && self.retx_done.insert(psn) {
+                self.retx_q.push_back(psn);
+            }
+        }
+    }
+
+    fn build(&mut self, psn: u32, is_retx: bool) -> Packet {
+        let (m, _) = self.book.locate(psn).expect("psn locates");
+        let m = *m;
+        let desc = desc_at(&m, self.cfg.mtu, psn);
+        self.uid += 1;
+        data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid)
+    }
+}
+
+impl Endpoint for IrnSender {
+    fn post(&mut self, wr_id: u64, op: WorkReqOp, len: u64) {
+        self.book.post(wr_id, op, len, self.cfg.mtu);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        match pkt.ext {
+            PktExt::GbnAck { epsn } => {
+                self.advance_cum(epsn, ctx);
+            }
+            PktExt::Sack { epsn, sacked_psn } => {
+                self.advance_cum(epsn, ctx);
+                if sacked_psn >= self.snd_una {
+                    self.sacked.insert(sacked_psn);
+                }
+                if !self.in_recovery && !self.sacked.is_empty() {
+                    self.in_recovery = true;
+                    self.recovery_point = self.snd_nxt;
+                }
+                if self.in_recovery {
+                    self.mark_losses();
+                }
+            }
+            PktExt::Cnp => {
+                self.stats.cnps += 1;
+                self.cc.on_congestion(ctx.now);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        match tokens::kind(token) {
+            tokens::RTO => {
+                if self.rto_armed && tokens::generation(token) == self.rto_gen && self.snd_una < self.max_sent {
+                    self.stats.timeouts += 1;
+                    // Last resort: requeue every outstanding un-SACKed PSN.
+                    self.retx_done.clear();
+                    self.retx_q.clear();
+                    for psn in self.snd_una..self.snd_nxt {
+                        if !self.sacked.contains(&psn) {
+                            self.retx_q.push_back(psn);
+                            self.retx_done.insert(psn);
+                        }
+                    }
+                    self.in_recovery = true;
+                    self.recovery_point = self.snd_nxt;
+                    self.arm_rto(ctx);
+                }
+            }
+            tokens::PACE => self.pace_armed = false,
+            tokens::CC_TICK => {
+                self.cc_tick_armed = false;
+                if let Some(next) = self.cc.on_tick(ctx.now) {
+                    if !self.book.is_empty() {
+                        self.cc_tick_armed = true;
+                        ctx.timers.push((next, tokens::CC_TICK));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+        let t = self.cc.next_send_time(ctx.now);
+        if t > ctx.now {
+            if self.has_pending() && !self.pace_armed {
+                self.pace_armed = true;
+                ctx.timers.push((t, tokens::PACE));
+            }
+            return None;
+        }
+        // Retransmissions first (they occupy already-granted window).
+        while let Some(psn) = self.retx_q.pop_front() {
+            if psn < self.snd_una || self.sacked.contains(&psn) {
+                continue; // already made it
+            }
+            let pkt = self.build(psn, true);
+            self.stats.retx_pkts += 1;
+            self.cc.on_send(ctx.now, pkt.wire_bytes());
+            if !self.rto_armed {
+                self.arm_rto(ctx);
+            }
+            return Some(pkt);
+        }
+        // New data within the BDP window.
+        if self.snd_nxt < self.book.next_psn() && self.cc.awin(self.inflight_bytes()) >= self.cfg.mtu as u64 {
+            let psn = self.snd_nxt;
+            let pkt = self.build(psn, false);
+            self.snd_nxt += 1;
+            self.max_sent = self.max_sent.max(self.snd_nxt);
+            self.stats.data_pkts += 1;
+            self.cc.on_send(ctx.now, pkt.wire_bytes());
+            if !self.rto_armed {
+                self.arm_rto(ctx);
+            }
+            if !self.cc_tick_armed {
+                if let Some(next) = self.cc.on_tick(ctx.now) {
+                    self.cc_tick_armed = true;
+                    ctx.timers.push((next, tokens::CC_TICK));
+                }
+            }
+            return Some(pkt);
+        }
+        None
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.retx_q.is_empty() || self.snd_nxt < self.book.next_psn()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.book.is_empty()
+    }
+}
+
+/// IRN receiver: order-tolerant placement; SACK on every OOO arrival.
+pub struct IrnReceiver {
+    cfg: FlowCfg,
+    rx: RxCore,
+    cnp: CnpGen,
+    out: VecDeque<Packet>,
+    uid: u64,
+}
+
+impl IrnReceiver {
+    pub fn new(cfg: FlowCfg, icfg: IrnConfig, placement: Placement) -> Self {
+        let rx = RxCore::new(cfg.local, cfg.flow, u32::MAX, placement);
+        IrnReceiver { cfg, rx, cnp: CnpGen::new(icfg.cnp_interval), out: VecDeque::new(), uid: 0 }
+    }
+
+    fn queue(&mut self, ext: PktExt) {
+        self.uid += 1;
+        self.out.push_back(ack_packet(&self.cfg, ext, 0, self.uid));
+    }
+}
+
+impl Endpoint for IrnReceiver {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        if !pkt.is_data() {
+            return;
+        }
+        if pkt.header.ip.ecn_ce() && self.cnp.should_send(ctx.now) {
+            self.queue(PktExt::Cnp);
+        }
+        let psn = pkt.psn();
+        match self.rx.on_data(&pkt, ctx) {
+            Accept::InOrder => self.queue(PktExt::GbnAck { epsn: self.rx.epsn }),
+            Accept::OutOfOrder => self.queue(PktExt::Sack { epsn: self.rx.epsn, sacked_psn: psn }),
+            Accept::Duplicate => self.queue(PktExt::GbnAck { epsn: self.rx.epsn }),
+            Accept::Rejected => unreachable!("IRN receiver has no OOO cap"),
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+
+    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
+        self.out.pop_front()
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.rx.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Builds a connected IRN pair.
+pub fn irn_pair(
+    cfg: FlowCfg,
+    icfg: IrnConfig,
+    cc: Box<dyn CongestionControl>,
+    placement: Placement,
+) -> (IrnSender, IrnReceiver) {
+    let rcfg = FlowCfg::receiver_of(&cfg);
+    (IrnSender::new(cfg, icfg, cc), IrnReceiver::new(rcfg, icfg, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_rdma::headers::DcpTag;
+    use crate::cc::StaticWindow;
+    use dcp_netsim::packet::{FlowId, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FlowCfg {
+        FlowCfg::sender(FlowId(1), NodeId(0), NodeId(1), DcpTag::NonDcp)
+    }
+
+    fn ctx<'a>(
+        now: Nanos,
+        t: &'a mut Vec<(Nanos, u64)>,
+        c: &'a mut Vec<Completion>,
+        r: &'a mut StdRng,
+    ) -> EndpointCtx<'a> {
+        EndpointCtx { now, timers: t, completions: c, rng: r }
+    }
+
+    fn sender(window_pkts: u64) -> IrnSender {
+        let mut s = IrnSender::new(
+            cfg(),
+            IrnConfig::default(),
+            Box::new(StaticWindow { window_bytes: window_pkts * 1024 }),
+        );
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 32 * 1024);
+        s
+    }
+
+    fn drain(s: &mut IrnSender, now: Nanos) -> Vec<u32> {
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let mut v = vec![];
+        while let Some(p) = s.pull(&mut ctx(now, &mut t, &mut c, &mut r)) {
+            v.push(p.psn());
+        }
+        v
+    }
+
+    fn sack(s: &mut IrnSender, now: Nanos, epsn: u32, sacked: u32) {
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let p = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::Sack { epsn, sacked_psn: sacked }, 0, 0);
+        s.on_packet(p, &mut ctx(now, &mut t, &mut c, &mut r));
+    }
+
+    #[test]
+    fn sack_gap_triggers_selective_retransmit() {
+        let mut s = sender(16);
+        assert_eq!(drain(&mut s, 0), (0..16).collect::<Vec<_>>());
+        // PSN 3 lost; receiver SACKs 4 with epsn 3... receiver got 0,1,2 then 4.
+        sack(&mut s, 1000, 3, 4);
+        let out = drain(&mut s, 1000);
+        assert_eq!(out[0], 3, "exactly the gap is retransmitted");
+        assert_eq!(s.stats().retx_pkts, 1);
+    }
+
+    #[test]
+    fn gap_retransmitted_once_per_episode() {
+        let mut s = sender(16);
+        drain(&mut s, 0);
+        sack(&mut s, 1000, 3, 4);
+        sack(&mut s, 1001, 3, 5);
+        sack(&mut s, 1002, 3, 6);
+        let retx: Vec<u32> = drain(&mut s, 1003);
+        assert_eq!(retx.iter().filter(|&&p| p == 3).count(), 1, "no duplicate retx of PSN 3");
+        // A re-dropped retransmission is only recoverable by RTO (§2.2).
+        sack(&mut s, 2000, 3, 7);
+        assert!(drain(&mut s, 2001).iter().all(|&p| p != 3));
+    }
+
+    #[test]
+    fn spurious_retransmission_under_reordering() {
+        // Pure reordering, no loss: OOO arrivals SACK future PSNs and the
+        // sender wrongly retransmits the "gaps" — the Fig. 1 pathology.
+        let mut s = sender(8);
+        drain(&mut s, 0);
+        // Packets arrive 2,0,1: receiver SACKs psn2 at epsn0.
+        sack(&mut s, 100, 0, 2);
+        let out = drain(&mut s, 200);
+        assert!(out.contains(&0) && out.contains(&1), "spurious retx of 0,1: {out:?}");
+        assert_eq!(s.stats().retx_pkts, 2);
+    }
+
+    #[test]
+    fn rto_requeues_all_unsacked() {
+        let mut s = sender(4);
+        drain(&mut s, 0);
+        sack(&mut s, 50, 0, 2); // SACK psn 2 only
+        let _ = drain(&mut s, 60); // spurious retx of 0,1 happen here
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        // Find the most recent RTO timer and fire it.
+        let (at, token) = t
+            .iter()
+            .chain(std::iter::empty())
+            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO)
+            .copied()
+            .unwrap_or((300_000, tokens::RTO | s.rto_gen));
+        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 1);
+        let out = drain(&mut s, at + 1);
+        assert!(out.contains(&0) && out.contains(&1) && out.contains(&3));
+        assert!(!out.contains(&2), "SACKed PSN not retransmitted on RTO");
+    }
+
+    #[test]
+    fn cumulative_ack_exits_recovery_and_completes() {
+        let mut s = sender(32);
+        drain(&mut s, 0);
+        sack(&mut s, 100, 5, 7);
+        assert!(s.in_recovery);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 32 }, 0, 0);
+        s.on_packet(ack, &mut ctx(200, &mut t, &mut c, &mut r));
+        assert!(!s.in_recovery);
+        assert_eq!(c.len(), 1);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn receiver_sacks_ooo_and_acks_in_order() {
+        let scfg = cfg();
+        let mut book = TxBook::new();
+        let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 4 * 1024, scfg.mtu);
+        let mk = |psn: u32| data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64);
+        let mut rx = IrnReceiver::new(FlowCfg::receiver_of(&scfg), IrnConfig::default(), Placement::Virtual);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        rx.on_packet(mk(0), &mut ctx(0, &mut t, &mut c, &mut r));
+        rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));
+        rx.on_packet(mk(1), &mut ctx(2, &mut t, &mut c, &mut r));
+        rx.on_packet(mk(3), &mut ctx(3, &mut t, &mut c, &mut r));
+        let mut outs = vec![];
+        while let Some(p) = rx.pull(&mut ctx(4, &mut t, &mut c, &mut r)) {
+            outs.push(p.ext);
+        }
+        assert_eq!(
+            outs,
+            vec![
+                PktExt::GbnAck { epsn: 1 },
+                PktExt::Sack { epsn: 1, sacked_psn: 2 },
+                PktExt::GbnAck { epsn: 3 },
+                PktExt::GbnAck { epsn: 4 },
+            ]
+        );
+        assert_eq!(c.len(), 1, "message completed");
+    }
+}

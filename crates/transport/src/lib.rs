@@ -1,0 +1,38 @@
+#![allow(clippy::collapsible_match, clippy::collapsible_if)]
+
+//! `dcp-transport` — baseline RDMA endpoint protocols and congestion
+//! control for the DCP reproduction.
+//!
+//! Everything the paper compares DCP against lives here:
+//!
+//! * [`gbn`] — RNIC-GBN, the Go-Back-N of traditional RoCEv2 RNICs
+//!   (Mellanox CX5 class);
+//! * [`irn`] — IRN, the representative RNIC-SR design (SACK + sender
+//!   bitmap + loss-recovery mode + RTO + BDP flow control, §2.2);
+//! * [`mprdma`] — MP-RDMA, packet-level multipath with a per-path adaptive
+//!   window over a PFC fabric;
+//! * [`racktlp`] — RACK-TLP (RFC 8985): time-based loss detection with a
+//!   one-RTT reordering window plus tail-loss probes (§6.3);
+//! * [`timeout_only`] — the Spectrum-style order-tolerant receiver whose
+//!   sender recovers only by RTO (§6.3);
+//! * [`swtcp`] — a software-stack throughput/latency *model* standing in
+//!   for kernel TCP in the Fig. 8 comparison;
+//! * [`cc`] — DCQCN and window-based congestion control, decoupled from
+//!   reliability as §3 requires.
+//!
+//! Shared machinery: [`common`] (flow config, sender bookkeeping, packet
+//! builders) and [`rxcore`] (the bitmap-tracking receiver core that DCP's
+//! counting receiver replaces).
+
+pub mod cc;
+pub mod common;
+pub mod gbn;
+pub mod irn;
+pub mod mprdma;
+pub mod racktlp;
+pub mod rxcore;
+pub mod swtcp;
+pub mod timeout_only;
+
+pub use common::{ack_packet, data_packet, desc_at, CnpGen, FlowCfg, MsgState, Placement, RttEstimator, TxBook};
+pub use rxcore::{Accept, RxCore};

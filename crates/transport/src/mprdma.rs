@@ -1,0 +1,388 @@
+//! MP-RDMA (Lu et al., NSDI '18) — packet-level multipath RDMA with a
+//! per-path adaptive congestion window, as the paper characterizes it
+//! (Table 2: compatible with packet-level LB, but GBN-style recovery and a
+//! PFC dependence; §6.2: "includes its own CC component, i.e., an adaptive
+//! congestion window").
+//!
+//! Model notes (documented in DESIGN.md): each virtual path is an ECMP
+//! entropy value (distinct UDP source port). The sender keeps one
+//! ACK-clocked window per path — additive increase per ACK, halving on
+//! ECN-echo — and assigns new packets to the path with the most spare
+//! window. The receiver places packets out of order but only within an OOO
+//! window `L`; packets beyond it are discarded (the paper's §6.2
+//! observation that MP-RDMA "fails to effectively control the out-of-order
+//! degree below its expected threshold" is exactly this drop behaviour
+//! interacting with path skew). Recovery is timeout + go-back-N.
+
+use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, Placement, TxBook};
+use crate::rxcore::{Accept, RxCore};
+use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::stats::TransportStats;
+use dcp_netsim::time::{Nanos, US};
+use dcp_rdma::qp::WorkReqOp;
+use std::collections::{BTreeMap, VecDeque};
+
+/// MP-RDMA tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct MpRdmaConfig {
+    /// Number of virtual paths (ECMP entropy values).
+    pub paths: usize,
+    /// Initial per-path window in packets.
+    pub init_cwnd: f64,
+    /// Receiver out-of-order acceptance window `L` in packets.
+    pub ooo_window: u32,
+    pub rto: Nanos,
+    pub cnp_interval: Nanos,
+}
+
+impl Default for MpRdmaConfig {
+    fn default() -> Self {
+        MpRdmaConfig { paths: 8, init_cwnd: 16.0, ooo_window: 64, rto: 200 * US, cnp_interval: 50 * US }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Path {
+    cwnd: f64,
+    inflight: u32,
+}
+
+/// MP-RDMA sender.
+pub struct MpRdmaSender {
+    cfg: FlowCfg,
+    mcfg: MpRdmaConfig,
+    book: TxBook,
+    paths: Vec<Path>,
+    /// Outstanding PSN → path that carried it.
+    on_path: BTreeMap<u32, u16>,
+    snd_una: u32,
+    snd_nxt: u32,
+    max_sent: u32,
+    rto_gen: u64,
+    rto_armed: bool,
+    uid: u64,
+    stats: TransportStats,
+}
+
+impl MpRdmaSender {
+    pub fn new(cfg: FlowCfg, mcfg: MpRdmaConfig) -> Self {
+        MpRdmaSender {
+            cfg,
+            mcfg,
+            book: TxBook::new(),
+            paths: vec![Path { cwnd: mcfg.init_cwnd, inflight: 0 }; mcfg.paths],
+            on_path: BTreeMap::new(),
+            snd_una: 0,
+            snd_nxt: 0,
+            max_sent: 0,
+            rto_gen: 0,
+            rto_armed: false,
+            uid: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        ctx.timers.push((ctx.now + self.mcfg.rto, tokens::RTO | self.rto_gen));
+    }
+
+    /// Path with the most spare window, if any.
+    fn pick_path(&self) -> Option<u16> {
+        let mut best: Option<(u16, f64)> = None;
+        for (i, p) in self.paths.iter().enumerate() {
+            let spare = p.cwnd - p.inflight as f64;
+            if spare >= 1.0 && best.is_none_or(|(_, b)| spare > b) {
+                best = Some((i as u16, spare));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Aggregate window across all virtual paths (diagnostics).
+    pub fn total_cwnd(&self) -> f64 {
+        self.paths.iter().map(|p| p.cwnd).sum()
+    }
+}
+
+impl Endpoint for MpRdmaSender {
+    fn post(&mut self, wr_id: u64, op: WorkReqOp, len: u64) {
+        self.book.post(wr_id, op, len, self.cfg.mtu);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        let PktExt::MpAck { epsn, acked_psn, path, ecn } = pkt.ext else {
+            if pkt.ext == PktExt::Cnp {
+                self.stats.cnps += 1;
+            }
+            return;
+        };
+        // Per-path window adjustment, ACK-clocked.
+        if let Some(p) = self.paths.get_mut(path as usize) {
+            if ecn {
+                p.cwnd = (p.cwnd - 0.5).max(1.0);
+            } else {
+                p.cwnd += 1.0 / p.cwnd.max(1.0);
+            }
+        }
+        if let Some(carrier) = self.on_path.remove(&acked_psn) {
+            let p = &mut self.paths[carrier as usize];
+            p.inflight = p.inflight.saturating_sub(1);
+        }
+        if epsn > self.snd_una {
+            self.snd_una = epsn;
+            // After an RTO rewind, straggler ACKs can advance the
+            // cumulative pointer past the rewound snd_nxt.
+            self.snd_nxt = self.snd_nxt.max(epsn);
+            // Drop bookkeeping for everything cumulatively covered.
+            let covered: Vec<u32> = self.on_path.range(..epsn).map(|(&p, _)| p).collect();
+            for psn in covered {
+                if let Some(carrier) = self.on_path.remove(&psn) {
+                    let p = &mut self.paths[carrier as usize];
+                    p.inflight = p.inflight.saturating_sub(1);
+                }
+            }
+            for m in self.book.retire_psn_below(epsn) {
+                ctx.completions.push(Completion {
+                    host: self.cfg.local,
+                    flow: self.cfg.flow,
+                    wr_id: m.wqe.wr_id,
+                    kind: CompletionKind::SendComplete,
+                    bytes: m.wqe.len,
+                    imm: 0,
+                    at: ctx.now,
+                });
+            }
+            if self.snd_una < self.max_sent {
+                self.arm_rto(ctx);
+            } else {
+                self.rto_armed = false;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        if tokens::kind(token) == tokens::RTO
+            && self.rto_armed
+            && tokens::generation(token) == self.rto_gen
+            && self.snd_una < self.max_sent
+        {
+            // Go-back-N: rewind and clear path occupancy.
+            self.stats.timeouts += 1;
+            self.snd_nxt = self.snd_una;
+            self.on_path.clear();
+            for p in &mut self.paths {
+                p.inflight = 0;
+                p.cwnd = (p.cwnd / 2.0).max(1.0);
+            }
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+        if self.snd_nxt >= self.book.next_psn() {
+            return None;
+        }
+        let path = self.pick_path()?;
+        let psn = self.snd_nxt;
+        let (m, _) = self.book.locate(psn).expect("psn locates");
+        let m = *m;
+        let desc = desc_at(&m, self.cfg.mtu, psn);
+        let is_retx = psn < self.max_sent;
+        self.uid += 1;
+        let mut pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        // Virtual path = ECMP entropy: distinct UDP source port per path.
+        pkt.header.udp.src_port = self.cfg.sport.wrapping_add(path);
+        self.snd_nxt += 1;
+        self.max_sent = self.max_sent.max(self.snd_nxt);
+        if is_retx {
+            self.stats.retx_pkts += 1;
+        } else {
+            self.stats.data_pkts += 1;
+        }
+        self.paths[path as usize].inflight += 1;
+        self.on_path.insert(psn, path);
+        if !self.rto_armed {
+            self.arm_rto(ctx);
+        }
+        Some(pkt)
+    }
+
+    fn has_pending(&self) -> bool {
+        self.snd_nxt < self.book.next_psn()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.book.is_empty()
+    }
+}
+
+/// MP-RDMA receiver: out-of-order placement inside a window `L`; per-packet
+/// ACKs echoing path and ECN.
+pub struct MpRdmaReceiver {
+    cfg: FlowCfg,
+    rx: RxCore,
+    cnp: CnpGen,
+    out: VecDeque<Packet>,
+    uid: u64,
+}
+
+impl MpRdmaReceiver {
+    pub fn new(cfg: FlowCfg, mcfg: MpRdmaConfig, placement: Placement) -> Self {
+        let rx = RxCore::new(cfg.local, cfg.flow, mcfg.ooo_window, placement);
+        MpRdmaReceiver { cfg, rx, cnp: CnpGen::new(mcfg.cnp_interval), out: VecDeque::new(), uid: 0 }
+    }
+}
+
+impl Endpoint for MpRdmaReceiver {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        if !pkt.is_data() {
+            return;
+        }
+        let path = pkt.header.udp.src_port.wrapping_sub(self.cfg.sport);
+        let ecn = pkt.header.ip.ecn_ce();
+        if ecn && self.cnp.should_send(ctx.now) {
+            // MP-RDMA reacts per-ACK; the CNP path is unused but kept for
+            // uniformity with DCQCN-style NPs.
+        }
+        let psn = pkt.psn();
+        match self.rx.on_data(&pkt, ctx) {
+            Accept::Rejected => {
+                // Beyond the OOO window: silently dropped; the sender's RTO
+                // will recover it.
+            }
+            _ => {
+                self.uid += 1;
+                self.out.push_back(ack_packet(
+                    &self.cfg,
+                    PktExt::MpAck { epsn: self.rx.epsn, acked_psn: psn, path, ecn },
+                    0,
+                    self.uid,
+                ));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+
+    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
+        self.out.pop_front()
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.rx.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Builds a connected MP-RDMA pair.
+pub fn mprdma_pair(cfg: FlowCfg, mcfg: MpRdmaConfig, placement: Placement) -> (MpRdmaSender, MpRdmaReceiver) {
+    let rcfg = FlowCfg::receiver_of(&cfg);
+    (MpRdmaSender::new(cfg, mcfg), MpRdmaReceiver::new(rcfg, mcfg, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_rdma::headers::DcpTag;
+    use dcp_netsim::packet::{FlowId, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FlowCfg {
+        FlowCfg::sender(FlowId(1), NodeId(0), NodeId(1), DcpTag::NonDcp)
+    }
+
+    fn ctx<'a>(
+        now: Nanos,
+        t: &'a mut Vec<(Nanos, u64)>,
+        c: &'a mut Vec<Completion>,
+        r: &'a mut StdRng,
+    ) -> EndpointCtx<'a> {
+        EndpointCtx { now, timers: t, completions: c, rng: r }
+    }
+
+    #[test]
+    fn packets_spread_over_paths() {
+        let mcfg = MpRdmaConfig { paths: 4, init_cwnd: 4.0, ..Default::default() };
+        let mut s = MpRdmaSender::new(cfg(), mcfg);
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 16 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let mut sports = std::collections::HashSet::new();
+        while let Some(p) = s.pull(&mut ctx(0, &mut t, &mut c, &mut r)) {
+            sports.insert(p.header.udp.src_port);
+        }
+        assert_eq!(sports.len(), 4, "all 4 virtual paths used");
+        // Window exhausted at 16 packets (4 paths × cwnd 4).
+        assert_eq!(s.stats().data_pkts, 16);
+    }
+
+    #[test]
+    fn ecn_echo_halves_path_window() {
+        let mcfg = MpRdmaConfig { paths: 2, init_cwnd: 8.0, ..Default::default() };
+        let mut s = MpRdmaSender::new(cfg(), mcfg);
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 32 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let before = s.paths[0].cwnd;
+        let rcv = FlowCfg::receiver_of(&cfg());
+        s.on_packet(
+            ack_packet(&rcv, PktExt::MpAck { epsn: 1, acked_psn: 0, path: 0, ecn: true }, 0, 0),
+            &mut ctx(100, &mut t, &mut c, &mut r),
+        );
+        assert!(s.paths[0].cwnd < before);
+        s.on_packet(
+            ack_packet(&rcv, PktExt::MpAck { epsn: 2, acked_psn: 1, path: 1, ecn: false }, 0, 0),
+            &mut ctx(200, &mut t, &mut c, &mut r),
+        );
+        assert!(s.paths[1].cwnd > 8.0, "clean ACK grows the path window");
+    }
+
+    #[test]
+    fn rto_rewinds_and_halves_all_paths() {
+        let mcfg = MpRdmaConfig { paths: 2, init_cwnd: 4.0, ..Default::default() };
+        let mut s = MpRdmaSender::new(cfg(), mcfg);
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (at, token) = t
+            .iter()
+            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO)
+            .copied()
+            .unwrap();
+        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 1);
+        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        assert_eq!(p.psn(), 0);
+        assert!(p.is_retx);
+        assert!(s.paths.iter().all(|p| p.cwnd <= 2.0));
+    }
+
+    #[test]
+    fn receiver_drops_beyond_ooo_window() {
+        let scfg = cfg();
+        let mcfg = MpRdmaConfig { ooo_window: 4, ..Default::default() };
+        let mut book = TxBook::new();
+        let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 16 * 1024, scfg.mtu);
+        let mk = |psn: u32| data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64);
+        let mut rx = MpRdmaReceiver::new(FlowCfg::receiver_of(&scfg), mcfg, Placement::Virtual);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        rx.on_packet(mk(10), &mut ctx(0, &mut t, &mut c, &mut r));
+        assert!(!rx.has_pending(), "no ACK for a rejected packet");
+        rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));
+        assert!(rx.has_pending());
+    }
+}

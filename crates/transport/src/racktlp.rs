@@ -1,0 +1,414 @@
+//! RACK-TLP (RFC 8985) — time-based loss detection with a reordering
+//! window, plus Tail Loss Probes. The paper evaluates it in §6.3 (Fig. 17)
+//! as Falcon's loss-recovery building block.
+//!
+//! RACK: every in-flight packet keeps its transmit timestamp. When an ACK
+//! acknowledges some packet `A`, any packet sent *before* `A` that has been
+//! outstanding longer than the reordering window (one RTT here, per the
+//! paper's description: "tolerates a reordering window of one RTT") is
+//! declared lost and retransmitted. TLP: if nothing is ACKed for ~2·SRTT,
+//! the highest outstanding packet is probed to elicit feedback without a
+//! full RTO. The cost the paper highlights — per-packet timestamps and a
+//! one-RTT retransmission delay — is intrinsic to this structure.
+
+use crate::cc::CongestionControl;
+use crate::common::{data_packet, desc_at, tokens, FlowCfg, Placement, RttEstimator, TxBook};
+use crate::irn::IrnConfig;
+use crate::irn::IrnReceiver;
+use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::stats::TransportStats;
+use dcp_netsim::time::{Nanos, US};
+use dcp_rdma::qp::WorkReqOp;
+use std::collections::{BTreeMap, VecDeque};
+
+/// RACK-TLP tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct RackConfig {
+    /// Fallback RTO.
+    pub rto: Nanos,
+    /// Initial RTT guess before samples arrive.
+    pub initial_rtt: Nanos,
+    /// Reordering window as a multiple of SRTT (1.0 per the paper's
+    /// characterization of RACK's tolerance).
+    pub reo_wnd_rtts: f64,
+}
+
+impl Default for RackConfig {
+    fn default() -> Self {
+        RackConfig { rto: 400 * US, initial_rtt: 10 * US, reo_wnd_rtts: 1.0 }
+    }
+}
+
+/// Per-packet transmit state — the memory overhead Fig. 17's discussion
+/// calls out ("maintains transmission timestamps for every data packet").
+#[derive(Debug, Clone, Copy)]
+struct TxRecord {
+    sent_at: Nanos,
+    retx: bool,
+}
+
+/// RACK-TLP sender.
+pub struct RackSender {
+    cfg: FlowCfg,
+    rcfg: RackConfig,
+    book: TxBook,
+    cc: Box<dyn CongestionControl>,
+    snd_una: u32,
+    snd_nxt: u32,
+    /// Outstanding, un-ACKed packets with their last transmit time.
+    outstanding: BTreeMap<u32, TxRecord>,
+    rtt: RttEstimator,
+    /// Most recent transmit time among delivered packets (RACK.xmit_ts).
+    rack_xmit: Nanos,
+    retx_q: VecDeque<u32>,
+    probe_gen: u64,
+    rto_gen: u64,
+    pace_armed: bool,
+    uid: u64,
+    stats: TransportStats,
+}
+
+impl RackSender {
+    pub fn new(cfg: FlowCfg, rcfg: RackConfig, cc: Box<dyn CongestionControl>) -> Self {
+        RackSender {
+            cfg,
+            rcfg,
+            book: TxBook::new(),
+            cc,
+            snd_una: 0,
+            snd_nxt: 0,
+            outstanding: BTreeMap::new(),
+            rtt: RttEstimator::new(rcfg.initial_rtt),
+            rack_xmit: 0,
+            retx_q: VecDeque::new(),
+            probe_gen: 0,
+            rto_gen: 0,
+            pace_armed: false,
+            uid: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    fn reo_wnd(&self) -> Nanos {
+        (self.rtt.srtt * self.rcfg.reo_wnd_rtts) as Nanos
+    }
+
+    fn arm_probe(&mut self, ctx: &mut EndpointCtx) {
+        self.probe_gen += 1;
+        let pto = 2 * self.rtt.srtt_ns().max(self.rcfg.initial_rtt);
+        ctx.timers.push((ctx.now + pto, tokens::PROBE | self.probe_gen));
+        self.rto_gen += 1;
+        ctx.timers.push((ctx.now + self.rcfg.rto, tokens::RTO | self.rto_gen));
+    }
+
+    /// RACK loss detection, per the paper's description of the algorithm:
+    /// a packet unacknowledged for one estimated RTT (the reordering
+    /// window) after its transmission, while newer packets have been
+    /// delivered, is declared lost.
+    fn detect_losses(&mut self, now: Nanos) {
+        // RFC 8985: lost when elapsed > RTT + reordering window.
+        let threshold = self.rtt.srtt_ns().saturating_add(self.reo_wnd()).max(1);
+        let lost: Vec<u32> = self
+            .outstanding
+            .iter()
+            .filter(|(_, rec)| rec.sent_at < self.rack_xmit && now.saturating_sub(rec.sent_at) > threshold)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in lost {
+            self.outstanding.remove(&p);
+            self.retx_q.push_back(p);
+        }
+    }
+
+    fn on_delivered(&mut self, psn: u32, ctx: &mut EndpointCtx) {
+        if let Some(rec) = self.outstanding.remove(&psn) {
+            if !rec.retx {
+                self.rtt.sample(ctx.now.saturating_sub(rec.sent_at));
+            }
+            self.rack_xmit = self.rack_xmit.max(rec.sent_at);
+        }
+    }
+
+    fn advance_cum(&mut self, epsn: u32, ctx: &mut EndpointCtx) {
+        if epsn <= self.snd_una {
+            return;
+        }
+        self.cc.on_ack(ctx.now, (epsn - self.snd_una) as u64 * self.cfg.mtu as u64);
+        let covered: Vec<u32> = self.outstanding.range(..epsn).map(|(&p, _)| p).collect();
+        for p in covered {
+            self.on_delivered(p, ctx);
+        }
+        self.snd_una = epsn;
+        for m in self.book.retire_psn_below(epsn) {
+            ctx.completions.push(Completion {
+                host: self.cfg.local,
+                flow: self.cfg.flow,
+                wr_id: m.wqe.wr_id,
+                kind: CompletionKind::SendComplete,
+                bytes: m.wqe.len,
+                imm: 0,
+                at: ctx.now,
+            });
+        }
+    }
+}
+
+impl Endpoint for RackSender {
+    fn post(&mut self, wr_id: u64, op: WorkReqOp, len: u64) {
+        self.book.post(wr_id, op, len, self.cfg.mtu);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        match pkt.ext {
+            PktExt::GbnAck { epsn } => {
+                self.advance_cum(epsn, ctx);
+                self.detect_losses(ctx.now);
+                if !self.outstanding.is_empty() || self.has_pending() {
+                    self.arm_probe(ctx);
+                }
+            }
+            PktExt::Sack { epsn, sacked_psn } => {
+                self.advance_cum(epsn, ctx);
+                self.on_delivered(sacked_psn, ctx);
+                self.detect_losses(ctx.now);
+                if !self.outstanding.is_empty() || self.has_pending() {
+                    self.arm_probe(ctx);
+                }
+            }
+            PktExt::Cnp => {
+                self.stats.cnps += 1;
+                self.cc.on_congestion(ctx.now);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        match tokens::kind(token) {
+            tokens::PROBE => {
+                if tokens::generation(token) == self.probe_gen && !self.outstanding.is_empty() {
+                    // Tail loss probe: resend the highest outstanding PSN.
+                    if let Some((&psn, _)) = self.outstanding.iter().next_back() {
+                        self.outstanding.remove(&psn);
+                        self.retx_q.push_back(psn);
+                    }
+                    self.arm_probe(ctx);
+                }
+            }
+            tokens::RTO => {
+                if tokens::generation(token) == self.rto_gen
+                    && (!self.outstanding.is_empty() || self.snd_una < self.snd_nxt)
+                {
+                    self.stats.timeouts += 1;
+                    let all: Vec<u32> = self.outstanding.keys().copied().collect();
+                    for p in all {
+                        self.outstanding.remove(&p);
+                        self.retx_q.push_back(p);
+                    }
+                    self.arm_probe(ctx);
+                }
+            }
+            tokens::PACE => self.pace_armed = false,
+            _ => {}
+        }
+    }
+
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+        let t = self.cc.next_send_time(ctx.now);
+        if t > ctx.now {
+            if self.has_pending() && !self.pace_armed {
+                self.pace_armed = true;
+                ctx.timers.push((t, tokens::PACE));
+            }
+            return None;
+        }
+        while let Some(psn) = self.retx_q.pop_front() {
+            if psn < self.snd_una {
+                continue;
+            }
+            let (m, _) = self.book.locate(psn).expect("psn locates");
+            let m = *m;
+            let desc = desc_at(&m, self.cfg.mtu, psn);
+            self.uid += 1;
+            let pkt = data_packet(&self.cfg, &m, desc, psn, 0, true, self.uid);
+            self.stats.retx_pkts += 1;
+            self.outstanding.insert(psn, TxRecord { sent_at: ctx.now, retx: true });
+            self.cc.on_send(ctx.now, pkt.wire_bytes());
+            self.arm_probe(ctx);
+            return Some(pkt);
+        }
+        let inflight = (self.snd_nxt.saturating_sub(self.snd_una)) as u64 * self.cfg.mtu as u64;
+        if self.snd_nxt < self.book.next_psn() && self.cc.awin(inflight) >= self.cfg.mtu as u64 {
+            let psn = self.snd_nxt;
+            let (m, _) = self.book.locate(psn).expect("psn locates");
+            let m = *m;
+            let desc = desc_at(&m, self.cfg.mtu, psn);
+            self.uid += 1;
+            let pkt = data_packet(&self.cfg, &m, desc, psn, 0, false, self.uid);
+            self.snd_nxt += 1;
+            self.stats.data_pkts += 1;
+            self.outstanding.insert(psn, TxRecord { sent_at: ctx.now, retx: false });
+            self.cc.on_send(ctx.now, pkt.wire_bytes());
+            self.arm_probe(ctx);
+            return Some(pkt);
+        }
+        None
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.retx_q.is_empty() || self.snd_nxt < self.book.next_psn()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.book.is_empty()
+    }
+}
+
+/// RACK uses the same receiver behaviour as IRN: order-tolerant placement
+/// with per-arrival (cumulative, SACKed) feedback.
+pub type RackReceiver = IrnReceiver;
+
+/// Builds a connected RACK-TLP pair.
+pub fn rack_pair(
+    cfg: FlowCfg,
+    rcfg: RackConfig,
+    cc: Box<dyn CongestionControl>,
+    placement: Placement,
+) -> (RackSender, RackReceiver) {
+    let rcv_cfg = FlowCfg::receiver_of(&cfg);
+    (
+        RackSender::new(cfg, rcfg, cc),
+        IrnReceiver::new(rcv_cfg, IrnConfig::default(), placement),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_rdma::headers::DcpTag;
+    use crate::common::ack_packet;
+    use crate::cc::StaticWindow;
+    use dcp_netsim::packet::{FlowId, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FlowCfg {
+        FlowCfg::sender(FlowId(1), NodeId(0), NodeId(1), DcpTag::NonDcp)
+    }
+
+    fn ctx<'a>(
+        now: Nanos,
+        t: &'a mut Vec<(Nanos, u64)>,
+        c: &'a mut Vec<Completion>,
+        r: &'a mut StdRng,
+    ) -> EndpointCtx<'a> {
+        EndpointCtx { now, timers: t, completions: c, rng: r }
+    }
+
+    fn sender() -> RackSender {
+        let mut s = RackSender::new(
+            cfg(),
+            RackConfig::default(),
+            Box::new(StaticWindow { window_bytes: 16 * 1024 }),
+        );
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 16 * 1024);
+        s
+    }
+
+    /// Pulls every available packet, spacing transmissions 82 ns apart
+    /// (1 KB at 100 Gbps), starting at `start`.
+    fn drain_spaced(s: &mut RackSender, start: Nanos) -> Nanos {
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let mut now = start;
+        while s.pull(&mut ctx(now, &mut t, &mut c, &mut r)).is_some() {
+            now += 82;
+        }
+        now
+    }
+
+    #[test]
+    fn reordering_within_window_is_tolerated() {
+        let mut s = sender();
+        drain_spaced(&mut s, 0);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        // PSN 1 delivered before PSN 0, shortly after sending: well inside
+        // the ~10 µs reordering window, so no retransmission of PSN 0.
+        let rcv = FlowCfg::receiver_of(&cfg());
+        s.on_packet(
+            ack_packet(&rcv, PktExt::Sack { epsn: 0, sacked_psn: 1 }, 0, 0),
+            &mut ctx(2_000, &mut t, &mut c, &mut r),
+        );
+        assert!(s.retx_q.is_empty(), "no loss inside the reordering window");
+        assert_eq!(s.stats().retx_pkts, 0);
+    }
+
+    #[test]
+    fn loss_declared_after_one_rtt_of_reordering() {
+        let mut s = sender();
+        drain_spaced(&mut s, 0);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let rcv = FlowCfg::receiver_of(&cfg());
+        // Establish an RTT sample of ~10 µs.
+        s.on_packet(
+            ack_packet(&rcv, PktExt::Sack { epsn: 0, sacked_psn: 2 }, 0, 0),
+            &mut ctx(10_000, &mut t, &mut c, &mut r),
+        );
+        // Much later a newer packet is delivered; PSN 0/1 have now been
+        // outstanding far longer than one RTT and are declared lost.
+        s.on_packet(
+            ack_packet(&rcv, PktExt::Sack { epsn: 0, sacked_psn: 5 }, 0, 0),
+            &mut ctx(60_000, &mut t, &mut c, &mut r),
+        );
+        let mut retx = vec![];
+        let mut now = 60_001;
+        while let Some(p) = s.pull(&mut ctx(now, &mut t, &mut c, &mut r)) {
+            if p.is_retx {
+                retx.push(p.psn());
+            }
+            now += 82;
+        }
+        assert!(retx.contains(&0) && retx.contains(&1), "got {retx:?}");
+    }
+
+    #[test]
+    fn tlp_probes_tail_loss() {
+        let mut s = sender();
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        // No feedback at all; fire the probe timer.
+        let (at, token) = t
+            .iter()
+            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::PROBE)
+            .copied()
+            .unwrap();
+        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        assert!(p.is_retx);
+        assert_eq!(p.psn(), 15, "TLP resends the highest outstanding PSN");
+        assert_eq!(s.stats().timeouts, 0, "a probe is not an RTO");
+    }
+
+    #[test]
+    fn rto_flushes_everything_outstanding() {
+        let mut s = sender();
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (at, token) = t
+            .iter()
+            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO)
+            .copied()
+            .unwrap();
+        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 1);
+        let mut n = 0;
+        while s.pull(&mut ctx(at + 1, &mut t, &mut c, &mut r)).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 16, "all 16 outstanding packets requeued");
+    }
+}

@@ -1,0 +1,315 @@
+//! A software-stack transport *model* standing in for kernel TCP in the
+//! Fig. 8 perftest comparison.
+//!
+//! This is not a TCP implementation (DESIGN.md §5): Fig. 8's only claim is
+//! that an offloaded RNIC beats a software stack on both throughput and
+//! latency. The model captures the two costs that produce that gap:
+//!
+//! * **per-packet CPU cost** — the sender cannot emit packets faster than
+//!   one per `cpu_per_pkt` (kernel stack processing), capping throughput
+//!   below line rate;
+//! * **stack traversal latency** — delivery to the application is delayed
+//!   by `stack_latency` at the receiver (interrupt + socket wakeup), which
+//!   dominates small-message latency.
+//!
+//! Reliability is a plain cumulative-ACK window with RTO rewind, enough for
+//! the clean back-to-back link the figure uses.
+
+use crate::cc::CongestionControl;
+use crate::common::{ack_packet, data_packet, desc_at, tokens, FlowCfg, Placement, TxBook};
+use crate::rxcore::RxCore;
+use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::stats::TransportStats;
+use dcp_netsim::time::{Nanos, US};
+use dcp_rdma::qp::WorkReqOp;
+use std::collections::VecDeque;
+
+/// Software-stack cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SwTcpConfig {
+    /// CPU time consumed per transmitted packet (throughput cap:
+    /// MTU / cpu_per_pkt). 150 ns/pkt ≈ 55 Gbps at 1 KB.
+    pub cpu_per_pkt: Nanos,
+    /// One-way kernel stack traversal latency added at the receiver.
+    pub stack_latency: Nanos,
+    pub rto: Nanos,
+}
+
+impl Default for SwTcpConfig {
+    fn default() -> Self {
+        SwTcpConfig { cpu_per_pkt: 150, stack_latency: 12 * US, rto: 1_000 * US }
+    }
+}
+
+/// Sender side of the model.
+pub struct SwTcpSender {
+    cfg: FlowCfg,
+    tcfg: SwTcpConfig,
+    book: TxBook,
+    cc: Box<dyn CongestionControl>,
+    snd_una: u32,
+    snd_nxt: u32,
+    max_sent: u32,
+    next_cpu_free: Nanos,
+    pace_armed: bool,
+    rto_gen: u64,
+    rto_armed: bool,
+    uid: u64,
+    stats: TransportStats,
+}
+
+impl SwTcpSender {
+    pub fn new(cfg: FlowCfg, tcfg: SwTcpConfig, cc: Box<dyn CongestionControl>) -> Self {
+        SwTcpSender {
+            cfg,
+            tcfg,
+            book: TxBook::new(),
+            cc,
+            snd_una: 0,
+            snd_nxt: 0,
+            max_sent: 0,
+            next_cpu_free: 0,
+            pace_armed: false,
+            rto_gen: 0,
+            rto_armed: false,
+            uid: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        ctx.timers.push((ctx.now + self.tcfg.rto, tokens::RTO | self.rto_gen));
+    }
+}
+
+impl Endpoint for SwTcpSender {
+    fn post(&mut self, wr_id: u64, op: WorkReqOp, len: u64) {
+        self.book.post(wr_id, op, len, self.cfg.mtu);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        if let PktExt::TcpAck { ack_seq } = pkt.ext {
+            let epsn = (ack_seq / self.cfg.mtu as u64) as u32;
+            if epsn > self.snd_una {
+                self.cc.on_ack(ctx.now, (epsn - self.snd_una) as u64 * self.cfg.mtu as u64);
+                self.snd_una = epsn;
+                for m in self.book.retire_psn_below(epsn) {
+                    ctx.completions.push(Completion {
+                        host: self.cfg.local,
+                        flow: self.cfg.flow,
+                        wr_id: m.wqe.wr_id,
+                        kind: CompletionKind::SendComplete,
+                        bytes: m.wqe.len,
+                        imm: 0,
+                        at: ctx.now,
+                    });
+                }
+                if self.snd_una < self.max_sent {
+                    self.arm_rto(ctx);
+                } else {
+                    self.rto_armed = false;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        match tokens::kind(token) {
+            tokens::RTO => {
+                if self.rto_armed && tokens::generation(token) == self.rto_gen && self.snd_una < self.max_sent {
+                    self.stats.timeouts += 1;
+                    self.snd_nxt = self.snd_una;
+                    self.arm_rto(ctx);
+                }
+            }
+            tokens::PACE => self.pace_armed = false,
+            _ => {}
+        }
+    }
+
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+        if self.snd_nxt >= self.book.next_psn() {
+            return None;
+        }
+        // CPU gate: one packet per cpu_per_pkt.
+        if self.next_cpu_free > ctx.now {
+            if !self.pace_armed {
+                self.pace_armed = true;
+                ctx.timers.push((self.next_cpu_free, tokens::PACE));
+            }
+            return None;
+        }
+        let inflight = (self.snd_nxt.saturating_sub(self.snd_una)) as u64 * self.cfg.mtu as u64;
+        if self.cc.awin(inflight) < self.cfg.mtu as u64 {
+            return None;
+        }
+        let psn = self.snd_nxt;
+        let (m, _) = self.book.locate(psn).expect("psn locates");
+        let m = *m;
+        let desc = desc_at(&m, self.cfg.mtu, psn);
+        let is_retx = psn < self.max_sent;
+        self.uid += 1;
+        let pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        self.snd_nxt += 1;
+        self.max_sent = self.max_sent.max(self.snd_nxt);
+        self.next_cpu_free = ctx.now + self.tcfg.cpu_per_pkt;
+        if is_retx {
+            self.stats.retx_pkts += 1;
+        } else {
+            self.stats.data_pkts += 1;
+        }
+        self.cc.on_send(ctx.now, pkt.wire_bytes());
+        if !self.rto_armed {
+            self.arm_rto(ctx);
+        }
+        Some(pkt)
+    }
+
+    fn has_pending(&self) -> bool {
+        self.snd_nxt < self.book.next_psn()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.book.is_empty()
+    }
+}
+
+/// Receiver side: buffers arrivals for `stack_latency` before the
+/// application sees them (delayed completions and ACKs).
+pub struct SwTcpReceiver {
+    cfg: FlowCfg,
+    rx: RxCore,
+    /// Packets waiting out their stack traversal: (release_time, psn).
+    staged: VecDeque<(Nanos, Packet)>,
+    out: VecDeque<Packet>,
+    tcfg: SwTcpConfig,
+    uid: u64,
+}
+
+impl SwTcpReceiver {
+    pub fn new(cfg: FlowCfg, tcfg: SwTcpConfig, placement: Placement) -> Self {
+        let rx = RxCore::new(cfg.local, cfg.flow, u32::MAX, placement);
+        SwTcpReceiver { cfg, rx, staged: VecDeque::new(), out: VecDeque::new(), tcfg, uid: 0 }
+    }
+
+    fn process_ready(&mut self, ctx: &mut EndpointCtx) {
+        while let Some(&(release, _)) = self.staged.front().map(|e| (&e.0, ())).map(|_| self.staged.front().unwrap()) {
+            if release > ctx.now {
+                break;
+            }
+            let (_, pkt) = self.staged.pop_front().unwrap();
+            self.rx.on_data(&pkt, ctx);
+            self.uid += 1;
+            self.out.push_back(ack_packet(
+                &self.cfg,
+                PktExt::TcpAck { ack_seq: self.rx.epsn as u64 * self.cfg.mtu as u64 },
+                0,
+                self.uid,
+            ));
+        }
+    }
+}
+
+impl Endpoint for SwTcpReceiver {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+        if !pkt.is_data() {
+            return;
+        }
+        let release = ctx.now + self.tcfg.stack_latency;
+        self.staged.push_back((release, pkt));
+        ctx.timers.push((release, tokens::PACE));
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut EndpointCtx) {
+        self.process_ready(ctx);
+    }
+
+    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
+        self.out.pop_front()
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.rx.stats
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_empty() && self.staged.is_empty()
+    }
+}
+
+/// Builds a connected software-TCP pair.
+pub fn swtcp_pair(
+    cfg: FlowCfg,
+    tcfg: SwTcpConfig,
+    cc: Box<dyn CongestionControl>,
+    placement: Placement,
+) -> (SwTcpSender, SwTcpReceiver) {
+    let rcfg = FlowCfg::receiver_of(&cfg);
+    (SwTcpSender::new(cfg, tcfg, cc), SwTcpReceiver::new(rcfg, tcfg, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_rdma::headers::DcpTag;
+    use crate::cc::StaticWindow;
+    use dcp_netsim::packet::{FlowId, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FlowCfg {
+        FlowCfg::sender(FlowId(1), NodeId(0), NodeId(1), DcpTag::NonDcp)
+    }
+
+    fn ctx<'a>(
+        now: Nanos,
+        t: &'a mut Vec<(Nanos, u64)>,
+        c: &'a mut Vec<Completion>,
+        r: &'a mut StdRng,
+    ) -> EndpointCtx<'a> {
+        EndpointCtx { now, timers: t, completions: c, rng: r }
+    }
+
+    #[test]
+    fn cpu_gate_paces_transmission() {
+        let mut s = SwTcpSender::new(
+            cfg(),
+            SwTcpConfig::default(),
+            Box::new(StaticWindow { window_bytes: 1 << 20 }),
+        );
+        s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 4 * 1024);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        assert!(s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some());
+        assert!(s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_none(), "CPU busy");
+        assert!(s.pull(&mut ctx(150, &mut t, &mut c, &mut r)).is_some(), "free after cpu_per_pkt");
+    }
+
+    #[test]
+    fn receiver_delays_delivery_by_stack_latency() {
+        let scfg = cfg();
+        let mut book = TxBook::new();
+        let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 1024, scfg.mtu);
+        let pkt = data_packet(&scfg, &m, desc_at(&m, scfg.mtu, 0), 0, 0, false, 0);
+        let mut rx = SwTcpReceiver::new(FlowCfg::receiver_of(&scfg), SwTcpConfig::default(), Placement::Virtual);
+        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        rx.on_packet(pkt, &mut ctx(1000, &mut t, &mut c, &mut r));
+        assert!(c.is_empty(), "not delivered yet");
+        let (at, tok) = t[0];
+        assert_eq!(at, 1000 + 12_000);
+        rx.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        assert_eq!(c.len(), 1, "delivered after stack latency");
+        assert_eq!(c[0].at, 13_000);
+        assert!(rx.has_pending(), "ACK queued");
+    }
+}

@@ -1,0 +1,193 @@
+//! Collective communication schedulers: ring AllReduce and AllToAll
+//! (§6.1 testbed AI workloads, §6.2 large-scale AI workloads).
+//!
+//! * **Ring AllReduce**: `total` bytes split into `n` slices; each member
+//!   sends a slice to its ring successor for `2(n−1)` steps (reduce-scatter
+//!   then all-gather), each step gated on receiving the predecessor's slice
+//!   of the previous step.
+//! * **AllToAll**: each member sends `total/n` to every other member,
+//!   all at once.
+//!
+//! The Job Completion Time of a group is the completion of its last flow
+//! (§6.2: "the time of the last completed flow within each group").
+
+use crate::runner::{endpoint_pair, CcKind, TransportKind};
+use dcp_netsim::endpoint::CompletionKind;
+use dcp_netsim::packet::FlowId;
+use dcp_netsim::time::Nanos;
+use dcp_netsim::topology::Topology;
+use dcp_netsim::Simulator;
+use dcp_rdma::qp::WorkReqOp;
+use std::collections::HashMap;
+
+/// One collective group: the member host indices and the total bytes moved.
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub members: Vec<usize>,
+    pub total_bytes: u64,
+}
+
+/// Which collective to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    RingAllReduce,
+    AllToAll,
+}
+
+/// Result for one group.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// Job completion time (last flow completion).
+    pub jct: Nanos,
+    /// Individual message FCTs (the Fig. 14b/14d CDF input).
+    pub fcts: Vec<Nanos>,
+}
+
+/// Posts one collective slice as a chain of ≤ 1 MB messages (the NCCL-style
+/// posting pattern); returns the message count.
+fn post_slice(sim: &mut Simulator, host: dcp_netsim::packet::NodeId, flow: FlowId, bytes: u64, wr_base: u64) -> u64 {
+    let chunk = dcp_core::config::MSG_CHUNK_BYTES;
+    let n = bytes.max(1).div_ceil(chunk);
+    let mut remaining = bytes.max(1);
+    for i in 0..n {
+        let len = remaining.min(chunk);
+        remaining -= len;
+        sim.post(host, flow, wr_base + i, WorkReqOp::Write { remote_addr: 0x100_0000 + i * chunk, rkey: 1 }, len);
+    }
+    n
+}
+
+/// Ring state: for each ring flow (i → i+1), which step to post next and
+/// which ring flow its completions release (the successor (i+1 → i+2)).
+struct RingFlow {
+    flow: FlowId,
+    src_host: usize,
+    steps_posted: u32,
+    succ_ix: usize,
+    /// Messages per step (slice chunking).
+    chunks_per_step: u64,
+    /// Chunk completions seen in the step currently arriving.
+    recv_in_step: u64,
+}
+
+/// Runs the collective across all groups simultaneously (they start at
+/// t = 0 together, as in §6.1/§6.2). Returns per-group results.
+pub fn run_collective(
+    sim: &mut Simulator,
+    topo: &Topology,
+    kind: TransportKind,
+    cc: CcKind,
+    groups: &[Group],
+    which: Collective,
+    deadline: Nanos,
+) -> Vec<GroupResult> {
+    let mut next_flow_id = 1u32;
+    // flow id → (group ix, ring position) for AllReduce chaining.
+    let mut ring_flows: HashMap<u32, usize> = HashMap::new();
+    let mut rings: Vec<RingFlow> = Vec::new();
+    let mut group_of_flow: HashMap<u32, usize> = HashMap::new();
+    let mut expected: Vec<usize> = vec![0; groups.len()];
+    let mut results: Vec<GroupResult> = groups.iter().map(|_| GroupResult { jct: 0, fcts: Vec::new() }).collect();
+
+    for (gix, g) in groups.iter().enumerate() {
+        let n = g.members.len();
+        assert!(n >= 2);
+        let slice = (g.total_bytes / n as u64).max(1);
+        match which {
+            Collective::RingAllReduce => {
+                let steps = 2 * (n as u32 - 1);
+                let chunks = slice.div_ceil(dcp_core::config::MSG_CHUNK_BYTES);
+                expected[gix] = n * steps as usize * chunks as usize;
+                let base = rings.len();
+                for i in 0..n {
+                    let src = g.members[i];
+                    let flow = FlowId(next_flow_id);
+                    next_flow_id += 1;
+                    let dst = g.members[(i + 1) % n];
+                    let (tx, rx) = endpoint_pair(kind, cc, flow, topo.hosts[src], topo.hosts[dst]);
+                    sim.install_endpoint(topo.hosts[src], flow, tx);
+                    sim.install_endpoint(topo.hosts[dst], flow, rx);
+                    group_of_flow.insert(flow.0, gix);
+                    ring_flows.insert(flow.0, rings.len());
+                    rings.push(RingFlow {
+                        flow,
+                        src_host: src,
+                        steps_posted: 1, // step 0 posts immediately below
+                        succ_ix: base + (i + 1) % n,
+                        chunks_per_step: chunks,
+                        recv_in_step: 0,
+                    });
+                    post_slice(sim, topo.hosts[src], flow, slice, 0);
+                }
+                let _ = steps;
+            }
+            Collective::AllToAll => {
+                let chunks = slice.div_ceil(dcp_core::config::MSG_CHUNK_BYTES);
+                expected[gix] = n * (n - 1) * chunks as usize;
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let flow = FlowId(next_flow_id);
+                        next_flow_id += 1;
+                        let (src, dst) = (g.members[i], g.members[j]);
+                        let (tx, rx) = endpoint_pair(kind, cc, flow, topo.hosts[src], topo.hosts[dst]);
+                        sim.install_endpoint(topo.hosts[src], flow, tx);
+                        sim.install_endpoint(topo.hosts[dst], flow, rx);
+                        group_of_flow.insert(flow.0, gix);
+                        post_slice(sim, topo.hosts[src], flow, slice, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut done: Vec<usize> = vec![0; groups.len()];
+    let total_expected: usize = expected.iter().sum();
+    let mut total_done = 0usize;
+    while total_done < total_expected && sim.now() < deadline {
+        if sim.step().is_none() {
+            break;
+        }
+        for c in sim.drain_completions() {
+            if c.kind != CompletionKind::RecvComplete {
+                continue;
+            }
+            let gix = group_of_flow[&c.flow.0];
+            results[gix].fcts.push(c.at);
+            results[gix].jct = results[gix].jct.max(c.at);
+            done[gix] += 1;
+            total_done += 1;
+            // Ring chaining: receiving step k on flow (i-1 → i) releases
+            // step k+1 on flow (i → i+1).
+            if which == Collective::RingAllReduce {
+                let g = &groups[gix];
+                let n = g.members.len();
+                let steps = 2 * (n as u32 - 1);
+                let slice = (g.total_bytes / n as u64).max(1);
+                let rix = ring_flows[&c.flow.0];
+                rings[rix].recv_in_step += 1;
+                if rings[rix].recv_in_step == rings[rix].chunks_per_step {
+                    // Full slice of the current step arrived at member i+1:
+                    // release the successor flow's next step.
+                    rings[rix].recv_in_step = 0;
+                    let succ_ix = rings[rix].succ_ix;
+                    let succ = &mut rings[succ_ix];
+                    if succ.steps_posted < steps {
+                        let step = succ.steps_posted as u64;
+                        succ.steps_posted += 1;
+                        let (host, flow, chunks) = (topo.hosts[succ.src_host], succ.flow, succ.chunks_per_step);
+                        post_slice(sim, host, flow, slice, step * chunks);
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(
+        total_done, total_expected,
+        "collective did not finish by deadline: {total_done}/{total_expected} at {}",
+        sim.now()
+    );
+    results
+}

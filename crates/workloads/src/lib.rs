@@ -1,0 +1,26 @@
+//! `dcp-workloads` — traffic generators, experiment runners and statistics
+//! for the DCP evaluation (§6).
+//!
+//! * [`websearch`] — the WebSearch (DCTCP) flow-size distribution;
+//! * [`arrivals`] — Poisson background traffic at a target load and
+//!   N-to-1 incast bursts;
+//! * [`collectives`] — ring AllReduce and AllToAll schedules with
+//!   receive-gated pipelining;
+//! * [`runner`] — installs per-flow transports (GBN / IRN / MP-RDMA /
+//!   RACK-TLP / timeout-only / DCP, with optional DCQCN or BDP-window CC),
+//!   injects flows, collects FCTs;
+//! * [`stats`] — FCT slowdowns, percentiles and size-bucketed series.
+
+pub mod arrivals;
+pub mod io;
+pub mod collectives;
+pub mod runner;
+pub mod stats;
+pub mod websearch;
+
+pub use arrivals::{incast_flows, merge, poisson_flows, FlowSpec};
+pub use collectives::{run_collective, Collective, Group, GroupResult};
+pub use runner::{endpoint_pair, endpoint_pair_opts, run_flows, run_flows_opts, CcKind, FlowRecord, RunOpts, TransportKind};
+pub use stats::{overall_slowdown, percentile, slowdown_by_size, unfinished, BucketRow, IdealFct};
+pub use io::{parse_trace, to_csv, trace_to_csv, TraceError};
+pub use websearch::SizeDist;

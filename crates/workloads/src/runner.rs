@@ -1,0 +1,266 @@
+//! The experiment runner: installs per-flow transport endpoints, injects
+//! flows at their arrival times, and collects flow completion times.
+
+use crate::arrivals::FlowSpec;
+use dcp_core::{dcp_pair, DcpConfig};
+use dcp_netsim::endpoint::{CompletionKind, Endpoint};
+use dcp_netsim::packet::{FlowId, NodeId};
+use dcp_netsim::stats::TransportStats;
+use dcp_netsim::time::Nanos;
+use dcp_netsim::topology::Topology;
+use dcp_netsim::Simulator;
+use dcp_rdma::headers::DcpTag;
+use dcp_rdma::qp::WorkReqOp;
+use dcp_transport::cc::{CongestionControl, Dcqcn, DcqcnConfig, NoCc, StaticWindow};
+use dcp_transport::common::{FlowCfg, Placement};
+use dcp_transport::gbn::{gbn_pair, GbnConfig};
+use dcp_transport::irn::{irn_pair, IrnConfig};
+use dcp_transport::mprdma::{mprdma_pair, MpRdmaConfig};
+use dcp_transport::racktlp::{rack_pair, RackConfig};
+use dcp_transport::timeout_only::{timeout_only_pair, TimeoutOnlyConfig};
+use std::collections::HashMap;
+
+/// Which endpoint protocol a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// RNIC-GBN (the CX5-class baseline).
+    Gbn,
+    /// IRN (RNIC-SR).
+    Irn,
+    /// MP-RDMA over PFC.
+    MpRdma,
+    /// RACK-TLP.
+    RackTlp,
+    /// Timeout-only (Spectrum-style).
+    TimeoutOnly,
+    /// DCP.
+    Dcp,
+}
+
+/// Which congestion control senders run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcKind {
+    /// No CC (DCP-alone in §6.3, GBN at line rate).
+    None,
+    /// Static BDP window (IRN's default flow control).
+    Bdp { gbps: f64, rtt: Nanos },
+    /// DCQCN.
+    Dcqcn { gbps: f64 },
+}
+
+impl CcKind {
+    fn build(self) -> Box<dyn CongestionControl> {
+        match self {
+            CcKind::None => Box::new(NoCc::default()),
+            CcKind::Bdp { gbps, rtt } => Box::new(StaticWindow::bdp(gbps, rtt)),
+            CcKind::Dcqcn { gbps } => {
+                Box::new(Dcqcn::new(DcqcnConfig { line_rate_gbps: gbps, ..Default::default() }))
+            }
+        }
+    }
+}
+
+/// Per-run tunables beyond transport/CC choice. The timeout knobs exist
+/// because cross-DC runs (Fig. 15) have RTTs that dwarf the intra-DC
+/// defaults — any real deployment scales its timers with path RTT.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// RTO for the RTO-based baselines (GBN/IRN/RACK/timeout-only).
+    pub rto: Nanos,
+    /// DCP-RNIC configuration (coarse fallback timeout et al.).
+    pub dcp: DcpConfig,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { rto: 200_000, dcp: DcpConfig::default() }
+    }
+}
+
+impl RunOpts {
+    /// Timeouts scaled for a fabric whose round-trip time is `rtt`.
+    pub fn for_rtt(rtt: Nanos) -> Self {
+        let mut o = RunOpts::default();
+        o.rto = o.rto.max(2 * rtt);
+        o.dcp.coarse_timeout = o.dcp.coarse_timeout.max(4 * rtt);
+        o
+    }
+}
+
+/// Builds a connected endpoint pair of the requested kind with defaults.
+pub fn endpoint_pair(
+    kind: TransportKind,
+    cc: CcKind,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+) -> (Box<dyn Endpoint>, Box<dyn Endpoint>) {
+    endpoint_pair_opts(kind, cc, flow, src, dst, RunOpts::default())
+}
+
+/// Builds a connected endpoint pair with explicit run options.
+pub fn endpoint_pair_opts(
+    kind: TransportKind,
+    cc: CcKind,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    opts: RunOpts,
+) -> (Box<dyn Endpoint>, Box<dyn Endpoint>) {
+    let tag = if kind == TransportKind::Dcp { DcpTag::Data } else { DcpTag::NonDcp };
+    let cfg = FlowCfg::sender(flow, src, dst, tag);
+    match kind {
+        TransportKind::Gbn => {
+            let gcfg = GbnConfig { rto: opts.rto, ..Default::default() };
+            let (t, r) = gbn_pair(cfg, gcfg, cc.build(), Placement::Virtual);
+            (Box::new(t), Box::new(r))
+        }
+        TransportKind::Irn => {
+            let icfg = IrnConfig { rto: opts.rto, ..Default::default() };
+            let (t, r) = irn_pair(cfg, icfg, cc.build(), Placement::Virtual);
+            (Box::new(t), Box::new(r))
+        }
+        TransportKind::MpRdma => {
+            let mcfg = MpRdmaConfig { rto: opts.rto, ..Default::default() };
+            let (t, r) = mprdma_pair(cfg, mcfg, Placement::Virtual);
+            (Box::new(t), Box::new(r))
+        }
+        TransportKind::RackTlp => {
+            let rcfg = RackConfig { rto: opts.rto.max(RackConfig::default().rto), ..Default::default() };
+            let (t, r) = rack_pair(cfg, rcfg, cc.build(), Placement::Virtual);
+            (Box::new(t), Box::new(r))
+        }
+        TransportKind::TimeoutOnly => {
+            let tcfg = TimeoutOnlyConfig { rto: opts.rto, ..Default::default() };
+            let (t, r) = timeout_only_pair(cfg, tcfg, cc.build(), Placement::Virtual);
+            (Box::new(t), Box::new(r))
+        }
+        TransportKind::Dcp => {
+            let (t, r) = dcp_pair(cfg, opts.dcp, cc.build(), Placement::Virtual);
+            (Box::new(t), Box::new(r))
+        }
+    }
+}
+
+/// Outcome of one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRecord {
+    pub spec: FlowSpec,
+    /// Completion time (receiver side), or `None` if the deadline passed.
+    pub fct: Option<Nanos>,
+    pub tx: TransportStats,
+    pub rx: TransportStats,
+}
+
+/// Posts `bytes` as a sequence of ≤ 1 MB Write messages — the way verbs
+/// applications actually issue large transfers (and what keeps DCP's
+/// eMSN-based ACK stream flowing during a long flow). Returns the number of
+/// messages posted.
+fn post_chunked(sim: &mut Simulator, host: NodeId, flow: FlowId, bytes: u64) -> u64 {
+    let chunk = dcp_core::config::MSG_CHUNK_BYTES;
+    let bytes = bytes.max(1);
+    let n = bytes.div_ceil(chunk);
+    let mut remaining = bytes;
+    for i in 0..n {
+        let len = remaining.min(chunk);
+        remaining -= len;
+        sim.post(host, flow, i, WorkReqOp::Write { remote_addr: 0x100_0000 + i * chunk, rkey: 1 }, len);
+    }
+    n
+}
+
+/// Runs `flows` (sorted or not) over the fabric; returns one record each.
+///
+/// Every flow is one QP carrying its bytes as a chain of ≤ 1 MB Write
+/// messages; the flow completes when its last message is delivered.
+pub fn run_flows(
+    sim: &mut Simulator,
+    topo: &Topology,
+    kind: TransportKind,
+    cc: CcKind,
+    flows: &[FlowSpec],
+    deadline: Nanos,
+) -> Vec<FlowRecord> {
+    run_flows_opts(sim, topo, kind, cc, flows, deadline, RunOpts::default())
+}
+
+/// [`run_flows`] with explicit [`RunOpts`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_flows_opts(
+    sim: &mut Simulator,
+    topo: &Topology,
+    kind: TransportKind,
+    cc: CcKind,
+    flows: &[FlowSpec],
+    deadline: Nanos,
+    opts: RunOpts,
+) -> Vec<FlowRecord> {
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by_key(|&i| flows[i].start);
+    let mut fct: HashMap<u32, Nanos> = HashMap::new();
+    let mut msgs_left: HashMap<u32, u64> = HashMap::new();
+    let mut remaining = flows.len();
+    let mut next = 0usize;
+    while remaining > 0 {
+        // Inject everything due now.
+        while next < order.len() && flows[order[next]].start <= sim.now() {
+            let ix = order[next];
+            let f = flows[ix];
+            let flow_id = FlowId(ix as u32 + 1);
+            let (src, dst) = (topo.hosts[f.src], topo.hosts[f.dst]);
+            let (tx, rx) = endpoint_pair_opts(kind, cc, flow_id, src, dst, opts);
+            sim.install_endpoint(src, flow_id, tx);
+            sim.install_endpoint(dst, flow_id, rx);
+            let n = post_chunked(sim, src, flow_id, f.bytes);
+            msgs_left.insert(ix as u32, n);
+            next += 1;
+        }
+        if sim.now() >= deadline {
+            break;
+        }
+        // Advance: to the next arrival if the queue outruns it, else step.
+        if next < order.len() {
+            let next_start = flows[order[next]].start;
+            if sim.step_bounded(next_start).is_none() {
+                // Queue empty or next event beyond the arrival: jump.
+                sim.run_until(next_start.min(deadline));
+                continue;
+            }
+        } else if sim.step().is_none() {
+            break;
+        }
+        for c in sim.drain_completions() {
+            if c.kind == CompletionKind::RecvComplete {
+                let ix = c.flow.0 - 1;
+                let left = msgs_left.get_mut(&ix).expect("completion for known flow");
+                *left -= 1;
+                if *left == 0 {
+                    fct.insert(ix, c.at - flows[ix as usize].start);
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    flows
+        .iter()
+        .enumerate()
+        .map(|(ix, &spec)| {
+            let flow_id = FlowId(ix as u32 + 1);
+            let started = spec.start <= sim.now();
+            FlowRecord {
+                spec,
+                fct: fct.get(&(ix as u32)).copied(),
+                tx: if started {
+                    sim.endpoint_stats(topo.hosts[spec.src], flow_id)
+                } else {
+                    TransportStats::default()
+                },
+                rx: if started {
+                    sim.endpoint_stats(topo.hosts[spec.dst], flow_id)
+                } else {
+                    TransportStats::default()
+                },
+            }
+        })
+        .collect()
+}

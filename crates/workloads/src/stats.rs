@@ -1,0 +1,165 @@
+//! FCT statistics: slowdowns, percentiles and size-bucketed series — the
+//! y-axes of Figs. 13–16.
+
+use crate::runner::FlowRecord;
+use dcp_netsim::time::Nanos;
+use serde::Serialize;
+
+/// Ideal (empty-network) FCT model: one-way propagation plus wire
+/// serialization including per-packet header overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct IdealFct {
+    /// One-way propagation + switching delay along the path.
+    pub base_delay: Nanos,
+    pub gbps: f64,
+    pub mtu: usize,
+    /// Per-packet wire header bytes.
+    pub header: usize,
+}
+
+impl IdealFct {
+    pub fn intra_dc_100g() -> Self {
+        // host→leaf→spine→leaf→host at 1 µs per hop.
+        IdealFct { base_delay: 4_000, gbps: 100.0, mtu: 1024, header: 74 }
+    }
+
+    pub fn ideal(&self, bytes: u64) -> Nanos {
+        let pkts = bytes.div_ceil(self.mtu as u64).max(1);
+        let wire = bytes + pkts * self.header as u64;
+        self.base_delay + (wire as f64 * 8.0 / self.gbps).ceil() as Nanos
+    }
+
+    pub fn slowdown(&self, bytes: u64, fct: Nanos) -> f64 {
+        (fct as f64 / self.ideal(bytes) as f64).max(1.0)
+    }
+}
+
+/// Percentile over a sorted-or-not slice (nearest-rank).
+pub fn percentile(values: &mut [f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p));
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (values.len() as f64 - 1.0)).round() as usize;
+    values[rank.min(values.len() - 1)]
+}
+
+/// One row of a Fig. 13-style series: a flow-size bucket with slowdown
+/// percentiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketRow {
+    /// Upper edge of the bucket (bytes).
+    pub size: u64,
+    pub flows: usize,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub mean: f64,
+}
+
+/// Buckets completed flows by size (log-spaced edges) and reports slowdown
+/// percentiles per bucket.
+pub fn slowdown_by_size(records: &[FlowRecord], ideal: &IdealFct, n_buckets: usize) -> Vec<BucketRow> {
+    let done: Vec<_> = records.iter().filter(|r| r.fct.is_some()).collect();
+    if done.is_empty() {
+        return Vec::new();
+    }
+    let min_s = done.iter().map(|r| r.spec.bytes).min().unwrap().max(1) as f64;
+    let max_s = done.iter().map(|r| r.spec.bytes).max().unwrap() as f64;
+    let ratio = (max_s / min_s).powf(1.0 / n_buckets as f64).max(1.0 + 1e-9);
+    // Assign each flow to its log-spaced bucket directly.
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+    for r in &done {
+        let b = (r.spec.bytes.max(1)) as f64;
+        let ix = ((b / min_s).ln() / ratio.ln()).floor() as usize;
+        let ix = ix.min(n_buckets - 1);
+        buckets[ix].push(ideal.slowdown(r.spec.bytes, r.fct.unwrap()));
+    }
+    let mut rows = Vec::new();
+    for (i, mut sl) in buckets.into_iter().enumerate() {
+        if sl.is_empty() {
+            continue;
+        }
+        let mean = sl.iter().sum::<f64>() / sl.len() as f64;
+        rows.push(BucketRow {
+            size: (min_s * ratio.powi(i as i32 + 1)) as u64,
+            flows: sl.len(),
+            p50: percentile(&mut sl, 50.0),
+            p95: percentile(&mut sl, 95.0),
+            p99: percentile(&mut sl, 99.0),
+            mean,
+        });
+    }
+    rows
+}
+
+/// Overall percentile of slowdown across all completed flows.
+pub fn overall_slowdown(records: &[FlowRecord], ideal: &IdealFct, p: f64) -> f64 {
+    let mut sl: Vec<f64> = records
+        .iter()
+        .filter_map(|r| r.fct.map(|f| ideal.slowdown(r.spec.bytes, f)))
+        .collect();
+    percentile(&mut sl, p)
+}
+
+/// Count of flows that never completed (deadline hit).
+pub fn unfinished(records: &[FlowRecord]) -> usize {
+    records.iter().filter(|r| r.fct.is_none()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::FlowSpec;
+    use dcp_netsim::stats::TransportStats;
+
+    fn rec(bytes: u64, fct: Nanos) -> FlowRecord {
+        FlowRecord {
+            spec: FlowSpec { src: 0, dst: 1, bytes, start: 0, incast: false },
+            fct: Some(fct),
+            tx: TransportStats::default(),
+            rx: TransportStats::default(),
+        }
+    }
+
+    #[test]
+    fn ideal_fct_scales_with_size() {
+        let m = IdealFct::intra_dc_100g();
+        // 1 KB: 4 µs base + (1024+74)·8/100 ≈ 88 ns.
+        assert_eq!(m.ideal(1024), 4_000 + 88);
+        assert!(m.ideal(1 << 20) > m.ideal(1024));
+    }
+
+    #[test]
+    fn slowdown_floors_at_one() {
+        let m = IdealFct::intra_dc_100g();
+        assert_eq!(m.slowdown(1024, 1), 1.0);
+        assert!((m.slowdown(1024, 2 * m.ideal(1024)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&mut v, 50.0), 3.0);
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 100.0), 5.0);
+        assert!(percentile(&mut [], 50.0).is_nan());
+    }
+
+    #[test]
+    fn bucketing_covers_all_flows() {
+        let m = IdealFct::intra_dc_100g();
+        let records: Vec<_> = (0..100).map(|i| rec(1024 << (i % 10), 10_000 * (i as u64 + 1))).collect();
+        let rows = slowdown_by_size(&records, &m, 10);
+        assert_eq!(rows.iter().map(|r| r.flows).sum::<usize>(), 100);
+        assert!(rows.iter().all(|r| r.p50 <= r.p95 && r.p95 <= r.p99));
+    }
+
+    #[test]
+    fn unfinished_counts_missing_fct() {
+        let mut records = vec![rec(1024, 100)];
+        records.push(FlowRecord { fct: None, ..records[0] });
+        assert_eq!(unfinished(&records), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Flow-size distributions, chiefly the WebSearch (DCTCP) distribution the
+//! paper's general-workload experiments use (§6.2: "60% of flows below
+//! 200 KB, 37% between 200 KB and 10 MB, and 3% exceeding 10 MB").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A piecewise-linear CDF over flow sizes, sampled by inverse transform.
+///
+/// # Examples
+/// ```
+/// use dcp_workloads::SizeDist;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let d = SizeDist::websearch();
+/// assert!((d.mean() - 1.6e6).abs() < 4e5, "mean ≈ 1.6 MB");
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let s = d.sample(&mut rng);
+/// assert!(s >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizeDist {
+    /// `(size_bytes, cdf)` points, strictly increasing in both fields,
+    /// starting at cdf 0 and ending at cdf 1.
+    points: Vec<(f64, f64)>,
+}
+
+impl SizeDist {
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2);
+        assert_eq!(points.first().unwrap().1, 0.0);
+        assert_eq!(points.last().unwrap().1, 1.0);
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1, "CDF must be increasing");
+        }
+        SizeDist { points }
+    }
+
+    /// The WebSearch workload (DCTCP measurements), with the NS3-community
+    /// breakpoints. Mean ≈ 1.6 MB.
+    pub fn websearch() -> Self {
+        SizeDist::new(vec![
+            (1.0, 0.0),
+            (10_000.0, 0.15),
+            (20_000.0, 0.20),
+            (30_000.0, 0.30),
+            (50_000.0, 0.40),
+            (80_000.0, 0.53),
+            (200_000.0, 0.60),
+            (1_000_000.0, 0.70),
+            (2_000_000.0, 0.80),
+            (5_000_000.0, 0.90),
+            (10_000_000.0, 0.97),
+            (30_000_000.0, 1.0),
+        ])
+    }
+
+    /// Inverse-CDF sample.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random();
+        let ix = self.points.partition_point(|&(_, c)| c < u);
+        if ix == 0 {
+            return self.points[0].0 as u64;
+        }
+        let (s0, c0) = self.points[ix - 1];
+        let (s1, c1) = self.points[ix.min(self.points.len() - 1)];
+        if c1 <= c0 {
+            return s1 as u64;
+        }
+        let f = (u - c0) / (c1 - c0);
+        (s0 + f * (s1 - s0)).max(1.0) as u64
+    }
+
+    /// Analytic mean of the piecewise-linear distribution.
+    pub fn mean(&self) -> f64 {
+        let mut m = 0.0;
+        for w in self.points.windows(2) {
+            let (s0, c0) = w[0];
+            let (s1, c1) = w[1];
+            m += (c1 - c0) * (s0 + s1) / 2.0;
+        }
+        m
+    }
+
+    /// The paper's three size classes (Fig. 1b): small (0–50 KB), medium
+    /// (50 KB–2 MB), large (> 2 MB).
+    pub fn size_class(bytes: u64) -> &'static str {
+        if bytes <= 50_000 {
+            "small"
+        } else if bytes <= 2_000_000 {
+            "medium"
+        } else {
+            "large"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn websearch_matches_paper_breakdown() {
+        let d = SizeDist::websearch();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let frac = |pred: &dyn Fn(u64) -> bool| samples.iter().filter(|&&s| pred(s)).count() as f64 / n as f64;
+        // §6.2: 60% below 200 KB, 37% between 200 KB and 10 MB, 3% above.
+        assert!((frac(&|s| s < 200_000) - 0.60).abs() < 0.02);
+        assert!((frac(&|s| (200_000..10_000_000).contains(&s)) - 0.37).abs() < 0.02);
+        assert!((frac(&|s| s >= 10_000_000) - 0.03).abs() < 0.01);
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let d = SizeDist::websearch();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        let want = d.mean();
+        assert!((mean - want).abs() / want < 0.03, "sampled {mean:.0} vs analytic {want:.0}");
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(SizeDist::size_class(10_000), "small");
+        assert_eq!(SizeDist::size_class(500_000), "medium");
+        assert_eq!(SizeDist::size_class(20_000_000), "large");
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn rejects_non_monotonic_cdf() {
+        SizeDist::new(vec![(1.0, 0.0), (0.5, 1.0)]);
+    }
+}

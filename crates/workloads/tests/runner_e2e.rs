@@ -1,0 +1,148 @@
+//! Runner end-to-end: real workloads over a small CLOS for every
+//! transport, plus collectives, deterministic and complete.
+
+use dcp_core::dcp_switch_config;
+use dcp_netsim::switch::SwitchConfig;
+use dcp_netsim::time::{MS, SEC, US};
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_workloads::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_clos(seed: u64, cfg: SwitchConfig) -> (Simulator, dcp_netsim::Topology) {
+    let mut sim = Simulator::new(seed);
+    let topo = topology::clos(&mut sim, cfg, 2, 4, 4, 100.0, 100.0, US, US);
+    (sim, topo)
+}
+
+fn websearch_flows(seed: u64, n: usize, hosts: usize) -> Vec<FlowSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    poisson_flows(&mut rng, &SizeDist::websearch(), hosts, 100.0, 0.3, n)
+}
+
+#[test]
+fn all_transports_complete_websearch() {
+    let cases = [
+        (TransportKind::Gbn, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::Ecmp)),
+        (TransportKind::Irn, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::AdaptiveRouting)),
+        (TransportKind::MpRdma, CcKind::None, SwitchConfig::lossless(LoadBalance::Ecmp)),
+        (TransportKind::RackTlp, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::Ecmp)),
+        (TransportKind::TimeoutOnly, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::Ecmp)),
+        (TransportKind::Dcp, CcKind::None, dcp_switch_config(LoadBalance::AdaptiveRouting, 16)),
+    ];
+    for (kind, cc, cfg) in cases {
+        let (mut sim, topo) = small_clos(1, cfg);
+        let flows = websearch_flows(2, 120, topo.hosts.len());
+        let records = run_flows(&mut sim, &topo, kind, cc, &flows, 10 * SEC);
+        assert_eq!(unfinished(&records), 0, "{kind:?}: all flows must finish");
+        let ideal = IdealFct::intra_dc_100g();
+        let p50 = overall_slowdown(&records, &ideal, 50.0);
+        assert!((1.0..100.0).contains(&p50), "{kind:?}: sane p50 slowdown {p50}");
+    }
+}
+
+#[test]
+fn dcp_zero_timeouts_and_zero_spurious_on_websearch_ar() {
+    // The Fig. 1 / Fig. 2 claims at workload scale: DCP with AR, no losses
+    // beyond trims, zero timeouts, retx == HO notifications.
+    let (mut sim, topo) = small_clos(3, dcp_switch_config(LoadBalance::AdaptiveRouting, 16));
+    let flows = websearch_flows(4, 200, topo.hosts.len());
+    let records = run_flows(&mut sim, &topo, TransportKind::Dcp, CcKind::None, &flows, 10 * SEC);
+    assert_eq!(unfinished(&records), 0);
+    let timeouts: u64 = records.iter().map(|r| r.tx.timeouts).sum();
+    assert_eq!(timeouts, 0, "DCP must not RTO");
+    let dup: u64 = records.iter().map(|r| r.rx.duplicates).sum();
+    assert_eq!(dup, 0, "exactly-once delivery across the workload");
+}
+
+#[test]
+fn irn_with_ar_spuriously_retransmits_dcp_does_not() {
+    // Fig. 1's head-to-head at small scale, under packet spraying (the
+    // harshest packet-level LB).
+    let run = |kind: TransportKind, cfg: SwitchConfig| {
+        let (mut sim, topo) = small_clos(5, cfg);
+        let flows = websearch_flows(6, 150, topo.hosts.len());
+        let records = run_flows(&mut sim, &topo, kind, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, &flows, 10 * SEC);
+        assert_eq!(unfinished(&records), 0, "{kind:?}");
+        let retx: u64 = records.iter().map(|r| r.tx.retx_pkts).sum();
+        let dups: u64 = records.iter().map(|r| r.rx.duplicates).sum();
+        let losses = sim.net_stats().data_drops + sim.net_stats().trims;
+        (retx, dups, losses)
+    };
+    let (irn_retx, irn_dups, irn_losses) = run(TransportKind::Irn, SwitchConfig::lossy(LoadBalance::Spray));
+    let (dcp_retx, dcp_dups, dcp_losses) = run(TransportKind::Dcp, dcp_switch_config(LoadBalance::Spray, 16));
+    // IRN misreads spray reordering as loss: retransmissions far exceed the
+    // actual losses, and the spurious copies surface as duplicates.
+    assert!(irn_retx > 2 * irn_losses, "IRN spurious retx: {irn_retx} vs {irn_losses} losses");
+    assert!(irn_dups > 0, "spurious retransmissions arrive as duplicates");
+    // DCP retransmits at most once per trim (HO notification) and never
+    // delivers a duplicate.
+    assert!(dcp_retx <= dcp_losses, "DCP retx {dcp_retx} bounded by trims {dcp_losses}");
+    assert_eq!(dcp_dups, 0, "DCP delivers exactly once");
+}
+
+#[test]
+fn ring_allreduce_completes_with_correct_message_count() {
+    let (mut sim, topo) = small_clos(7, dcp_switch_config(LoadBalance::AdaptiveRouting, 16));
+    let groups = vec![
+        Group { members: vec![0, 1, 2, 3], total_bytes: 4 << 20 },
+        Group { members: vec![4, 5, 6, 7], total_bytes: 4 << 20 },
+    ];
+    let res = run_collective(
+        &mut sim,
+        &topo,
+        TransportKind::Dcp,
+        CcKind::None,
+        &groups,
+        Collective::RingAllReduce,
+        10 * SEC,
+    );
+    // 2(n-1) steps × n members = 24 messages per group of 4.
+    for r in &res {
+        assert_eq!(r.fcts.len(), 24);
+        assert!(r.jct > 0);
+    }
+}
+
+#[test]
+fn alltoall_completes() {
+    let (mut sim, topo) = small_clos(9, dcp_switch_config(LoadBalance::AdaptiveRouting, 16));
+    let groups = vec![Group { members: (0..8).collect(), total_bytes: 8 << 20 }];
+    let res = run_collective(
+        &mut sim,
+        &topo,
+        TransportKind::Dcp,
+        CcKind::None,
+        &groups,
+        Collective::AllToAll,
+        10 * SEC,
+    );
+    assert_eq!(res[0].fcts.len(), 8 * 7);
+    assert!(res[0].jct < 100 * MS);
+}
+
+#[test]
+fn collective_dcp_beats_gbn_on_lossy_fabric() {
+    // Under forced loss, GBN's JCT inflates far more than DCP's.
+    let jct = |kind: TransportKind, mut cfg: SwitchConfig| {
+        cfg.forced_loss_rate = 0.01;
+        let (mut sim, topo) = small_clos(11, cfg);
+        let groups = vec![Group { members: vec![0, 4, 8, 12], total_bytes: 8 << 20 }];
+        let res = run_collective(&mut sim, &topo, kind, CcKind::None, &groups, Collective::RingAllReduce, 60 * SEC);
+        res[0].jct
+    };
+    let dcp = jct(TransportKind::Dcp, dcp_switch_config(LoadBalance::AdaptiveRouting, 16));
+    let gbn = jct(TransportKind::Gbn, SwitchConfig::lossy(LoadBalance::Ecmp));
+    assert!(dcp < gbn, "DCP JCT {dcp} must beat GBN {gbn} at 1% loss");
+}
+
+#[test]
+fn runner_is_deterministic() {
+    let run = || {
+        let (mut sim, topo) = small_clos(13, dcp_switch_config(LoadBalance::Spray, 16));
+        let flows = websearch_flows(14, 100, topo.hosts.len());
+        let records = run_flows(&mut sim, &topo, TransportKind::Dcp, CcKind::None, &flows, 10 * SEC);
+        records.iter().map(|r| r.fct).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

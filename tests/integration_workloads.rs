@@ -1,0 +1,92 @@
+//! Workload-level shape regressions for the motivation experiments
+//! (Figs. 1–2) at reduced scale.
+
+use dcp_core::dcp_switch_config;
+use dcp_netsim::switch::SwitchConfig;
+use dcp_netsim::time::{SEC, US};
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_workloads::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn clos(seed: u64, cfg: SwitchConfig) -> (Simulator, dcp_netsim::Topology) {
+    let mut sim = Simulator::new(seed);
+    let topo = topology::clos(&mut sim, cfg, 2, 4, 4, 100.0, 100.0, US, US);
+    (sim, topo)
+}
+
+#[test]
+fn fig1_shape_irn_spurious_ratio_grows_with_size_dcp_zero() {
+    // Fig. 1: IRN's retransmission ratio under packet-level LB affects all
+    // size classes; DCP's is identically zero.
+    let mut rng = StdRng::seed_from_u64(11);
+    let flows = poisson_flows(&mut rng, &SizeDist::websearch(), 16, 100.0, 0.3, 150);
+    let bdp = CcKind::Bdp { gbps: 100.0, rtt: 12 * US };
+
+    let (mut sim, topo) = clos(1, SwitchConfig::lossy(LoadBalance::Spray));
+    let irn = run_flows(&mut sim, &topo, TransportKind::Irn, bdp, &flows, 30 * SEC);
+    assert_eq!(unfinished(&irn), 0);
+    let spurious_flows = irn.iter().filter(|r| r.tx.retx_pkts > 0).count();
+    assert!(
+        spurious_flows * 4 >= irn.len(),
+        "a sizable share of flows retransmit spuriously: {spurious_flows}/{}",
+        irn.len()
+    );
+
+    let (mut sim, topo) = clos(1, dcp_switch_config(LoadBalance::Spray, 16));
+    let dcp = run_flows(&mut sim, &topo, TransportKind::Dcp, CcKind::None, &flows, 30 * SEC);
+    assert_eq!(unfinished(&dcp), 0);
+    let trims = sim.net_stats().trims;
+    let dcp_retx: u64 = dcp.iter().map(|r| r.tx.retx_pkts).sum();
+    assert!(dcp_retx <= trims, "DCP retransmits only real losses: {dcp_retx} vs {trims} trims");
+    let dcp_dups: u64 = dcp.iter().map(|r| r.rx.duplicates).sum();
+    assert_eq!(dcp_dups, 0, "no spurious deliveries under DCP");
+}
+
+#[test]
+fn fig2_shape_irn_timeouts_dcp_none_under_incast() {
+    // Fig. 2: WebSearch background + incast; IRN accumulates RTOs, DCP has
+    // none.
+    let mk_flows = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bg = poisson_flows(&mut rng, &SizeDist::websearch(), 16, 100.0, 0.25, 80);
+        let horizon = bg.last().unwrap().start;
+        let inc = incast_flows(&mut rng, 16, 100.0, 0.08, 8, 64 * 1024, horizon);
+        merge(bg, inc)
+    };
+    let bdp = CcKind::Bdp { gbps: 100.0, rtt: 12 * US };
+
+    let (mut sim, topo) = clos(2, SwitchConfig::lossy(LoadBalance::AdaptiveRouting));
+    let irn = run_flows(&mut sim, &topo, TransportKind::Irn, bdp, &mk_flows(13), 60 * SEC);
+    assert_eq!(unfinished(&irn), 0);
+    let irn_rtos: u64 = irn.iter().map(|r| r.tx.timeouts).sum();
+
+    let (mut sim, topo) = clos(2, dcp_switch_config(LoadBalance::AdaptiveRouting, 16));
+    let dcp = run_flows(&mut sim, &topo, TransportKind::Dcp, CcKind::None, &mk_flows(13), 60 * SEC);
+    assert_eq!(unfinished(&dcp), 0);
+    let dcp_rtos: u64 = dcp.iter().map(|r| r.tx.timeouts).sum();
+
+    assert!(irn_rtos > 0, "IRN must hit RTOs under incast (got {irn_rtos})");
+    assert_eq!(dcp_rtos, 0, "DCP flows experience no timeout (Fig. 2)");
+}
+
+#[test]
+fn incast_flows_finish_faster_under_dcp_than_irn() {
+    // The victim-link incast flows are exactly where RTO stalls hurt; DCP's
+    // tail should beat IRN's.
+    let mk_flows = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        incast_flows(&mut rng, 16, 100.0, 0.05, 8, 128 * 1024, 3_000_000)
+    };
+    let ideal = IdealFct::intra_dc_100g();
+    let bdp = CcKind::Bdp { gbps: 100.0, rtt: 12 * US };
+    let tail = |kind, cfg| {
+        let (mut sim, topo) = clos(3, cfg);
+        let rec = run_flows(&mut sim, &topo, kind, if kind == TransportKind::Dcp { CcKind::None } else { bdp }, &mk_flows(17), 60 * SEC);
+        assert_eq!(unfinished(&rec), 0);
+        overall_slowdown(&rec, &ideal, 95.0)
+    };
+    let irn = tail(TransportKind::Irn, SwitchConfig::lossy(LoadBalance::AdaptiveRouting));
+    let dcp = tail(TransportKind::Dcp, dcp_switch_config(LoadBalance::AdaptiveRouting, 16));
+    assert!(dcp < irn, "DCP P95 slowdown {dcp:.2} must beat IRN {irn:.2}");
+}
