@@ -92,18 +92,10 @@ mod tests {
         assert!(irn as f64 > 1.8 * dcp as f64, "irn {irn} vs dcp {dcp}");
         // The tracking-specific state (what Table 3 isolates) differs by an
         // order of magnitude: bitmaps vs counters.
-        let irn_tracking: usize = irn_state(500)
-            .items
-            .iter()
-            .filter(|(n, _)| n.contains("bitmap"))
-            .map(|(_, b)| b)
-            .sum();
-        let dcp_tracking: usize = dcp_state(8)
-            .items
-            .iter()
-            .filter(|(n, _)| n.contains("counters"))
-            .map(|(_, b)| b)
-            .sum();
+        let irn_tracking: usize =
+            irn_state(500).items.iter().filter(|(n, _)| n.contains("bitmap")).map(|(_, b)| b).sum();
+        let dcp_tracking: usize =
+            dcp_state(8).items.iter().filter(|(n, _)| n.contains("counters")).map(|(_, b)| b).sum();
         assert!(irn_tracking > 7 * dcp_tracking, "{irn_tracking} vs {dcp_tracking}");
     }
 

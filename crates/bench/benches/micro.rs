@@ -71,7 +71,9 @@ fn bench_wire(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     g.bench_function("encode_data", |b| b.iter(|| encode(black_box(&header))));
     g.bench_function("decode_data", |b| b.iter(|| decode(black_box(&bytes)).unwrap()));
-    g.bench_function("trim_to_header_only", |b| b.iter(|| black_box(&header).trim_to_header_only()));
+    g.bench_function("trim_to_header_only", |b| {
+        b.iter(|| black_box(&header).trim_to_header_only())
+    });
     let ho_bytes = encode(&header.trim_to_header_only());
     g.bench_function("decode_header_only", |b| b.iter(|| decode(black_box(&ho_bytes)).unwrap()));
     g.finish();
@@ -88,6 +90,85 @@ fn bench_retransq(c: &mut Criterion) {
             }
             black_box(q.fetch(16))
         });
+    });
+    g.finish();
+}
+
+/// The event-engine hot path in isolation: calendar-queue insert
+/// (`Simulator::schedule`'s core) and ordered pop (`Simulator::step`'s
+/// core), in the near-horizon (wheel) and far-future (overflow) regimes.
+fn bench_equeue(c: &mut Criterion) {
+    use dcp_netsim::EventQueue;
+    const N: u64 = 1024;
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("schedule_1k_wheel", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                // Spread over ~0.7 ms: inside the wheel horizon.
+                for i in 0..N {
+                    q.insert((i * 683) % 700_000, i, i);
+                }
+                q
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("schedule_1k_overflow", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                // Far beyond the horizon: exercises the overflow heap (RTO
+                // timers land here).
+                for i in 0..N {
+                    q.insert(100_000_000 + (i * 683) % 700_000, i, i);
+                }
+                q
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("step_1k_wheel", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                for i in 0..N {
+                    q.insert((i * 683) % 700_000, i, i);
+                }
+                q
+            },
+            |mut q| {
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+                q
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("step_1k_mixed", |b| {
+        b.iter_batched(
+            || {
+                // Half near, half far: pops must drain the wheel, then
+                // migrate the overflow heap back in.
+                let mut q = EventQueue::new();
+                for i in 0..N / 2 {
+                    q.insert((i * 683) % 700_000, i, i);
+                }
+                for i in N / 2..N {
+                    q.insert(100_000_000 + (i * 683) % 700_000, i, i);
+                }
+                q
+            },
+            |mut q| {
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+                q
+            },
+            criterion::BatchSize::SmallInput,
+        );
     });
     g.finish();
 }
@@ -116,10 +197,17 @@ fn bench_event_loop(c: &mut Criterion) {
             );
             let flow = FlowId(1);
             let cfg = FlowCfg::sender(flow, topo.hosts[0], topo.hosts[1], DcpTag::Data);
-            let (tx, rx) = dcp_pair(cfg, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+            let (tx, rx) =
+                dcp_pair(cfg, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
             sim.install_endpoint(topo.hosts[0], flow, Box::new(tx));
             sim.install_endpoint(topo.hosts[1], flow, Box::new(rx));
-            sim.post(topo.hosts[0], flow, 0, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+            sim.post(
+                topo.hosts[0],
+                flow,
+                0,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                1 << 20,
+            );
             sim.run_to_quiescence(dcp_netsim::SEC);
             black_box(sim.now())
         });
@@ -127,5 +215,12 @@ fn bench_event_loop(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tracker, bench_wire, bench_retransq, bench_event_loop);
+criterion_group!(
+    benches,
+    bench_tracker,
+    bench_wire,
+    bench_retransq,
+    bench_equeue,
+    bench_event_loop
+);
 criterion_main!(benches);

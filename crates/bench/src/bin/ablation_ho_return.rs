@@ -10,7 +10,7 @@
 //! loss, with the sender→switch→receiver legs made asymmetric by a long
 //! cross-switch link.
 
-use dcp_bench::stream_goodput;
+use dcp_bench::{fmt_opt, stream_goodput, sweep};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::time::{fiber_delay_km, Nanos, MS, SEC, US};
 use dcp_netsim::{topology, LoadBalance, Simulator};
@@ -18,8 +18,9 @@ use dcp_workloads::{CcKind, TransportKind};
 
 /// One 8 MB stream over a `km`-long cross link; 2% forced loss at the
 /// sender-side switch (the trim point far from the receiver, where §7's
-/// saving is largest). Returns goodput in Gbps.
-fn run(direct: bool, km: f64) -> f64 {
+/// saving is largest). Returns goodput in Gbps, or `None` if the stream
+/// missed the deadline.
+fn run(direct: bool, km: f64) -> Option<f64> {
     let mut cfg = dcp_switch_config(LoadBalance::Ecmp, 16);
     cfg.ho_direct_return = direct;
     let mut sim = Simulator::new(67);
@@ -33,14 +34,16 @@ fn run(direct: bool, km: f64) -> f64 {
 fn main() {
     println!("Ablation — §7 back-to-sender HO return (8 MB stream, 2% forced loss)");
     println!("{:>12}{:>18}{:>16}{:>10}", "link", "bounce (Gbps)", "direct (Gbps)", "gain");
-    for km in [0.2, 10.0, 100.0] {
-        let bounce = run(false, km);
-        let direct = run(true, km);
-        println!(
-            "{:>9} km{bounce:>18.1}{direct:>16.1}{:>9.1}%",
-            km,
-            (direct / bounce - 1.0) * 100.0
-        );
+    const KMS: [f64; 3] = [0.2, 10.0, 100.0];
+    let points: Vec<(bool, f64)> = KMS.iter().flat_map(|&km| [(false, km), (true, km)]).collect();
+    let results = sweep(points, |(direct, km)| run(direct, km));
+    for (row, &km) in results.chunks(2).zip(&KMS) {
+        let (bounce, direct) = (row[0], row[1]);
+        let gain = match (bounce, direct) {
+            (Some(b), Some(d)) => format!("{:>9.1}%", (d / b - 1.0) * 100.0),
+            _ => format!("{:>10}", "n/a"),
+        };
+        println!("{km:>9} km{:>18}{:>16}{gain}", fmt_opt(bounce, 1), fmt_opt(direct, 1));
     }
     println!();
     println!("Expected shape: negligible difference intra-DC (the receiver leg is ~µs),");

@@ -6,14 +6,14 @@
 //! but retransmits spuriously under packet-level LBs; DCP is order-
 //! tolerant everywhere and uses the full aggregate capacity.
 
-use dcp_bench::stream_goodput;
+use dcp_bench::{fmt_opt, stream_goodput, sweep};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::time::{SEC, US};
 use dcp_netsim::{topology, LoadBalance, Simulator};
 use dcp_workloads::{CcKind, TransportKind};
 
-fn run(kind: TransportKind, lb: LoadBalance) -> (f64, u64) {
+fn run(kind: TransportKind, lb: LoadBalance) -> (Option<f64>, u64) {
     let cfg = match kind {
         TransportKind::Dcp => {
             let mut c = dcp_switch_config(lb, 16);
@@ -48,15 +48,15 @@ fn main() {
         print!("{n:>18}");
     }
     println!();
-    for (label, kind) in [
-        ("GBN", TransportKind::Gbn),
-        ("IRN", TransportKind::Irn),
-        ("DCP", TransportKind::Dcp),
-    ] {
+    let kinds =
+        [("GBN", TransportKind::Gbn), ("IRN", TransportKind::Irn), ("DCP", TransportKind::Dcp)];
+    let points: Vec<(TransportKind, LoadBalance)> =
+        kinds.iter().flat_map(|&(_, kind)| lbs.iter().map(move |&(_, lb)| (kind, lb))).collect();
+    let results = sweep(points, |(kind, lb)| run(kind, lb));
+    for (row, &(label, _)) in results.chunks(lbs.len()).zip(&kinds) {
         print!("{label:<10}");
-        for &(_, lb) in &lbs {
-            let (g, retx) = run(kind, lb);
-            print!("{:>12.1} /{retx:>4}", g);
+        for &(g, retx) in row {
+            print!("{:>12} /{retx:>4}", fmt_opt(g, 1));
         }
         println!();
     }

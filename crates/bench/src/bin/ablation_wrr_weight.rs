@@ -5,6 +5,7 @@
 //! design claim: weights at or above the rule keep the control plane
 //! lossless; starving weights lose HO packets.
 
+use dcp_bench::sweep;
 use dcp_core::{dcp_switch_config, ho_size_ratio, wrr_weight};
 use dcp_netsim::packet::FlowId;
 use dcp_netsim::time::MS;
@@ -29,7 +30,13 @@ fn run(weight: f64) -> (f64, u64) {
         sim.install_endpoint(topo.hosts[i], flow, tx);
         sim.install_endpoint(victim, flow, rx);
         for m in 0..32u64 {
-            sim.post(topo.hosts[i], flow, m, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+            sim.post(
+                topo.hosts[i],
+                flow,
+                m,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                1 << 20,
+            );
         }
     }
     sim.run_until(20 * MS);
@@ -42,11 +49,17 @@ fn main() {
     let r = ho_size_ratio(dcp_rdma::MTU);
     let rule = wrr_weight(FAN_IN + 2, r);
     println!("Ablation — control-queue WRR weight vs HO loss ({FAN_IN}-to-1 incast, 20 ms)");
-    println!("size ratio r = {r:.1}; rule weight for N = {} ports: {:?}", FAN_IN + 2, rule.map(|w| (w * 1000.0).round() / 1000.0));
+    println!(
+        "size ratio r = {r:.1}; rule weight for N = {} ports: {:?}",
+        FAN_IN + 2,
+        rule.map(|w| (w * 1000.0).round() / 1000.0)
+    );
     println!("{:>10}{:>14}{:>12}", "weight", "HO loss", "HOs seen");
-    for w in [0.05, 0.1, 0.2, 0.5, rule.unwrap_or(1.0), 2.0, 8.0] {
-        let (loss, total) = run(w);
-        let marker = if rule.map(|r| (w - r).abs() < 1e-6).unwrap_or(false) { "  <- rule" } else { "" };
+    let weights = vec![0.05, 0.1, 0.2, 0.5, rule.unwrap_or(1.0), 2.0, 8.0];
+    let results = sweep(weights.clone(), run);
+    for ((loss, total), w) in results.into_iter().zip(weights) {
+        let marker =
+            if rule.map(|r| (w - r).abs() < 1e-6).unwrap_or(false) { "  <- rule" } else { "" };
         println!("{w:>10.3}{:>13.3}%{total:>12}{marker}", loss * 100.0);
     }
     println!();

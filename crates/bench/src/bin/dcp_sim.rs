@@ -14,13 +14,16 @@
 //!   loss=F          forced loss rate            (default 0)
 //!   incast=N        add N-to-1 incast at 10% load
 //!   seed=N                                      (default 1)
+//!   runs=N          sweep seeds seed..seed+N    (default 1)
 //!   delay_us=N      leaf-spine delay            (default 1)
-//!   csv=PATH        write per-flow results as CSV
+//!   csv=PATH        write per-flow results as CSV (.seedN suffix when runs>1)
 //! ```
 //!
 //! Prints overall FCT slowdown percentiles, transport counters and fabric
-//! counters, in a stable greppable format.
+//! counters, in a stable greppable format. With `runs=N` the seeds are
+//! simulated in parallel (see `DCP_THREADS`) and reported in seed order.
 
+use dcp_bench::sweep;
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::time::{Nanos, SEC, US};
@@ -69,6 +72,7 @@ fn main() {
         (other, _) => panic!("unknown cc {other:?}"),
     };
     let seed: u64 = get("seed", "1").parse().unwrap();
+    let runs: u64 = get("runs", "1").parse().unwrap();
     let load: f64 = get("load", "0.3").parse().unwrap();
     let n_flows: usize = get("flows", "400").parse().unwrap();
     let loss: f64 = get("loss", "0").parse().unwrap();
@@ -88,47 +92,62 @@ fn main() {
         cfg.ecn = Some(dcp_netsim::EcnConfig::default_100g());
     }
 
-    let mut sim = Simulator::new(seed);
-    let topo = if get("topo", "clos") == "testbed" {
-        topology::two_switch_testbed(&mut sim, cfg, 8, 100.0, &[100.0; 8], US, delay)
-    } else {
-        let spines: usize = get("spines", "4").parse().unwrap();
-        let leaves: usize = get("leaves", "4").parse().unwrap();
-        let hosts: usize = get("hosts", "4").parse().unwrap();
-        topology::clos(&mut sim, cfg, spines, leaves, hosts, 100.0, 100.0, US, delay)
+    let topo_kind = get("topo", "clos");
+    let spines: usize = get("spines", "4").parse().unwrap();
+    let leaves: usize = get("leaves", "4").parse().unwrap();
+    let hosts: usize = get("hosts", "4").parse().unwrap();
+    let incast: Option<usize> = args.get("incast").map(|n| n.parse().unwrap());
+
+    // One fully independent simulation per seed; `runs=N` fans the seeds
+    // out across the sweep executor and reports them in seed order.
+    let run_one = |seed: u64| {
+        let mut sim = Simulator::new(seed);
+        let topo = if topo_kind == "testbed" {
+            topology::two_switch_testbed(&mut sim, cfg, 8, 100.0, &[100.0; 8], US, delay)
+        } else {
+            topology::clos(&mut sim, cfg, spines, leaves, hosts, 100.0, 100.0, US, delay)
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdcb);
+        let mut flows =
+            poisson_flows(&mut rng, &SizeDist::websearch(), topo.hosts.len(), 100.0, load, n_flows);
+        if let Some(fan) = incast {
+            let horizon = flows.last().map(|f| f.start).unwrap_or(SEC / 100);
+            flows = merge(
+                flows,
+                incast_flows(&mut rng, topo.hosts.len(), 100.0, 0.1, fan, 64 * 1024, horizon),
+            );
+        }
+        let records = run_flows(&mut sim, &topo, transport, cc, &flows, 600 * SEC);
+        (seed, flows.len(), sim.now(), sim.net_stats(), records)
     };
 
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xdcb);
-    let mut flows = poisson_flows(&mut rng, &SizeDist::websearch(), topo.hosts.len(), 100.0, load, n_flows);
-    if let Some(n) = args.get("incast") {
-        let fan: usize = n.parse().unwrap();
-        let horizon = flows.last().map(|f| f.start).unwrap_or(SEC / 100);
-        flows = merge(flows, incast_flows(&mut rng, topo.hosts.len(), 100.0, 0.1, fan, 64 * 1024, horizon));
-    }
+    let seeds: Vec<u64> = (0..runs.max(1)).map(|i| seed + i).collect();
+    let results = sweep(seeds, run_one);
 
-    let records = run_flows(&mut sim, &topo, transport, cc, &flows, 600 * SEC);
     let ideal = IdealFct { base_delay: 2 * US + 2 * delay, gbps: 100.0, mtu: 1024, header: 74 };
-    let ns = sim.net_stats();
-    let retx: u64 = records.iter().map(|r| r.tx.retx_pkts).sum();
-    let rtos: u64 = records.iter().map(|r| r.tx.timeouts).sum();
-    let dups: u64 = records.iter().map(|r| r.rx.duplicates).sum();
+    for (seed, n_flows, now, ns, records) in results {
+        let retx: u64 = records.iter().map(|r| r.tx.retx_pkts).sum();
+        let rtos: u64 = records.iter().map(|r| r.tx.timeouts).sum();
+        let dups: u64 = records.iter().map(|r| r.rx.duplicates).sum();
 
-    println!("dcp_sim transport={transport:?} lb={lb:?} cc={cc:?} load={load} flows={} loss={loss} seed={seed}", flows.len());
-    println!("result unfinished={} now_ms={:.2}", unfinished(&records), sim.now() as f64 / 1e6);
-    println!(
-        "result slowdown p50={:.2} p95={:.2} p99={:.2}",
-        overall_slowdown(&records, &ideal, 50.0),
-        overall_slowdown(&records, &ideal, 95.0),
-        overall_slowdown(&records, &ideal, 99.0)
-    );
-    println!("result transport retx={retx} rtos={rtos} duplicates={dups}");
-    println!(
-        "result fabric trims={} data_drops={} ho_drops={} ack_drops={} ecn_marks={} pauses={}",
-        ns.trims, ns.data_drops, ns.ho_drops, ns.ack_drops, ns.ecn_marks, ns.pauses_sent
-    );
-    if let Some(path) = args.get("csv") {
-        let csv = dcp_workloads::to_csv(&records);
-        std::fs::write(path, csv).expect("write csv");
-        println!("result csv={path}");
+        println!("dcp_sim transport={transport:?} lb={lb:?} cc={cc:?} load={load} flows={n_flows} loss={loss} seed={seed}");
+        println!("result unfinished={} now_ms={:.2}", unfinished(&records), now as f64 / 1e6);
+        println!(
+            "result slowdown p50={:.2} p95={:.2} p99={:.2}",
+            overall_slowdown(&records, &ideal, 50.0),
+            overall_slowdown(&records, &ideal, 95.0),
+            overall_slowdown(&records, &ideal, 99.0)
+        );
+        println!("result transport retx={retx} rtos={rtos} duplicates={dups}");
+        println!(
+            "result fabric trims={} data_drops={} ho_drops={} ack_drops={} ecn_marks={} pauses={}",
+            ns.trims, ns.data_drops, ns.ho_drops, ns.ack_drops, ns.ecn_marks, ns.pauses_sent
+        );
+        if let Some(path) = args.get("csv") {
+            let path = if runs > 1 { format!("{path}.seed{seed}") } else { path.clone() };
+            let csv = dcp_workloads::to_csv(&records);
+            std::fs::write(&path, csv).expect("write csv");
+            println!("result csv={path}");
+        }
     }
 }

@@ -28,7 +28,13 @@ fn main() {
         sim.install_endpoint(topo.hosts[i], flow, tx);
         sim.install_endpoint(victim, flow, rx);
         for m in 0..8u64 {
-            sim.post(topo.hosts[i], flow, m, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+            sim.post(
+                topo.hosts[i],
+                flow,
+                m,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                1 << 20,
+            );
         }
     }
     // The bottleneck is switch 1's cross-link egress (all senders funnel
@@ -57,5 +63,8 @@ fn main() {
         tracer.peak_data() as f64 / 1024.0,
         tracer.peak_ctrl() as f64 / 1024.0
     );
-    println!("trims {}, HO drops {} — the WRR share keeps the control plane shallow and lossless.", ns.trims, ns.ho_drops);
+    println!(
+        "trims {}, HO drops {} — the WRR share keeps the control plane shallow and lossless.",
+        ns.trims, ns.ho_drops
+    );
 }

@@ -51,7 +51,13 @@ fn main() {
         }
         let means: Vec<f64> = by_class
             .iter()
-            .map(|v| if v.is_empty() { 0.0 } else { v.iter().map(|x| x.0).sum::<f64>() / v.len() as f64 })
+            .map(|v| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().map(|x| x.0).sum::<f64>() / v.len() as f64
+                }
+            })
             .collect();
         table.push((label.to_string(), means));
         let share = |c: usize| {

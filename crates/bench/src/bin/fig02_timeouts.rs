@@ -18,7 +18,10 @@ fn main() {
         Scale::Quick => 12,
         Scale::Full => 128,
     };
-    println!("Fig. 2 — timeout counts under WebSearch(0.3) + {fan_in}-to-1 incast(0.1) ({})", scale.label());
+    println!(
+        "Fig. 2 — timeout counts under WebSearch(0.3) + {fan_in}-to-1 incast(0.1) ({})",
+        scale.label()
+    );
     let n_hosts = scale.clos_dims().1 * scale.clos_dims().2;
     let mut rng = StdRng::seed_from_u64(7);
     let bg = poisson_flows(&mut rng, &SizeDist::websearch(), n_hosts, 100.0, 0.3, scale.flows());
@@ -40,7 +43,8 @@ fn main() {
         assert_eq!(unfinished(&records), 0, "{label}");
         let bg_rtos: u64 = records.iter().filter(|r| !r.spec.incast).map(|r| r.tx.timeouts).sum();
         let inc_rtos: u64 = records.iter().filter(|r| r.spec.incast).map(|r| r.tx.timeouts).sum();
-        let with = records.iter().filter(|r| r.tx.timeouts > 0).count() as f64 / records.len() as f64;
+        let with =
+            records.iter().filter(|r| r.tx.timeouts > 0).count() as f64 / records.len() as f64;
         let peak = records.iter().map(|r| r.tx.timeouts).max().unwrap_or(0);
         println!("{label:<12}{bg_rtos:>16}{inc_rtos:>16}{:>18.1}{peak:>14}", with * 100.0);
     }

@@ -21,7 +21,13 @@ fn measure(kind: TransportKind) -> (f64, f64) {
         sim.install_endpoint(topo.hosts[1], flow, rx);
         let (msg, count) = (512 * 1024u64, 64u64);
         for i in 0..count {
-            sim.post(topo.hosts[0], flow, i, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, msg);
+            sim.post(
+                topo.hosts[0],
+                flow,
+                i,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                msg,
+            );
         }
         let (mut done, mut last) = (0, 0);
         while done < count && sim.now() < SEC {
@@ -92,11 +98,18 @@ fn measure_tcp() -> (f64, f64) {
         let topo = topology::back_to_back(&mut sim, 100.0, 500);
         let flow = FlowId(1);
         let cfg = FlowCfg::sender(flow, topo.hosts[0], topo.hosts[1], DcpTag::NonDcp);
-        let (tx, rx) = swtcp_pair(cfg, SwTcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+        let (tx, rx) =
+            swtcp_pair(cfg, SwTcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
         sim.install_endpoint(topo.hosts[0], flow, Box::new(tx));
         sim.install_endpoint(topo.hosts[1], flow, Box::new(rx));
         for i in 0..msgs {
-            sim.post(topo.hosts[0], flow, i, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, msg);
+            sim.post(
+                topo.hosts[0],
+                flow,
+                i,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                msg,
+            );
         }
         let (mut done, mut last) = (0, 0);
         while done < msgs && sim.now() < SEC {

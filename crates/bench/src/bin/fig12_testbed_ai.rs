@@ -17,10 +17,7 @@ fn run(kind: TransportKind, which: Collective) -> Vec<f64> {
     let topo = topology::two_switch_testbed(&mut sim, cfg, 8, 100.0, &[100.0; 8], US, US);
     // Groups straddle the two switches (members i, i+4 from each side).
     let groups: Vec<Group> = (0..4)
-        .map(|g| Group {
-            members: vec![g, g + 4, g + 8, g + 12],
-            total_bytes: 64 << 20,
-        })
+        .map(|g| Group { members: vec![g, g + 4, g + 8, g + 12], total_bytes: 64 << 20 })
         .collect();
     let cc = if kind == TransportKind::Dcp {
         CcKind::None
@@ -36,7 +33,8 @@ fn main() {
     for which in [Collective::RingAllReduce, Collective::AllToAll] {
         println!("\n{which:?}: JCT per group (ms)");
         println!("{:<14}{:>9}{:>9}{:>9}{:>9}{:>10}", "scheme", "g1", "g2", "g3", "g4", "max");
-        for (label, kind) in [("DCP (AR)", TransportKind::Dcp), ("CX5 (ECMP)", TransportKind::Gbn)] {
+        for (label, kind) in [("DCP (AR)", TransportKind::Dcp), ("CX5 (ECMP)", TransportKind::Gbn)]
+        {
             let jcts = run(kind, which);
             let max = jcts.iter().cloned().fold(0.0, f64::max);
             println!(

@@ -1,7 +1,7 @@
 //! Fig. 13: WebSearch FCT slowdown on the CLOS — PFC(ECMP), IRN(AR),
 //! MP-RDMA, DCP(AR) at loads 0.3 and 0.5, P50 and P95 per flow-size bucket.
 
-use dcp_bench::{build_clos, default_cc, Scale, DEADLINE};
+use dcp_bench::{build_clos, default_cc, sweep, Scale, DEADLINE};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::{LoadBalance, US};
@@ -20,38 +20,67 @@ fn schemes() -> Vec<(&'static str, TransportKind, SwitchConfig)> {
     ]
 }
 
+struct Row {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    bucket_p95: Vec<f64>,
+    unfinished: usize,
+}
+
+/// One (load, scheme) sweep point. Flows are regenerated from the same
+/// seed per point, so every scheme within a load sees the identical
+/// workload, exactly as the shared-workload serial loop did.
+fn run_point(scale: Scale, load: f64, kind: TransportKind, cfg: SwitchConfig) -> Row {
+    let n_hosts = scale.clos_dims().1 * scale.clos_dims().2;
+    let ideal = IdealFct::intra_dc_100g();
+    let mut rng = StdRng::seed_from_u64(23);
+    let flows =
+        poisson_flows(&mut rng, &SizeDist::websearch(), n_hosts, 100.0, load, scale.flows());
+    let (mut sim, topo) = build_clos(3, cfg, scale, US);
+    let records = run_flows(&mut sim, &topo, kind, default_cc(kind), &flows, DEADLINE);
+    Row {
+        p50: overall_slowdown(&records, &ideal, 50.0),
+        p95: overall_slowdown(&records, &ideal, 95.0),
+        p99: overall_slowdown(&records, &ideal, 99.0),
+        bucket_p95: slowdown_by_size(&records, &ideal, 6).iter().map(|b| b.p95).collect(),
+        unfinished: unfinished(&records),
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     println!("Fig. 13 — WebSearch FCT slowdown ({})", scale.label());
-    let n_hosts = scale.clos_dims().1 * scale.clos_dims().2;
-    let ideal = IdealFct::intra_dc_100g();
-    for load in [0.3, 0.5] {
-        let mut rng = StdRng::seed_from_u64(23);
-        let flows = poisson_flows(&mut rng, &SizeDist::websearch(), n_hosts, 100.0, load, scale.flows());
+    const LOADS: [f64; 2] = [0.3, 0.5];
+    let points: Vec<(f64, &'static str, TransportKind, SwitchConfig)> = LOADS
+        .iter()
+        .flat_map(|&load| {
+            schemes().into_iter().map(move |(label, kind, mut cfg)| {
+                // MP-RDMA needs ECN on its lossless fabric for window
+                // feedback.
+                if kind == TransportKind::MpRdma {
+                    cfg.ecn = Some(dcp_netsim::EcnConfig::default_100g());
+                }
+                (load, label, kind, cfg)
+            })
+        })
+        .collect();
+    let results = sweep(points.clone(), |(load, _, kind, cfg)| run_point(scale, load, kind, cfg));
+    let per_load = schemes().len();
+    for (chunk, pchunk) in results.chunks(per_load).zip(points.chunks(per_load)) {
+        let load = pchunk[0].0;
         println!("\nload {load}: overall slowdown percentiles + per-size buckets");
         println!(
             "{:<12}{:>8}{:>8}{:>8} | per-bucket P95 (small→large)",
             "scheme", "P50", "P95", "P99"
         );
-        for (label, kind, cfg) in schemes() {
-            // MP-RDMA needs ECN on its lossless fabric for window feedback.
-            let mut cfg = cfg;
-            if kind == TransportKind::MpRdma {
-                cfg.ecn = Some(dcp_netsim::EcnConfig::default_100g());
+        for (row, (_, label, ..)) in chunk.iter().zip(pchunk) {
+            print!("{label:<12}{:>8.2}{:>8.2}{:>8.2} |", row.p50, row.p95, row.p99);
+            for b in &row.bucket_p95 {
+                print!(" {b:>6.1}");
             }
-            let (mut sim, topo) = build_clos(3, cfg, scale, US);
-            let records = run_flows(&mut sim, &topo, kind, default_cc(kind), &flows, DEADLINE);
-            let unfin = unfinished(&records);
-            let p50 = overall_slowdown(&records, &ideal, 50.0);
-            let p95 = overall_slowdown(&records, &ideal, 95.0);
-            let p99 = overall_slowdown(&records, &ideal, 99.0);
-            let buckets = slowdown_by_size(&records, &ideal, 6);
-            print!("{label:<12}{p50:>8.2}{p95:>8.2}{p99:>8.2} |");
-            for b in &buckets {
-                print!(" {:>6.1}", b.p95);
-            }
-            if unfin > 0 {
-                print!("  [{unfin} unfinished]");
+            if row.unfinished > 0 {
+                print!("  [{} unfinished]", row.unfinished);
             }
             println!();
         }

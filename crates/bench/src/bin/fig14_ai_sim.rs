@@ -1,7 +1,7 @@
 //! Fig. 14: large-scale AI workloads — groups running AllReduce/AllToAll
 //! simultaneously on the CLOS; JCT per group and FCT distribution.
 
-use dcp_bench::{build_clos, default_cc, Scale};
+use dcp_bench::{build_clos, default_cc, sweep, Scale};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::time::{MS, SEC, US};
@@ -16,7 +16,11 @@ fn main() {
         Scale::Quick => (4usize, 4usize, 48u64 << 20),
         Scale::Full => (16, 16, 300 << 20),
     };
-    println!("Fig. 14 — AI workloads: {n_groups} groups x {group_size}, {} MB each ({})", bytes >> 20, scale.label());
+    println!(
+        "Fig. 14 — AI workloads: {n_groups} groups x {group_size}, {} MB each ({})",
+        bytes >> 20,
+        scale.label()
+    );
     let schemes: Vec<(&str, TransportKind, SwitchConfig)> = vec![
         ("PFC", TransportKind::Gbn, SwitchConfig::lossless(LoadBalance::Ecmp)),
         ("IRN", TransportKind::Irn, SwitchConfig::lossy(LoadBalance::AdaptiveRouting)),
@@ -35,21 +39,29 @@ fn main() {
             total_bytes: bytes,
         })
         .collect();
-    for which in [Collective::RingAllReduce, Collective::AllToAll] {
-        println!("\n{which:?}: JCT (ms) per scheme");
+    let collectives = [Collective::RingAllReduce, Collective::AllToAll];
+    let points: Vec<(Collective, &str, TransportKind, SwitchConfig)> = collectives
+        .iter()
+        .flat_map(|&which| schemes.iter().map(move |&(label, kind, cfg)| (which, label, kind, cfg)))
+        .collect();
+    let groups_ref = &groups;
+    let results = sweep(points.clone(), |(which, _, kind, cfg)| {
+        let (mut sim, topo) = build_clos(5, cfg, scale, US);
+        let res =
+            run_collective(&mut sim, &topo, kind, default_cc(kind), groups_ref, which, 600 * SEC);
+        let jcts: Vec<f64> = res.iter().map(|r| r.jct as f64 / MS as f64).collect();
+        let min = jcts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = jcts.iter().cloned().fold(0.0, f64::max);
+        let mean = jcts.iter().sum::<f64>() / jcts.len() as f64;
+        let mut fcts: Vec<f64> =
+            res.iter().flat_map(|r| r.fcts.iter().map(|&f| f as f64 / MS as f64)).collect();
+        let p95 = percentile(&mut fcts, 95.0);
+        (min, max, mean, p95)
+    });
+    for (chunk, pchunk) in results.chunks(schemes.len()).zip(points.chunks(schemes.len())) {
+        println!("\n{:?}: JCT (ms) per scheme", pchunk[0].0);
         println!("{:<10}{:>10}{:>10}{:>12}{:>16}", "scheme", "min", "max", "mean", "FCT P95 (ms)");
-        for (label, kind, cfg) in &schemes {
-            let (mut sim, topo) = build_clos(5, *cfg, scale, US);
-            let res = run_collective(&mut sim, &topo, *kind, default_cc(*kind), &groups, which, 600 * SEC);
-            let jcts: Vec<f64> = res.iter().map(|r| r.jct as f64 / MS as f64).collect();
-            let min = jcts.iter().cloned().fold(f64::INFINITY, f64::min);
-            let max = jcts.iter().cloned().fold(0.0, f64::max);
-            let mean = jcts.iter().sum::<f64>() / jcts.len() as f64;
-            let mut fcts: Vec<f64> = res
-                .iter()
-                .flat_map(|r| r.fcts.iter().map(|&f| f as f64 / MS as f64))
-                .collect();
-            let p95 = percentile(&mut fcts, 95.0);
+        for (&(min, max, mean, p95), &(_, label, ..)) in chunk.iter().zip(pchunk) {
             println!("{label:<10}{min:>10.2}{max:>10.2}{mean:>12.2}{p95:>16.2}");
         }
     }

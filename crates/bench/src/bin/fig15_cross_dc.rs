@@ -4,7 +4,7 @@
 //! Lossless schemes (PFC, MP-RDMA) get their buffers enlarged to cover the
 //! PFC headroom (600 MB / 6 GB as in §6.2); IRN and DCP keep 32 MB.
 
-use dcp_bench::{build_clos, default_cc, Scale, DEADLINE};
+use dcp_bench::{build_clos, default_cc, sweep, Scale, DEADLINE};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::time::{Nanos, MS, US};
@@ -18,11 +18,15 @@ fn main() {
     println!("Fig. 15 — cross-DC WebSearch (load 0.5) FCT slowdown ({})", scale.label());
     let n_hosts = scale.clos_dims().1 * scale.clos_dims().2;
     let ideal_base: Nanos = 4_000;
-    for (dist, delay, lossless_buf) in [("100 km", 500 * US, 600usize << 20), ("1000 km", 5 * MS, 6usize << 30)] {
+    for (dist, delay, lossless_buf) in
+        [("100 km", 500 * US, 600usize << 20), ("1000 km", 5 * MS, 6usize << 30)]
+    {
         let mut rng = StdRng::seed_from_u64(29);
         // Cross-DC BDP is large; keep the flow count moderate.
-        let flows = poisson_flows(&mut rng, &SizeDist::websearch(), n_hosts, 100.0, 0.5, scale.flows() / 2);
-        let ideal = IdealFct { base_delay: ideal_base + 2 * delay, gbps: 100.0, mtu: 1024, header: 74 };
+        let flows =
+            poisson_flows(&mut rng, &SizeDist::websearch(), n_hosts, 100.0, 0.5, scale.flows() / 2);
+        let ideal =
+            IdealFct { base_delay: ideal_base + 2 * delay, gbps: 100.0, mtu: 1024, header: 74 };
         println!("\n{dist} (leaf–spine delay {delay} ns):");
         println!("{:<12}{:>8}{:>8}{:>8}", "scheme", "P50", "P95", "P99");
         let schemes: Vec<(&str, TransportKind, SwitchConfig)> = vec![
@@ -40,22 +44,37 @@ fn main() {
             }),
             ("DCP", TransportKind::Dcp, dcp_switch_config(LoadBalance::AdaptiveRouting, 20)),
         ];
-        for (label, kind, cfg) in schemes {
+        let flows_ref = &flows;
+        let results = sweep(schemes.clone(), |(_, kind, cfg)| {
             // Window-based schemes need the cross-DC BDP, and every timer
             // must scale with the path RTT (≈ 4 × leaf–spine delay).
             let cc = match kind {
-                TransportKind::Irn | TransportKind::Gbn => CcKind::Bdp { gbps: 100.0, rtt: 4 * delay },
+                TransportKind::Irn | TransportKind::Gbn => {
+                    CcKind::Bdp { gbps: 100.0, rtt: 4 * delay }
+                }
                 k => default_cc(k),
             };
             let opts = RunOpts::for_rtt(4 * delay);
             let (mut sim, topo) = build_clos(6, cfg, scale, delay);
-            let records = run_flows_opts(&mut sim, &topo, kind, cc, &flows, DEADLINE + 20 * delay * 1000, opts);
-            let unfin = unfinished(&records);
-            println!(
-                "{label:<12}{:>8.2}{:>8.2}{:>8.2}{}",
+            let records = run_flows_opts(
+                &mut sim,
+                &topo,
+                kind,
+                cc,
+                flows_ref,
+                DEADLINE + 20 * delay * 1000,
+                opts,
+            );
+            (
                 overall_slowdown(&records, &ideal, 50.0),
                 overall_slowdown(&records, &ideal, 95.0),
                 overall_slowdown(&records, &ideal, 99.0),
+                unfinished(&records),
+            )
+        });
+        for ((p50, p95, p99, unfin), (label, ..)) in results.into_iter().zip(&schemes) {
+            println!(
+                "{label:<12}{p50:>8.2}{p95:>8.2}{p99:>8.2}{}",
                 if unfin > 0 { format!("  [{unfin} unfinished]") } else { String::new() }
             );
         }

@@ -4,7 +4,7 @@
 //! The §6.3 story: DCP alone wins P50 but loses P99 under extreme incast
 //! (HO-triggered retransmissions feed the congestion); DCP+DCQCN wins both.
 
-use dcp_bench::{build_clos, Scale, DEADLINE};
+use dcp_bench::{build_clos, sweep, Scale, DEADLINE};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::{EcnConfig, LoadBalance, US};
@@ -32,22 +32,66 @@ fn main() {
 
     let ecn = Some(EcnConfig::default_100g());
     let rows: Vec<(&str, TransportKind, SwitchConfig, CcKind)> = vec![
-        ("IRN", TransportKind::Irn, SwitchConfig::lossy(LoadBalance::AdaptiveRouting), CcKind::Bdp { gbps: 100.0, rtt: 12 * US }),
-        ("IRN+CC", TransportKind::Irn, { let mut c = SwitchConfig::lossy(LoadBalance::AdaptiveRouting); c.ecn = ecn; c }, CcKind::Dcqcn { gbps: 100.0 }),
-        ("MP-RDMA", TransportKind::MpRdma, { let mut c = SwitchConfig::lossless(LoadBalance::Ecmp); c.ecn = ecn; c }, CcKind::None),
-        ("DCP", TransportKind::Dcp, dcp_switch_config(LoadBalance::AdaptiveRouting, 20), CcKind::None),
-        ("DCP+CC", TransportKind::Dcp, { let mut c = dcp_switch_config(LoadBalance::AdaptiveRouting, 20); c.ecn = ecn; c }, CcKind::Dcqcn { gbps: 100.0 }),
+        (
+            "IRN",
+            TransportKind::Irn,
+            SwitchConfig::lossy(LoadBalance::AdaptiveRouting),
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+        ),
+        (
+            "IRN+CC",
+            TransportKind::Irn,
+            {
+                let mut c = SwitchConfig::lossy(LoadBalance::AdaptiveRouting);
+                c.ecn = ecn;
+                c
+            },
+            CcKind::Dcqcn { gbps: 100.0 },
+        ),
+        (
+            "MP-RDMA",
+            TransportKind::MpRdma,
+            {
+                let mut c = SwitchConfig::lossless(LoadBalance::Ecmp);
+                c.ecn = ecn;
+                c
+            },
+            CcKind::None,
+        ),
+        (
+            "DCP",
+            TransportKind::Dcp,
+            dcp_switch_config(LoadBalance::AdaptiveRouting, 20),
+            CcKind::None,
+        ),
+        (
+            "DCP+CC",
+            TransportKind::Dcp,
+            {
+                let mut c = dcp_switch_config(LoadBalance::AdaptiveRouting, 20);
+                c.ecn = ecn;
+                c
+            },
+            CcKind::Dcqcn { gbps: 100.0 },
+        ),
     ];
     println!("{:<10}{:>8}{:>8}{:>10}", "scheme", "P50", "P99", "retx");
-    for (label, kind, cfg, cc) in rows {
+    let flows_ref = &flows;
+    let ideal_ref = &ideal;
+    let results = sweep(rows.clone(), |(_, kind, cfg, cc)| {
         let (mut sim, topo) = build_clos(7, cfg, scale, US);
-        let records = run_flows(&mut sim, &topo, kind, cc, &flows, DEADLINE);
-        let unfin = unfinished(&records);
+        let records = run_flows(&mut sim, &topo, kind, cc, flows_ref, DEADLINE);
         let retx: u64 = records.iter().map(|r| r.tx.retx_pkts).sum();
+        (
+            overall_slowdown(&records, ideal_ref, 50.0),
+            overall_slowdown(&records, ideal_ref, 99.0),
+            retx,
+            unfinished(&records),
+        )
+    });
+    for ((p50, p99, retx, unfin), (label, ..)) in results.into_iter().zip(&rows) {
         println!(
-            "{label:<10}{:>8.2}{:>8.2}{retx:>10}{}",
-            overall_slowdown(&records, &ideal, 50.0),
-            overall_slowdown(&records, &ideal, 99.0),
+            "{label:<10}{p50:>8.2}{p99:>8.2}{retx:>10}{}",
             if unfin > 0 { format!("  [{unfin} unfinished]") } else { String::new() }
         );
     }

@@ -1,14 +1,14 @@
 //! Fig. 17: loss-recovery efficiency of DCP, RACK-TLP, IRN and a
 //! timeout-only scheme under enforced loss (ECMP single path).
 
-use dcp_bench::stream_goodput;
+use dcp_bench::{fmt_opt, stream_goodput, sweep};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::time::{SEC, US};
 use dcp_netsim::{topology, LoadBalance, Simulator};
 use dcp_workloads::{CcKind, TransportKind};
 
-fn run(kind: TransportKind, loss: f64) -> f64 {
+fn run(kind: TransportKind, loss: f64) -> Option<f64> {
     let mut cfg = match kind {
         TransportKind::Dcp => dcp_switch_config(LoadBalance::Ecmp, 16),
         _ => SwitchConfig::lossy(LoadBalance::Ecmp),
@@ -27,12 +27,19 @@ fn run(kind: TransportKind, loss: f64) -> f64 {
 fn main() {
     println!("Fig. 17 — goodput (Gbps) vs loss rate for four recovery schemes");
     println!("{:>8}{:>10}{:>12}{:>8}{:>10}", "loss", "DCP", "RACK-TLP", "IRN", "Timeout");
-    for loss in [0.0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05] {
-        let dcp = run(TransportKind::Dcp, loss);
-        let rack = run(TransportKind::RackTlp, loss);
-        let irn = run(TransportKind::Irn, loss);
-        let to = run(TransportKind::TimeoutOnly, loss);
-        println!("{:>7.2}%{dcp:>10.1}{rack:>12.1}{irn:>8.1}{to:>10.1}", loss * 100.0);
+    const LOSSES: [f64; 7] = [0.0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05];
+    const KINDS: [TransportKind; 4] = [
+        TransportKind::Dcp,
+        TransportKind::RackTlp,
+        TransportKind::Irn,
+        TransportKind::TimeoutOnly,
+    ];
+    let points: Vec<(TransportKind, f64)> =
+        LOSSES.iter().flat_map(|&loss| KINDS.iter().map(move |&k| (k, loss))).collect();
+    let results = sweep(points, |(kind, loss)| run(kind, loss));
+    for (row, &loss) in results.chunks(KINDS.len()).zip(&LOSSES) {
+        let [dcp, rack, irn, to] = [row[0], row[1], row[2], row[3]].map(|v| fmt_opt(v, 1));
+        println!("{:>7.2}%{dcp:>10}{rack:>12}{irn:>8}{to:>10}", loss * 100.0);
     }
     println!();
     println!("Paper shape: DCP ≥ RACK-TLP > IRN ≫ timeout-only; the timeout scheme");

@@ -1,0 +1,138 @@
+//! `perf_events` — end-to-end event-engine throughput measurement.
+//!
+//! Runs two fixed scenarios (a 16-to-1 incast and a quick WebSearch CLOS
+//! sweep), reports events/second, wall time and peak pending-event depth,
+//! and writes the numbers to `BENCH_netsim.json` (override the path with
+//! `DCP_BENCH_JSON`). The scenarios are deterministic; only the wall-clock
+//! numbers vary between machines.
+
+use dcp_bench::{build_clos, Scale};
+use dcp_core::dcp_switch_config;
+use dcp_netsim::packet::FlowId;
+use dcp_netsim::time::{SEC, US};
+use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_rdma::qp::WorkReqOp;
+use dcp_workloads::{endpoint_pair, poisson_flows, run_flows, CcKind, SizeDist, TransportKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Measurement {
+    name: &'static str,
+    events: u64,
+    wall_s: f64,
+    peak_pending: usize,
+    sim_ns: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"scenario\": \"{}\", \"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.0}, \"peak_pending_events\": {}, \"sim_ns\": {}}}",
+            self.name,
+            self.events,
+            self.wall_s,
+            self.events_per_sec(),
+            self.peak_pending,
+            self.sim_ns
+        )
+    }
+}
+
+/// 16-to-1 DCP incast on the two-switch testbed: 16 senders stream 4 MB
+/// each into one victim. Trimming + HO recovery keeps the event mix hot.
+fn incast() -> Measurement {
+    let fan_in = 16;
+    let cfg = dcp_switch_config(LoadBalance::Ecmp, fan_in + 2);
+    let mut sim = Simulator::new(7);
+    let topo = topology::two_switch_testbed(&mut sim, cfg, fan_in, 100.0, &[100.0], US, US);
+    let victim = topo.hosts[fan_in];
+    for i in 0..fan_in {
+        let flow = FlowId(i as u32 + 1);
+        let (tx, rx) = endpoint_pair(TransportKind::Dcp, CcKind::None, flow, topo.hosts[i], victim);
+        sim.install_endpoint(topo.hosts[i], flow, tx);
+        sim.install_endpoint(victim, flow, rx);
+        for m in 0..4u64 {
+            sim.post(
+                topo.hosts[i],
+                flow,
+                m,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                1 << 20,
+            );
+        }
+    }
+    let t0 = Instant::now();
+    sim.run_to_quiescence(60 * SEC);
+    let wall_s = t0.elapsed().as_secs_f64();
+    Measurement {
+        name: "incast",
+        events: sim.events_processed(),
+        wall_s,
+        peak_pending: sim.peak_pending_events(),
+        sim_ns: sim.now(),
+    }
+}
+
+/// WebSearch at load 0.5 on the quick CLOS — the fig13-style workload.
+fn websearch_quick() -> Measurement {
+    let scale = Scale::Quick;
+    let n_hosts = scale.clos_dims().1 * scale.clos_dims().2;
+    let mut rng = StdRng::seed_from_u64(23);
+    let flows = poisson_flows(&mut rng, &SizeDist::websearch(), n_hosts, 100.0, 0.5, scale.flows());
+    let cfg = dcp_switch_config(LoadBalance::AdaptiveRouting, 20);
+    let (mut sim, topo) = build_clos(3, cfg, scale, US);
+    let t0 = Instant::now();
+    let records = run_flows(
+        &mut sim,
+        &topo,
+        TransportKind::Dcp,
+        CcKind::Dcqcn { gbps: 100.0 },
+        &flows,
+        60 * SEC,
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+    drop(records);
+    Measurement {
+        name: "websearch_quick",
+        events: sim.events_processed(),
+        wall_s,
+        peak_pending: sim.peak_pending_events(),
+        sim_ns: sim.now(),
+    }
+}
+
+fn main() {
+    println!("perf_events — event-engine throughput");
+    println!(
+        "{:<18}{:>14}{:>12}{:>16}{:>14}",
+        "scenario", "events", "wall (s)", "events/sec", "peak pending"
+    );
+    let runs = [incast(), websearch_quick()];
+    for m in &runs {
+        println!(
+            "{:<18}{:>14}{:>12.3}{:>16.0}{:>14}",
+            m.name,
+            m.events,
+            m.wall_s,
+            m.events_per_sec(),
+            m.peak_pending
+        );
+    }
+    let body: Vec<String> = runs.iter().map(Measurement::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"netsim_events\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    let path = std::env::var("DCP_BENCH_JSON").unwrap_or_else(|_| "BENCH_netsim.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("\nwrote {path}");
+}

@@ -6,6 +6,7 @@
 //! a fixed simulated window of sustained incast (the paper measures the
 //! same ratio over its run); senders keep their queues full throughout.
 
+use dcp_bench::sweep;
 use dcp_core::{dcp_switch_config, effective_wrr_weight};
 use dcp_netsim::packet::FlowId;
 use dcp_netsim::time::MS;
@@ -35,7 +36,13 @@ fn run(fan_in: usize, n_cfg: usize, with_cc: bool) -> (u64, u64) {
         sim.install_endpoint(victim, flow, rx);
         // Enough messages to keep the incast saturated for the window.
         for m in 0..64u64 {
-            sim.post(topo.hosts[i], flow, m, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+            sim.post(
+                topo.hosts[i],
+                flow,
+                m,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                1 << 20,
+            );
         }
     }
     sim.run_until(20 * MS);
@@ -49,20 +56,26 @@ fn main() {
     println!("Table 5 — HO-packet loss ratio over a 20 ms sustained incast window");
     println!("(trim threshold 16 KB, 2 MB shared buffer, w = (N-1)/(r-N+1), fallback 8.0)");
     println!("{:<24}{:>14}{:>14}", "setting", "w/o CC", "w/ CC");
-    for &n_cfg in &[22usize, 16] {
-        for &fan in incasts {
-            let row = format!("N={n_cfg}; {fan}-to-1");
-            let mut cols = Vec::new();
-            for with_cc in [false, true] {
-                let (drops, total) = run(fan, n_cfg, with_cc);
-                cols.push(if total == 0 {
+    let points: Vec<(usize, usize, bool)> = [22usize, 16]
+        .iter()
+        .flat_map(|&n_cfg| {
+            incasts.iter().flat_map(move |&fan| [(n_cfg, fan, false), (n_cfg, fan, true)])
+        })
+        .collect();
+    let results = sweep(points.clone(), |(n_cfg, fan, with_cc)| run(fan, n_cfg, with_cc));
+    for (row, p) in results.chunks(2).zip(points.chunks(2)) {
+        let (n_cfg, fan, _) = p[0];
+        let cols: Vec<String> = row
+            .iter()
+            .map(|&(drops, total)| {
+                if total == 0 {
                     "no HOs".to_string()
                 } else {
                     format!("{:.3}%", drops as f64 / total as f64 * 100.0)
-                });
-            }
-            println!("{row:<24}{:>14}{:>14}", cols[0], cols[1]);
-        }
+                }
+            })
+            .collect();
+        println!("{:<24}{:>14}{:>14}", format!("N={n_cfg}; {fan}-to-1"), cols[0], cols[1]);
     }
     println!();
     println!("Paper shape: zero HO loss in nearly every configuration; only the most");

@@ -117,7 +117,12 @@ impl Endpoint for DcpReceiver {
                 self.stats.pkts_received += 1;
                 if pkt.header.ip.ecn_ce() && self.cnp.should_send(ctx.now) {
                     self.uid += 1;
-                    self.out.push_back(ack_packet(&self.cfg, PktExt::Cnp, self.tracker.emsn(), self.uid));
+                    self.out.push_back(ack_packet(
+                        &self.cfg,
+                        PktExt::Cnp,
+                        self.tracker.emsn(),
+                        self.uid,
+                    ));
                 }
                 let desc = pkt.desc.as_ref().expect("data packets carry descriptors");
                 let msn = pkt.msn().expect("data packets carry the MSN");
@@ -255,7 +260,8 @@ mod tests {
         assert_eq!(c[0].bytes, 4096);
         assert_eq!(rx.emsn(), 1);
         // Exactly one ACK, carrying eMSN = 1.
-        let acks: Vec<_> = std::iter::from_fn(|| rx.pull(&mut ctx(10, &mut t, &mut c, &mut r))).collect();
+        let acks: Vec<_> =
+            std::iter::from_fn(|| rx.pull(&mut ctx(10, &mut t, &mut c, &mut r))).collect();
         assert_eq!(acks.len(), 1);
         assert_eq!(acks[0].header.aeth.unwrap().emsn, 1);
     }
@@ -325,7 +331,8 @@ mod tests {
         let mut mtt = Mtt::new();
         mtt.register(0x5000, 8192);
         let placement = Placement::Real { mtt, pattern: PatternGen::new(9) };
-        let mut rx = DcpReceiver::new(FlowCfg::receiver_of(&scfg()), DcpConfig::default(), placement);
+        let mut rx =
+            DcpReceiver::new(FlowCfg::receiver_of(&scfg()), DcpConfig::default(), placement);
         // Two 2 KB Send messages; buffers posted out of band.
         rx.post_recv(100, 0x5000, 2048);
         rx.post_recv(101, 0x5000 + 4096, 2048);
@@ -348,13 +355,18 @@ mod tests {
         pattern.fill(0, &mut want);
         let got0 = mtt.local(0x5000, 2048).unwrap().read(0x5000, 2048).unwrap().to_vec();
         assert_eq!(got0, want, "message 0 reconstructed in its own buffer");
-        let got1 = mtt.local(0x5000 + 4096, 2048).unwrap().read(0x5000 + 4096, 2048).unwrap().to_vec();
+        let got1 =
+            mtt.local(0x5000 + 4096, 2048).unwrap().read(0x5000 + 4096, 2048).unwrap().to_vec();
         assert_eq!(got1, want, "message 1 reconstructed in its own buffer");
     }
 
     #[test]
     fn rnr_without_posted_buffer_is_not_counted() {
-        let mut rx = DcpReceiver::new(FlowCfg::receiver_of(&scfg()), DcpConfig::default(), Placement::Virtual);
+        let mut rx = DcpReceiver::new(
+            FlowCfg::receiver_of(&scfg()),
+            DcpConfig::default(),
+            Placement::Virtual,
+        );
         rx.auto_rq = false;
         let mut book = TxBook::new();
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
@@ -380,7 +392,8 @@ mod tests {
         let mut mtt = Mtt::new();
         mtt.register(0x2000, 4096);
         let placement = Placement::Real { mtt, pattern: PatternGen::new(3) };
-        let mut rx = DcpReceiver::new(FlowCfg::receiver_of(&scfg()), DcpConfig::default(), placement);
+        let mut rx =
+            DcpReceiver::new(FlowCfg::receiver_of(&scfg()), DcpConfig::default(), placement);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         for psn in [3u32, 1, 0, 2] {
             rx.on_packet(data(psn, 0), &mut ctx(psn as u64, &mut t, &mut c, &mut r));

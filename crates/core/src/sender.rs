@@ -282,7 +282,9 @@ impl Endpoint for DcpSender {
     }
 
     fn has_pending(&self) -> bool {
-        !self.timeout_q.is_empty() || !self.fetched.is_empty() || self.snd_nxt < self.book.next_psn()
+        !self.timeout_q.is_empty()
+            || !self.fetched.is_empty()
+            || self.snd_nxt < self.book.next_psn()
     }
 
     fn stats(&self) -> TransportStats {
@@ -418,7 +420,8 @@ mod tests {
         let mut s = sender(RetransMode::Batched);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
-        let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        let (at, tok) =
+            t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
         s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
         let mut psns = vec![];

@@ -99,10 +99,7 @@ mod tests {
             if let Some(w) = wrr_weight(n, r) {
                 let share = w / (1.0 + w);
                 let demand = (n as f64 - 1.0) / r;
-                assert!(
-                    share + 1e-9 >= demand,
-                    "N={n}: share {share:.4} < demand {demand:.4}"
-                );
+                assert!(share + 1e-9 >= demand, "N={n}: share {share:.4} < demand {demand:.4}");
             }
         }
     }

@@ -213,7 +213,11 @@ mod tests {
         // Message 1 completes fully before message 0.
         assert!(feed(&mut t, 1, &[0, 1], 2).is_empty());
         let done = feed(&mut t, 0, &[0, 1], 2);
-        assert_eq!(done.iter().map(|c| c.msn).collect::<Vec<_>>(), vec![0, 1], "delivered in MSN order");
+        assert_eq!(
+            done.iter().map(|c| c.msn).collect::<Vec<_>>(),
+            vec![0, 1],
+            "delivered in MSN order"
+        );
         assert_eq!(t.emsn(), 2);
         assert_eq!(t.tracked(), 0);
     }

@@ -21,7 +21,14 @@ use dcp_transport::common::{FlowCfg, Placement};
 
 const MSG: u64 = 256 * 1024;
 
-fn run_flow(sim: &mut Simulator, src: NodeId, _dst: NodeId, flow: FlowId, msg: u64, deadline: Nanos) -> Nanos {
+fn run_flow(
+    sim: &mut Simulator,
+    src: NodeId,
+    _dst: NodeId,
+    flow: FlowId,
+    msg: u64,
+    deadline: Nanos,
+) -> Nanos {
     sim.post(src, flow, 1, WorkReqOp::Write { remote_addr: 0x10_000, rkey: 1 }, msg);
     let mut done_at = 0;
     while sim.pending_events() > 0 && sim.now() < deadline {
@@ -50,7 +57,15 @@ fn install_dcp(sim: &mut Simulator, src: NodeId, dst: NodeId, flow: FlowId, plac
 #[test]
 fn clean_link_full_throughput() {
     let mut sim = Simulator::new(1);
-    let topo = topology::two_switch_testbed(&mut sim, dcp_switch_config(LoadBalance::Ecmp, 16), 1, 100.0, &[100.0], US, US);
+    let topo = topology::two_switch_testbed(
+        &mut sim,
+        dcp_switch_config(LoadBalance::Ecmp, 16),
+        1,
+        100.0,
+        &[100.0],
+        US,
+        US,
+    );
     let (a, b) = (topo.hosts[0], topo.hosts[1]);
     install_dcp(&mut sim, a, b, FlowId(1), Placement::Virtual);
     let t = run_flow(&mut sim, a, b, FlowId(1), MSG, SEC);
@@ -95,7 +110,13 @@ fn congestion_trims_recover_without_rto() {
     // 4-to-1 incast through one cross link.
     for (i, &h) in topo.hosts[..4].iter().enumerate() {
         install_dcp(&mut sim, h, dst, FlowId(i as u32 + 1), Placement::Virtual);
-        sim.post(h, FlowId(i as u32 + 1), 1, WorkReqOp::Write { remote_addr: 0x10_000, rkey: 1 }, MSG);
+        sim.post(
+            h,
+            FlowId(i as u32 + 1),
+            1,
+            WorkReqOp::Write { remote_addr: 0x10_000, rkey: 1 },
+            MSG,
+        );
     }
     let mut done = 0;
     while done < 4 && sim.pending_events() > 0 && sim.now() < 10 * SEC {
@@ -135,10 +156,7 @@ fn forced_loss_recovers_at_high_goodput() {
         let st = sim.endpoint_stats(a, FlowId(1));
         assert!(st.retx_pkts > 0, "loss {loss} must retransmit");
         assert_eq!(st.timeouts, 0, "loss {loss}: recovery without RTO");
-        assert!(
-            gbps > 60.0,
-            "goodput at {loss} loss should stay high, got {gbps:.1} Gbps"
-        );
+        assert!(gbps > 60.0, "goodput at {loss} loss should stay high, got {gbps:.1} Gbps");
     }
 }
 
@@ -181,7 +199,13 @@ fn control_plane_survives_incast() {
     let dst = topo.hosts[8];
     for (i, &h) in topo.hosts[..8].iter().enumerate() {
         install_dcp(&mut sim, h, dst, FlowId(i as u32 + 1), Placement::Virtual);
-        sim.post(h, FlowId(i as u32 + 1), 1, WorkReqOp::Write { remote_addr: 0x10_000, rkey: 1 }, MSG);
+        sim.post(
+            h,
+            FlowId(i as u32 + 1),
+            1,
+            WorkReqOp::Write { remote_addr: 0x10_000, rkey: 1 },
+            MSG,
+        );
     }
     let mut done = 0;
     while done < 8 && sim.pending_events() > 0 && sim.now() < 30 * SEC {
@@ -214,7 +238,13 @@ fn coarse_timeout_recovers_when_control_plane_breaks() {
     let dst = topo.hosts[2];
     for (i, &h) in topo.hosts[..2].iter().enumerate() {
         install_dcp(&mut sim, h, dst, FlowId(i as u32 + 1), Placement::Virtual);
-        sim.post(h, FlowId(i as u32 + 1), 1, WorkReqOp::Write { remote_addr: 0x10_000, rkey: 1 }, MSG);
+        sim.post(
+            h,
+            FlowId(i as u32 + 1),
+            1,
+            WorkReqOp::Write { remote_addr: 0x10_000, rkey: 1 },
+            MSG,
+        );
     }
     let mut done = 0;
     while done < 2 && sim.pending_events() > 0 && sim.now() < 60 * SEC {
@@ -228,9 +258,8 @@ fn coarse_timeout_recovers_when_control_plane_breaks() {
     assert_eq!(done, 2, "fallback must deliver despite HO losses");
     let ns = sim.net_stats();
     assert!(ns.ho_drops > 0, "scenario must actually violate the control plane");
-    let total_timeouts: u64 = (1..=2)
-        .map(|i| sim.endpoint_stats(topo.hosts[i - 1], FlowId(i as u32)).timeouts)
-        .sum();
+    let total_timeouts: u64 =
+        (1..=2).map(|i| sim.endpoint_stats(topo.hosts[i - 1], FlowId(i as u32)).timeouts).sum();
     assert!(total_timeouts > 0, "recovery must have used the coarse fallback");
 }
 

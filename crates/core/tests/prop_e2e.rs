@@ -21,7 +21,8 @@ fn run_case(seed: u64, loss_bp: u32, msgs: u8, msg_kb: u16) -> Result<(), TestCa
     let (a, b) = (topo.hosts[0], topo.hosts[1]);
     let flow = FlowId(1);
     let fc = FlowCfg::sender(flow, a, b, DcpTag::Data);
-    let (tx, rx) = dcp_pair(fc, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+    let (tx, rx) =
+        dcp_pair(fc, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
     sim.install_endpoint(a, flow, Box::new(tx));
     sim.install_endpoint(b, flow, Box::new(rx));
     let msg_bytes = msg_kb as u64 * 1024;

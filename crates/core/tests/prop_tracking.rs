@@ -21,7 +21,9 @@ fn exactly_once_schedule() -> impl Strategy<Value = (Vec<u32>, Vec<Arrival>)> {
         let arrivals: Vec<Arrival> = sizes
             .iter()
             .enumerate()
-            .flat_map(|(msn, &n)| (0..n).map(move |index| Arrival { msn: msn as u32, index, round: 0 }))
+            .flat_map(|(msn, &n)| {
+                (0..n).map(move |index| Arrival { msn: msn as u32, index, round: 0 })
+            })
             .collect();
         let len = arrivals.len();
         (Just(sizes), Just(arrivals).prop_shuffle().prop_map(move |v| v), Just(len))

@@ -1,0 +1,296 @@
+//! Calendar-queue/heap hybrid for the event engine's hot path.
+//!
+//! The simulator's pending-event set is dominated by near-future events
+//! (packet arrivals and port-free events a few hundred nanoseconds out)
+//! plus a thin tail of far-future timers (RTOs, deadlines seconds away). A
+//! global binary heap pays `O(log n)` per operation on everything; this
+//! queue gives the near-future majority `O(1)` inserts by spreading them
+//! over a wheel of time buckets, and only the current bucket — a handful
+//! of events — lives in a heap.
+//!
+//! Layout, from soonest to latest:
+//!
+//! * `cur`: min-heap of every pending event before `cur_start + WIDTH`
+//!   (the *current bucket*). `peek`/`pop` only ever touch this heap.
+//! * `buckets`: a power-of-two wheel of unsorted `Vec`s covering
+//!   `[cur_start + WIDTH, cur_start + WIDTH * NBUCKETS)`; slot =
+//!   `(at / WIDTH) % NBUCKETS`. Inserts are a push; a bucket is heapified
+//!   wholesale (O(n)) only when the wheel rotates onto it.
+//! * `overflow`: min-heap for everything at or past the wheel horizon.
+//!   Entries migrate onto the wheel as the horizon advances past them.
+//!
+//! Ordering contract — the part determinism rests on: keys are `(at, seq)`
+//! with `seq` a unique insertion counter, and `pop` returns entries in
+//! exactly ascending `(at, seq)` order, byte-for-byte the order the old
+//! global `BinaryHeap` produced. The structure only changes *where* an
+//! entry waits, never how ties break: same-`at` entries always share a
+//! bucket window, so they meet again in `cur` before either can be popped.
+
+use crate::time::Nanos;
+use std::collections::BinaryHeap;
+
+/// log2 of the bucket width: 1024 ns per bucket.
+const WIDTH_LOG2: u32 = 10;
+const WIDTH: Nanos = 1 << WIDTH_LOG2;
+/// Wheel size (power of two): horizon = WIDTH * NBUCKETS ≈ 1 ms.
+const NBUCKETS: usize = 1024;
+
+struct Entry<T> {
+    at: Nanos,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Entry<T> {
+    fn key(&self) -> (Nanos, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, o: &Self) -> bool {
+        self.key() == o.key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+// Reversed on purpose: `BinaryHeap<Entry>` is a max-heap, so inverting the
+// key comparison turns it into the min-queue we need without a `Reverse`
+// wrapper — which lets `BinaryHeap::from(bucket_vec)` heapify a bucket's
+// storage in place, allocation-free.
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        o.key().cmp(&self.key())
+    }
+}
+
+/// Deterministic timer queue keyed on `(time, seq)`; see module docs.
+pub struct EventQueue<T> {
+    /// Start of the current bucket's window; multiple of `WIDTH`.
+    cur_start: Nanos,
+    /// Min-heap of all entries with `at < cur_start + WIDTH`.
+    cur: BinaryHeap<Entry<T>>,
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Total entries across `buckets`.
+    in_buckets: usize,
+    overflow: BinaryHeap<Entry<T>>,
+    len: usize,
+    peak_len: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue {
+            cur_start: 0,
+            cur: BinaryHeap::new(),
+            buckets: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            peak_len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of pending entries over the queue's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    fn horizon(&self) -> Nanos {
+        self.cur_start + WIDTH * NBUCKETS as Nanos
+    }
+
+    /// Inserts an entry. `(at, seq)` pairs must be unique and `seq`
+    /// monotonically increasing across calls (the simulator's event
+    /// counter); `at` may not precede the last popped time.
+    pub fn insert(&mut self, at: Nanos, seq: u64, item: T) {
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+        let e = Entry { at, seq, item };
+        if at < self.cur_start + WIDTH {
+            self.cur.push(e);
+        } else if at < self.horizon() {
+            self.buckets[(at >> WIDTH_LOG2) as usize & (NBUCKETS - 1)].push(e);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(e);
+        }
+    }
+
+    /// Timestamp of the earliest pending entry. `&mut` because reaching the
+    /// next entry may rotate the wheel (a reorganization, not a removal).
+    pub fn next_at(&mut self) -> Option<Nanos> {
+        self.advance();
+        self.cur.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest entry as `(at, seq, item)`.
+    pub fn pop(&mut self) -> Option<(Nanos, u64, T)> {
+        self.advance();
+        let e = self.cur.pop()?;
+        self.len -= 1;
+        Some((e.at, e.seq, e.item))
+    }
+
+    /// Rotates the wheel until the current bucket holds the next entry (or
+    /// the queue is empty). No-op while `cur` is non-empty: everything in
+    /// later buckets/overflow is strictly after the current window.
+    fn advance(&mut self) {
+        while self.cur.is_empty() && self.len > 0 {
+            if self.in_buckets > 0 {
+                self.cur_start += WIDTH;
+                let idx = (self.cur_start >> WIDTH_LOG2) as usize & (NBUCKETS - 1);
+                let v = std::mem::take(&mut self.buckets[idx]);
+                self.in_buckets -= v.len();
+                // Heapify in place and hand the drained heap's storage back
+                // to the slot so bucket capacity is recycled.
+                let old = std::mem::replace(&mut self.cur, BinaryHeap::from(v));
+                self.buckets[idx] = old.into_vec();
+                self.migrate_overflow();
+            } else {
+                // Only overflow left: jump the wheel straight to its min
+                // instead of rotating through empty buckets (a far-future
+                // RTO would otherwise cost millions of rotations).
+                let at = self.overflow.peek().expect("len>0 with empty wheel").at;
+                self.cur_start = (at >> WIDTH_LOG2) << WIDTH_LOG2;
+                self.migrate_overflow();
+            }
+        }
+    }
+
+    /// Moves overflow entries that fell inside the (advanced) horizon onto
+    /// the wheel.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.horizon();
+        while self.overflow.peek().is_some_and(|e| e.at < horizon) {
+            let e = self.overflow.pop().expect("peeked");
+            if e.at < self.cur_start + WIDTH {
+                self.cur.push(e);
+            } else {
+                self.buckets[(e.at >> WIDTH_LOG2) as usize & (NBUCKETS - 1)].push(e);
+                self.in_buckets += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains `q` and checks strict ascending (at, seq) order.
+    fn drain_sorted(q: &mut EventQueue<u32>) -> Vec<(Nanos, u64)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, _)) = q.pop() {
+            out.push((at, seq));
+        }
+        for w in out.windows(2) {
+            assert!(w[0] < w[1], "out of order: {:?} then {:?}", w[0], w[1]);
+        }
+        out
+    }
+
+    #[test]
+    fn orders_across_buckets_and_overflow() {
+        let mut q = EventQueue::new();
+        // Same-time entries (seq tiebreak), near bucket, far bucket, and a
+        // far-future overflow entry, inserted shuffled.
+        let inserts: &[(Nanos, u64)] = &[
+            (5_000, 3),
+            (10, 1),
+            (10, 2),
+            (3_000_000_000, 4), // 3 s: overflow
+            (900_000, 5),       // within horizon
+            (0, 6),
+            (5_000, 7),
+        ];
+        for &(at, seq) in inserts {
+            q.insert(at, seq, seq as u32);
+        }
+        assert_eq!(q.len(), inserts.len());
+        assert_eq!(q.peak_len(), inserts.len());
+        let order = drain_sorted(&mut q);
+        assert_eq!(
+            order,
+            vec![
+                (0, 6),
+                (10, 1),
+                (10, 2),
+                (5_000, 3),
+                (5_000, 7),
+                (900_000, 5),
+                (3_000_000_000, 4)
+            ]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_insert_pop_matches_global_heap() {
+        // Deterministic pseudo-random workload compared against a reference
+        // sort; inserts respect `at >= last popped time` like the simulator.
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(Nanos, u64)> = Vec::new();
+        let mut state: u64 = 0x1234_5678;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut seq = 0u64;
+        let mut now: Nanos = 0;
+        let mut popped = Vec::new();
+        for _ in 0..5_000 {
+            if rng() % 3 != 0 || q.is_empty() {
+                seq += 1;
+                // Mix of near (same bucket), mid (wheel) and far (overflow).
+                let delta = match rng() % 10 {
+                    0..=5 => rng() % 800,
+                    6..=8 => rng() % 500_000,
+                    _ => 1_000_000 + rng() % 4_000_000_000,
+                };
+                let at = now + delta;
+                q.insert(at, seq, seq as u32);
+                reference.push((at, seq));
+            } else {
+                let (at, s, _) = q.pop().unwrap();
+                now = at;
+                popped.push((at, s));
+            }
+        }
+        while let Some((at, s, _)) = q.pop() {
+            popped.push((at, s));
+        }
+        reference.sort_unstable();
+        assert_eq!(popped, reference);
+    }
+
+    #[test]
+    fn next_at_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.insert(7_000, 1, 0u32);
+        assert_eq!(q.next_at(), Some(7_000));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(at, ..)| at), Some(7_000));
+        assert_eq!(q.next_at(), None);
+    }
+}

@@ -70,9 +70,7 @@ impl Host {
 
     /// Posts a Work Request on the sender endpoint of `flow`.
     pub fn post(&mut self, flow: FlowId, wr_id: u64, op: WorkReqOp, len: u64) {
-        let ep = self
-            .endpoint_mut(flow)
-            .unwrap_or_else(|| panic!("no endpoint for flow {flow:?}"));
+        let ep = self.endpoint_mut(flow).unwrap_or_else(|| panic!("no endpoint for flow {flow:?}"));
         ep.post(wr_id, op, len);
     }
 

@@ -21,6 +21,7 @@
 //! clock, and same-seed runs produce identical traces — asserted by tests.
 
 pub mod endpoint;
+pub mod equeue;
 pub mod host;
 pub mod link;
 pub mod packet;
@@ -33,6 +34,7 @@ pub mod topology;
 pub mod trace;
 
 pub use endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+pub use equeue::EventQueue;
 pub use link::Link;
 pub use packet::{FlowId, NodeId, Packet, PktExt, PortId};
 pub use routing::LoadBalance;

@@ -41,19 +41,33 @@ pub type PortId = usize;
 pub enum PktExt {
     None,
     /// Go-Back-N ACK: cumulative PSN (next expected).
-    GbnAck { epsn: u32 },
+    GbnAck {
+        epsn: u32,
+    },
     /// Go-Back-N NAK: receiver saw a gap; retransmit from `epsn`.
-    GbnNak { epsn: u32 },
+    GbnNak {
+        epsn: u32,
+    },
     /// IRN selective ACK: cumulative `epsn` plus the out-of-order PSN whose
     /// arrival triggered this SACK (§2.2).
-    Sack { epsn: u32, sacked_psn: u32 },
+    Sack {
+        epsn: u32,
+        sacked_psn: u32,
+    },
     /// DCQCN Congestion Notification Packet.
     Cnp,
     /// MP-RDMA per-path ACK: cumulative PSN, the PSN being acknowledged, the
     /// path it travelled, and whether it was ECN-marked.
-    MpAck { epsn: u32, acked_psn: u32, path: u16, ecn: bool },
+    MpAck {
+        epsn: u32,
+        acked_psn: u32,
+        path: u16,
+        ecn: bool,
+    },
     /// Software-TCP cumulative ACK (byte-based).
-    TcpAck { ack_seq: u64 },
+    TcpAck {
+        ack_seq: u64,
+    },
 }
 
 /// A packet in flight.

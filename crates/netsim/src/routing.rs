@@ -6,7 +6,6 @@
 //! the paper's in-network AR from §5), or per-packet spraying.
 
 use crate::packet::{NodeId, Packet, PortId};
-use std::collections::HashMap;
 
 /// Load-balancing scheme a switch applies among equal-cost ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +26,17 @@ pub enum LoadBalance {
 }
 
 /// Destination-based routing table with equal-cost candidate sets.
+///
+/// `NodeId`s are dense simulator indices, so the table is a CSR-style pair
+/// of flat arrays indexed by destination — a lookup is two array reads on
+/// the per-packet path instead of a hash. Spans of length zero mean "no
+/// route", so absent destinations still report `None`.
 #[derive(Debug, Default, Clone)]
 pub struct RoutingTable {
-    routes: HashMap<NodeId, Vec<PortId>>,
+    /// `(offset, len)` into `ports`, indexed by `NodeId`; `len == 0` ⇒ no
+    /// route installed.
+    spans: Vec<(u32, u32)>,
+    ports: Vec<PortId>,
 }
 
 impl RoutingTable {
@@ -37,13 +44,26 @@ impl RoutingTable {
         Self::default()
     }
 
+    /// Installs (or replaces) the candidate set for `dst`. Replacement
+    /// leaves the old span's storage in place — tables are built once at
+    /// topology setup, so the waste is bounded and irrelevant.
     pub fn add_route(&mut self, dst: NodeId, ports: Vec<PortId>) {
         assert!(!ports.is_empty(), "route to {dst:?} needs at least one port");
-        self.routes.insert(dst, ports);
+        let d = dst.0 as usize;
+        if d >= self.spans.len() {
+            self.spans.resize(d + 1, (0, 0));
+        }
+        let offset = self.ports.len() as u32;
+        self.spans[d] = (offset, ports.len() as u32);
+        self.ports.extend_from_slice(&ports);
     }
 
     pub fn candidates(&self, dst: NodeId) -> Option<&[PortId]> {
-        self.routes.get(&dst).map(|v| v.as_slice())
+        let &(offset, len) = self.spans.get(dst.0 as usize)?;
+        if len == 0 {
+            return None;
+        }
+        Some(&self.ports[offset as usize..(offset + len) as usize])
     }
 }
 
@@ -51,12 +71,7 @@ impl RoutingTable {
 /// not correlated along a path.
 fn ecmp_hash(src: u32, dst: u32, sport: u16, salt: u64) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
-    for b in src
-        .to_be_bytes()
-        .into_iter()
-        .chain(dst.to_be_bytes())
-        .chain(sport.to_be_bytes())
-    {
+    for b in src.to_be_bytes().into_iter().chain(dst.to_be_bytes()).chain(sport.to_be_bytes()) {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -88,34 +103,58 @@ pub fn select_port(
             let h = ecmp_hash(pkt.header.ip.src, pkt.header.ip.dst, pkt.header.udp.src_port, salt);
             candidates[(h % candidates.len() as u64) as usize]
         }
-        LoadBalance::AdaptiveRouting => {
-            // Least-loaded egress; ties break by flow hash so that a
-            // balanced fabric keeps flows path-stable (real AR pipelines
-            // behave this way, and it is what lets in-order transports
-            // survive AR on symmetric paths — Fig. 11's 1:1 column).
-            let min_q = candidates.iter().map(|&c| queue_bytes(c)).min().unwrap();
-            let tied: Vec<PortId> = candidates.iter().copied().filter(|&c| queue_bytes(c) == min_q).collect();
-            if tied.len() == 1 {
-                tied[0]
-            } else {
-                let h = ecmp_hash(pkt.header.ip.src, pkt.header.ip.dst, pkt.header.udp.src_port, salt);
-                tied[(h % tied.len() as u64) as usize]
-            }
+        // Least-loaded egress; ties break by flow hash so that a balanced
+        // fabric keeps flows path-stable (real AR pipelines behave this
+        // way, and it is what lets in-order transports survive AR on
+        // symmetric paths — Fig. 11's 1:1 column). Flowlet needs per-flow
+        // state and is resolved by the switch before reaching this
+        // stateless helper; a fresh flowlet picks like AR.
+        LoadBalance::AdaptiveRouting | LoadBalance::Flowlet { .. } => {
+            least_loaded(pkt, candidates, salt, queue_bytes)
         }
         LoadBalance::Spray => candidates[(spray_roll % candidates.len() as u64) as usize],
-        // Flowlet needs per-flow state and is resolved by the switch before
-        // reaching this stateless helper; a fresh flowlet picks like AR.
-        LoadBalance::Flowlet { .. } => {
-            let min_q = candidates.iter().map(|&c| queue_bytes(c)).min().unwrap();
-            let tied: Vec<PortId> = candidates.iter().copied().filter(|&c| queue_bytes(c) == min_q).collect();
-            if tied.len() == 1 {
-                tied[0]
-            } else {
-                let h = ecmp_hash(pkt.header.ip.src, pkt.header.ip.dst, pkt.header.udp.src_port, salt);
-                tied[(h % tied.len() as u64) as usize]
+    }
+}
+
+/// AR pick without allocating: one pass finds the minimum load and tie
+/// count, a second indexes the hash-chosen tie. Visits candidates in slice
+/// order both times, so the choice is identical to materializing the tied
+/// set and indexing it.
+fn least_loaded(
+    pkt: &Packet,
+    candidates: &[PortId],
+    salt: u64,
+    queue_bytes: impl Fn(PortId) -> usize,
+) -> PortId {
+    let mut min_q = usize::MAX;
+    let mut ties = 0u64;
+    for &c in candidates {
+        let q = queue_bytes(c);
+        match q.cmp(&min_q) {
+            std::cmp::Ordering::Less => {
+                min_q = q;
+                ties = 1;
             }
+            std::cmp::Ordering::Equal => ties += 1,
+            std::cmp::Ordering::Greater => {}
         }
     }
+    let pick = if ties == 1 {
+        0
+    } else {
+        let h = ecmp_hash(pkt.header.ip.src, pkt.header.ip.dst, pkt.header.udp.src_port, salt);
+        h % ties
+    };
+    let mut seen = 0;
+    for &c in candidates {
+        if queue_bytes(c) == min_q {
+            if seen == pick {
+                return c;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("tie index within tie count")
 }
 
 #[cfg(test)]

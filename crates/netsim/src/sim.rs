@@ -1,11 +1,13 @@
 //! The deterministic event loop.
 //!
-//! A single binary heap orders events by `(time, sequence)`; the sequence
-//! tiebreak makes same-instant ordering stable, so a given seed always
-//! produces an identical packet trace. Node handlers never touch other
-//! nodes directly — they emit `(time, Event)` pairs through [`NodeCtx`].
+//! A calendar queue ([`crate::equeue::EventQueue`]) orders events by
+//! `(time, sequence)`; the sequence tiebreak makes same-instant ordering
+//! stable, so a given seed always produces an identical packet trace. Node
+//! handlers never touch other nodes directly — they emit `(time, Event)`
+//! pairs through [`NodeCtx`].
 
 use crate::endpoint::{Completion, Endpoint};
+use crate::equeue::EventQueue;
 use crate::host::Host;
 use crate::link::Link;
 use crate::packet::{FlowId, NodeId, Packet, PortId};
@@ -15,8 +17,7 @@ use crate::time::Nanos;
 use dcp_rdma::qp::WorkReqOp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Everything that can happen in the fabric.
 // A packet rides inside its arrival event by design; boxing it would cost
@@ -63,38 +64,16 @@ pub enum Node {
     Empty,
 }
 
-struct Scheduled {
-    at: Nanos,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, o: &Self) -> bool {
-        self.at == o.at && self.seq == o.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(o.at, o.seq))
-    }
-}
-
 /// The simulator: owns all nodes, the event queue and the RNG.
 pub struct Simulator {
     now: Nanos,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<Event>,
     pub nodes: Vec<Node>,
     pub rng: StdRng,
     completions: VecDeque<Completion>,
     scratch: Vec<(Nanos, Event)>,
+    events: u64,
 }
 
 impl Simulator {
@@ -102,11 +81,12 @@ impl Simulator {
         Simulator {
             now: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             nodes: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             completions: VecDeque::new(),
             scratch: Vec::new(),
+            events: 0,
         }
     }
 
@@ -158,10 +138,14 @@ impl Simulator {
 
     /// Connects a host to a switch full-duplex; returns the switch port
     /// facing the host.
-    pub fn connect_host_switch(&mut self, host: NodeId, sw: NodeId, gbps: f64, delay: Nanos) -> PortId {
-        let port = self
-            .switch_mut(sw)
-            .add_port(Link::new(host, Host::PORT, gbps, delay));
+    pub fn connect_host_switch(
+        &mut self,
+        host: NodeId,
+        sw: NodeId,
+        gbps: f64,
+        delay: Nanos,
+    ) -> PortId {
+        let port = self.switch_mut(sw).add_port(Link::new(host, Host::PORT, gbps, delay));
         self.host_mut(host).link = Some(Link::new(sw, port, gbps, delay));
         // The switch's incoming link on `port` originates at the host.
         self.switch_mut(sw).set_peer(port, (host, Host::PORT));
@@ -169,7 +153,13 @@ impl Simulator {
     }
 
     /// Connects two switches full-duplex; returns `(port_on_a, port_on_b)`.
-    pub fn connect_switches(&mut self, a: NodeId, b: NodeId, gbps: f64, delay: Nanos) -> (PortId, PortId) {
+    pub fn connect_switches(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        gbps: f64,
+        delay: Nanos,
+    ) -> (PortId, PortId) {
         // Reserve the port numbers first so the links can reference them.
         let pa = self.switch(a).ports.len();
         let pb = self.switch(b).ports.len();
@@ -211,7 +201,7 @@ impl Simulator {
     pub fn schedule(&mut self, at: Nanos, ev: Event) {
         debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        self.queue.insert(at, self.seq, ev);
     }
 
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut Node, &mut NodeCtx)) {
@@ -229,23 +219,26 @@ impl Simulator {
         self.nodes[id.0 as usize] = node;
         for (at, ev) in out.drain(..) {
             self.seq += 1;
-            self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+            self.queue.insert(at, self.seq, ev);
         }
         self.scratch = out;
     }
 
     /// Processes one event; returns its timestamp, or `None` if idle.
     pub fn step(&mut self) -> Option<Nanos> {
-        let Reverse(s) = self.queue.pop()?;
-        debug_assert!(s.at >= self.now);
-        self.now = s.at;
-        let node_id = s.ev.node();
-        self.with_node(node_id, |node, ctx| match (node, s.ev) {
+        let (at, _seq, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.events += 1;
+        let node_id = ev.node();
+        self.with_node(node_id, |node, ctx| match (node, ev) {
             (Node::Host(h), Event::PacketArrive { pkt, .. }) => h.on_packet(pkt, ctx),
             (Node::Host(h), Event::PortFree { .. }) => h.on_port_free(ctx),
             (Node::Host(h), Event::Pfc { pause, .. }) => h.on_pfc(pause, ctx),
             (Node::Host(h), Event::EndpointTimer { ep, token, .. }) => h.on_timer(ep, token, ctx),
-            (Node::Switch(sw), Event::PacketArrive { port, pkt, .. }) => sw.on_packet(port, pkt, ctx),
+            (Node::Switch(sw), Event::PacketArrive { port, pkt, .. }) => {
+                sw.on_packet(port, pkt, ctx)
+            }
             (Node::Switch(sw), Event::PortFree { port, .. }) => sw.on_port_free(port, ctx),
             (Node::Switch(sw), Event::Pfc { port, pause, .. }) => sw.on_pfc(port, pause, ctx),
             (Node::Switch(_), Event::EndpointTimer { .. }) => {
@@ -253,22 +246,22 @@ impl Simulator {
             }
             (Node::Empty, _) => unreachable!("event for node under processing"),
         });
-        Some(s.at)
+        Some(at)
     }
 
     /// Processes the next event only if it is due at or before `limit`;
     /// returns `None` (without advancing) otherwise or when idle.
     pub fn step_bounded(&mut self, limit: Nanos) -> Option<Nanos> {
-        match self.queue.peek() {
-            Some(Reverse(s)) if s.at <= limit => self.step(),
+        match self.queue.next_at() {
+            Some(at) if at <= limit => self.step(),
             _ => None,
         }
     }
 
     /// Runs until the queue is empty or the clock passes `t`.
     pub fn run_until(&mut self, t: Nanos) {
-        while let Some(Reverse(s)) = self.queue.peek() {
-            if s.at > t {
+        while let Some(at) = self.queue.next_at() {
+            if at > t {
                 break;
             }
             self.step();
@@ -279,8 +272,8 @@ impl Simulator {
     /// Runs until every event is processed or `deadline` passes. Returns
     /// true if the queue drained.
     pub fn run_to_quiescence(&mut self, deadline: Nanos) -> bool {
-        while let Some(Reverse(s)) = self.queue.peek() {
-            if s.at > deadline {
+        while let Some(at) = self.queue.next_at() {
+            if at > deadline {
                 return false;
             }
             self.step();
@@ -289,12 +282,40 @@ impl Simulator {
     }
 
     /// Drains completions surfaced since the last call.
+    ///
+    /// Allocates a fresh `Vec` per call; event-per-step loops should prefer
+    /// [`Simulator::for_each_completion`].
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         self.completions.drain(..).collect()
     }
 
+    /// Invokes `f` on each completion surfaced since the last drain,
+    /// without allocating.
+    pub fn for_each_completion(&mut self, mut f: impl FnMut(Completion)) {
+        while let Some(c) = self.completions.pop_front() {
+            f(c);
+        }
+    }
+
+    /// Drains completions into `buf` (cleared first), reusing its storage —
+    /// for loops that must keep `&mut Simulator` free while consuming them.
+    pub fn drain_completions_into(&mut self, buf: &mut Vec<Completion>) {
+        buf.clear();
+        buf.extend(self.completions.drain(..));
+    }
+
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Total events dispatched by [`Simulator::step`] so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// High-water mark of the pending-event queue.
+    pub fn peak_pending_events(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// Aggregated fabric counters across all switches.
@@ -318,9 +339,6 @@ impl Simulator {
 
     /// Whether `flow`'s endpoint on `host` reports itself finished.
     pub fn endpoint_done(&self, host: NodeId, flow: FlowId) -> bool {
-        self.host(host)
-            .endpoint(flow)
-            .map(|e| e.is_done())
-            .unwrap_or(true)
+        self.host(host).endpoint(flow).map(|e| e.is_done()).unwrap_or(true)
     }
 }

@@ -259,12 +259,21 @@ impl Switch {
         let egress = if let LoadBalance::Flowlet { gap_ns } = self.cfg.lb {
             // Sticky within a flowlet; re-pick (least-loaded) after a gap.
             match self.flowlets.get(&pkt.flow) {
-                Some(&(port, last)) if ctx.now.saturating_sub(last) <= gap_ns && candidates.contains(&port) => {
+                Some(&(port, last))
+                    if ctx.now.saturating_sub(last) <= gap_ns && candidates.contains(&port) =>
+                {
                     self.flowlets.insert(pkt.flow, (port, ctx.now));
                     port
                 }
                 _ => {
-                    let fresh = select_port(self.cfg.lb, &pkt, candidates, self.salt, |p| ports[p].queued_bytes(), spray_roll);
+                    let fresh = select_port(
+                        self.cfg.lb,
+                        &pkt,
+                        candidates,
+                        self.salt,
+                        |p| ports[p].queued_bytes(),
+                        spray_roll,
+                    );
                     self.flowlets.insert(pkt.flow, (fresh, ctx.now));
                     fresh
                 }
@@ -368,12 +377,21 @@ impl Switch {
         queue.pkts.push_back(pkt);
     }
 
+    /// Builds the 57-B header-only notification directly: the trimmed
+    /// header stack plus the metadata that survives trimming, skipping the
+    /// full-packet clone (descriptor and all) this used to start from.
     fn trim(&self, pkt: &Packet) -> Packet {
-        let mut ho = pkt.clone();
-        ho.header = pkt.header.trim_to_header_only();
-        ho.payload_len = 0;
-        ho.desc = None;
-        ho
+        Packet {
+            uid: pkt.uid,
+            flow: pkt.flow,
+            header: pkt.header.trim_to_header_only(),
+            payload_len: 0,
+            desc: None,
+            ext: pkt.ext,
+            sent_at: pkt.sent_at,
+            is_retx: pkt.is_retx,
+            ingress: pkt.ingress,
+        }
     }
 
     /// Trims `pkt` and admits the header-only notification — toward the
@@ -391,7 +409,14 @@ impl Switch {
             if let Some(back) = self.routing.candidates(ho.dst_node()) {
                 let roll = ctx.rng.random::<u64>();
                 let ports = &self.ports;
-                target = select_port(self.cfg.lb, &ho, back, self.salt, |p| ports[p].queued_bytes(), roll);
+                target = select_port(
+                    self.cfg.lb,
+                    &ho,
+                    back,
+                    self.salt,
+                    |p| ports[p].queued_bytes(),
+                    roll,
+                );
             }
         }
         self.admit(target, Q_CTRL, ho, ctx);

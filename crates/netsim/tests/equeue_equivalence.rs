@@ -1,0 +1,143 @@
+//! Pins the calendar-queue event engine against the ordering of the
+//! `BinaryHeap<Reverse<(at, seq)>>` it replaced: on a randomized schedule
+//! of interleaved inserts and pops, both structures must yield the exact
+//! same (time, seq, payload) sequence. This is the contract that makes the
+//! engine swap invisible to seeded runs.
+
+use dcp_netsim::EventQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The exact shape the simulator used before the calendar queue.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Debug, Clone, Copy)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    item: u32,
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn matches_old_heap_on_randomized_schedule() {
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+    let mut model: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+    let mut queue: EventQueue<u32> = EventQueue::new();
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    for op in 0..20_000 {
+        // Bias toward inserts early, pops late, with occasional bursts.
+        let roll = rng.next() % 100;
+        let inserting = if op < 12_000 { roll < 65 } else { roll < 35 };
+        if inserting || model.is_empty() {
+            // Mix near-future (wheel), same-instant (ties resolved by seq)
+            // and far-future (overflow heap) times.
+            let delta = match rng.next() % 10 {
+                0 => 0,
+                1..=6 => rng.next() % 1_000_000,
+                7 | 8 => rng.next() % 50_000_000,
+                _ => 200_000_000 + rng.next() % 1_000_000_000,
+            };
+            seq += 1;
+            let s = Scheduled { at: now + delta, seq, item: (rng.next() & 0xffff_ffff) as u32 };
+            model.push(Reverse(s));
+            queue.insert(s.at, s.seq, s.item);
+        } else {
+            let Reverse(want) = model.pop().unwrap();
+            let got = queue.pop().expect("queue drained before the model");
+            assert_eq!((want.at, want.seq, want.item), got, "divergence at op {op}");
+            assert!(want.at >= now, "model produced an event in the past");
+            now = want.at;
+        }
+        assert_eq!(model.len(), queue.len());
+    }
+    // Drain the remainder in lock-step.
+    while let Some(Reverse(want)) = model.pop() {
+        assert_eq!(Some((want.at, want.seq, want.item)), queue.pop());
+    }
+    assert!(queue.pop().is_none());
+}
+
+/// Not a correctness test: times both structures on an identical,
+/// simulator-like schedule (link-delay events ~1 µs out, a tail of
+/// RTO-class timers far out, working set ~1–2 k). Run manually with
+/// `cargo test -p dcp-netsim --test equeue_equivalence -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn timing_vs_old_heap() {
+    const OPS: usize = 4_000_000;
+    fn drive<Q>(
+        mut insert: impl FnMut(&mut Q, u64, u64),
+        mut pop: impl FnMut(&mut Q) -> Option<u64>,
+        q: &mut Q,
+    ) -> u64 {
+        let mut rng = XorShift(0x2545_f491_4f6c_dd1d);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut acc = 0u64;
+        // Seed a standing population.
+        for _ in 0..1_500 {
+            seq += 1;
+            insert(q, now + rng.next() % 2_000_000, seq);
+        }
+        for _ in 0..OPS {
+            let at = q_pop(&mut pop, q, &mut acc, &mut now);
+            // Each popped event schedules 1 follow-up (steady state), mostly
+            // a ~1 µs link hop, sometimes a far-future timer.
+            let delta = if rng.next() % 100 < 95 {
+                500 + rng.next() % 2_000
+            } else {
+                100_000_000 + rng.next() % 100_000_000
+            };
+            seq += 1;
+            insert(q, at + delta, seq);
+        }
+        acc ^ now
+    }
+    fn q_pop<Q>(
+        pop: &mut impl FnMut(&mut Q) -> Option<u64>,
+        q: &mut Q,
+        acc: &mut u64,
+        now: &mut u64,
+    ) -> u64 {
+        let at = pop(q).unwrap();
+        *acc = acc.wrapping_add(at);
+        *now = at;
+        at
+    }
+
+    use std::time::Instant;
+    for round in 0..3 {
+        let t0 = Instant::now();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let h_acc = drive(
+            |q, at, seq| q.push(Reverse((at, seq))),
+            |q| q.pop().map(|Reverse((at, _))| at),
+            &mut heap,
+        );
+        let t_heap = t0.elapsed();
+        let t1 = Instant::now();
+        let mut eq: EventQueue<()> = EventQueue::new();
+        let e_acc =
+            drive(|q, at, seq| q.insert(at, seq, ()), |q| q.pop().map(|(at, _, _)| at), &mut eq);
+        let t_eq = t1.elapsed();
+        assert_eq!(h_acc, e_acc, "both structures must visit the same schedule");
+        println!(
+            "round {round}: old heap {:>7.1} ns/op, calendar {:>7.1} ns/op ({:+.1}%)",
+            t_heap.as_nanos() as f64 / OPS as f64,
+            t_eq.as_nanos() as f64 / OPS as f64,
+            (t_eq.as_secs_f64() / t_heap.as_secs_f64() - 1.0) * 100.0
+        );
+    }
+}

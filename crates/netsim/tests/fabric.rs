@@ -22,7 +22,17 @@ struct Blaster {
 
 impl Blaster {
     fn new(src: NodeId, dst: NodeId, flow: FlowId, n: u32, payload: u32, tag: DcpTag) -> Self {
-        Blaster { src, dst, flow, qpn: flow.0, n, sent: 0, payload, tag, stats: TransportStats::default() }
+        Blaster {
+            src,
+            dst,
+            flow,
+            qpn: flow.0,
+            n,
+            sent: 0,
+            payload,
+            tag,
+            stats: TransportStats::default(),
+        }
     }
 }
 
@@ -209,7 +219,7 @@ fn trimming_converts_overflow_to_header_only() {
     let mut sim = Simulator::new(11);
     let mut cfg = SwitchConfig::dcp(LoadBalance::Ecmp, 10.0);
     cfg.data_q_threshold = 8 * 1024; // tiny queue: force trims
-    // Bottleneck: two senders into one 100G receiver port.
+                                     // Bottleneck: two senders into one 100G receiver port.
     let topo = topology::two_switch_testbed(&mut sim, cfg, 2, 100.0, &[100.0], US, US);
     let dst = topo.hosts[2];
     install_pair(&mut sim, topo.hosts[0], dst, FlowId(1), 2000, DcpTag::Data);

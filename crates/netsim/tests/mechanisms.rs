@@ -110,22 +110,32 @@ fn qp_scheduler_shares_wire_fairly() {
     // Three blasters on one host: the round-robin QP scheduler must
     // interleave them, so all finish within ~1 quota of each other.
     let mut sim = Simulator::new(3);
-    let topo = topology::two_switch_testbed(&mut sim, SwitchConfig::lossy(LoadBalance::Ecmp), 1, 100.0, &[100.0], US, US);
+    let topo = topology::two_switch_testbed(
+        &mut sim,
+        SwitchConfig::lossy(LoadBalance::Ecmp),
+        1,
+        100.0,
+        &[100.0],
+        US,
+        US,
+    );
     let (src, dst) = (topo.hosts[0], topo.hosts[1]);
     for f in 1..=3u32 {
-        sim.install_endpoint(src, FlowId(f), Box::new(Blaster::new(src, dst, FlowId(f), 600, DcpTag::NonDcp)));
+        sim.install_endpoint(
+            src,
+            FlowId(f),
+            Box::new(Blaster::new(src, dst, FlowId(f), 600, DcpTag::NonDcp)),
+        );
         sim.install_endpoint(dst, FlowId(f), Box::new(Sink(TransportStats::default())));
     }
     sim.kick(src);
     // Run until roughly half the packets are through, then compare progress.
     sim.run_until(8 * tx_time(1098, 100.0) * 300);
-    let recvd: Vec<u64> = (1..=3).map(|f| sim.endpoint_stats(dst, FlowId(f)).pkts_received).collect();
+    let recvd: Vec<u64> =
+        (1..=3).map(|f| sim.endpoint_stats(dst, FlowId(f)).pkts_received).collect();
     let (min, max) = (recvd.iter().min().unwrap(), recvd.iter().max().unwrap());
     assert!(*min > 0);
-    assert!(
-        max - min <= 32,
-        "round-robin quota keeps flows within ~2 rounds: {recvd:?}"
-    );
+    assert!(max - min <= 32, "round-robin quota keeps flows within ~2 rounds: {recvd:?}");
 }
 
 #[test]
@@ -139,7 +149,17 @@ fn ecn_marks_ramp_with_occupancy() {
     let topo = topology::two_switch_testbed(&mut sim, cfg, 4, 100.0, &[100.0], US, US);
     let dst = topo.hosts[4];
     for f in 0..4u32 {
-        sim.install_endpoint(topo.hosts[f as usize], FlowId(f + 1), Box::new(Blaster::new(topo.hosts[f as usize], dst, FlowId(f + 1), 2000, DcpTag::NonDcp)));
+        sim.install_endpoint(
+            topo.hosts[f as usize],
+            FlowId(f + 1),
+            Box::new(Blaster::new(
+                topo.hosts[f as usize],
+                dst,
+                FlowId(f + 1),
+                2000,
+                DcpTag::NonDcp,
+            )),
+        );
         sim.install_endpoint(dst, FlowId(f + 1), Box::new(Sink(TransportStats::default())));
         sim.kick(topo.hosts[f as usize]);
     }
@@ -159,7 +179,17 @@ fn pfc_hysteresis_pauses_and_resumes() {
     let topo = topology::two_switch_testbed(&mut sim, cfg, 2, 100.0, &[100.0], US, US);
     let dst = topo.hosts[2];
     for f in 0..2u32 {
-        sim.install_endpoint(topo.hosts[f as usize], FlowId(f + 1), Box::new(Blaster::new(topo.hosts[f as usize], dst, FlowId(f + 1), 3000, DcpTag::NonDcp)));
+        sim.install_endpoint(
+            topo.hosts[f as usize],
+            FlowId(f + 1),
+            Box::new(Blaster::new(
+                topo.hosts[f as usize],
+                dst,
+                FlowId(f + 1),
+                3000,
+                DcpTag::NonDcp,
+            )),
+        );
         sim.install_endpoint(dst, FlowId(f + 1), Box::new(Sink(TransportStats::default())));
         sim.kick(topo.hosts[f as usize]);
     }
@@ -184,7 +214,11 @@ fn control_queue_stays_shallow_under_trim_storm() {
     let topo = topology::two_switch_testbed(&mut sim, cfg, 4, 100.0, &[100.0], US, US);
     let dst = topo.hosts[4];
     for f in 0..4u32 {
-        sim.install_endpoint(topo.hosts[f as usize], FlowId(f + 1), Box::new(Blaster::new(topo.hosts[f as usize], dst, FlowId(f + 1), 3000, DcpTag::Data)));
+        sim.install_endpoint(
+            topo.hosts[f as usize],
+            FlowId(f + 1),
+            Box::new(Blaster::new(topo.hosts[f as usize], dst, FlowId(f + 1), 3000, DcpTag::Data)),
+        );
         sim.install_endpoint(dst, FlowId(f + 1), Box::new(Sink(TransportStats::default())));
         sim.kick(topo.hosts[f as usize]);
     }
@@ -214,17 +248,14 @@ fn flowlet_is_sticky_within_gap_and_repins_after_idle() {
     let mut cfg = SwitchConfig::lossy(LoadBalance::Flowlet { gap_ns: gap });
     // The single 25G flowlet path queues a 100G burst; don't drop it.
     cfg.data_q_threshold = usize::MAX;
-    let topo = topology::two_switch_testbed(
-        &mut sim,
-        cfg,
-        1,
-        100.0,
-        &[25.0, 25.0, 25.0, 25.0],
-        US,
-        US,
-    );
+    let topo =
+        topology::two_switch_testbed(&mut sim, cfg, 1, 100.0, &[25.0, 25.0, 25.0, 25.0], US, US);
     let (src, dst) = (topo.hosts[0], topo.hosts[1]);
-    sim.install_endpoint(src, FlowId(1), Box::new(Blaster::new(src, dst, FlowId(1), 500, DcpTag::NonDcp)));
+    sim.install_endpoint(
+        src,
+        FlowId(1),
+        Box::new(Blaster::new(src, dst, FlowId(1), 500, DcpTag::NonDcp)),
+    );
     sim.install_endpoint(dst, FlowId(1), Box::new(Sink(TransportStats::default())));
     sim.kick(src);
     assert!(sim.run_to_quiescence(SEC));

@@ -104,7 +104,10 @@ impl RdmaOpcode {
     pub fn is_send(self) -> bool {
         matches!(
             self,
-            RdmaOpcode::SendFirst | RdmaOpcode::SendMiddle | RdmaOpcode::SendLast | RdmaOpcode::SendOnly
+            RdmaOpcode::SendFirst
+                | RdmaOpcode::SendMiddle
+                | RdmaOpcode::SendLast
+                | RdmaOpcode::SendOnly
         )
     }
 
@@ -367,7 +370,10 @@ impl PacketHeader {
     /// add to full data/ACK packets when present. `sRetryNo` costs nothing:
     /// it reuses the IP identification byte.
     pub fn wire_header_bytes(&self) -> usize {
-        let mut n = EthHeader::WIRE_BYTES + Ipv4Header::WIRE_BYTES + UdpHeader::WIRE_BYTES + Bth::WIRE_BYTES;
+        let mut n = EthHeader::WIRE_BYTES
+            + Ipv4Header::WIRE_BYTES
+            + UdpHeader::WIRE_BYTES
+            + Bth::WIRE_BYTES;
         if self.bth.opcode == RdmaOpcode::Acknowledge {
             // ACKs carry only the AETH; the eMSN rides in its MSN field.
             return n + if self.aeth.is_some() { Aeth::WIRE_BYTES } else { 0 };
@@ -428,11 +434,7 @@ mod tests {
             udp: UdpHeader::roce(0xc000, 1061),
             bth: Bth { opcode: RdmaOpcode::SendMiddle, dest_qpn: 7, psn: 42, ack_req: false },
             dcp: Some(DcpDataExt { msn: 3, ssn }),
-            reth: if reth {
-                Some(Reth { vaddr: 0x1000, rkey: 1, dma_len: 1024 })
-            } else {
-                None
-            },
+            reth: if reth { Some(Reth { vaddr: 0x1000, rkey: 1, dma_len: 1024 }) } else { None },
             aeth: None,
         }
     }

@@ -28,7 +28,9 @@ pub mod segment;
 pub mod verbs;
 pub mod wire;
 
-pub use headers::{Aeth, Bth, DcpTag, EthHeader, Ipv4Header, PacketHeader, RdmaOpcode, Reth, UdpHeader};
+pub use headers::{
+    Aeth, Bth, DcpTag, EthHeader, Ipv4Header, PacketHeader, RdmaOpcode, Reth, UdpHeader,
+};
 pub use memory::{MemoryRegion, Mtt, PatternGen};
 pub use qp::{Cqe, CqeKind, QpEndpointId, Qpn, RecvWqe, SendWqe, WorkReqOp};
 pub use segment::{segment_message, PacketDescriptor};

@@ -119,7 +119,14 @@ impl SendQueue {
 
     /// Posts a Work Request, assigning its MSN (and SSN if two-sided).
     /// Returns the assigned MSN.
-    pub fn post(&mut self, wr_id: u64, op: WorkReqOp, local_addr: u64, len: u64, signaled: bool) -> u32 {
+    pub fn post(
+        &mut self,
+        wr_id: u64,
+        op: WorkReqOp,
+        local_addr: u64,
+        len: u64,
+        signaled: bool,
+    ) -> u32 {
         let msn = self.next_msn;
         self.next_msn += 1;
         let ssn = if op.consumes_recv_wqe() {
@@ -271,7 +278,8 @@ mod tests {
         let mut sq = SendQueue::new();
         let m0 = sq.post(1, WorkReqOp::Send, 0, 100, true);
         let m1 = sq.post(2, WorkReqOp::Write { remote_addr: 0x100, rkey: 1 }, 0, 100, true);
-        let m2 = sq.post(3, WorkReqOp::WriteImm { remote_addr: 0x200, rkey: 1, imm: 7 }, 0, 100, true);
+        let m2 =
+            sq.post(3, WorkReqOp::WriteImm { remote_addr: 0x200, rkey: 1, imm: 7 }, 0, 100, true);
         assert_eq!((m0, m1, m2), (0, 1, 2));
         assert_eq!(sq.by_msn(0).unwrap().ssn, Some(0));
         assert_eq!(sq.by_msn(1).unwrap().ssn, None);

@@ -53,11 +53,7 @@ pub fn descriptor_for(wqe: &SendWqe, mtu: usize, index: u32) -> PacketDescriptor
     let first = index == 0;
     let last = index == total - 1;
     let offset = index as u64 * mtu as u64;
-    let payload_len = if wqe.len == 0 {
-        0
-    } else {
-        (wqe.len - offset).min(mtu as u64) as u32
-    };
+    let payload_len = if wqe.len == 0 { 0 } else { (wqe.len - offset).min(mtu as u64) as u32 };
     let (opcode, remote_addr, rkey, imm) = match wqe.op {
         WorkReqOp::Send => {
             let op = match (first, last) {
@@ -102,7 +98,15 @@ mod tests {
     use super::*;
 
     fn wqe(op: WorkReqOp, len: u64) -> SendWqe {
-        SendWqe { wr_id: 1, op, local_addr: 0x8000, len, msn: 4, ssn: op.consumes_recv_wqe().then_some(2), signaled: true }
+        SendWqe {
+            wr_id: 1,
+            op,
+            local_addr: 0x8000,
+            len,
+            msn: 4,
+            ssn: op.consumes_recv_wqe().then_some(2),
+            signaled: true,
+        }
     }
 
     #[test]
@@ -128,7 +132,8 @@ mod tests {
 
     #[test]
     fn write_packets_all_carry_offset_reth() {
-        let d = segment_message(&wqe(WorkReqOp::Write { remote_addr: 0x10_000, rkey: 9 }, 2500), 1024);
+        let d =
+            segment_message(&wqe(WorkReqOp::Write { remote_addr: 0x10_000, rkey: 9 }, 2500), 1024);
         assert_eq!(d.len(), 3);
         assert_eq!(d[0].remote_addr, Some(0x10_000));
         assert_eq!(d[1].remote_addr, Some(0x10_000 + 1024));
@@ -139,7 +144,10 @@ mod tests {
 
     #[test]
     fn write_imm_carries_ssn_and_imm_only_on_last() {
-        let d = segment_message(&wqe(WorkReqOp::WriteImm { remote_addr: 0x100, rkey: 1, imm: 0xbeef }, 2048), 1024);
+        let d = segment_message(
+            &wqe(WorkReqOp::WriteImm { remote_addr: 0x100, rkey: 1, imm: 0xbeef }, 2048),
+            1024,
+        );
         assert_eq!(d[0].opcode, RdmaOpcode::WriteFirst);
         assert_eq!(d[1].opcode, RdmaOpcode::WriteLastImm);
         assert_eq!(d[0].ssn, None);

@@ -25,7 +25,9 @@ impl std::fmt::Display for VerbsError {
         match self {
             VerbsError::SqFull => write!(f, "send queue full"),
             VerbsError::RqFull => write!(f, "receive queue full"),
-            VerbsError::BadLocalAddr { addr, len } => write!(f, "unregistered local memory [{addr:#x}, +{len})"),
+            VerbsError::BadLocalAddr { addr, len } => {
+                write!(f, "unregistered local memory [{addr:#x}, +{len})")
+            }
         }
     }
 }
@@ -93,7 +95,14 @@ impl QueuePair {
     }
 
     /// Posts a send-side Work Request. Returns the assigned MSN.
-    pub fn post_send(&mut self, wr_id: u64, op: WorkReqOp, local_addr: u64, len: u64, signaled: bool) -> Result<u32, VerbsError> {
+    pub fn post_send(
+        &mut self,
+        wr_id: u64,
+        op: WorkReqOp,
+        local_addr: u64,
+        len: u64,
+        signaled: bool,
+    ) -> Result<u32, VerbsError> {
         if self.sq.len() >= self.max_sq_depth {
             return Err(VerbsError::SqFull);
         }
@@ -168,7 +177,13 @@ mod tests {
     fn cq_polls_fifo() {
         let mut qp = qp();
         for i in 0..3 {
-            qp.push_cqe(Cqe { wr_id: i, qpn: Qpn(1), kind: CqeKind::SendComplete, byte_len: 0, imm: 0 });
+            qp.push_cqe(Cqe {
+                wr_id: i,
+                qpn: Qpn(1),
+                kind: CqeKind::SendComplete,
+                byte_len: 0,
+                imm: 0,
+            });
         }
         let got = qp.poll_cq(2);
         assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![0, 1]);

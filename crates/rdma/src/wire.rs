@@ -11,7 +11,7 @@
 //! RETH after those for one-sided operations; AETH after the BTH for ACKs).
 
 use crate::headers::*;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Bytes, BytesMut};
 
 /// Error produced when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,7 +71,7 @@ pub fn encode(h: &PacketHeader) -> Bytes {
     buf.put_u16(h.udp.dst_port);
     buf.put_u16(h.udp.len);
     buf.put_u16(0); // checksum
-    // BTH (12 bytes)
+                    // BTH (12 bytes)
     buf.put_u8(h.bth.opcode.wire_code());
     buf.put_u8(if h.bth.ack_req { 0x80 } else { 0x00 }); // SE/M/pad/TVer
     buf.put_u16(0xffff); // P_Key
@@ -121,7 +121,9 @@ pub fn encode(h: &PacketHeader) -> Bytes {
 /// tags stop at the MSN.
 pub fn decode(bytes: &Bytes) -> Result<PacketHeader, WireError> {
     let mut buf = bytes.clone();
-    if buf.remaining() < EthHeader::WIRE_BYTES + Ipv4Header::WIRE_BYTES + UdpHeader::WIRE_BYTES + Bth::WIRE_BYTES {
+    if buf.remaining()
+        < EthHeader::WIRE_BYTES + Ipv4Header::WIRE_BYTES + UdpHeader::WIRE_BYTES + Bth::WIRE_BYTES
+    {
         return Err(WireError::Truncated("fixed header stack"));
     }
     let mut dst = [0u8; 6];

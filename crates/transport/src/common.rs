@@ -116,9 +116,7 @@ impl TxBook {
             return None;
         }
         // Binary search over contiguous ranges.
-        let ix = self
-            .msgs
-            .partition_point(|m| m.first_psn + m.pkt_count <= psn);
+        let ix = self.msgs.partition_point(|m| m.first_psn + m.pkt_count <= psn);
         let m = self.msgs.get(ix)?;
         (psn >= m.first_psn).then(|| (m, psn - m.first_psn))
     }
@@ -247,7 +245,12 @@ pub fn ack_packet(cfg: &FlowCfg, ext: PktExt, emsn: u32, uid: u64) -> Packet {
         eth: EthHeader::new(MacAddr::from_host(cfg.local.0), MacAddr::from_host(cfg.remote.0)),
         ip: Ipv4Header::new(cfg.local.ip(), cfg.remote.ip(), tag, 0),
         udp: UdpHeader::roce(cfg.sport, 0),
-        bth: Bth { opcode: RdmaOpcode::Acknowledge, dest_qpn: cfg.remote_qpn.0, psn: 0, ack_req: false },
+        bth: Bth {
+            opcode: RdmaOpcode::Acknowledge,
+            dest_qpn: cfg.remote_qpn.0,
+            psn: 0,
+            ack_req: false,
+        },
         dcp: None,
         reth: None,
         aeth: Some(Aeth { syndrome: 0, emsn }),
@@ -287,8 +290,7 @@ impl Placement {
                 if len == 0 {
                     return;
                 }
-                mtt
-                    .local_mut(addr, len as u64)
+                mtt.local_mut(addr, len as u64)
                     .expect("placement outside registered memory")
                     .write_pattern(addr, len as u64, pattern, addr - offset_in_msg)
                     .expect("bounds already checked");

@@ -138,7 +138,10 @@ impl Endpoint for GbnSender {
     fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
         match tokens::kind(token) {
             tokens::RTO => {
-                if self.rto_armed && tokens::generation(token) == self.rto_gen && self.snd_una < self.max_sent {
+                if self.rto_armed
+                    && tokens::generation(token) == self.rto_gen
+                    && self.snd_una < self.max_sent
+                {
                     self.stats.timeouts += 1;
                     self.snd_nxt = self.snd_una;
                     self.arm_rto(ctx);
@@ -310,9 +313,9 @@ pub fn gbn_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_rdma::headers::DcpTag;
     use crate::cc::StaticWindow;
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -331,7 +334,11 @@ mod tests {
 
     #[test]
     fn sender_emits_sequential_psns_within_window() {
-        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 3 * 1024 }));
+        let mut s = GbnSender::new(
+            cfg(),
+            GbnConfig::default(),
+            Box::new(StaticWindow { window_bytes: 3 * 1024 }),
+        );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 10 * 1024);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         let mut psns = vec![];
@@ -344,7 +351,11 @@ mod tests {
 
     #[test]
     fn nak_rewinds_and_resends() {
-        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 8 * 1024 }));
+        let mut s = GbnSender::new(
+            cfg(),
+            GbnConfig::default(),
+            Box::new(StaticWindow { window_bytes: 8 * 1024 }),
+        );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         for _ in 0..5 {
@@ -361,7 +372,11 @@ mod tests {
 
     #[test]
     fn cumulative_ack_retires_messages() {
-        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 64 * 1024 }));
+        let mut s = GbnSender::new(
+            cfg(),
+            GbnConfig::default(),
+            Box::new(StaticWindow { window_bytes: 64 * 1024 }),
+        );
         s.post(7, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
@@ -374,11 +389,16 @@ mod tests {
 
     #[test]
     fn rto_rewinds_without_feedback() {
-        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 64 * 1024 }));
+        let mut s = GbnSender::new(
+            cfg(),
+            GbnConfig::default(),
+            Box::new(StaticWindow { window_bytes: 64 * 1024 }),
+        );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
-        let (at, token) = t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        let (at, token) =
+            t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
         s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
         let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
@@ -388,11 +408,16 @@ mod tests {
 
     #[test]
     fn stale_rto_is_ignored_after_progress() {
-        let mut s = GbnSender::new(cfg(), GbnConfig::default(), Box::new(StaticWindow { window_bytes: 64 * 1024 }));
+        let mut s = GbnSender::new(
+            cfg(),
+            GbnConfig::default(),
+            Box::new(StaticWindow { window_bytes: 64 * 1024 }),
+        );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
-        let (at, stale) = t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        let (at, stale) =
+            t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
         // Full ACK arrives before the timer fires.
         let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 2 }, 0, 0);
         s.on_packet(ack, &mut ctx(100, &mut t, &mut c, &mut r));
@@ -405,8 +430,11 @@ mod tests {
         let scfg = cfg();
         let mut book = TxBook::new();
         let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 4 * 1024, scfg.mtu);
-        let mk = |psn: u32| data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64);
-        let mut rx = GbnReceiver::new(FlowCfg::receiver_of(&scfg), GbnConfig::default(), Placement::Virtual);
+        let mk = |psn: u32| {
+            data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64)
+        };
+        let mut rx =
+            GbnReceiver::new(FlowCfg::receiver_of(&scfg), GbnConfig::default(), Placement::Virtual);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         rx.on_packet(mk(0), &mut ctx(0, &mut t, &mut c, &mut r));
         rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));
@@ -415,6 +443,10 @@ mod tests {
         while let Some(p) = rx.pull(&mut ctx(3, &mut t, &mut c, &mut r)) {
             outs.push(p.ext);
         }
-        assert_eq!(outs, vec![PktExt::GbnAck { epsn: 1 }, PktExt::GbnNak { epsn: 1 }], "one ACK, one NAK, no NAK repeat");
+        assert_eq!(
+            outs,
+            vec![PktExt::GbnAck { epsn: 1 }, PktExt::GbnNak { epsn: 1 }],
+            "one ACK, one NAK, no NAK repeat"
+        );
     }
 }

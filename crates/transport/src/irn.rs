@@ -191,7 +191,10 @@ impl Endpoint for IrnSender {
     fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
         match tokens::kind(token) {
             tokens::RTO => {
-                if self.rto_armed && tokens::generation(token) == self.rto_gen && self.snd_una < self.max_sent {
+                if self.rto_armed
+                    && tokens::generation(token) == self.rto_gen
+                    && self.snd_una < self.max_sent
+                {
                     self.stats.timeouts += 1;
                     // Last resort: requeue every outstanding un-SACKed PSN.
                     self.retx_done.clear();
@@ -244,7 +247,9 @@ impl Endpoint for IrnSender {
             return Some(pkt);
         }
         // New data within the BDP window.
-        if self.snd_nxt < self.book.next_psn() && self.cc.awin(self.inflight_bytes()) >= self.cfg.mtu as u64 {
+        if self.snd_nxt < self.book.next_psn()
+            && self.cc.awin(self.inflight_bytes()) >= self.cfg.mtu as u64
+        {
             let psn = self.snd_nxt;
             let pkt = self.build(psn, false);
             self.snd_nxt += 1;
@@ -349,9 +354,9 @@ pub fn irn_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_rdma::headers::DcpTag;
     use crate::cc::StaticWindow;
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -389,7 +394,12 @@ mod tests {
 
     fn sack(s: &mut IrnSender, now: Nanos, epsn: u32, sacked: u32) {
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        let p = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::Sack { epsn, sacked_psn: sacked }, 0, 0);
+        let p = ack_packet(
+            &FlowCfg::receiver_of(&cfg()),
+            PktExt::Sack { epsn, sacked_psn: sacked },
+            0,
+            0,
+        );
         s.on_packet(p, &mut ctx(now, &mut t, &mut c, &mut r));
     }
 
@@ -471,8 +481,11 @@ mod tests {
         let scfg = cfg();
         let mut book = TxBook::new();
         let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 4 * 1024, scfg.mtu);
-        let mk = |psn: u32| data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64);
-        let mut rx = IrnReceiver::new(FlowCfg::receiver_of(&scfg), IrnConfig::default(), Placement::Virtual);
+        let mk = |psn: u32| {
+            data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64)
+        };
+        let mut rx =
+            IrnReceiver::new(FlowCfg::receiver_of(&scfg), IrnConfig::default(), Placement::Virtual);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         rx.on_packet(mk(0), &mut ctx(0, &mut t, &mut c, &mut r));
         rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));

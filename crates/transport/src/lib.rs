@@ -34,5 +34,7 @@ pub mod rxcore;
 pub mod swtcp;
 pub mod timeout_only;
 
-pub use common::{ack_packet, data_packet, desc_at, CnpGen, FlowCfg, MsgState, Placement, RttEstimator, TxBook};
+pub use common::{
+    ack_packet, data_packet, desc_at, CnpGen, FlowCfg, MsgState, Placement, RttEstimator, TxBook,
+};
 pub use rxcore::{Accept, RxCore};

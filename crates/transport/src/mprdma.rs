@@ -38,7 +38,13 @@ pub struct MpRdmaConfig {
 
 impl Default for MpRdmaConfig {
     fn default() -> Self {
-        MpRdmaConfig { paths: 8, init_cwnd: 16.0, ooo_window: 64, rto: 200 * US, cnp_interval: 50 * US }
+        MpRdmaConfig {
+            paths: 8,
+            init_cwnd: 16.0,
+            ooo_window: 64,
+            rto: 200 * US,
+            cnp_interval: 50 * US,
+        }
     }
 }
 
@@ -236,7 +242,13 @@ pub struct MpRdmaReceiver {
 impl MpRdmaReceiver {
     pub fn new(cfg: FlowCfg, mcfg: MpRdmaConfig, placement: Placement) -> Self {
         let rx = RxCore::new(cfg.local, cfg.flow, mcfg.ooo_window, placement);
-        MpRdmaReceiver { cfg, rx, cnp: CnpGen::new(mcfg.cnp_interval), out: VecDeque::new(), uid: 0 }
+        MpRdmaReceiver {
+            cfg,
+            rx,
+            cnp: CnpGen::new(mcfg.cnp_interval),
+            out: VecDeque::new(),
+            uid: 0,
+        }
     }
 }
 
@@ -289,7 +301,11 @@ impl Endpoint for MpRdmaReceiver {
 }
 
 /// Builds a connected MP-RDMA pair.
-pub fn mprdma_pair(cfg: FlowCfg, mcfg: MpRdmaConfig, placement: Placement) -> (MpRdmaSender, MpRdmaReceiver) {
+pub fn mprdma_pair(
+    cfg: FlowCfg,
+    mcfg: MpRdmaConfig,
+    placement: Placement,
+) -> (MpRdmaSender, MpRdmaReceiver) {
     let rcfg = FlowCfg::receiver_of(&cfg);
     (MpRdmaSender::new(cfg, mcfg), MpRdmaReceiver::new(rcfg, mcfg, placement))
 }
@@ -297,8 +313,8 @@ pub fn mprdma_pair(cfg: FlowCfg, mcfg: MpRdmaConfig, placement: Placement) -> (M
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_rdma::headers::DcpTag;
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -358,11 +374,8 @@ mod tests {
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
-        let (at, token) = t
-            .iter()
-            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO)
-            .copied()
-            .unwrap();
+        let (at, token) =
+            t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
         s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
         let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
@@ -377,7 +390,9 @@ mod tests {
         let mcfg = MpRdmaConfig { ooo_window: 4, ..Default::default() };
         let mut book = TxBook::new();
         let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 16 * 1024, scfg.mtu);
-        let mk = |psn: u32| data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64);
+        let mk = |psn: u32| {
+            data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64)
+        };
         let mut rx = MpRdmaReceiver::new(FlowCfg::receiver_of(&scfg), mcfg, Placement::Virtual);
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         rx.on_packet(mk(10), &mut ctx(0, &mut t, &mut c, &mut r));

@@ -112,7 +112,9 @@ impl RackSender {
         let lost: Vec<u32> = self
             .outstanding
             .iter()
-            .filter(|(_, rec)| rec.sent_at < self.rack_xmit && now.saturating_sub(rec.sent_at) > threshold)
+            .filter(|(_, rec)| {
+                rec.sent_at < self.rack_xmit && now.saturating_sub(rec.sent_at) > threshold
+            })
             .map(|(&p, _)| p)
             .collect();
         for p in lost {
@@ -281,19 +283,16 @@ pub fn rack_pair(
     placement: Placement,
 ) -> (RackSender, RackReceiver) {
     let rcv_cfg = FlowCfg::receiver_of(&cfg);
-    (
-        RackSender::new(cfg, rcfg, cc),
-        IrnReceiver::new(rcv_cfg, IrnConfig::default(), placement),
-    )
+    (RackSender::new(cfg, rcfg, cc), IrnReceiver::new(rcv_cfg, IrnConfig::default(), placement))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_rdma::headers::DcpTag;
-    use crate::common::ack_packet;
     use crate::cc::StaticWindow;
+    use crate::common::ack_packet;
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -381,11 +380,8 @@ mod tests {
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
         // No feedback at all; fire the probe timer.
-        let (at, token) = t
-            .iter()
-            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::PROBE)
-            .copied()
-            .unwrap();
+        let (at, token) =
+            t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::PROBE).copied().unwrap();
         s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
         let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
         assert!(p.is_retx);
@@ -398,11 +394,8 @@ mod tests {
         let mut s = sender();
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
-        let (at, token) = t
-            .iter()
-            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO)
-            .copied()
-            .unwrap();
+        let (at, token) =
+            t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
         s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
         let mut n = 0;

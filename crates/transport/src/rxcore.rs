@@ -176,7 +176,15 @@ mod tests {
             let m = book.post(i as u64, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, l, cfg.mtu);
             for k in 0..m.pkt_count {
                 let psn = m.first_psn + k;
-                pkts.push(data_packet(&cfg, &m, desc_at(&m, cfg.mtu, psn), psn, 0, false, psn as u64));
+                pkts.push(data_packet(
+                    &cfg,
+                    &m,
+                    desc_at(&m, cfg.mtu, psn),
+                    psn,
+                    0,
+                    false,
+                    psn as u64,
+                ));
             }
         }
         (pkts, cfg)

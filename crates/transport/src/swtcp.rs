@@ -119,7 +119,10 @@ impl Endpoint for SwTcpSender {
     fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
         match tokens::kind(token) {
             tokens::RTO => {
-                if self.rto_armed && tokens::generation(token) == self.rto_gen && self.snd_una < self.max_sent {
+                if self.rto_armed
+                    && tokens::generation(token) == self.rto_gen
+                    && self.snd_una < self.max_sent
+                {
                     self.stats.timeouts += 1;
                     self.snd_nxt = self.snd_una;
                     self.arm_rto(ctx);
@@ -200,7 +203,9 @@ impl SwTcpReceiver {
     }
 
     fn process_ready(&mut self, ctx: &mut EndpointCtx) {
-        while let Some(&(release, _)) = self.staged.front().map(|e| (&e.0, ())).map(|_| self.staged.front().unwrap()) {
+        while let Some(&(release, _)) =
+            self.staged.front().map(|e| (&e.0, ())).map(|_| self.staged.front().unwrap())
+        {
             if release > ctx.now {
                 break;
             }
@@ -262,9 +267,9 @@ pub fn swtcp_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_rdma::headers::DcpTag;
     use crate::cc::StaticWindow;
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -301,7 +306,11 @@ mod tests {
         let mut book = TxBook::new();
         let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 1024, scfg.mtu);
         let pkt = data_packet(&scfg, &m, desc_at(&m, scfg.mtu, 0), 0, 0, false, 0);
-        let mut rx = SwTcpReceiver::new(FlowCfg::receiver_of(&scfg), SwTcpConfig::default(), Placement::Virtual);
+        let mut rx = SwTcpReceiver::new(
+            FlowCfg::receiver_of(&scfg),
+            SwTcpConfig::default(),
+            Placement::Virtual,
+        );
         let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
         rx.on_packet(pkt, &mut ctx(1000, &mut t, &mut c, &mut r));
         assert!(c.is_empty(), "not delivered yet");

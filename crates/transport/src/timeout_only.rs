@@ -109,7 +109,10 @@ impl Endpoint for TimeoutOnlySender {
     fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
         match tokens::kind(token) {
             tokens::RTO => {
-                if self.rto_armed && tokens::generation(token) == self.rto_gen && self.snd_una < self.max_sent {
+                if self.rto_armed
+                    && tokens::generation(token) == self.rto_gen
+                    && self.snd_una < self.max_sent
+                {
                     self.stats.timeouts += 1;
                     self.snd_nxt = self.snd_una;
                     self.arm_rto(ctx);
@@ -182,7 +185,13 @@ pub struct TimeoutOnlyReceiver {
 impl TimeoutOnlyReceiver {
     pub fn new(cfg: FlowCfg, tcfg: TimeoutOnlyConfig, placement: Placement) -> Self {
         let rx = RxCore::new(cfg.local, cfg.flow, u32::MAX, placement);
-        TimeoutOnlyReceiver { cfg, rx, cnp: CnpGen::new(tcfg.cnp_interval), out: VecDeque::new(), uid: 0 }
+        TimeoutOnlyReceiver {
+            cfg,
+            rx,
+            cnp: CnpGen::new(tcfg.cnp_interval),
+            out: VecDeque::new(),
+            uid: 0,
+        }
     }
 }
 
@@ -197,8 +206,12 @@ impl Endpoint for TimeoutOnlyReceiver {
         }
         self.rx.on_data(&pkt, ctx);
         self.uid += 1;
-        self.out
-            .push_back(ack_packet(&self.cfg, PktExt::GbnAck { epsn: self.rx.epsn }, 0, self.uid));
+        self.out.push_back(ack_packet(
+            &self.cfg,
+            PktExt::GbnAck { epsn: self.rx.epsn },
+            0,
+            self.uid,
+        ));
     }
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
@@ -234,9 +247,9 @@ pub fn timeout_only_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_rdma::headers::DcpTag;
     use crate::cc::StaticWindow;
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -268,11 +281,8 @@ mod tests {
         s.on_packet(ack, &mut ctx(1000, &mut t, &mut c, &mut r));
         assert!(s.pull(&mut ctx(1001, &mut t, &mut c, &mut r)).is_none());
         // RTO fires → rewind to snd_una = 3.
-        let (at, token) = t
-            .iter()
-            .rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO)
-            .copied()
-            .unwrap();
+        let (at, token) =
+            t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
         s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
         let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
         assert_eq!(p.psn(), 3);
@@ -285,7 +295,9 @@ mod tests {
         let scfg = cfg();
         let mut book = TxBook::new();
         let m = book.post(0, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 3 * 1024, scfg.mtu);
-        let mk = |psn: u32| data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64);
+        let mk = |psn: u32| {
+            data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64)
+        };
         let mut rx = TimeoutOnlyReceiver::new(
             FlowCfg::receiver_of(&scfg),
             TimeoutOnlyConfig::default(),

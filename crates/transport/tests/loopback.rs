@@ -165,10 +165,7 @@ fn irn_spurious_retx_under_spray() {
     run_one(&mut sim, a, b, Box::new(tx), Box::new(rx), 10 * SEC);
     let st = sim.endpoint_stats(a, FlowId(1));
     assert_eq!(sim.net_stats().data_drops, 0, "no actual loss");
-    assert!(
-        st.retx_pkts > 0,
-        "reordering must trigger spurious retransmissions in IRN"
-    );
+    assert!(st.retx_pkts > 0, "reordering must trigger spurious retransmissions in IRN");
     let rx_st = sim.endpoint_stats(b, FlowId(1));
     assert!(rx_st.duplicates > 0, "spurious retx arrive as duplicates");
 }
@@ -209,7 +206,8 @@ fn timeout_only_recovers_slowly() {
     cfg.forced_loss_rate = 0.02;
     let (mut sim, a, b) = dumbbell(17, cfg);
     let fcfg = FlowCfg::sender(FlowId(1), a, b, DcpTag::NonDcp);
-    let (tx, rx) = timeout_only_pair(fcfg, TimeoutOnlyConfig::default(), Box::new(bdp()), Placement::Virtual);
+    let (tx, rx) =
+        timeout_only_pair(fcfg, TimeoutOnlyConfig::default(), Box::new(bdp()), Placement::Virtual);
     let t = run_one(&mut sim, a, b, Box::new(tx), Box::new(rx), 30 * SEC);
     let st = sim.endpoint_stats(a, FlowId(1));
     assert!(st.timeouts > 0, "only RTOs can recover");
@@ -277,7 +275,8 @@ fn deterministic_under_seed() {
 fn no_cc_allows_unbounded_window() {
     let (mut sim, a, b) = dumbbell(29, SwitchConfig::lossy(LoadBalance::Ecmp));
     let fcfg = FlowCfg::sender(FlowId(1), a, b, DcpTag::NonDcp);
-    let (tx, rx) = irn_pair(fcfg, IrnConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+    let (tx, rx) =
+        irn_pair(fcfg, IrnConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
     let t = run_one(&mut sim, a, b, Box::new(tx), Box::new(rx), SEC);
     assert!(t < 60 * US);
 }

@@ -45,14 +45,26 @@ pub struct GroupResult {
 
 /// Posts one collective slice as a chain of ≤ 1 MB messages (the NCCL-style
 /// posting pattern); returns the message count.
-fn post_slice(sim: &mut Simulator, host: dcp_netsim::packet::NodeId, flow: FlowId, bytes: u64, wr_base: u64) -> u64 {
+fn post_slice(
+    sim: &mut Simulator,
+    host: dcp_netsim::packet::NodeId,
+    flow: FlowId,
+    bytes: u64,
+    wr_base: u64,
+) -> u64 {
     let chunk = dcp_core::config::MSG_CHUNK_BYTES;
     let n = bytes.max(1).div_ceil(chunk);
     let mut remaining = bytes.max(1);
     for i in 0..n {
         let len = remaining.min(chunk);
         remaining -= len;
-        sim.post(host, flow, wr_base + i, WorkReqOp::Write { remote_addr: 0x100_0000 + i * chunk, rkey: 1 }, len);
+        sim.post(
+            host,
+            flow,
+            wr_base + i,
+            WorkReqOp::Write { remote_addr: 0x100_0000 + i * chunk, rkey: 1 },
+            len,
+        );
     }
     n
 }
@@ -87,7 +99,8 @@ pub fn run_collective(
     let mut rings: Vec<RingFlow> = Vec::new();
     let mut group_of_flow: HashMap<u32, usize> = HashMap::new();
     let mut expected: Vec<usize> = vec![0; groups.len()];
-    let mut results: Vec<GroupResult> = groups.iter().map(|_| GroupResult { jct: 0, fcts: Vec::new() }).collect();
+    let mut results: Vec<GroupResult> =
+        groups.iter().map(|_| GroupResult { jct: 0, fcts: Vec::new() }).collect();
 
     for (gix, g) in groups.iter().enumerate() {
         let n = g.members.len();
@@ -132,7 +145,8 @@ pub fn run_collective(
                         let flow = FlowId(next_flow_id);
                         next_flow_id += 1;
                         let (src, dst) = (g.members[i], g.members[j]);
-                        let (tx, rx) = endpoint_pair(kind, cc, flow, topo.hosts[src], topo.hosts[dst]);
+                        let (tx, rx) =
+                            endpoint_pair(kind, cc, flow, topo.hosts[src], topo.hosts[dst]);
                         sim.install_endpoint(topo.hosts[src], flow, tx);
                         sim.install_endpoint(topo.hosts[dst], flow, rx);
                         group_of_flow.insert(flow.0, gix);
@@ -146,11 +160,15 @@ pub fn run_collective(
     let mut done: Vec<usize> = vec![0; groups.len()];
     let total_expected: usize = expected.iter().sum();
     let mut total_done = 0usize;
+    // Reused across steps: this loop re-posts work mid-drain, so it buffers
+    // completions instead of using the zero-copy closure API.
+    let mut comps = Vec::new();
     while total_done < total_expected && sim.now() < deadline {
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.drain_completions_into(&mut comps);
+        for &c in &comps {
             if c.kind != CompletionKind::RecvComplete {
                 continue;
             }
@@ -177,7 +195,8 @@ pub fn run_collective(
                     if succ.steps_posted < steps {
                         let step = succ.steps_posted as u64;
                         succ.steps_posted += 1;
-                        let (host, flow, chunks) = (topo.hosts[succ.src_host], succ.flow, succ.chunks_per_step);
+                        let (host, flow, chunks) =
+                            (topo.hosts[succ.src_host], succ.flow, succ.chunks_per_step);
                         post_slice(sim, host, flow, slice, step * chunks);
                     }
                 }
@@ -185,7 +204,8 @@ pub fn run_collective(
         }
     }
     assert_eq!(
-        total_done, total_expected,
+        total_done,
+        total_expected,
         "collective did not finish by deadline: {total_done}/{total_expected} at {}",
         sim.now()
     );

@@ -33,10 +33,14 @@ pub fn parse_trace(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() < 4 || fields.len() > 5 {
-            return Err(TraceError { line: ix + 1, message: format!("expected 4-5 fields, got {}", fields.len()) });
+            return Err(TraceError {
+                line: ix + 1,
+                message: format!("expected 4-5 fields, got {}", fields.len()),
+            });
         }
         let parse = |f: &str, what: &str| {
-            f.parse::<u64>().map_err(|e| TraceError { line: ix + 1, message: format!("bad {what}: {e}") })
+            f.parse::<u64>()
+                .map_err(|e| TraceError { line: ix + 1, message: format!("bad {what}: {e}") })
         };
         let src = parse(fields[0], "src")? as usize;
         let dst = parse(fields[1], "dst")? as usize;

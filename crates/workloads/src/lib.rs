@@ -12,15 +12,18 @@
 //! * [`stats`] — FCT slowdowns, percentiles and size-bucketed series.
 
 pub mod arrivals;
-pub mod io;
 pub mod collectives;
+pub mod io;
 pub mod runner;
 pub mod stats;
 pub mod websearch;
 
 pub use arrivals::{incast_flows, merge, poisson_flows, FlowSpec};
 pub use collectives::{run_collective, Collective, Group, GroupResult};
-pub use runner::{endpoint_pair, endpoint_pair_opts, run_flows, run_flows_opts, CcKind, FlowRecord, RunOpts, TransportKind};
-pub use stats::{overall_slowdown, percentile, slowdown_by_size, unfinished, BucketRow, IdealFct};
 pub use io::{parse_trace, to_csv, trace_to_csv, TraceError};
+pub use runner::{
+    endpoint_pair, endpoint_pair_opts, run_flows, run_flows_opts, CcKind, FlowRecord, RunOpts,
+    TransportKind,
+};
+pub use stats::{overall_slowdown, percentile, slowdown_by_size, unfinished, BucketRow, IdealFct};
 pub use websearch::SizeDist;

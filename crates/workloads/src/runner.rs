@@ -126,7 +126,8 @@ pub fn endpoint_pair_opts(
             (Box::new(t), Box::new(r))
         }
         TransportKind::RackTlp => {
-            let rcfg = RackConfig { rto: opts.rto.max(RackConfig::default().rto), ..Default::default() };
+            let rcfg =
+                RackConfig { rto: opts.rto.max(RackConfig::default().rto), ..Default::default() };
             let (t, r) = rack_pair(cfg, rcfg, cc.build(), Placement::Virtual);
             (Box::new(t), Box::new(r))
         }
@@ -164,7 +165,13 @@ fn post_chunked(sim: &mut Simulator, host: NodeId, flow: FlowId, bytes: u64) -> 
     for i in 0..n {
         let len = remaining.min(chunk);
         remaining -= len;
-        sim.post(host, flow, i, WorkReqOp::Write { remote_addr: 0x100_0000 + i * chunk, rkey: 1 }, len);
+        sim.post(
+            host,
+            flow,
+            i,
+            WorkReqOp::Write { remote_addr: 0x100_0000 + i * chunk, rkey: 1 },
+            len,
+        );
     }
     n
 }
@@ -229,7 +236,7 @@ pub fn run_flows_opts(
         } else if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 let ix = c.flow.0 - 1;
                 let left = msgs_left.get_mut(&ix).expect("completion for known flow");
@@ -239,7 +246,7 @@ pub fn run_flows_opts(
                     remaining -= 1;
                 }
             }
-        }
+        });
     }
     flows
         .iter()

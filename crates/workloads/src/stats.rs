@@ -60,7 +60,11 @@ pub struct BucketRow {
 
 /// Buckets completed flows by size (log-spaced edges) and reports slowdown
 /// percentiles per bucket.
-pub fn slowdown_by_size(records: &[FlowRecord], ideal: &IdealFct, n_buckets: usize) -> Vec<BucketRow> {
+pub fn slowdown_by_size(
+    records: &[FlowRecord],
+    ideal: &IdealFct,
+    n_buckets: usize,
+) -> Vec<BucketRow> {
     let done: Vec<_> = records.iter().filter(|r| r.fct.is_some()).collect();
     if done.is_empty() {
         return Vec::new();
@@ -96,10 +100,8 @@ pub fn slowdown_by_size(records: &[FlowRecord], ideal: &IdealFct, n_buckets: usi
 
 /// Overall percentile of slowdown across all completed flows.
 pub fn overall_slowdown(records: &[FlowRecord], ideal: &IdealFct, p: f64) -> f64 {
-    let mut sl: Vec<f64> = records
-        .iter()
-        .filter_map(|r| r.fct.map(|f| ideal.slowdown(r.spec.bytes, f)))
-        .collect();
+    let mut sl: Vec<f64> =
+        records.iter().filter_map(|r| r.fct.map(|f| ideal.slowdown(r.spec.bytes, f))).collect();
     percentile(&mut sl, p)
 }
 
@@ -150,7 +152,8 @@ mod tests {
     #[test]
     fn bucketing_covers_all_flows() {
         let m = IdealFct::intra_dc_100g();
-        let records: Vec<_> = (0..100).map(|i| rec(1024 << (i % 10), 10_000 * (i as u64 + 1))).collect();
+        let records: Vec<_> =
+            (0..100).map(|i| rec(1024 << (i % 10), 10_000 * (i as u64 + 1))).collect();
         let rows = slowdown_by_size(&records, &m, 10);
         assert_eq!(rows.iter().map(|r| r.flows).sum::<usize>(), 100);
         assert!(rows.iter().all(|r| r.p50 <= r.p95 && r.p95 <= r.p99));

@@ -105,7 +105,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 100_000;
         let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
-        let frac = |pred: &dyn Fn(u64) -> bool| samples.iter().filter(|&&s| pred(s)).count() as f64 / n as f64;
+        let frac = |pred: &dyn Fn(u64) -> bool| {
+            samples.iter().filter(|&&s| pred(s)).count() as f64 / n as f64
+        };
         // §6.2: 60% below 200 KB, 37% between 200 KB and 10 MB, 3% above.
         assert!((frac(&|s| s < 200_000) - 0.60).abs() < 0.02);
         assert!((frac(&|s| (200_000..10_000_000).contains(&s)) - 0.37).abs() < 0.02);

@@ -23,11 +23,27 @@ fn websearch_flows(seed: u64, n: usize, hosts: usize) -> Vec<FlowSpec> {
 #[test]
 fn all_transports_complete_websearch() {
     let cases = [
-        (TransportKind::Gbn, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::Ecmp)),
-        (TransportKind::Irn, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::AdaptiveRouting)),
+        (
+            TransportKind::Gbn,
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+            SwitchConfig::lossy(LoadBalance::Ecmp),
+        ),
+        (
+            TransportKind::Irn,
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+            SwitchConfig::lossy(LoadBalance::AdaptiveRouting),
+        ),
         (TransportKind::MpRdma, CcKind::None, SwitchConfig::lossless(LoadBalance::Ecmp)),
-        (TransportKind::RackTlp, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::Ecmp)),
-        (TransportKind::TimeoutOnly, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, SwitchConfig::lossy(LoadBalance::Ecmp)),
+        (
+            TransportKind::RackTlp,
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+            SwitchConfig::lossy(LoadBalance::Ecmp),
+        ),
+        (
+            TransportKind::TimeoutOnly,
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+            SwitchConfig::lossy(LoadBalance::Ecmp),
+        ),
         (TransportKind::Dcp, CcKind::None, dcp_switch_config(LoadBalance::AdaptiveRouting, 16)),
     ];
     for (kind, cc, cfg) in cases {
@@ -62,15 +78,24 @@ fn irn_with_ar_spuriously_retransmits_dcp_does_not() {
     let run = |kind: TransportKind, cfg: SwitchConfig| {
         let (mut sim, topo) = small_clos(5, cfg);
         let flows = websearch_flows(6, 150, topo.hosts.len());
-        let records = run_flows(&mut sim, &topo, kind, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, &flows, 10 * SEC);
+        let records = run_flows(
+            &mut sim,
+            &topo,
+            kind,
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+            &flows,
+            10 * SEC,
+        );
         assert_eq!(unfinished(&records), 0, "{kind:?}");
         let retx: u64 = records.iter().map(|r| r.tx.retx_pkts).sum();
         let dups: u64 = records.iter().map(|r| r.rx.duplicates).sum();
         let losses = sim.net_stats().data_drops + sim.net_stats().trims;
         (retx, dups, losses)
     };
-    let (irn_retx, irn_dups, irn_losses) = run(TransportKind::Irn, SwitchConfig::lossy(LoadBalance::Spray));
-    let (dcp_retx, dcp_dups, dcp_losses) = run(TransportKind::Dcp, dcp_switch_config(LoadBalance::Spray, 16));
+    let (irn_retx, irn_dups, irn_losses) =
+        run(TransportKind::Irn, SwitchConfig::lossy(LoadBalance::Spray));
+    let (dcp_retx, dcp_dups, dcp_losses) =
+        run(TransportKind::Dcp, dcp_switch_config(LoadBalance::Spray, 16));
     // IRN misreads spray reordering as loss: retransmissions far exceed the
     // actual losses, and the spurious copies surface as duplicates.
     assert!(irn_retx > 2 * irn_losses, "IRN spurious retx: {irn_retx} vs {irn_losses} losses");
@@ -128,7 +153,15 @@ fn collective_dcp_beats_gbn_on_lossy_fabric() {
         cfg.forced_loss_rate = 0.01;
         let (mut sim, topo) = small_clos(11, cfg);
         let groups = vec![Group { members: vec![0, 4, 8, 12], total_bytes: 8 << 20 }];
-        let res = run_collective(&mut sim, &topo, kind, CcKind::None, &groups, Collective::RingAllReduce, 60 * SEC);
+        let res = run_collective(
+            &mut sim,
+            &topo,
+            kind,
+            CcKind::None,
+            &groups,
+            Collective::RingAllReduce,
+            60 * SEC,
+        );
         res[0].jct
     };
     let dcp = jct(TransportKind::Dcp, dcp_switch_config(LoadBalance::AdaptiveRouting, 16));
@@ -141,7 +174,8 @@ fn runner_is_deterministic() {
     let run = || {
         let (mut sim, topo) = small_clos(13, dcp_switch_config(LoadBalance::Spray, 16));
         let flows = websearch_flows(14, 100, topo.hosts.len());
-        let records = run_flows(&mut sim, &topo, TransportKind::Dcp, CcKind::None, &flows, 10 * SEC);
+        let records =
+            run_flows(&mut sim, &topo, TransportKind::Dcp, CcKind::None, &flows, 10 * SEC);
         records.iter().map(|r| r.fct).collect::<Vec<_>>()
     };
     assert_eq!(run(), run());

@@ -31,9 +31,27 @@ fn main() {
     let bdp = CcKind::Bdp { gbps: 100.0, rtt: 12 * US };
     for which in [Collective::RingAllReduce, Collective::AllToAll] {
         println!("{which:?}: 4 groups x 4 hosts, 32 MB per group");
-        run("DCP (adaptive routing)", TransportKind::Dcp, CcKind::None, dcp_switch_config(LoadBalance::AdaptiveRouting, 16), which);
-        run("IRN (adaptive routing)", TransportKind::Irn, bdp, SwitchConfig::lossy(LoadBalance::AdaptiveRouting), which);
-        run("PFC + GBN (ECMP)", TransportKind::Gbn, bdp, SwitchConfig::lossless(LoadBalance::Ecmp), which);
+        run(
+            "DCP (adaptive routing)",
+            TransportKind::Dcp,
+            CcKind::None,
+            dcp_switch_config(LoadBalance::AdaptiveRouting, 16),
+            which,
+        );
+        run(
+            "IRN (adaptive routing)",
+            TransportKind::Irn,
+            bdp,
+            SwitchConfig::lossy(LoadBalance::AdaptiveRouting),
+            which,
+        );
+        run(
+            "PFC + GBN (ECMP)",
+            TransportKind::Gbn,
+            bdp,
+            SwitchConfig::lossless(LoadBalance::Ecmp),
+            which,
+        );
         println!();
     }
     println!("Expected shape (paper Figs. 12/14): DCP achieves the lowest JCT; synchronized");

@@ -16,7 +16,8 @@ use dcp_workloads::{endpoint_pair, CcKind, TransportKind};
 fn long_haul_goodput(km: f64) -> f64 {
     let mut sim = Simulator::new(3);
     let cfg = dcp_switch_config(LoadBalance::Ecmp, 16);
-    let topo = topology::two_switch_testbed(&mut sim, cfg, 1, 100.0, &[100.0], US, fiber_delay_km(km));
+    let topo =
+        topology::two_switch_testbed(&mut sim, cfg, 1, 100.0, &[100.0], US, fiber_delay_km(km));
     let (a, b) = (topo.hosts[0], topo.hosts[1]);
     let flow = FlowId(1);
     let (tx, rx) = endpoint_pair(TransportKind::Dcp, CcKind::None, flow, a, b);

@@ -28,10 +28,22 @@ fn run(kind: TransportKind, cfg: SwitchConfig) {
     let victim = topo.hosts[FAN_IN];
     for i in 0..FAN_IN {
         let flow = FlowId(i as u32 + 1);
-        let (tx, rx) = endpoint_pair(kind, CcKind::Bdp { gbps: 100.0, rtt: 12 * US }, flow, topo.hosts[i], victim);
+        let (tx, rx) = endpoint_pair(
+            kind,
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+            flow,
+            topo.hosts[i],
+            victim,
+        );
         sim.install_endpoint(topo.hosts[i], flow, tx);
         sim.install_endpoint(victim, flow, rx);
-        sim.post(topo.hosts[i], flow, 0, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, BYTES);
+        sim.post(
+            topo.hosts[i],
+            flow,
+            0,
+            WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+            BYTES,
+        );
     }
     let mut done = 0;
     let mut jct = 0;
@@ -69,7 +81,11 @@ fn run(kind: TransportKind, cfg: SwitchConfig) {
 }
 
 fn main() {
-    println!("8-to-1 incast of {} x {} MB through one 100G link (trim threshold 32 KB)", FAN_IN, BYTES >> 20);
+    println!(
+        "8-to-1 incast of {} x {} MB through one 100G link (trim threshold 32 KB)",
+        FAN_IN,
+        BYTES >> 20
+    );
     run(TransportKind::Dcp, dcp_switch_config(LoadBalance::Ecmp, 16));
     run(TransportKind::Gbn, SwitchConfig::lossy(LoadBalance::Ecmp));
     run(TransportKind::Irn, SwitchConfig::lossy(LoadBalance::Ecmp));

@@ -19,7 +19,10 @@ use dcp_transport::gbn::{gbn_pair, GbnConfig};
 use dcp_transport::swtcp::{swtcp_pair, SwTcpConfig};
 
 /// Streams `count` messages of `msg` bytes; returns goodput in Gbps.
-fn throughput(make: impl Fn(FlowCfg) -> (Box<dyn Endpoint>, Box<dyn Endpoint>), tag: DcpTag) -> f64 {
+fn throughput(
+    make: impl Fn(FlowCfg) -> (Box<dyn Endpoint>, Box<dyn Endpoint>),
+    tag: DcpTag,
+) -> f64 {
     let mut sim = Simulator::new(1);
     let topo = topology::back_to_back(&mut sim, 100.0, 500);
     let (a, b) = (topo.hosts[0], topo.hosts[1]);
@@ -77,20 +80,38 @@ fn main() {
     println!("Fig. 8 — perftest on back-to-back 100G hosts");
     println!("{:<10} {:>18} {:>14}", "scheme", "throughput (Gbps)", "latency (us)");
     let dcp = |cfg: FlowCfg| {
-        let (t, r) = dcp_pair(cfg, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+        let (t, r) =
+            dcp_pair(cfg, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
         (Box::new(t) as Box<dyn Endpoint>, Box::new(r) as Box<dyn Endpoint>)
     };
     let gbn = |cfg: FlowCfg| {
-        let (t, r) = gbn_pair(cfg, GbnConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+        let (t, r) =
+            gbn_pair(cfg, GbnConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
         (Box::new(t) as Box<dyn Endpoint>, Box::new(r) as Box<dyn Endpoint>)
     };
     let tcp = |cfg: FlowCfg| {
-        let (t, r) = swtcp_pair(cfg, SwTcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+        let (t, r) =
+            swtcp_pair(cfg, SwTcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
         (Box::new(t) as Box<dyn Endpoint>, Box::new(r) as Box<dyn Endpoint>)
     };
-    println!("{:<10} {:>18.1} {:>14.2}", "DCP-RNIC", throughput(dcp, DcpTag::Data), latency(dcp, DcpTag::Data));
-    println!("{:<10} {:>18.1} {:>14.2}", "RNIC-GBN", throughput(gbn, DcpTag::NonDcp), latency(gbn, DcpTag::NonDcp));
-    println!("{:<10} {:>18.1} {:>14.2}", "TCP", throughput(tcp, DcpTag::NonDcp), latency(tcp, DcpTag::NonDcp));
+    println!(
+        "{:<10} {:>18.1} {:>14.2}",
+        "DCP-RNIC",
+        throughput(dcp, DcpTag::Data),
+        latency(dcp, DcpTag::Data)
+    );
+    println!(
+        "{:<10} {:>18.1} {:>14.2}",
+        "RNIC-GBN",
+        throughput(gbn, DcpTag::NonDcp),
+        latency(gbn, DcpTag::NonDcp)
+    );
+    println!(
+        "{:<10} {:>18.1} {:>14.2}",
+        "TCP",
+        throughput(tcp, DcpTag::NonDcp),
+        latency(tcp, DcpTag::NonDcp)
+    );
     println!();
     println!("Expected shape (paper): DCP ≈ GBN at line rate, both far above TCP;");
     println!("TCP latency an order of magnitude higher.");

@@ -69,7 +69,8 @@ fn fig10_dcp_degrades_gracefully_gbn_collapses() {
 
 #[test]
 fn clean_fabric_all_schemes_near_line_rate() {
-    for kind in [TransportKind::Dcp, TransportKind::Gbn, TransportKind::Irn, TransportKind::RackTlp] {
+    for kind in [TransportKind::Dcp, TransportKind::Gbn, TransportKind::Irn, TransportKind::RackTlp]
+    {
         let g = goodput(kind, 0.0, kind == TransportKind::Dcp);
         assert!(g > 80.0, "{kind:?} clean goodput {g:.1}");
     }

@@ -44,10 +44,17 @@ fn wrr_weight_from_analytics_keeps_control_plane_lossless() {
     for i in 0..fan_in {
         let flow = FlowId(i as u32 + 1);
         let fc = FlowCfg::sender(flow, topo.hosts[i], victim, DcpTag::Data);
-        let (tx, rx) = dcp_pair(fc, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
+        let (tx, rx) =
+            dcp_pair(fc, DcpConfig::default(), Box::new(NoCc::default()), Placement::Virtual);
         sim.install_endpoint(topo.hosts[i], flow, Box::new(tx));
         sim.install_endpoint(victim, flow, Box::new(rx));
-        sim.post(topo.hosts[i], flow, 0, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 1 << 20);
+        sim.post(
+            topo.hosts[i],
+            flow,
+            0,
+            WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+            1 << 20,
+        );
     }
     let (done, _) = drive_to(&mut sim, fan_in, 30 * SEC);
     assert_eq!(done, fan_in);
@@ -79,7 +86,13 @@ fn dcqcn_integration_reduces_retransmission_pressure() {
             let (tx, rx) = dcp_pair(fc, DcpConfig::default(), cc, Placement::Virtual);
             sim.install_endpoint(topo.hosts[i], flow, Box::new(tx));
             sim.install_endpoint(victim, flow, Box::new(rx));
-            sim.post(topo.hosts[i], flow, 0, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 2 << 20);
+            sim.post(
+                topo.hosts[i],
+                flow,
+                0,
+                WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+                2 << 20,
+            );
         }
         let (done, _) = drive_to(&mut sim, fan_in, 60 * SEC);
         assert_eq!(done, fan_in, "with_cc={with_cc}");
@@ -134,12 +147,20 @@ fn verbs_layer_round_trip() {
     use dcp_rdma::verbs::QueuePair;
     let mut qp = QueuePair::new(Qpn(1), Qpn(2));
     qp.register_memory(0x1000, 1 << 20);
-    let msn = qp.post_send(42, WorkReqOp::Write { remote_addr: 0x9000, rkey: 3 }, 0x1000, 4096, true).unwrap();
+    let msn = qp
+        .post_send(42, WorkReqOp::Write { remote_addr: 0x9000, rkey: 3 }, 0x1000, 4096, true)
+        .unwrap();
     assert_eq!(msn, 0);
     let wqe = *qp.sq.by_msn(0).unwrap();
     let pkts = dcp_rdma::segment::segment_message(&wqe, dcp_rdma::MTU);
     assert_eq!(pkts.len(), 4);
-    qp.push_cqe(dcp_rdma::qp::Cqe { wr_id: 42, qpn: Qpn(1), kind: CqeKind::SendComplete, byte_len: 4096, imm: 0 });
+    qp.push_cqe(dcp_rdma::qp::Cqe {
+        wr_id: 42,
+        qpn: Qpn(1),
+        kind: CqeKind::SendComplete,
+        byte_len: 4096,
+        imm: 0,
+    });
     let done = qp.poll_cq(8);
     assert_eq!(done.len(), 1);
     assert_eq!(done[0].wr_id, 42);

@@ -82,7 +82,14 @@ fn incast_flows_finish_faster_under_dcp_than_irn() {
     let bdp = CcKind::Bdp { gbps: 100.0, rtt: 12 * US };
     let tail = |kind, cfg| {
         let (mut sim, topo) = clos(3, cfg);
-        let rec = run_flows(&mut sim, &topo, kind, if kind == TransportKind::Dcp { CcKind::None } else { bdp }, &mk_flows(17), 60 * SEC);
+        let rec = run_flows(
+            &mut sim,
+            &topo,
+            kind,
+            if kind == TransportKind::Dcp { CcKind::None } else { bdp },
+            &mk_flows(17),
+            60 * SEC,
+        );
         assert_eq!(unfinished(&rec), 0);
         overall_slowdown(&rec, &ideal, 95.0)
     };

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset `dcp-rdma::wire` consumes: `BytesMut` as a
+//! big-endian append buffer, `Bytes` as a cheaply cloneable view with
+//! consuming big-endian getters. The real crate's `Buf`/`BufMut` traits are
+//! provided as markers so `use bytes::{Buf, BufMut}` keeps compiling; the
+//! methods live inherently on the concrete types.
+
+use std::sync::Arc;
+
+/// Marker stand-in for `bytes::Buf` (methods are inherent on [`Bytes`]).
+pub trait Buf {}
+
+/// Marker stand-in for `bytes::BufMut` (methods are inherent on
+/// [`BytesMut`]).
+pub trait BufMut {}
+
+/// Immutable, cheaply cloneable byte view. Consuming getters advance the
+/// view's start, mirroring `bytes::Buf`.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Buf for Bytes {}
+
+impl Bytes {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Bytes left to consume (identical to `len` for this stub).
+    pub fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    /// Sub-view relative to the current window, without copying.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underrun");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    pub fn copy_to_slice(&mut self, dest: &mut [u8]) {
+        let src = self.take(dest.len());
+        dest.copy_from_slice(src);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable append-only buffer with big-endian putters, mirroring
+/// `bytes::BytesMut` + `BufMut`.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BufMut for BytesMut {}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.data.extend_from_slice(v);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_u8(0xab);
+        m.put_u16(0x1234);
+        m.put_u32(0xdead_beef);
+        m.put_u64(0x0102_0304_0506_0708);
+        m.put_slice(&[1, 2, 3]);
+        let b = m.freeze();
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 3);
+        let mut r = b.clone();
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        let mut rest = [0u8; 3];
+        r.copy_to_slice(&mut rest);
+        assert_eq!(rest, [1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+        // The original view is unaffected by the cursor's consumption.
+        assert_eq!(b.len(), 18);
+    }
+
+    #[test]
+    fn slice_is_relative_to_view() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        let s2 = s.slice(1..2);
+        assert_eq!(s2.as_slice(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underrun")]
+    fn underrun_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u16();
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's micro-benchmarks use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`, throughput annotation) with a simple calibrated
+//! wall-clock measurement: warm up, pick an iteration count that fills the
+//! measurement window, report mean ns/iteration and derived throughput.
+//! No statistics, plots or HTML — swap the real crate back in via the
+//! workspace `Cargo.toml` when a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: scales the reported rate per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stub runs one setup
+/// per measured call regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Per-invocation measurement driver.
+pub struct Bencher {
+    /// Total time and iterations of the final measurement pass.
+    elapsed: Duration,
+    iters: u64,
+    measure_window: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` by calling it in a calibrated loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: find an iteration count filling the window.
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let d = t.elapsed();
+            if d >= self.measure_window || n >= 1 << 30 {
+                self.elapsed = d;
+                self.iters = n;
+                return;
+            }
+            let grow = if d.is_zero() {
+                100
+            } else {
+                ((self.measure_window.as_nanos() / d.as_nanos().max(1)) as u64 + 1).clamp(2, 100)
+            };
+            n = n.saturating_mul(grow);
+        }
+    }
+
+    /// Measures `routine` with per-call setup excluded from timing.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        let mut n: u64 = 1;
+        loop {
+            let mut measured = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                measured += t.elapsed();
+            }
+            if measured >= self.measure_window || n >= 1 << 30 {
+                self.elapsed = measured;
+                self.iters = n;
+                return;
+            }
+            let grow = if measured.is_zero() {
+                100
+            } else {
+                ((self.measure_window.as_nanos() / measured.as_nanos().max(1)) as u64 + 1)
+                    .clamp(2, 100)
+            };
+            n = n.saturating_mul(grow);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample count is meaningless for the stub's single calibrated pass;
+    /// accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+            measure_window: self.criterion.measure_window,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+            measure_window: self.criterion.measure_window,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) if ns_per_iter > 0.0 => {
+                format!("  {:>12.0} elem/s", e as f64 * 1e9 / ns_per_iter)
+            }
+            Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / ns_per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>14.1} ns/iter{rate}   ({} iters)",
+            format!("{}/{}", self.name, id),
+            ns_per_iter,
+            b.iters
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // DCP_BENCH_MS shrinks the window for smoke runs (e.g. CI).
+        let ms = std::env::var("DCP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(200u64);
+        Criterion { measure_window: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup { criterion: self, name: "criterion".into(), throughput: None };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions into
+/// one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("DCP_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(1));
+        let mut acc = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The sweep executor in `dcp-bench` only needs scoped threads. Since Rust
+//! 1.63 the standard library provides them, so this shim exposes
+//! `crossbeam::thread::scope` on top of `std::thread::scope`. One API
+//! divergence from the real crate, documented here because only this
+//! workspace compiles against the shim: `Scope::spawn` takes a plain
+//! `FnOnce()` closure instead of `FnOnce(&Scope)` (nested spawning is not
+//! used). Restore the real crate via the workspace `Cargo.toml` when a
+//! registry is reachable.
+
+pub mod thread {
+    /// Result type of [`scope`]: `Err` carries a child thread's panic
+    /// payload, as in real crossbeam.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Scope handle passed to the [`scope`] closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; it may borrow from the enclosing
+        /// environment and is joined before [`scope`] returns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(f)
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. All spawned threads
+    /// are joined when the closure returns; a child panic surfaces as
+    /// `Err`, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope resurfaces unjoined child panics by panicking
+        // itself; catching around the whole scope preserves crossbeam's
+        // Err-returning contract for both parent and child panics.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move || x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|| panic!("boom"));
+            let _ = h.join();
+        });
+        // The panic is observed via the child handle; scope itself returns
+        // Ok because the parent closure absorbed it.
+        assert!(r.is_ok());
+        let r2 = crate::thread::scope(|_s| panic!("parent"));
+        assert!(r2.is_err());
+    }
+}

@@ -1,0 +1,577 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the API subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/
+//! `prop_shuffle`, integer-range and `Just` strategies, `any::<T>()`,
+//! `collection::vec`, `sample::Index`, and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!` macros.
+//!
+//! Unlike the real crate there is no shrinking and no failure persistence:
+//! each `#[test]` runs `ProptestConfig::cases` deterministic cases from an
+//! RNG seeded by the test's module path + name, and a failing case panics
+//! with the assertion message. Swap the real crate back in via the
+//! workspace `Cargo.toml` when a registry is reachable.
+
+// Re-exported for macro expansions in crates that don't depend on `rand`.
+#[doc(hidden)]
+pub use rand;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// A generator of values of type `Value`. The stub's contract is just
+    /// deterministic generation from the provided RNG — no shrinking.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { s: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { s: self, f }
+        }
+
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+            Self::Value: Shuffleable,
+        {
+            Shuffle(self)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Helper for `prop_oneof!`: erases a strategy's concrete type so
+    /// heterogeneous arms can share one `Vec`.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Builds a strategy from a generation closure; the backbone of
+    /// `prop_compose!`.
+    pub fn fn_strategy<T, F: Fn(&mut StdRng) -> T>(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+
+    pub struct FnStrategy<F>(F);
+
+    impl<T, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.s.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            let inner = (self.f)(self.s.generate(rng));
+            inner.generate(rng)
+        }
+    }
+
+    /// Values `prop_shuffle` can permute in place.
+    pub trait Shuffleable {
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> Shuffleable for Vec<T> {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            // Fisher–Yates; modulo bias is irrelevant for test generation.
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    pub struct Shuffle<S>(S);
+
+    impl<S: Strategy> Strategy for Shuffle<S>
+    where
+        S::Value: Shuffleable,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            let mut v = self.0.generate(rng);
+            v.shuffle(rng);
+            v
+        }
+    }
+
+    /// Uniform choice between boxed arms, as built by `prop_oneof!`.
+    pub struct OneOf<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = (rng.next_u64() as usize) % self.arms.len();
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u64) - (self.start as u64);
+                    self.start + (rng.next_u64() % width) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as u64) - (lo as u64) + 1;
+                    if width == 0 {
+                        // Full-width u64 range: the raw draw is already uniform.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % width) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            crate::sample::Index(rng.next_u64() as usize)
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Element-count bound for [`vec`], half-open internally.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { start: *r.start(), end: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let width = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + (rng.next_u64() % width) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    /// An index into a collection of yet-unknown size, resolved with
+    /// [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Subset of `proptest::test_runner::Config`; only `cases` is honored.
+    /// `max_global_rejects` exists so `..Config::default()` updates (the
+    /// idiomatic real-proptest form) stay meaningful.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// How a single generated case ended, when not a plain success.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the runner draws a new case.
+        Reject,
+        /// A `prop_assert*!` failed; the runner panics with the message.
+        Fail(String),
+    }
+
+    /// Deterministic per-test RNG: seeded from an FNV-1a hash of the test's
+    /// full name so every run (and thread count) sees the same cases.
+    pub fn rng_for(test_name: &str) -> rand::rngs::StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};
+
+    /// Mirrors the real prelude's `prop` path (`prop::sample::Index`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runs each `#[test] fn name(pat in strategy, ...) { body }` for
+/// `ProptestConfig::cases` deterministic cases. `prop_assume!` rejections
+/// redraw; `prop_assert*!` failures panic with the case's message.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(#[test] fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut __done: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __done < __cfg.cases {
+                    let __vals =
+                        ($($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+);
+                    // Immediately-invoked closure: gives `prop_assert*!` and
+                    // `?` a `Result` frame to early-return through.
+                    let __outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ($($pat,)+) = __vals;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __done += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < __cfg.max_global_rejects,
+                                "proptest: too many prop_assume! rejections"
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} failed: {}", __done + 1, msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Defines `fn $name(args...) -> impl Strategy<Value = $ret>` that draws
+/// each binding in order and maps them through the body.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($argn:ident: $argt:ty),* $(,)?)
+        ($($pat:pat in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argn: $argt),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::fn_strategy(move |__rng: &mut $crate::rand::rngs::StdRng| -> $ret {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice among the listed strategies (weights unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Like `assert!` but fails the current case instead of panicking inline,
+/// so it works in helpers returning `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case; the runner draws fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 1u32..10, b in 0u64..=5) -> (u32, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..7, y in 10usize..=12) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((10..=12).contains(&y), "y out of bounds: {}", y);
+        }
+
+        #[test]
+        fn composed_and_assume((a, b) in arb_pair(), flip in any::<bool>()) {
+            prop_assume!(a != 9);
+            prop_assert!((1..9).contains(&a));
+            prop_assert_eq!(b.min(5), b);
+            let _ = flip;
+        }
+
+        #[test]
+        fn oneof_vec_shuffle_index(
+            tag in prop_oneof![Just(1u32), Just(2), Just(3)],
+            v in prop::collection::vec(any::<u8>(), 1..16),
+            ix in any::<prop::sample::Index>(),
+            shuffled in Just(vec![1u32, 2, 3, 4]).prop_shuffle().prop_map(|v| v),
+        ) {
+            prop_assert!((1..=3).contains(&tag));
+            let _ = v[ix.index(v.len())];
+            let mut sorted = shuffled.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, vec![1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward-
+//! looking annotations — no code path serializes through serde (JSON output
+//! is hand-rendered). With crates.io unreachable in the build container,
+//! this stub supplies the trait names and no-op derives so those
+//! annotations keep compiling. Swap the real crate back in via the
+//! workspace `Cargo.toml` when a registry is available.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op derive macros backing the vendored `serde` stub: they accept the
+//! same attribute grammar (`#[serde(...)]` is declared so annotated types
+//! keep compiling) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
