@@ -17,13 +17,15 @@
 //!   runs=N          sweep seeds seed..seed+N    (default 1)
 //!   delay_us=N      leaf-spine delay            (default 1)
 //!   csv=PATH        write per-flow results as CSV (.seedN suffix when runs>1)
+//!   --metrics-out PATH   structured JSON metrics (schemas/metrics.schema.json)
+//!   --trace-out PATH     JSONL event trace (.seedN suffix when runs>1)
 //! ```
 //!
 //! Prints overall FCT slowdown percentiles, transport counters and fabric
 //! counters, in a stable greppable format. With `runs=N` the seeds are
 //! simulated in parallel (see `DCP_THREADS`) and reported in seed order.
 
-use dcp_bench::sweep;
+use dcp_bench::{run_entry, sweep, ExportOpts, MetricsDoc};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::time::{Nanos, SEC, US};
@@ -98,10 +100,14 @@ fn main() {
     let hosts: usize = get("hosts", "4").parse().unwrap();
     let incast: Option<usize> = args.get("incast").map(|n| n.parse().unwrap());
 
+    let export = ExportOpts::from_env_args();
+
     // One fully independent simulation per seed; `runs=N` fans the seeds
-    // out across the sweep executor and reports them in seed order.
+    // out across the sweep executor and reports them in seed order, so
+    // metrics and trace files are identical across `DCP_THREADS` settings.
     let run_one = |seed: u64| {
         let mut sim = Simulator::new(seed);
+        export.arm_trace(&mut sim);
         let topo = if topo_kind == "testbed" {
             topology::two_switch_testbed(&mut sim, cfg, 8, 100.0, &[100.0; 8], US, delay)
         } else {
@@ -118,14 +124,25 @@ fn main() {
             );
         }
         let records = run_flows(&mut sim, &topo, transport, cc, &flows, 600 * SEC);
-        (seed, flows.len(), sim.now(), sim.net_stats(), records)
+        let ep = sim.all_endpoint_stats();
+        let cons = sim.check_conservation(false);
+        let trace = export.take_trace(&mut sim);
+        (seed, flows.len(), sim.now(), sim.net_stats(), records, ep, cons, trace)
     };
 
     let seeds: Vec<u64> = (0..runs.max(1)).map(|i| seed + i).collect();
     let results = sweep(seeds, run_one);
 
     let ideal = IdealFct { base_delay: 2 * US + 2 * delay, gbps: 100.0, mtu: 1024, header: 74 };
-    for (seed, n_flows, now, ns, records) in results {
+    let mut doc = MetricsDoc::new("dcp_sim")
+        .config("transport", format!("{transport:?}"))
+        .config("lb", format!("{lb:?}"))
+        .config("cc", format!("{cc:?}"))
+        .config("load", load)
+        .config("loss", loss)
+        .config("flows", n_flows)
+        .config("runs", runs);
+    for (seed, n_flows, now, ns, records, ep, cons, trace) in results {
         let retx: u64 = records.iter().map(|r| r.tx.retx_pkts).sum();
         let rtos: u64 = records.iter().map(|r| r.tx.timeouts).sum();
         let dups: u64 = records.iter().map(|r| r.rx.duplicates).sum();
@@ -149,5 +166,12 @@ fn main() {
             std::fs::write(&path, csv).expect("write csv");
             println!("result csv={path}");
         }
+        let suffix = (runs > 1).then(|| format!("seed{seed}"));
+        export.write_trace_lines(&trace, suffix.as_deref());
+        if export.metrics_out.is_some() {
+            let fct = FctSummary::from_records(&records, &ideal);
+            doc.push_run(run_entry(&format!("{transport:?}"), seed, &fct, &ns, &ep, &cons));
+        }
     }
+    export.write_metrics(doc);
 }

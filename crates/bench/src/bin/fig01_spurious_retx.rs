@@ -4,7 +4,7 @@
 //! (a) retransmission ratio by flow size; (b) share of flows with any
 //! spurious retransmission, per size class.
 
-use dcp_bench::{build_clos, default_cc, Scale, DEADLINE};
+use dcp_bench::{build_clos, default_cc, run_entry, ExportOpts, MetricsDoc, Scale, DEADLINE};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::LoadBalance;
@@ -25,6 +25,8 @@ fn main() {
     // receiver observes a duplicate. (In the paper's 256-host fabric there
     // is no real loss at 0.3 load, so retx ratio == spurious ratio; the
     // quick-scale fabric does congest, so we separate the two.)
+    let export = ExportOpts::from_env_args();
+    let mut doc = MetricsDoc::new("fig01_spurious_retx").config("load", 0.3);
     let mut table: Vec<(String, Vec<f64>)> = Vec::new();
     let mut class_share: Vec<(String, [f64; 3])> = Vec::new();
     for (label, kind, cfg) in [
@@ -76,7 +78,20 @@ fn main() {
             "  {label}: retx {total_retx} of which spurious {spurious}; real losses (drops+trims) {}",
             drops + trims
         );
+        if export.metrics_out.is_some() {
+            let fct = FctSummary::from_records(&records, &IdealFct::intra_dc_100g());
+            let cons = sim.check_conservation(false);
+            doc.push_run(run_entry(
+                label,
+                1,
+                &fct,
+                &sim.net_stats(),
+                &sim.all_endpoint_stats(),
+                &cons,
+            ));
+        }
     }
+    export.write_metrics(doc);
     println!();
     println!("(a) mean spurious-retransmission ratio by size class");
     println!("{:<12}{:>10}{:>10}{:>10}", "", "small", "medium", "large");

@@ -3,7 +3,7 @@
 //! WebSearch at 0.3 plus N-to-1 incast at 0.1; IRN-ECMP, IRN-AR and DCP.
 //! Reports RTO counts for background and incast flows separately.
 
-use dcp_bench::{build_clos, default_cc, Scale, DEADLINE};
+use dcp_bench::{build_clos, default_cc, run_entry, ExportOpts, MetricsDoc, Scale, DEADLINE};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::LoadBalance;
@@ -29,6 +29,9 @@ fn main() {
     let inc = incast_flows(&mut rng, n_hosts, 100.0, 0.1, fan_in, 64 * 1024, horizon);
     let flows = merge(bg, inc);
 
+    let export = ExportOpts::from_env_args();
+    let mut doc =
+        MetricsDoc::new("fig02_timeouts").config("load", 0.3).config("fan_in", fan_in as f64);
     println!(
         "{:<12}{:>16}{:>16}{:>18}{:>14}",
         "scheme", "bg RTOs", "incast RTOs", "flows w/ RTO (%)", "max RTO/flow"
@@ -39,6 +42,7 @@ fn main() {
         ("DCP", TransportKind::Dcp, dcp_switch_config(LoadBalance::AdaptiveRouting, 20)),
     ] {
         let (mut sim, topo) = build_clos(2, cfg, scale, dcp_netsim::US);
+        export.arm_trace(&mut sim);
         let records = run_flows(&mut sim, &topo, kind, default_cc(kind), &flows, DEADLINE);
         assert_eq!(unfinished(&records), 0, "{label}");
         let bg_rtos: u64 = records.iter().filter(|r| !r.spec.incast).map(|r| r.tx.timeouts).sum();
@@ -47,7 +51,22 @@ fn main() {
             records.iter().filter(|r| r.tx.timeouts > 0).count() as f64 / records.len() as f64;
         let peak = records.iter().map(|r| r.tx.timeouts).max().unwrap_or(0);
         println!("{label:<12}{bg_rtos:>16}{inc_rtos:>16}{:>18.1}{peak:>14}", with * 100.0);
+        if export.metrics_out.is_some() {
+            let fct = FctSummary::from_records(&records, &IdealFct::intra_dc_100g());
+            let cons = sim.check_conservation(false);
+            doc.push_run(run_entry(
+                label,
+                2,
+                &fct,
+                &sim.net_stats(),
+                &sim.all_endpoint_stats(),
+                &cons,
+            ));
+        }
+        let trace = export.take_trace(&mut sim);
+        export.write_trace_lines(&trace, Some(label));
     }
+    export.write_metrics(doc);
     println!();
     println!("Paper shape: IRN suffers RTOs in both traffic classes (AR worse than ECMP");
     println!("due to spurious-retransmission load); DCP experiences none. At quick scale");

@@ -49,10 +49,16 @@ impl Measurement {
 
 /// 16-to-1 DCP incast on the two-switch testbed: 16 senders stream 4 MB
 /// each into one victim. Trimming + HO recovery keeps the event mix hot.
-fn incast() -> Measurement {
+/// Run once bare and once with a live probe installed: the pair measures
+/// what hot-path telemetry costs when it is on, and the bare run is the
+/// regression guard for the probe-absent branch.
+fn incast(name: &'static str, probe: Option<Box<dyn dcp_telemetry::Probe>>) -> Measurement {
     let fan_in = 16;
     let cfg = dcp_switch_config(LoadBalance::Ecmp, fan_in + 2);
     let mut sim = Simulator::new(7);
+    if let Some(p) = probe {
+        sim.set_probe(p);
+    }
     let topo = topology::two_switch_testbed(&mut sim, cfg, fan_in, 100.0, &[100.0], US, US);
     let victim = topo.hosts[fan_in];
     for i in 0..fan_in {
@@ -74,7 +80,7 @@ fn incast() -> Measurement {
     sim.run_to_quiescence(60 * SEC);
     let wall_s = t0.elapsed().as_secs_f64();
     Measurement {
-        name: "incast",
+        name,
         events: sim.events_processed(),
         wall_s,
         peak_pending: sim.peak_pending_events(),
@@ -116,7 +122,15 @@ fn main() {
         "{:<18}{:>14}{:>12}{:>16}{:>14}",
         "scenario", "events", "wall (s)", "events/sec", "peak pending"
     );
-    let runs = [incast(), websearch_quick()];
+    // Untimed warm-up: the first simulation pays page faults and
+    // allocator growth that would otherwise be billed to the first
+    // scenario and swamp the telemetry-on/off comparison.
+    let _ = incast("warmup", None);
+    let runs = [
+        incast("incast", None),
+        incast("incast_telemetry", Some(Box::new(dcp_telemetry::CountingProbe::default()))),
+        websearch_quick(),
+    ];
     for m in &runs {
         println!(
             "{:<18}{:>14}{:>12.3}{:>16.0}{:>14}",
@@ -125,6 +139,13 @@ fn main() {
             m.wall_s,
             m.events_per_sec(),
             m.peak_pending
+        );
+    }
+    assert_eq!(runs[0].events, runs[1].events, "a live probe must not change the event stream");
+    if runs[1].events_per_sec() > 0.0 {
+        println!(
+            "\ntelemetry-on overhead: {:+.1}% events/sec vs bare",
+            (runs[0].events_per_sec() / runs[1].events_per_sec() - 1.0) * 100.0
         );
     }
     let body: Vec<String> = runs.iter().map(Measurement::json).collect();

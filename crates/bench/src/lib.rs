@@ -16,7 +16,9 @@ use dcp_netsim::time::{Nanos, SEC, US};
 use dcp_netsim::{topology, Simulator, Topology};
 use dcp_workloads::{CcKind, TransportKind};
 
+pub mod metrics;
 pub mod sweep;
+pub use metrics::{run_entry, run_entry_counters, ExportOpts, MetricsDoc, METRICS_SCHEMA};
 pub use sweep::{sweep, sweep_with_threads};
 
 /// Experiment scale, from the `DCP_FULL` environment variable.
@@ -141,6 +143,13 @@ pub fn stream_goodput(
                 last = c.at;
             }
         });
+    }
+    // Same lenient conservation check `run_flows` applies: the fabric can
+    // never account for more packets than were sent.
+    #[cfg(debug_assertions)]
+    {
+        let c = sim.check_conservation(false);
+        debug_assert!(c.is_ok(), "stream conservation violated: {:?}", c.violations);
     }
     if done < n {
         eprintln!("warn: {kind:?}: stream incomplete ({done}/{n} messages) at t={} ns", sim.now());

@@ -1,0 +1,279 @@
+//! Structured metrics and trace export — the `--metrics-out <json>` /
+//! `--trace-out <jsonl>` flags shared by `dcp_sim` and the figure/table
+//! binaries.
+//!
+//! The metrics document is a single JSON object (schema
+//! `schemas/metrics.schema.json`, validated by the `validate_metrics`
+//! binary) with one entry per run/sweep point. Runs are appended in the
+//! caller's iteration order, which the sweep executor already fixes to
+//! input (seed) order regardless of `DCP_THREADS` — so the exported file
+//! is byte-identical across thread counts.
+//!
+//! The trace file is JSON-lines, one [`dcp_telemetry::ProbeEvent`] per
+//! line, captured by installing an [`EventLog`] probe on the simulator.
+//! Tracing is passive (no RNG draws, no event reordering): a traced run
+//! produces the same simulation as an untraced one.
+
+use dcp_netsim::stats::{Conservation, NetStats, TransportStats};
+use dcp_netsim::Simulator;
+use dcp_telemetry::{EventLog, Json};
+use dcp_workloads::FctSummary;
+use std::path::PathBuf;
+
+/// Version tag stamped into every metrics document.
+pub const METRICS_SCHEMA: &str = "dcp-metrics/v1";
+
+/// Export destinations scanned from the command line.
+///
+/// Accepts `--metrics-out PATH`, `--metrics-out=PATH` and the
+/// `metrics_out=PATH` KEY=VALUE spelling (`dcp_sim`'s native argument
+/// style), and the same for `trace-out`.
+#[derive(Debug, Clone, Default)]
+pub struct ExportOpts {
+    pub metrics_out: Option<PathBuf>,
+    pub trace_out: Option<PathBuf>,
+}
+
+impl ExportOpts {
+    /// Scans `std::env::args()` for the export flags.
+    pub fn from_env_args() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        ExportOpts {
+            metrics_out: find_flag(&argv, "metrics-out").map(PathBuf::from),
+            trace_out: find_flag(&argv, "trace-out").map(PathBuf::from),
+        }
+    }
+
+    pub fn any(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Installs an [`EventLog`] probe when a trace was requested. Call
+    /// before driving the simulation; pair with [`ExportOpts::write_trace`].
+    pub fn arm_trace(&self, sim: &mut Simulator) {
+        if self.trace_out.is_some() {
+            sim.set_probe(Box::new(EventLog::default()));
+        }
+    }
+
+    /// Drains the armed probe's captured trace lines. Call at the end of a
+    /// run, inside the (possibly parallel) run closure; write them later
+    /// from the ordered report loop with [`ExportOpts::write_trace_lines`].
+    pub fn take_trace(&self, sim: &mut Simulator) -> Vec<String> {
+        match sim.probe_mut() {
+            Some(p) if self.trace_out.is_some() => p.drain_jsonl(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Writes captured trace lines. `suffix` labels multi-run sweeps
+    /// (`Some("seed2")` writes `PATH.seed2`, mirroring the `csv=`
+    /// convention; figure binaries use scheme labels); pass `None` for
+    /// single-run binaries.
+    pub fn write_trace_lines(&self, lines: &[String], suffix: Option<&str>) {
+        let Some(path) = &self.trace_out else { return };
+        let path = match suffix {
+            Some(s) => PathBuf::from(format!("{}.{s}", path.display())),
+            None => path.clone(),
+        };
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write trace");
+        println!("result trace={}", path.display());
+    }
+
+    /// Single-run convenience: drain and write in one step.
+    pub fn write_trace(&self, sim: &mut Simulator) {
+        let lines = self.take_trace(sim);
+        self.write_trace_lines(&lines, None);
+    }
+
+    /// Renders and writes the finished metrics document.
+    pub fn write_metrics(&self, doc: MetricsDoc) {
+        let Some(path) = &self.metrics_out else { return };
+        std::fs::write(path, doc.finish().render_pretty()).expect("write metrics");
+        println!("result metrics={}", path.display());
+    }
+}
+
+fn find_flag(argv: &[String], name: &str) -> Option<String> {
+    let eq_dashed = format!("--{name}=");
+    let bare = format!("--{name}");
+    let eq_key = format!("{}=", name.replace('-', "_"));
+    for (i, a) in argv.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq_dashed) {
+            return Some(v.to_string());
+        }
+        if a == &bare {
+            return argv.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&eq_key) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Builder for the metrics JSON document: top-level identity plus a `runs`
+/// array of per-run entries (see [`run_entry`] for the standard shape).
+pub struct MetricsDoc {
+    binary: String,
+    config: Json,
+    runs: Vec<Json>,
+}
+
+impl MetricsDoc {
+    pub fn new(binary: &str) -> Self {
+        MetricsDoc { binary: binary.to_string(), config: Json::obj(), runs: Vec::new() }
+    }
+
+    /// Records one experiment-level configuration key.
+    pub fn config(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.config = self.config.set(key, value);
+        self
+    }
+
+    pub fn push_run(&mut self, run: Json) {
+        self.runs.push(run);
+    }
+
+    pub fn finish(self) -> Json {
+        Json::obj()
+            .set("schema", METRICS_SCHEMA)
+            .set("binary", self.binary)
+            .set("config", self.config)
+            .set("runs", Json::Arr(self.runs))
+    }
+}
+
+/// The standard per-run entry: FCT/slowdown percentiles, fabric and
+/// endpoint counters, and the conservation report. `label` distinguishes
+/// sweep points (scheme names, loss rates); `seed` the RNG seed.
+pub fn run_entry(
+    label: &str,
+    seed: u64,
+    fct: &FctSummary,
+    net: &NetStats,
+    ep: &TransportStats,
+    cons: &Conservation,
+) -> Json {
+    Json::obj()
+        .set("label", label)
+        .set("seed", seed as f64)
+        .set("flows", fct.flows() as f64)
+        .set("unfinished", fct.unfinished as f64)
+        .set("fct_ns", fct_json(fct))
+        .set("slowdown", slowdown_json(fct))
+        .set("net", counters_json(net.fields()))
+        .set("transport", counters_json(ep.fields()))
+        .set("conservation", conservation_json(cons))
+}
+
+/// Per-run entry for binaries without per-flow FCTs (queue deep-dives,
+/// control-plane stress tables): counters and conservation only.
+pub fn run_entry_counters(
+    label: &str,
+    seed: u64,
+    net: &NetStats,
+    ep: &TransportStats,
+    cons: &Conservation,
+) -> Json {
+    Json::obj()
+        .set("label", label)
+        .set("seed", seed as f64)
+        .set("net", counters_json(net.fields()))
+        .set("transport", counters_json(ep.fields()))
+        .set("conservation", conservation_json(cons))
+}
+
+/// FCT percentiles in nanoseconds.
+pub fn fct_json(s: &FctSummary) -> Json {
+    let (p50, p99, p999) = s.fct_p50_p99_p999();
+    Json::obj()
+        .set("p50", p50 as f64)
+        .set("p99", p99 as f64)
+        .set("p999", p999 as f64)
+        .set("mean", s.fct.mean())
+}
+
+/// Slowdown percentiles (unitless, ≥ 1).
+pub fn slowdown_json(s: &FctSummary) -> Json {
+    Json::obj()
+        .set("p50", s.slowdown_p(50.0))
+        .set("p99", s.slowdown_p(99.0))
+        .set("p999", s.slowdown_p(99.9))
+        .set("mean", s.mean_slowdown())
+}
+
+/// Any `counters!`-generated struct as a JSON object, field order fixed
+/// by the struct's declaration order.
+pub fn counters_json(fields: impl Iterator<Item = (&'static str, u64)>) -> Json {
+    let mut o = Json::obj();
+    for (name, value) in fields {
+        o = o.set(name, value as f64);
+    }
+    o
+}
+
+/// Conservation report: `ok`, the two in-flight terms, and any violation
+/// strings verbatim.
+pub fn conservation_json(c: &Conservation) -> Json {
+    Json::obj()
+        .set("ok", c.is_ok())
+        .set("data_in_flight", c.data_in_flight as f64)
+        .set("ho_in_flight", c.ho_in_flight as f64)
+        .set("violations", Json::Arr(c.violations.iter().map(|v| Json::from(v.as_str())).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_spellings_all_parse() {
+        let argv: Vec<String> = ["--metrics-out=m.json", "--trace-out", "t.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(find_flag(&argv, "metrics-out").as_deref(), Some("m.json"));
+        assert_eq!(find_flag(&argv, "trace-out").as_deref(), Some("t.jsonl"));
+        let kv: Vec<String> = ["metrics_out=x.json"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(find_flag(&kv, "metrics-out").as_deref(), Some("x.json"));
+        assert_eq!(find_flag(&kv, "trace-out"), None);
+    }
+
+    #[test]
+    fn doc_shape_matches_schema_fields() {
+        let mut doc = MetricsDoc::new("test_bin").config("load", 0.3);
+        let fct = FctSummary::from_records(&[], &dcp_workloads::IdealFct::intra_dc_100g());
+        let net = NetStats::default();
+        let ep = TransportStats::default();
+        let cons = Conservation::check(&net, &ep, true);
+        doc.push_run(run_entry("dcp", 1, &fct, &net, &ep, &cons));
+        let j = doc.finish();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(METRICS_SCHEMA));
+        assert_eq!(j.get("binary").unwrap().as_str(), Some("test_bin"));
+        let runs = j.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 1);
+        let r = &runs[0];
+        for key in [
+            "label",
+            "seed",
+            "flows",
+            "unfinished",
+            "fct_ns",
+            "slowdown",
+            "net",
+            "transport",
+            "conservation",
+        ] {
+            assert!(r.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(r.get("conservation").unwrap().get("ok"), Some(&Json::Bool(true)));
+        // Round-trips through the parser.
+        let parsed = Json::parse(&j.render_pretty()).unwrap();
+        assert_eq!(parsed.get("runs").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -235,7 +235,7 @@ mod tests {
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r }
+        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
     }
 
     fn receiver() -> DcpReceiver {

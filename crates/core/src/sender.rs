@@ -317,7 +317,7 @@ mod tests {
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r }
+        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
     }
 
     fn sender(mode: RetransMode) -> DcpSender {

@@ -10,6 +10,7 @@
 use crate::packet::{FlowId, NodeId, Packet};
 use crate::stats::TransportStats;
 use crate::time::Nanos;
+use dcp_telemetry::{Probe, ProbeEvent};
 use rand::rngs::StdRng;
 
 /// Message-level completion surfaced to the application/driver.
@@ -42,6 +43,20 @@ pub struct EndpointCtx<'a> {
     pub completions: &'a mut Vec<Completion>,
     /// The simulation's deterministic RNG.
     pub rng: &'a mut StdRng,
+    /// Telemetry sink; `None` on bare runs. Transports may emit
+    /// transport-level events through [`EndpointCtx::emit`].
+    pub probe: Option<&'a mut (dyn Probe + 'static)>,
+}
+
+impl EndpointCtx<'_> {
+    /// Records a probe event; the closure runs only when a probe is
+    /// installed, so the off path is a single branch.
+    #[inline]
+    pub fn emit(&mut self, ev: impl FnOnce() -> ProbeEvent) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.record(self.now, &ev());
+        }
+    }
 }
 
 /// One side of a transport connection, attached to a host NIC.

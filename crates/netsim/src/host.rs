@@ -6,12 +6,13 @@
 //! (`round_quota`, default 16 KB ≈ the PCIe BDP), pulling packets from
 //! transports only when the wire is free.
 
-use crate::endpoint::{Completion, Endpoint, EndpointCtx};
+use crate::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use crate::link::Link;
 use crate::packet::{FlowId, NodeId, Packet, PortId};
 use crate::sim::{Event, NodeCtx};
 use crate::time::{tx_time, Nanos};
 use dcp_rdma::qp::WorkReqOp;
+use dcp_telemetry::ProbeEvent;
 use std::collections::HashMap;
 
 /// Default per-round quota of the QP scheduler (§4.3: 16 KB ≈ PCIe BDP).
@@ -22,6 +23,8 @@ pub struct Host {
     /// Outgoing link; set when the topology wires the host up.
     pub link: Option<Link>,
     endpoints: Vec<Box<dyn Endpoint>>,
+    /// Flow of each endpoint, parallel to `endpoints` (probe labelling).
+    flows: Vec<FlowId>,
     by_flow: HashMap<FlowId, usize>,
     busy: bool,
     /// PFC PAUSE received from the ToR.
@@ -37,6 +40,7 @@ impl Host {
             id,
             link: None,
             endpoints: Vec::new(),
+            flows: Vec::new(),
             by_flow: HashMap::new(),
             busy: false,
             paused: false,
@@ -51,6 +55,7 @@ impl Host {
     pub fn install(&mut self, flow: FlowId, ep: Box<dyn Endpoint>) -> usize {
         let ix = self.endpoints.len();
         self.endpoints.push(ep);
+        self.flows.push(flow);
         let prev = self.by_flow.insert(flow, ix);
         assert!(prev.is_none(), "flow {flow:?} already installed on host {:?}", self.id);
         ix
@@ -82,15 +87,44 @@ impl Host {
     ) -> R {
         let mut timers: Vec<(Nanos, u64)> = Vec::new();
         let mut comps: Vec<Completion> = Vec::new();
+        // Transport-level probe events are derived by diffing the endpoint's
+        // own counters around the callback — one extra stats() call per
+        // callback when a probe is attached, nothing at all otherwise.
+        let before = ctx.probe.is_some().then(|| self.endpoints[ix].stats());
         let r = {
             let mut ectx = EndpointCtx {
                 now: ctx.now,
                 timers: &mut timers,
                 completions: &mut comps,
                 rng: ctx.rng,
+                probe: ctx.probe.as_deref_mut(),
             };
             f(self.endpoints[ix].as_mut(), &mut ectx)
         };
+        if let Some(before) = before {
+            let after = self.endpoints[ix].stats();
+            let flow = self.flows[ix].0;
+            let node = self.id.0;
+            for _ in before.timeouts..after.timeouts {
+                ctx.emit(|| ProbeEvent::Timeout { node, flow });
+            }
+            for _ in before.ho_received..after.ho_received {
+                ctx.emit(|| ProbeEvent::HoReceived { node, flow });
+            }
+            for _ in before.duplicates..after.duplicates {
+                ctx.emit(|| ProbeEvent::Duplicate { node, flow });
+            }
+            for c in &comps {
+                if c.kind == CompletionKind::RecvComplete {
+                    ctx.emit(|| ProbeEvent::Delivery {
+                        node,
+                        flow: c.flow.0,
+                        wr_id: c.wr_id,
+                        bytes: c.bytes,
+                    });
+                }
+            }
+        }
         for (at, token) in timers {
             ctx.out.push((at, Event::EndpointTimer { node: self.id, ep: ix, token }));
         }
@@ -153,6 +187,15 @@ impl Host {
                 Some(mut pkt) => {
                     pkt.sent_at = ctx.now;
                     let bytes = pkt.wire_bytes();
+                    if ctx.probe.is_some() && pkt.is_data() {
+                        let (node, flow, psn) = (self.id.0, pkt.flow.0, pkt.psn());
+                        let wire = bytes as u32;
+                        if pkt.is_retx {
+                            ctx.emit(|| ProbeEvent::Retx { node, flow, psn, bytes: wire });
+                        } else {
+                            ctx.emit(|| ProbeEvent::Tx { node, flow, psn, bytes: wire });
+                        }
+                    }
                     self.quota_left -= bytes as i64;
                     if self.quota_left <= 0 {
                         self.advance();

@@ -39,7 +39,7 @@ pub use link::Link;
 pub use packet::{FlowId, NodeId, Packet, PktExt, PortId};
 pub use routing::LoadBalance;
 pub use sim::{Event, Node, NodeCtx, Simulator};
-pub use stats::{NetStats, TransportStats};
+pub use stats::{Conservation, NetStats, TransportStats};
 pub use switch::{EcnConfig, PfcConfig, SwitchConfig};
 pub use time::{bdp_bytes, fiber_delay_km, tx_time, Nanos, MS, NS, SEC, US};
 pub use topology::Topology;

@@ -15,6 +15,7 @@ use crate::stats::{NetStats, TransportStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::time::Nanos;
 use dcp_rdma::qp::WorkReqOp;
+use dcp_telemetry::{Probe, ProbeEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -46,13 +47,29 @@ impl Event {
     }
 }
 
-/// Context handed to node handlers: the clock, the RNG, and the buffers for
-/// emitted events and completions.
+/// Context handed to node handlers: the clock, the RNG, the buffers for
+/// emitted events and completions, and the (optional) telemetry probe.
 pub struct NodeCtx<'a> {
     pub now: Nanos,
     pub rng: &'a mut StdRng,
     pub out: &'a mut Vec<(Nanos, Event)>,
     pub completions: &'a mut VecDeque<Completion>,
+    /// Telemetry sink; `None` on bare runs. Emit through [`NodeCtx::emit`]
+    /// so event construction is skipped entirely when no probe is attached.
+    /// (The `'static` trait-object bound keeps reborrowing through nested
+    /// contexts free of lifetime-invariance knots; probes are owned types.)
+    pub probe: Option<&'a mut (dyn Probe + 'static)>,
+}
+
+impl NodeCtx<'_> {
+    /// Records a probe event; the closure runs only when a probe is
+    /// installed, so the off path is a single branch.
+    #[inline]
+    pub fn emit(&mut self, ev: impl FnOnce() -> ProbeEvent) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.record(self.now, &ev());
+        }
+    }
 }
 
 /// A node in the fabric.
@@ -74,6 +91,7 @@ pub struct Simulator {
     completions: VecDeque<Completion>,
     scratch: Vec<(Nanos, Event)>,
     events: u64,
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl Simulator {
@@ -87,11 +105,37 @@ impl Simulator {
             completions: VecDeque::new(),
             scratch: Vec::new(),
             events: 0,
+            probe: None,
         }
     }
 
     pub fn now(&self) -> Nanos {
         self.now
+    }
+
+    /// Attaches a telemetry probe; every subsequent hot-path event flows
+    /// into it. Probes are passive observers — attaching one must not (and,
+    /// by the determinism tests, does not) change the packet trace.
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches and returns the probe, e.g. to drain a trace after a run.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.take()
+    }
+
+    pub fn probe(&self) -> Option<&dyn Probe> {
+        self.probe.as_deref()
+    }
+
+    pub fn probe_mut(&mut self) -> Option<&mut (dyn Probe + 'static)> {
+        self.probe.as_deref_mut()
+    }
+
+    /// The attached probe's dump (flight-recorder ring, counters …), if any.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.probe.as_ref().and_then(|p| p.dump())
     }
 
     /// Creates a host; wire it with the `connect_*` helpers.
@@ -213,6 +257,7 @@ impl Simulator {
                 rng: &mut self.rng,
                 out: &mut out,
                 completions: &mut self.completions,
+                probe: self.probe.as_deref_mut(),
             };
             f(&mut node, &mut ctx);
         }
@@ -270,10 +315,19 @@ impl Simulator {
     }
 
     /// Runs until every event is processed or `deadline` passes. Returns
-    /// true if the queue drained.
+    /// true if the queue drained. On a missed deadline, an attached probe's
+    /// dump (e.g. the flight-recorder ring of the last few thousand events)
+    /// is printed to stderr — a stalled run leaves a trace, not a boolean.
     pub fn run_to_quiescence(&mut self, deadline: Nanos) -> bool {
         while let Some(at) = self.queue.next_at() {
             if at > deadline {
+                if let Some(dump) = self.flight_dump() {
+                    eprintln!(
+                        "run_to_quiescence: deadline {deadline} missed at t={} with {} pending events\n{dump}",
+                        self.now,
+                        self.queue.len(),
+                    );
+                }
                 return false;
             }
             self.step();
@@ -327,6 +381,39 @@ impl Simulator {
             }
         }
         total
+    }
+
+    /// Merge of every endpoint's transport counters across all hosts (both
+    /// senders and receivers) — the aggregate the conservation identities
+    /// are stated over.
+    pub fn all_endpoint_stats(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for n in &self.nodes {
+            if let Node::Host(h) = n {
+                for ep in h.endpoints() {
+                    total.merge(&ep.stats());
+                }
+            }
+        }
+        total
+    }
+
+    /// Cross-validates fabric and endpoint counters (see
+    /// [`crate::stats::Conservation`]). Pass `quiesced = true` after a
+    /// drained [`Simulator::run_to_quiescence`] for exact accounting; on a
+    /// violation an attached probe's dump is printed to stderr.
+    pub fn check_conservation(&self, quiesced: bool) -> crate::stats::Conservation {
+        let c = crate::stats::Conservation::check(
+            &self.net_stats(),
+            &self.all_endpoint_stats(),
+            quiesced,
+        );
+        if !c.is_ok() {
+            if let Some(dump) = self.flight_dump() {
+                eprintln!("conservation violated:\n{}\n{dump}", c.violations.join("\n"));
+            }
+        }
+        c
     }
 
     /// Transport counters of `flow`'s endpoint on `host`.

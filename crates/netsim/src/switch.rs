@@ -16,6 +16,7 @@ use crate::sim::{Event, NodeCtx};
 use crate::stats::NetStats;
 use crate::time::tx_time;
 use dcp_rdma::headers::DcpTag;
+use dcp_telemetry::{DropClass, ProbeEvent, QueueClass};
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -308,6 +309,13 @@ impl Switch {
                 self.trim_and_admit(egress, &pkt, ctx);
             } else {
                 self.stats.data_drops += 1;
+                ctx.emit(|| ProbeEvent::Drop {
+                    node: self.id.0,
+                    port: egress as u32,
+                    flow: pkt.flow.0,
+                    psn: pkt.psn(),
+                    class: DropClass::Data,
+                });
             }
             return;
         }
@@ -317,6 +325,13 @@ impl Switch {
             if self.cfg.ho_loss_rate > 0.0 && ctx.rng.random::<f64>() < self.cfg.ho_loss_rate {
                 // Injected control-plane fault (§4.5's violated assumption).
                 self.stats.ho_drops += 1;
+                ctx.emit(|| ProbeEvent::Drop {
+                    node: self.id.0,
+                    port: egress as u32,
+                    flow: pkt.flow.0,
+                    psn: pkt.psn(),
+                    class: DropClass::HeaderOnly,
+                });
                 return;
             }
             self.admit(egress, Q_CTRL, pkt, ctx);
@@ -324,17 +339,31 @@ impl Switch {
         }
 
         // Over-threshold data queue: trim DCP data, drop everything else.
+        // Drops are classified by what the packet *is* (payload-bearing or
+        // ACK/NAK/CNP-class), not by its DCP tag — baseline transports tag
+        // their ACKs `NonDcp`, and miscounting those as data drops breaks
+        // flow conservation.
         if self.ports[egress].queues[Q_DATA].bytes > self.cfg.data_q_threshold {
-            match tag {
-                DcpTag::Data if self.cfg.trimming => {
-                    self.trim_and_admit(egress, &pkt, ctx);
-                }
-                DcpTag::Ack => {
-                    self.stats.ack_drops += 1;
-                }
-                _ => {
-                    self.stats.data_drops += 1;
-                }
+            if tag == DcpTag::Data && self.cfg.trimming {
+                self.trim_and_admit(egress, &pkt, ctx);
+            } else if pkt.is_data() {
+                self.stats.data_drops += 1;
+                ctx.emit(|| ProbeEvent::Drop {
+                    node: self.id.0,
+                    port: egress as u32,
+                    flow: pkt.flow.0,
+                    psn: pkt.psn(),
+                    class: DropClass::Data,
+                });
+            } else {
+                self.stats.ack_drops += 1;
+                ctx.emit(|| ProbeEvent::Drop {
+                    node: self.id.0,
+                    port: egress as u32,
+                    flow: pkt.flow.0,
+                    psn: pkt.psn(),
+                    class: DropClass::Ack,
+                });
             }
             return;
         }
@@ -346,6 +375,12 @@ impl Switch {
                 if p > 0.0 && ctx.rng.random::<f64>() < p {
                     pkt.header.ip.set_ecn_ce(true);
                     self.stats.ecn_marks += 1;
+                    ctx.emit(|| ProbeEvent::EcnMark {
+                        node: self.id.0,
+                        port: egress as u32,
+                        flow: pkt.flow.0,
+                        psn: pkt.psn(),
+                    });
                 }
             }
         }
@@ -363,7 +398,16 @@ impl Switch {
                 // A lost HO packet is a violated lossless-control-plane
                 // assumption — the quantity Table 5 measures.
                 self.stats.ho_drops += 1;
+            } else if pkt.is_data() {
+                self.stats.buffer_drops_data += 1;
             }
+            ctx.emit(|| ProbeEvent::Drop {
+                node: self.id.0,
+                port: egress as u32,
+                flow: pkt.flow.0,
+                psn: pkt.psn(),
+                class: DropClass::Buffer,
+            });
             return;
         }
         self.shared_used += bytes;
@@ -372,6 +416,14 @@ impl Switch {
             self.ingress_bytes[ingress] += bytes;
             self.maybe_pause(ingress, ctx);
         }
+        ctx.emit(|| ProbeEvent::Enqueue {
+            node: self.id.0,
+            port: egress as u32,
+            queue: if q == Q_CTRL { QueueClass::Ctrl } else { QueueClass::Data },
+            flow: pkt.flow.0,
+            psn: pkt.psn(),
+            bytes: bytes as u32,
+        });
         let queue = &mut self.ports[egress].queues[q];
         queue.bytes += bytes;
         queue.pkts.push_back(pkt);
@@ -400,6 +452,12 @@ impl Switch {
     fn trim_and_admit(&mut self, egress: PortId, pkt: &Packet, ctx: &mut NodeCtx) {
         let mut ho = self.trim(pkt);
         self.stats.trims += 1;
+        ctx.emit(|| ProbeEvent::Trim {
+            node: self.id.0,
+            port: egress as u32,
+            flow: pkt.flow.0,
+            psn: pkt.psn(),
+        });
         let mut target = egress;
         if self.cfg.ho_direct_return {
             // The model pairs QPNs as (2f, 2f+1); a real ASIC would read the
@@ -431,6 +489,7 @@ impl Switch {
         if !self.ingress_paused[ingress] && self.ingress_bytes[ingress] > pfc.xoff_bytes {
             self.ingress_paused[ingress] = true;
             self.stats.pauses_sent += 1;
+            ctx.emit(|| ProbeEvent::PfcPause { node: self.id.0, port: ingress as u32 });
             if let Some((peer, peer_port)) = self.ports[ingress].peer {
                 ctx.out.push((
                     ctx.now + self.ports[ingress].link.delay,
@@ -445,6 +504,7 @@ impl Switch {
         if self.ingress_paused[ingress] && self.ingress_bytes[ingress] < pfc.xon_bytes {
             self.ingress_paused[ingress] = false;
             self.stats.resumes_sent += 1;
+            ctx.emit(|| ProbeEvent::PfcResume { node: self.id.0, port: ingress as u32 });
             if let Some((peer, peer_port)) = self.ports[ingress].peer {
                 ctx.out.push((
                     ctx.now + self.ports[ingress].link.delay,
@@ -515,6 +575,14 @@ impl Switch {
         } else if pkt.is_data() {
             self.stats.data_forwarded += 1;
         }
+        ctx.emit(|| ProbeEvent::Dequeue {
+            node: self.id.0,
+            port: port as u32,
+            queue: if q == Q_CTRL { QueueClass::Ctrl } else { QueueClass::Data },
+            flow: pkt.flow.0,
+            psn: pkt.psn(),
+            bytes: bytes as u32,
+        });
         let tx = tx_time(bytes, link.gbps);
         ctx.out.push((ctx.now + tx, Event::PortFree { node: self.id, port }));
         ctx.out.push((

@@ -3,7 +3,7 @@
 
 use dcp_netsim::switch::SwitchConfig;
 use dcp_netsim::time::{SEC, US};
-use dcp_netsim::trace::QueueTracer;
+use dcp_netsim::trace::Sampler;
 use dcp_netsim::*;
 use dcp_rdma::headers::*;
 use dcp_rdma::segment::PacketDescriptor;
@@ -222,19 +222,18 @@ fn control_queue_stays_shallow_under_trim_storm() {
         sim.install_endpoint(dst, FlowId(f + 1), Box::new(Sink(TransportStats::default())));
         sim.kick(topo.hosts[f as usize]);
     }
-    let mut tracer = QueueTracer::new(topo.leaves[0], 4, 10 * US);
+    let mut sampler = Sampler::new(10 * US).track_port_queues("bottleneck", topo.leaves[0], 4);
     while sim.pending_events() > 0 && sim.now() < SEC {
         sim.step();
-        tracer.poll(&sim);
+        sampler.poll(&sim);
     }
     assert!(sim.net_stats().trims > 1000, "trim storm expected");
     assert_eq!(sim.net_stats().ho_drops, 0);
-    assert!(tracer.peak_data() >= 64 * 1024, "data queue reaches the threshold");
-    assert!(
-        tracer.peak_ctrl() < 8 * 1024,
-        "control queue stays shallow: peak {} B",
-        tracer.peak_ctrl()
-    );
+    let (data, ctrl) = (sampler.channel("bottleneck.data"), sampler.channel("bottleneck.ctrl"));
+    assert!(data.peak() >= 64 * 1024, "data queue reaches the threshold");
+    assert!(ctrl.peak() < 8 * 1024, "control queue stays shallow: peak {} B", ctrl.peak());
+    // The histogram view agrees with the raw series at the extremes.
+    assert_eq!(data.histogram().max(), data.peak());
 }
 
 #[test]

@@ -1,0 +1,327 @@
+//! Log-linear ("HDR-style") histograms.
+//!
+//! Values `< 2^sub_bits` get exact unit buckets; above that, each power-of-
+//! two octave is split into `2^sub_bits` linear sub-buckets, bounding the
+//! relative quantization error at `2^-sub_bits` (≈1.6% for the default 6
+//! bits) while keeping the whole histogram a few KB. Recording is O(1)
+//! (a leading-zeros count and an add), percentile queries are one walk —
+//! no full sort of the sample set, which is what lets the workload stats
+//! report p999 over millions of FCTs without holding or sorting them.
+
+/// Default sub-bucket resolution: 64 linear buckets per octave.
+pub const DEFAULT_SUB_BITS: u32 = 6;
+
+/// A log-linear histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_SUB_BITS)
+    }
+}
+
+impl LogHistogram {
+    pub fn new(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits must be in 1..=16");
+        let n_buckets = (65 - sub_bits as usize) << sub_bits;
+        LogHistogram {
+            sub_bits,
+            counts: vec![0; n_buckets],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, v: u64) -> usize {
+        let sub = self.sub_bits;
+        if v < (1 << sub) {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let octave = msb - sub + 1;
+        (((octave as usize) << sub) + ((v >> (msb - sub)) as usize)) - (1 << sub)
+    }
+
+    /// Inclusive lower edge of bucket `i`.
+    fn bucket_low(&self, i: usize) -> u64 {
+        let sub = self.sub_bits;
+        if i < (1 << sub) {
+            return i as u64;
+        }
+        let octave = (i >> sub) as u32;
+        let within = (i & ((1usize << sub) - 1)) as u64;
+        ((1u64 << sub) + within) << (octave - 1)
+    }
+
+    /// Inclusive upper edge of bucket `i` (its "highest equivalent value").
+    fn bucket_high(&self, i: usize) -> u64 {
+        let sub = self.sub_bits;
+        if i < (1 << sub) {
+            return i as u64;
+        }
+        let octave = (i >> sub) as u32;
+        self.bucket_low(i) + ((1u64 << (octave - 1)) - 1)
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        let ix = self.index(v);
+        self.counts[ix] += n;
+        self.total += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v as u128 * n as u128;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact observed minimum (not quantized). 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact observed maximum (not quantized). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100): the highest equivalent
+    /// value of the bucket holding the ⌈p% · count⌉-th smallest sample —
+    /// within one bucket width of the exact sorted answer, clamped to the
+    /// exact observed min/max. 0 when empty.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_high(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram (same resolution) into this one.
+    pub fn merge(&mut self, o: &LogHistogram) {
+        assert_eq!(self.sub_bits, o.sub_bits, "histogram resolutions differ");
+        for (a, b) in self.counts.iter_mut().zip(&o.counts) {
+            *a += b;
+        }
+        self.total += o.total;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        self.sum += o.sum;
+    }
+
+    /// Non-empty `(bucket_low, bucket_high, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_low(i), self.bucket_high(i), c))
+            .collect()
+    }
+
+    /// The standard summary tuple `(p50, p99, p999)`.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.value_at_percentile(50.0),
+            self.value_at_percentile(99.0),
+            self.value_at_percentile(99.9),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact nearest-rank on a sorted copy, same rank convention as the
+    /// histogram.
+    fn exact(vals: &mut [u64], p: f64) -> u64 {
+        vals.sort_unstable();
+        let rank = ((p / 100.0) * vals.len() as f64).ceil().max(1.0) as usize;
+        vals[rank - 1]
+    }
+
+    /// The histogram's guarantee: the reported percentile lies in the same
+    /// bucket as the exact answer, so it is ≥ exact and within one bucket
+    /// width above it.
+    fn assert_within_one_bucket(h: &LogHistogram, vals: &mut [u64], p: f64) {
+        let e = exact(vals, p);
+        let got = h.value_at_percentile(p);
+        let width = (e >> DEFAULT_SUB_BITS).max(1);
+        assert!(
+            got >= e.min(h.max()) && got <= e.saturating_add(width),
+            "p{p}: hist {got} vs exact {e} (width {width})"
+        );
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 2, 3, 10, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.value_at_percentile(0.0), 0);
+        assert_eq!(h.value_at_percentile(50.0), 2);
+        assert_eq!(h.value_at_percentile(100.0), 63);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn random_uniform_within_one_bucket() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for range in [1u64 << 10, 1 << 20, 1 << 40] {
+            let mut vals: Vec<u64> = (0..10_000).map(|_| rng.random::<u64>() % range).collect();
+            let mut h = LogHistogram::default();
+            for &v in &vals {
+                h.record(v);
+            }
+            for p in [50.0, 90.0, 99.0, 99.9] {
+                assert_within_one_bucket(&h, &mut vals, p);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_distributions_within_one_bucket() {
+        // Constant, bucket boundaries, heavy tail, extremes.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![7; 1000],
+            (0..64).map(|k| 1u64 << k).collect(),
+            (6..40).flat_map(|k| [(1u64 << k) - 1, 1 << k, (1 << k) + 1]).collect(),
+            {
+                // 99% tiny, 1% huge — the p999 lives in the tail.
+                let mut v = vec![100u64; 9900];
+                v.extend(std::iter::repeat_n(u64::MAX / 2, 100));
+                v
+            },
+            vec![0, 0, 0, u64::MAX],
+        ];
+        for mut vals in cases {
+            let mut h = LogHistogram::default();
+            for &v in &vals {
+                h.record(v);
+            }
+            for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+                let e = exact(&mut vals, p);
+                let got = h.value_at_percentile(p);
+                let width = (e >> DEFAULT_SUB_BITS).max(1);
+                assert!(
+                    got >= e.min(h.max()) && got <= e.saturating_add(width),
+                    "p{p}: hist {got} vs exact {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a_vals: Vec<u64> = (0..5000).map(|_| rng.random::<u64>() % 1_000_000).collect();
+        let b_vals: Vec<u64> = (0..5000).map(|_| rng.random::<u64>() % 10_000).collect();
+        let (mut a, mut b, mut both) =
+            (LogHistogram::default(), LogHistogram::default(), LogHistogram::default());
+        for &v in &a_vals {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &b_vals {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for p in [1.0, 50.0, 99.0, 99.9] {
+            assert_eq!(a.value_at_percentile(p), both.value_at_percentile(p));
+        }
+        assert!((a.mean() - both.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped() {
+        let mut h = LogHistogram::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            h.record(rng.random::<u64>() % (1 << 30));
+        }
+        let mut prev = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = h.value_at_percentile(p);
+            assert!(v >= prev, "monotone");
+            assert!(v <= h.max() && v >= h.min());
+            prev = v;
+        }
+        assert_eq!(h.value_at_percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = LogHistogram::default();
+        assert_eq!(h.value_at_percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        a.record_n(12345, 100);
+        for _ in 0..100 {
+            b.record(12345);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.value_at_percentile(50.0), b.value_at_percentile(50.0));
+        assert_eq!(a.mean(), b.mean());
+    }
+}

@@ -1,0 +1,35 @@
+//! `dcp-telemetry` — observability substrate for the DCP simulation stack.
+//!
+//! The paper's headline claims are diagnostic (spurious-retransmission
+//! ratios, timeout stalls, HO-loss violations), so the simulator needs more
+//! than end-of-run aggregate counters. This crate provides the pieces,
+//! deliberately free of any simulator dependency so every layer (fabric,
+//! transports, workloads, bench harness) can plug in:
+//!
+//! * [`probe`] — the [`Probe`] trait and the [`ProbeEvent`] vocabulary the
+//!   switch/endpoint hot paths speak. Probes are installed as
+//!   `Option<&mut dyn Probe>`; the off path is one predictable branch and
+//!   events are constructed lazily, so runs without a probe are bit-identical
+//!   to runs built without telemetry at all (asserted by the integration
+//!   tests).
+//! * [`recorder`] — a bounded [`FlightRecorder`] ring buffer of recent
+//!   events, dumped automatically when a run fails to quiesce or a counter
+//!   invariant trips: silent hangs become actionable traces.
+//! * [`hist`] — log-linear HDR-style [`LogHistogram`]s for FCT/latency/
+//!   queue-depth percentiles (p50/p99/p999) without full sorts.
+//! * [`json`] — a tiny dependency-free JSON value type with a renderer, a
+//!   parser and a mini schema validator, backing `--metrics-out` /
+//!   `--trace-out` structured export (the vendored `serde` is a no-op stub,
+//!   so serialization is hand-rolled here once instead of per call site).
+
+pub mod hist;
+pub mod json;
+pub mod probe;
+pub mod recorder;
+
+pub use hist::LogHistogram;
+pub use json::Json;
+pub use probe::{
+    CountingProbe, DropClass, EventKind, Fanout, NullProbe, Probe, ProbeEvent, QueueClass,
+};
+pub use recorder::{EventLog, FlightRecorder};

@@ -1,0 +1,390 @@
+//! The probe vocabulary: what the hot paths can report, and the trait that
+//! consumes it.
+//!
+//! Events are plain `Copy` data with raw `u32` identifiers (node, port,
+//! flow, PSN) so this crate needs no simulator types and the compiler can
+//! pass events in registers. Emission sites construct events *lazily* —
+//! `ctx.emit(|| ProbeEvent::...)` — so with no probe installed the only cost
+//! is one branch on an `Option` discriminant.
+
+/// Which egress queue a packet joined or left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueClass {
+    /// The (lossy) data queue.
+    Data,
+    /// The lossless control queue (header-only packets).
+    Ctrl,
+}
+
+impl QueueClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueClass::Data => "data",
+            QueueClass::Ctrl => "ctrl",
+        }
+    }
+}
+
+/// Why a packet died at a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropClass {
+    /// Data packet dropped (over-threshold without trimming, or forced
+    /// loss on a non-DCP packet).
+    Data,
+    /// Header-only packet dropped — a lossless-control-plane violation.
+    HeaderOnly,
+    /// ACK/CNP-class packet dropped at an over-threshold data queue.
+    Ack,
+    /// Shared buffer exhausted (any class; see the event's `flow`/`psn`).
+    Buffer,
+}
+
+impl DropClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            DropClass::Data => "data",
+            DropClass::HeaderOnly => "ho",
+            DropClass::Ack => "ack",
+            DropClass::Buffer => "buffer",
+        }
+    }
+}
+
+/// One observable event on a hot path. Every variant carries enough
+/// identity (node, port, flow, PSN) to reconstruct a packet's story from a
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeEvent {
+    /// A packet was admitted to an egress queue.
+    Enqueue { node: u32, port: u32, queue: QueueClass, flow: u32, psn: u32, bytes: u32 },
+    /// A packet left an egress queue for the wire.
+    Dequeue { node: u32, port: u32, queue: QueueClass, flow: u32, psn: u32, bytes: u32 },
+    /// A data packet was trimmed to a header-only notification.
+    Trim { node: u32, port: u32, flow: u32, psn: u32 },
+    /// A packet died at a switch.
+    Drop { node: u32, port: u32, flow: u32, psn: u32, class: DropClass },
+    /// ECN CE mark applied on enqueue.
+    EcnMark { node: u32, port: u32, flow: u32, psn: u32 },
+    /// PFC PAUSE emitted upstream from ingress `port`.
+    PfcPause { node: u32, port: u32 },
+    /// PFC RESUME emitted upstream from ingress `port`.
+    PfcResume { node: u32, port: u32 },
+    /// A host NIC put a first-transmission data/control packet on the wire.
+    Tx { node: u32, flow: u32, psn: u32, bytes: u32 },
+    /// A host NIC put a *retransmitted* copy on the wire.
+    Retx { node: u32, flow: u32, psn: u32, bytes: u32 },
+    /// A transport retransmission timeout fired.
+    Timeout { node: u32, flow: u32 },
+    /// A sender received a header-only loss notification.
+    HoReceived { node: u32, flow: u32 },
+    /// A receiver observed a duplicate data packet (spurious retx).
+    Duplicate { node: u32, flow: u32 },
+    /// A message was fully delivered in order (receiver-side completion).
+    Delivery { node: u32, flow: u32, wr_id: u64, bytes: u64 },
+}
+
+/// Discriminant-only view of [`ProbeEvent`], for counting and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum EventKind {
+    Enqueue,
+    Dequeue,
+    Trim,
+    Drop,
+    EcnMark,
+    PfcPause,
+    PfcResume,
+    Tx,
+    Retx,
+    Timeout,
+    HoReceived,
+    Duplicate,
+    Delivery,
+}
+
+impl EventKind {
+    /// Number of kinds (array-size constant for per-kind counters).
+    pub const COUNT: usize = 13;
+
+    pub const ALL: [EventKind; Self::COUNT] = [
+        EventKind::Enqueue,
+        EventKind::Dequeue,
+        EventKind::Trim,
+        EventKind::Drop,
+        EventKind::EcnMark,
+        EventKind::PfcPause,
+        EventKind::PfcResume,
+        EventKind::Tx,
+        EventKind::Retx,
+        EventKind::Timeout,
+        EventKind::HoReceived,
+        EventKind::Duplicate,
+        EventKind::Delivery,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Enqueue => "enqueue",
+            EventKind::Dequeue => "dequeue",
+            EventKind::Trim => "trim",
+            EventKind::Drop => "drop",
+            EventKind::EcnMark => "ecn_mark",
+            EventKind::PfcPause => "pfc_pause",
+            EventKind::PfcResume => "pfc_resume",
+            EventKind::Tx => "tx",
+            EventKind::Retx => "retx",
+            EventKind::Timeout => "timeout",
+            EventKind::HoReceived => "ho_received",
+            EventKind::Duplicate => "duplicate",
+            EventKind::Delivery => "delivery",
+        }
+    }
+}
+
+impl ProbeEvent {
+    pub fn kind(&self) -> EventKind {
+        match self {
+            ProbeEvent::Enqueue { .. } => EventKind::Enqueue,
+            ProbeEvent::Dequeue { .. } => EventKind::Dequeue,
+            ProbeEvent::Trim { .. } => EventKind::Trim,
+            ProbeEvent::Drop { .. } => EventKind::Drop,
+            ProbeEvent::EcnMark { .. } => EventKind::EcnMark,
+            ProbeEvent::PfcPause { .. } => EventKind::PfcPause,
+            ProbeEvent::PfcResume { .. } => EventKind::PfcResume,
+            ProbeEvent::Tx { .. } => EventKind::Tx,
+            ProbeEvent::Retx { .. } => EventKind::Retx,
+            ProbeEvent::Timeout { .. } => EventKind::Timeout,
+            ProbeEvent::HoReceived { .. } => EventKind::HoReceived,
+            ProbeEvent::Duplicate { .. } => EventKind::Duplicate,
+            ProbeEvent::Delivery { .. } => EventKind::Delivery,
+        }
+    }
+
+    /// One stable JSONL line (no trailing newline) for `--trace-out`.
+    /// Key order is fixed so traces diff cleanly between runs.
+    pub fn to_jsonl(&self, at: u64) -> String {
+        let head = |n: u32| format!("{{\"at\":{at},\"ev\":\"{}\",\"node\":{n}", self.kind().name());
+        match *self {
+            ProbeEvent::Enqueue { node, port, queue, flow, psn, bytes }
+            | ProbeEvent::Dequeue { node, port, queue, flow, psn, bytes } => format!(
+                "{},\"port\":{port},\"queue\":\"{}\",\"flow\":{flow},\"psn\":{psn},\"bytes\":{bytes}}}",
+                head(node),
+                queue.name()
+            ),
+            ProbeEvent::Trim { node, port, flow, psn } => {
+                format!("{},\"port\":{port},\"flow\":{flow},\"psn\":{psn}}}", head(node))
+            }
+            ProbeEvent::Drop { node, port, flow, psn, class } => format!(
+                "{},\"port\":{port},\"flow\":{flow},\"psn\":{psn},\"class\":\"{}\"}}",
+                head(node),
+                class.name()
+            ),
+            ProbeEvent::EcnMark { node, port, flow, psn } => {
+                format!("{},\"port\":{port},\"flow\":{flow},\"psn\":{psn}}}", head(node))
+            }
+            ProbeEvent::PfcPause { node, port } | ProbeEvent::PfcResume { node, port } => {
+                format!("{},\"port\":{port}}}", head(node))
+            }
+            ProbeEvent::Tx { node, flow, psn, bytes } | ProbeEvent::Retx { node, flow, psn, bytes } => {
+                format!("{},\"flow\":{flow},\"psn\":{psn},\"bytes\":{bytes}}}", head(node))
+            }
+            ProbeEvent::Timeout { node, flow }
+            | ProbeEvent::HoReceived { node, flow }
+            | ProbeEvent::Duplicate { node, flow } => {
+                format!("{},\"flow\":{flow}}}", head(node))
+            }
+            ProbeEvent::Delivery { node, flow, wr_id, bytes } => format!(
+                "{},\"flow\":{flow},\"wr_id\":{wr_id},\"bytes\":{bytes}}}",
+                head(node)
+            ),
+        }
+    }
+}
+
+/// A consumer of probe events. Implementations must be passive observers:
+/// they may not influence the simulation (no RNG draws, no event
+/// scheduling), which is what keeps probed runs trace-identical to bare
+/// runs.
+pub trait Probe {
+    /// Called from the hot paths with the simulation time and the event.
+    fn record(&mut self, at: u64, ev: &ProbeEvent);
+
+    /// Human-readable dump of whatever the probe retains (ring contents,
+    /// counters), used when a run is aborted mid-flight. `None` means the
+    /// probe keeps nothing worth printing.
+    fn dump(&self) -> Option<String> {
+        None
+    }
+
+    /// Lines already rendered for `--trace-out` style JSONL export, if the
+    /// probe collects them.
+    fn drain_jsonl(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// A probe that ignores everything — for zero-cost-proof tests ("telemetry
+/// off" must equal "telemetry absent").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline]
+    fn record(&mut self, _at: u64, _ev: &ProbeEvent) {}
+}
+
+/// Counts events per kind; the cheapest useful probe (one add per event),
+/// used by `perf_events` to price the probed hot path.
+#[derive(Debug, Default, Clone)]
+pub struct CountingProbe {
+    pub counts: [u64; EventKind::COUNT],
+}
+
+impl CountingProbe {
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+}
+
+impl Probe for CountingProbe {
+    #[inline]
+    fn record(&mut self, _at: u64, ev: &ProbeEvent) {
+        self.counts[ev.kind() as usize] += 1;
+    }
+
+    fn dump(&self) -> Option<String> {
+        let mut s = String::from("event counts:");
+        for k in EventKind::ALL {
+            if self.counts[k as usize] > 0 {
+                s.push_str(&format!(" {}={}", k.name(), self.counts[k as usize]));
+            }
+        }
+        Some(s)
+    }
+}
+
+/// Feeds every event to several probes in order (e.g. a flight recorder
+/// plus a JSONL trace writer in one run).
+#[derive(Default)]
+pub struct Fanout {
+    pub probes: Vec<Box<dyn Probe>>,
+}
+
+impl Fanout {
+    pub fn new(probes: Vec<Box<dyn Probe>>) -> Self {
+        Fanout { probes }
+    }
+}
+
+impl Probe for Fanout {
+    #[inline]
+    fn record(&mut self, at: u64, ev: &ProbeEvent) {
+        for p in &mut self.probes {
+            p.record(at, ev);
+        }
+    }
+
+    fn dump(&self) -> Option<String> {
+        let parts: Vec<String> = self.probes.iter().filter_map(|p| p.dump()).collect();
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join("\n"))
+        }
+    }
+
+    fn drain_jsonl(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &mut self.probes {
+            out.extend(p.drain_jsonl());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_all_variants() {
+        let evs = [
+            ProbeEvent::Enqueue {
+                node: 0,
+                port: 1,
+                queue: QueueClass::Data,
+                flow: 2,
+                psn: 3,
+                bytes: 4,
+            },
+            ProbeEvent::Dequeue {
+                node: 0,
+                port: 1,
+                queue: QueueClass::Ctrl,
+                flow: 2,
+                psn: 3,
+                bytes: 4,
+            },
+            ProbeEvent::Trim { node: 0, port: 1, flow: 2, psn: 3 },
+            ProbeEvent::Drop { node: 0, port: 1, flow: 2, psn: 3, class: DropClass::Ack },
+            ProbeEvent::EcnMark { node: 0, port: 1, flow: 2, psn: 3 },
+            ProbeEvent::PfcPause { node: 0, port: 1 },
+            ProbeEvent::PfcResume { node: 0, port: 1 },
+            ProbeEvent::Tx { node: 0, flow: 2, psn: 3, bytes: 4 },
+            ProbeEvent::Retx { node: 0, flow: 2, psn: 3, bytes: 4 },
+            ProbeEvent::Timeout { node: 0, flow: 2 },
+            ProbeEvent::HoReceived { node: 0, flow: 2 },
+            ProbeEvent::Duplicate { node: 0, flow: 2 },
+            ProbeEvent::Delivery { node: 0, flow: 2, wr_id: 9, bytes: 1024 },
+        ];
+        assert_eq!(evs.len(), EventKind::COUNT);
+        let mut c = CountingProbe::default();
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.kind(), EventKind::ALL[i]);
+            c.record(7, e);
+        }
+        assert_eq!(c.total(), EventKind::COUNT as u64);
+        for k in EventKind::ALL {
+            assert_eq!(c.count(k), 1);
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_as_json() {
+        let evs = [
+            ProbeEvent::Enqueue {
+                node: 1,
+                port: 2,
+                queue: QueueClass::Data,
+                flow: 3,
+                psn: 4,
+                bytes: 1098,
+            },
+            ProbeEvent::Drop { node: 1, port: 2, flow: 3, psn: 4, class: DropClass::Buffer },
+            ProbeEvent::Delivery { node: 1, flow: 3, wr_id: 0, bytes: 1 << 20 },
+            ProbeEvent::PfcPause { node: 9, port: 0 },
+        ];
+        for e in evs {
+            let line = e.to_jsonl(123_456);
+            let v = crate::json::Json::parse(&line).expect("valid JSON line");
+            assert_eq!(v.get("at").and_then(crate::json::Json::as_u64), Some(123_456));
+            assert_eq!(
+                v.get("ev").and_then(crate::json::Json::as_str),
+                Some(e.kind().name()),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn fanout_feeds_every_probe() {
+        let mut f = Fanout::new(vec![Box::new(CountingProbe::default()), Box::new(NullProbe)]);
+        f.record(1, &ProbeEvent::Timeout { node: 0, flow: 1 });
+        f.record(2, &ProbeEvent::Timeout { node: 0, flow: 1 });
+        assert!(f.dump().unwrap().contains("timeout=2"));
+    }
+}

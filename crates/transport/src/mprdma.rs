@@ -328,7 +328,7 @@ mod tests {
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r }
+        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
     }
 
     #[test]

@@ -87,8 +87,11 @@ impl RxCore {
             return Accept::Duplicate;
         }
         if self.ooo_cap != u32::MAX && psn > self.epsn.saturating_add(self.ooo_cap) {
-            // MP-RDMA-style OOO-window overflow: pretend it was lost.
+            // MP-RDMA-style OOO-window overflow: pretend it was lost. The
+            // packet leaves `pkts_received` but is tracked in `ooo_rejected`
+            // so flow conservation still balances.
             self.stats.pkts_received -= 1;
+            self.stats.ooo_rejected += 1;
             return Accept::Rejected;
         }
         let desc = pkt.desc.as_ref().expect("data packet carries descriptor");
@@ -165,7 +168,7 @@ mod tests {
         comps: &'a mut Vec<Completion>,
         rng: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now: 100, timers, completions: comps, rng }
+        EndpointCtx { now: 100, timers, completions: comps, rng, probe: None }
     }
 
     fn packets_for(lens: &[u64]) -> (Vec<Packet>, FlowCfg) {

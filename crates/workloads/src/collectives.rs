@@ -209,5 +209,11 @@ pub fn run_collective(
         "collective did not finish by deadline: {total_done}/{total_expected} at {}",
         sim.now()
     );
+    // Same lenient conservation check `run_flows` applies.
+    #[cfg(debug_assertions)]
+    {
+        let c = sim.check_conservation(false);
+        debug_assert!(c.is_ok(), "collective conservation violated: {:?}", c.violations);
+    }
     results
 }

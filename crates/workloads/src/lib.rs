@@ -25,5 +25,7 @@ pub use runner::{
     endpoint_pair, endpoint_pair_opts, run_flows, run_flows_opts, CcKind, FlowRecord, RunOpts,
     TransportKind,
 };
-pub use stats::{overall_slowdown, percentile, slowdown_by_size, unfinished, BucketRow, IdealFct};
+pub use stats::{
+    overall_slowdown, percentile, slowdown_by_size, unfinished, BucketRow, FctSummary, IdealFct,
+};
 pub use websearch::SizeDist;

@@ -248,6 +248,15 @@ pub fn run_flows_opts(
             }
         });
     }
+    // Flow-conservation sanity check (lenient: packets may still be in
+    // flight, but the fabric can never account for more packets than were
+    // sent). Runs in every figure/table binary via debug assertions; the
+    // strict equality check lives in the quiesced integration tests.
+    #[cfg(debug_assertions)]
+    {
+        let c = sim.check_conservation(false);
+        debug_assert!(c.is_ok(), "flow conservation violated: {:?}", c.violations);
+    }
     flows
         .iter()
         .enumerate()
