@@ -34,12 +34,12 @@ fn measure(kind: TransportKind) -> (f64, f64) {
             if sim.step().is_none() {
                 break;
             }
-            for c in sim.drain_completions() {
+            sim.for_each_completion(|c| {
                 if c.kind == CompletionKind::RecvComplete {
                     done += 1;
                     last = c.at;
                 }
-            }
+            });
         }
         assert_eq!(done, count);
         (msg * count) as f64 * 8.0 / last as f64
@@ -55,11 +55,11 @@ fn measure(kind: TransportKind) -> (f64, f64) {
         sim.post(topo.hosts[0], flow, 0, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 64);
         let mut at: Nanos = 0;
         while at == 0 && sim.step().is_some() {
-            for c in sim.drain_completions() {
+            sim.for_each_completion(|c| {
                 if c.kind == CompletionKind::RecvComplete {
                     at = c.at;
                 }
-            }
+            });
         }
         at as f64 / US as f64
     };
@@ -116,12 +116,12 @@ fn measure_tcp() -> (f64, f64) {
             if sim.step().is_none() {
                 break;
             }
-            for c in sim.drain_completions() {
+            sim.for_each_completion(|c| {
                 if c.kind == CompletionKind::RecvComplete {
                     done += 1;
                     last = c.at;
                 }
-            }
+            });
         }
         assert_eq!(done, msgs);
         (msgs * msg, last)

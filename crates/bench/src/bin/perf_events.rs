@@ -1,18 +1,22 @@
 //! `perf_events` — end-to-end event-engine throughput measurement.
 //!
-//! Runs two fixed scenarios (a 16-to-1 incast and a quick WebSearch CLOS
-//! sweep), reports events/second, wall time and peak pending-event depth,
+//! Runs fixed scenarios (a 16-to-1 incast, a quick WebSearch CLOS sweep
+//! and a Fig. 14-shaped 256-host collective run), reports events/second,
+//! wall time and peak pending-event depth,
 //! and writes the numbers to `BENCH_netsim.json` (override the path with
 //! `DCP_BENCH_JSON`). The scenarios are deterministic; only the wall-clock
 //! numbers vary between machines.
 
-use dcp_bench::{build_clos, Scale};
+use dcp_bench::{allocations_now, build_clos, Scale};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::packet::FlowId;
-use dcp_netsim::time::{SEC, US};
+use dcp_netsim::time::{MS, SEC, US};
 use dcp_netsim::{topology, LoadBalance, Simulator};
 use dcp_rdma::qp::WorkReqOp;
-use dcp_workloads::{endpoint_pair, poisson_flows, run_flows, CcKind, SizeDist, TransportKind};
+use dcp_workloads::{
+    endpoint_pair, poisson_flows, run_collective, run_flows, CcKind, Collective, Group, SizeDist,
+    TransportKind,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -23,6 +27,13 @@ struct Measurement {
     wall_s: f64,
     peak_pending: usize,
     sim_ns: u64,
+    /// Heap allocations during the timed region (0 unless built with
+    /// `--features alloc-stats`).
+    allocs: u64,
+    /// Allocations/event measured after the scenario's first simulated
+    /// millisecond, when pools and queues have reached their high-water
+    /// marks. `None` when the scenario runs in one phase.
+    steady_allocs_per_event: Option<f64>,
 }
 
 impl Measurement {
@@ -35,14 +46,19 @@ impl Measurement {
     }
 
     fn json(&self) -> String {
+        let steady = self
+            .steady_allocs_per_event
+            .map_or(String::new(), |v| format!(", \"steady_allocs_per_event\": {v:.6}"));
         format!(
-            "    {{\"scenario\": \"{}\", \"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.0}, \"peak_pending_events\": {}, \"sim_ns\": {}}}",
+            "    {{\"scenario\": \"{}\", \"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.0}, \"peak_pending_events\": {}, \"sim_ns\": {}, \"allocs\": {}{}}}",
             self.name,
             self.events,
             self.wall_s,
             self.events_per_sec(),
             self.peak_pending,
-            self.sim_ns
+            self.sim_ns,
+            self.allocs,
+            steady
         )
     }
 }
@@ -77,14 +93,27 @@ fn incast(name: &'static str, probe: Option<Box<dyn dcp_telemetry::Probe>>) -> M
         }
     }
     let t0 = Instant::now();
+    let a0 = allocations_now();
+    // Warm phase: pools, calendar buckets and queues grow to their
+    // high-water marks during the first simulated millisecond.
+    sim.run_until(MS);
+    let (a_warm, ev_warm) = (allocations_now(), sim.events_processed());
     sim.run_to_quiescence(60 * SEC);
     let wall_s = t0.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    let steady = if events > ev_warm {
+        Some((allocations_now() - a_warm) as f64 / (events - ev_warm) as f64)
+    } else {
+        None
+    };
     Measurement {
         name,
-        events: sim.events_processed(),
+        events,
         wall_s,
         peak_pending: sim.peak_pending_events(),
         sim_ns: sim.now(),
+        allocs: allocations_now() - a0,
+        steady_allocs_per_event: steady,
     }
 }
 
@@ -97,6 +126,7 @@ fn websearch_quick() -> Measurement {
     let cfg = dcp_switch_config(LoadBalance::AdaptiveRouting, 20);
     let (mut sim, topo) = build_clos(3, cfg, scale, US);
     let t0 = Instant::now();
+    let a0 = allocations_now();
     let records = run_flows(
         &mut sim,
         &topo,
@@ -113,6 +143,54 @@ fn websearch_quick() -> Measurement {
         wall_s,
         peak_pending: sim.peak_pending_events(),
         sim_ns: sim.now(),
+        allocs: allocations_now() - a0,
+        steady_allocs_per_event: None,
+    }
+}
+
+/// Fig. 14-shaped scale point: a 256-host CLOS (16 spines x 16 leaves x
+/// 16 hosts — the paper's simulation scale) running 16 simultaneous
+/// 16-member RingAllReduce groups over DCP with DCQCN. Collective bytes
+/// are trimmed so the scenario finishes in seconds, but topology size,
+/// flow count and event mix match what the paper's large-scale figures
+/// exercise — this is the scenario that stresses routing tables, per-port
+/// queues and the packet pool at real scale.
+fn fig14_clos_256() -> Measurement {
+    let (spines, leaves, hosts_per_leaf) = (16usize, 16usize, 16usize);
+    let n_hosts = leaves * hosts_per_leaf;
+    let (n_groups, group_size) = (16usize, 16usize);
+    let cfg = dcp_switch_config(LoadBalance::AdaptiveRouting, 20);
+    let mut sim = Simulator::new(13);
+    let topo = topology::clos(&mut sim, cfg, spines, leaves, hosts_per_leaf, 100.0, 100.0, US, US);
+    // Groups stripe across leaves so every collective crosses the spines.
+    let groups: Vec<Group> = (0..n_groups)
+        .map(|g| Group {
+            members: (0..group_size).map(|m| (g + m * n_groups) % n_hosts).collect(),
+            total_bytes: 8 << 20,
+        })
+        .collect();
+    let t0 = Instant::now();
+    let a0 = allocations_now();
+    let res = run_collective(
+        &mut sim,
+        &topo,
+        TransportKind::Dcp,
+        CcKind::Dcqcn { gbps: 100.0 },
+        &groups,
+        Collective::RingAllReduce,
+        60 * SEC,
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(res.len(), n_groups);
+    assert!(res.iter().all(|r| r.jct > 0), "every group must finish");
+    Measurement {
+        name: "fig14_clos_256",
+        events: sim.events_processed(),
+        wall_s,
+        peak_pending: sim.peak_pending_events(),
+        sim_ns: sim.now(),
+        allocs: allocations_now() - a0,
+        steady_allocs_per_event: None,
     }
 }
 
@@ -130,6 +208,7 @@ fn main() {
         incast("incast", None),
         incast("incast_telemetry", Some(Box::new(dcp_telemetry::CountingProbe::default()))),
         websearch_quick(),
+        fig14_clos_256(),
     ];
     for m in &runs {
         println!(
@@ -140,6 +219,20 @@ fn main() {
             m.events_per_sec(),
             m.peak_pending
         );
+    }
+    if cfg!(feature = "alloc-stats") {
+        println!("\nallocations per event (alloc-stats):");
+        for m in &runs {
+            let steady =
+                m.steady_allocs_per_event.map_or(String::new(), |v| format!("   steady: {v:.6}"));
+            println!(
+                "{:<18}{:>14} allocs{:>10.4}/event{}",
+                m.name,
+                m.allocs,
+                m.allocs as f64 / m.events.max(1) as f64,
+                steady
+            );
+        }
     }
     assert_eq!(runs[0].events, runs[1].events, "a live probe must not change the event stream");
     if runs[1].events_per_sec() > 0.0 {

@@ -5,7 +5,8 @@
 use crate::config::DcpConfig;
 use crate::tracking::{MsgTracker, Track};
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
-use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::packet::{Packet, PktDesc, PktExt};
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_rdma::headers::DcpTag;
 use dcp_transport::common::{ack_packet, CnpGen, FlowCfg, Placement};
@@ -101,7 +102,8 @@ impl DcpReceiver {
 }
 
 impl Endpoint for DcpReceiver {
-    fn on_packet(&mut self, mut pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let mut pkt = ctx.pool.take(pkt);
         match pkt.dcp_tag() {
             DcpTag::HeaderOnly => {
                 // §4.1 step 2: swap source and destination, stamp the sender
@@ -109,7 +111,7 @@ impl Endpoint for DcpReceiver {
                 // forward the notification to the sender.
                 pkt.header.swap_src_dst(self.cfg.remote_qpn.0);
                 pkt.payload_len = 0;
-                pkt.desc = None;
+                pkt.desc = PktDesc::NONE;
                 self.ho_bounced += 1;
                 self.out.push_back(pkt);
             }
@@ -124,7 +126,7 @@ impl Endpoint for DcpReceiver {
                         self.uid,
                     ));
                 }
-                let desc = pkt.desc.as_ref().expect("data packets carry descriptors");
+                let desc = pkt.desc.unpack().expect("data packets carry descriptors");
                 let msn = pkt.msn().expect("data packets carry the MSN");
                 let sretry = pkt.header.ip.sretry_no();
                 // RNR gate: a Send packet with no matching Receive WQE must
@@ -187,8 +189,8 @@ impl Endpoint for DcpReceiver {
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
-        self.out.pop_front()
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
+        self.out.pop_front().map(|p| ctx.pool.insert(p))
     }
 
     fn has_pending(&self) -> bool {
@@ -218,8 +220,9 @@ pub fn dcp_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
-    use dcp_netsim::time::Nanos;
+    use dcp_netsim::pool::PacketPool;
     use dcp_rdma::qp::WorkReqOp;
     use dcp_transport::common::{data_packet, desc_at, TxBook};
     use rand::rngs::StdRng;
@@ -227,15 +230,6 @@ mod tests {
 
     fn scfg() -> FlowCfg {
         FlowCfg::sender(FlowId(1), NodeId(0), NodeId(1), DcpTag::Data)
-    }
-
-    fn ctx<'a>(
-        now: Nanos,
-        t: &'a mut Vec<(Nanos, u64)>,
-        c: &'a mut Vec<Completion>,
-        r: &'a mut StdRng,
-    ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
     }
 
     fn receiver() -> DcpReceiver {
@@ -252,16 +246,18 @@ mod tests {
     #[test]
     fn reordered_message_completes_and_acks_emsn() {
         let mut rx = receiver();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         for psn in [2u32, 0, 3, 1] {
-            rx.on_packet(data(psn, 0), &mut ctx(psn as u64, &mut t, &mut c, &mut r));
+            deliver(&mut rx, &mut pool, data(psn, 0), psn as u64, &mut t, &mut c, &mut r);
         }
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].bytes, 4096);
         assert_eq!(rx.emsn(), 1);
         // Exactly one ACK, carrying eMSN = 1.
         let acks: Vec<_> =
-            std::iter::from_fn(|| rx.pull(&mut ctx(10, &mut t, &mut c, &mut r))).collect();
+            std::iter::from_fn(|| pull_owned(&mut rx, &mut pool, 10, &mut t, &mut c, &mut r))
+                .collect();
         assert_eq!(acks.len(), 1);
         assert_eq!(acks[0].header.aeth.unwrap().emsn, 1);
     }
@@ -269,14 +265,15 @@ mod tests {
     #[test]
     fn ho_packet_is_bounced_with_sender_qpn() {
         let mut rx = receiver();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let mut ho = data(1, 0);
         ho.header = ho.header.trim_to_header_only();
         ho.payload_len = 0;
         let dst_before = ho.header.ip.dst;
-        rx.on_packet(ho, &mut ctx(0, &mut t, &mut c, &mut r));
+        deliver(&mut rx, &mut pool, ho, 0, &mut t, &mut c, &mut r);
         assert_eq!(rx.ho_bounced, 1);
-        let bounced = rx.pull(&mut ctx(1, &mut t, &mut c, &mut r)).unwrap();
+        let bounced = pull_owned(&mut rx, &mut pool, 1, &mut t, &mut c, &mut r).unwrap();
         assert_eq!(bounced.dcp_tag(), DcpTag::HeaderOnly);
         assert_eq!(bounced.header.ip.src, dst_before, "src/dst swapped");
         assert_eq!(bounced.header.bth.dest_qpn, scfg().local_qpn.0, "addressed to the sender QP");
@@ -286,14 +283,15 @@ mod tests {
     #[test]
     fn duplicate_of_completed_message_reacks() {
         let mut rx = receiver();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         for psn in 0..4 {
-            rx.on_packet(data(psn, 0), &mut ctx(psn as u64, &mut t, &mut c, &mut r));
+            deliver(&mut rx, &mut pool, data(psn, 0), psn as u64, &mut t, &mut c, &mut r);
         }
-        while rx.pull(&mut ctx(5, &mut t, &mut c, &mut r)).is_some() {}
-        rx.on_packet(data(2, 1), &mut ctx(10, &mut t, &mut c, &mut r));
+        while pull_owned(&mut rx, &mut pool, 5, &mut t, &mut c, &mut r).is_some() {}
+        deliver(&mut rx, &mut pool, data(2, 1), 10, &mut t, &mut c, &mut r);
         assert_eq!(rx.stats().duplicates, 1);
-        let ack = rx.pull(&mut ctx(11, &mut t, &mut c, &mut r)).unwrap();
+        let ack = pull_owned(&mut rx, &mut pool, 11, &mut t, &mut c, &mut r).unwrap();
         assert_eq!(ack.header.aeth.unwrap().emsn, 1, "re-ACK unblocks the sender");
         assert_eq!(c.len(), 1, "no double completion");
     }
@@ -301,15 +299,16 @@ mod tests {
     #[test]
     fn old_round_packets_are_not_counted() {
         let mut rx = receiver();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         // Round 1 packets arrive first (post-timeout), then a round-0
         // straggler: the straggler must not contribute to the count.
-        rx.on_packet(data(0, 1), &mut ctx(0, &mut t, &mut c, &mut r));
-        rx.on_packet(data(1, 1), &mut ctx(1, &mut t, &mut c, &mut r));
-        rx.on_packet(data(2, 0), &mut ctx(2, &mut t, &mut c, &mut r));
-        rx.on_packet(data(3, 1), &mut ctx(3, &mut t, &mut c, &mut r));
+        deliver(&mut rx, &mut pool, data(0, 1), 0, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, data(1, 1), 1, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, data(2, 0), 2, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, data(3, 1), 3, &mut t, &mut c, &mut r);
         assert!(c.is_empty(), "psn 2 of round 1 still missing");
-        rx.on_packet(data(2, 1), &mut ctx(4, &mut t, &mut c, &mut r));
+        deliver(&mut rx, &mut pool, data(2, 1), 4, &mut t, &mut c, &mut r);
         assert_eq!(c.len(), 1);
     }
 
@@ -337,11 +336,12 @@ mod tests {
         rx.post_recv(100, 0x5000, 2048);
         rx.post_recv(101, 0x5000 + 4096, 2048);
         let mut book = TxBook::new();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         // Message 1 (SSN 1, psns 2..4) arrives entirely before message 0.
         for psn in [3u32, 2, 1, 0] {
             let p = send_data(2, psn, &mut book);
-            rx.on_packet(p, &mut ctx(psn as u64, &mut t, &mut c, &mut r));
+            deliver(&mut rx, &mut pool, p, psn as u64, &mut t, &mut c, &mut r);
         }
         assert_eq!(c.len(), 2);
         assert_eq!(c[0].wr_id, 100, "first completion consumes the first posted WQE");
@@ -369,18 +369,19 @@ mod tests {
         );
         rx.auto_rq = false;
         let mut book = TxBook::new();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let p = send_data(1, 0, &mut book);
-        rx.on_packet(p, &mut ctx(0, &mut t, &mut c, &mut r));
+        deliver(&mut rx, &mut pool, p, 0, &mut t, &mut c, &mut r);
         // No buffer: nothing counted, nothing completed.
         let p = send_data(1, 1, &mut book);
-        rx.on_packet(p, &mut ctx(1, &mut t, &mut c, &mut r));
+        deliver(&mut rx, &mut pool, p, 1, &mut t, &mut c, &mut r);
         assert!(c.is_empty(), "RNR packets must not complete a message");
         // Post the buffer and redeliver (the coarse fallback's job).
         rx.post_recv(7, 0, 2048);
         for psn in [0u32, 1] {
             let p = send_data(1, psn, &mut book);
-            rx.on_packet(p, &mut ctx(10 + psn as u64, &mut t, &mut c, &mut r));
+            deliver(&mut rx, &mut pool, p, 10 + psn as u64, &mut t, &mut c, &mut r);
         }
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].wr_id, 7);
@@ -394,9 +395,10 @@ mod tests {
         let placement = Placement::Real { mtt, pattern: PatternGen::new(3) };
         let mut rx =
             DcpReceiver::new(FlowCfg::receiver_of(&scfg()), DcpConfig::default(), placement);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         for psn in [3u32, 1, 0, 2] {
-            rx.on_packet(data(psn, 0), &mut ctx(psn as u64, &mut t, &mut c, &mut r));
+            deliver(&mut rx, &mut pool, data(psn, 0), psn as u64, &mut t, &mut c, &mut r);
         }
         assert_eq!(c.len(), 1);
         let Placement::Real { mtt, pattern } = rx.placement() else { unreachable!() };

@@ -12,6 +12,7 @@
 use crate::config::{DcpConfig, RetransMode};
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_rdma::headers::DcpTag;
 use dcp_rdma::qp::{RetransEntry, WorkReqOp};
@@ -117,7 +118,8 @@ impl Endpoint for DcpSender {
         self.book.post(wr_id, op, len, self.cfg.mtu);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         match pkt.dcp_tag() {
             DcpTag::HeaderOnly => {
                 // A loss notification bounced back by the receiver: extract
@@ -225,7 +227,7 @@ impl Endpoint for DcpSender {
         }
     }
 
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         // Pacing gate from the CC module; applies to retransmissions too,
         // which is exactly how DCP makes the retransmission rate
         // controllable (§4.3 challenge #2).
@@ -242,7 +244,7 @@ impl Endpoint for DcpSender {
             if let Some(pkt) = self.build(msn, psn, true) {
                 self.stats.retx_pkts += 1;
                 self.cc.on_send(ctx.now, pkt.wire_bytes());
-                return Some(pkt);
+                return Some(ctx.pool.insert(pkt));
             }
         }
         // 2. Fetched HO-named retransmissions.
@@ -251,7 +253,7 @@ impl Endpoint for DcpSender {
             if let Some(pkt) = self.build(e.msn, e.psn, true) {
                 self.stats.retx_pkts += 1;
                 self.cc.on_send(ctx.now, pkt.wire_bytes());
-                return Some(pkt);
+                return Some(ctx.pool.insert(pkt));
             }
         }
         self.maybe_fetch(ctx);
@@ -276,7 +278,7 @@ impl Endpoint for DcpSender {
                     ctx.timers.push((next, tokens::CC_TICK));
                 }
             }
-            return Some(pkt);
+            return Some(ctx.pool.insert(pkt));
         }
         None
     }
@@ -299,7 +301,9 @@ impl Endpoint for DcpSender {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::pool::PacketPool;
     use dcp_netsim::time::Nanos;
     use dcp_rdma::headers::{Aeth, RdmaOpcode};
     use dcp_transport::cc::NoCc;
@@ -313,11 +317,12 @@ mod tests {
 
     fn ctx<'a>(
         now: Nanos,
+        pool: &'a mut PacketPool,
         t: &'a mut Vec<(Nanos, u64)>,
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
+        EndpointCtx { now, pool, timers: t, completions: c, rng: r, probe: None }
     }
 
     fn sender(mode: RetransMode) -> DcpSender {
@@ -335,7 +340,7 @@ mod tests {
         let mut pkt = data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, 0);
         pkt.header = pkt.header.trim_to_header_only();
         pkt.payload_len = 0;
-        pkt.desc = None;
+        pkt.desc = dcp_netsim::packet::PktDesc::NONE;
         let mut h = pkt.header;
         h.swap_src_dst(scfg.local_qpn.0);
         pkt.header = h;
@@ -346,18 +351,22 @@ mod tests {
     #[test]
     fn ho_notification_triggers_precise_retransmit() {
         let mut s = sender(RetransMode::Batched);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         assert_eq!(s.stats().data_pkts, 8);
-        s.on_packet(ho(0, 3), &mut ctx(1000, &mut t, &mut c, &mut r));
+        deliver(&mut s, &mut pool, ho(0, 3), 1000, &mut t, &mut c, &mut r);
         assert_eq!(s.stats().ho_received, 1);
         assert_eq!(s.retransq_len(), 1);
         // Entry is fetched after one PCIe RTT...
-        assert!(s.pull(&mut ctx(1000, &mut t, &mut c, &mut r)).is_none(), "not fetched yet");
+        assert!(
+            pull_owned(&mut s, &mut pool, 1000, &mut t, &mut c, &mut r).is_none(),
+            "not fetched yet"
+        );
         let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == FETCH).copied().unwrap();
         assert_eq!(at, 1000 + 1000, "1 µs PCIe RTT");
-        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
-        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        s.on_timer(tok, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
+        let p = pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r).unwrap();
         assert_eq!(p.psn(), 3, "retransmits exactly the PSN the HO named");
         assert!(p.is_retx);
         assert_eq!(s.stats().retx_pkts, 1);
@@ -366,15 +375,16 @@ mod tests {
     #[test]
     fn batched_fetch_amortizes_pcie() {
         let mut s = sender(RetransMode::Batched);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         for psn in 0..8 {
-            s.on_packet(ho(0, psn), &mut ctx(1000, &mut t, &mut c, &mut r));
+            deliver(&mut s, &mut pool, ho(0, psn), 1000, &mut t, &mut c, &mut r);
         }
         let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == FETCH).copied().unwrap();
-        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        s.on_timer(tok, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         let mut n = 0;
-        while s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).is_some() {
+        while pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r).is_some() {
             n += 1;
         }
         assert_eq!(n, 8, "whole batch retransmitted after a single fetch");
@@ -384,17 +394,18 @@ mod tests {
     #[test]
     fn per_ho_mode_serializes_fetches() {
         let mut s = sender(RetransMode::PerHo);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         for psn in 0..4 {
-            s.on_packet(ho(0, psn), &mut ctx(1000, &mut t, &mut c, &mut r));
+            deliver(&mut s, &mut pool, ho(0, psn), 1000, &mut t, &mut c, &mut r);
         }
         // First fetch completes at +2 µs and yields exactly one entry.
         let (at, tok) = t.iter().find(|(_, tok)| tokens::kind(*tok) == FETCH).copied().unwrap();
         assert_eq!(at, 1000 + 2000);
-        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        s.on_timer(tok, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         let mut n = 0;
-        while s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).is_some() {
+        while pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r).is_some() {
             n += 1;
         }
         assert_eq!(n, 1, "per-HO mode retransmits one packet per 2 PCIe RTTs");
@@ -403,13 +414,14 @@ mod tests {
     #[test]
     fn emsn_ack_retires_and_completes() {
         let mut s = sender(RetransMode::Batched);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let rcfg = FlowCfg::receiver_of(&cfg());
         let mut ack = ack_packet(&rcfg, PktExt::None, 1, 0);
         ack.header.aeth = Some(Aeth { syndrome: 0, emsn: 1 });
         assert_eq!(ack.header.bth.opcode, RdmaOpcode::Acknowledge);
-        s.on_packet(ack, &mut ctx(5000, &mut t, &mut c, &mut r));
+        deliver(&mut s, &mut pool, ack, 5000, &mut t, &mut c, &mut r);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].wr_id, 1);
         assert!(s.is_done());
@@ -418,15 +430,16 @@ mod tests {
     #[test]
     fn coarse_timeout_resends_whole_message_with_bumped_round() {
         let mut s = sender(RetransMode::Batched);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let (at, tok) =
             t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
-        s.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        s.on_timer(tok, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
         let mut psns = vec![];
         let mut rounds = vec![];
-        while let Some(p) = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)) {
+        while let Some(p) = pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r) {
             psns.push(p.psn());
             rounds.push(p.header.ip.sretry_no());
         }
@@ -437,13 +450,14 @@ mod tests {
     #[test]
     fn stale_ho_for_retired_message_is_ignored() {
         let mut s = sender(RetransMode::Batched);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let rcfg = FlowCfg::receiver_of(&cfg());
         let mut ack = ack_packet(&rcfg, PktExt::None, 1, 0);
         ack.header.aeth = Some(Aeth { syndrome: 0, emsn: 1 });
-        s.on_packet(ack, &mut ctx(5000, &mut t, &mut c, &mut r));
-        s.on_packet(ho(0, 3), &mut ctx(6000, &mut t, &mut c, &mut r));
+        deliver(&mut s, &mut pool, ack, 5000, &mut t, &mut c, &mut r);
+        deliver(&mut s, &mut pool, ho(0, 3), 6000, &mut t, &mut c, &mut r);
         assert_eq!(s.retransq_len(), 0, "HO for an acknowledged message is dropped");
         assert!(!s.has_pending());
     }

@@ -33,11 +33,11 @@ fn run_flow(
     let mut done_at = 0;
     while sim.pending_events() > 0 && sim.now() < deadline {
         sim.step();
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete && c.flow == flow {
                 done_at = c.at;
             }
-        }
+        });
         if done_at > 0 && sim.endpoint_done(src, flow) {
             break;
         }
@@ -121,11 +121,11 @@ fn congestion_trims_recover_without_rto() {
     let mut done = 0;
     while done < 4 && sim.pending_events() > 0 && sim.now() < 10 * SEC {
         sim.step();
-        done += sim
-            .drain_completions()
-            .iter()
-            .filter(|c| c.kind == CompletionKind::RecvComplete)
-            .count();
+        sim.for_each_completion(|c| {
+            if c.kind == CompletionKind::RecvComplete {
+                done += 1;
+            }
+        });
     }
     assert_eq!(done, 4, "all flows complete");
     let ns = sim.net_stats();
@@ -210,11 +210,11 @@ fn control_plane_survives_incast() {
     let mut done = 0;
     while done < 8 && sim.pending_events() > 0 && sim.now() < 30 * SEC {
         sim.step();
-        done += sim
-            .drain_completions()
-            .iter()
-            .filter(|c| c.kind == CompletionKind::RecvComplete)
-            .count();
+        sim.for_each_completion(|c| {
+            if c.kind == CompletionKind::RecvComplete {
+                done += 1;
+            }
+        });
     }
     assert_eq!(done, 8);
     let ns = sim.net_stats();
@@ -249,11 +249,11 @@ fn coarse_timeout_recovers_when_control_plane_breaks() {
     let mut done = 0;
     while done < 2 && sim.pending_events() > 0 && sim.now() < 60 * SEC {
         sim.step();
-        done += sim
-            .drain_completions()
-            .iter()
-            .filter(|c| c.kind == CompletionKind::RecvComplete)
-            .count();
+        sim.for_each_completion(|c| {
+            if c.kind == CompletionKind::RecvComplete {
+                done += 1;
+            }
+        });
     }
     assert_eq!(done, 2, "fallback must deliver despite HO losses");
     let ns = sim.net_stats();

@@ -35,12 +35,12 @@ fn run_case(seed: u64, loss_bp: u32, msgs: u8, msg_kb: u16) -> Result<(), TestCa
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 done += 1;
                 bytes += c.bytes;
             }
-        }
+        });
     }
     prop_assert_eq!(done, msgs as u32, "all messages delivered");
     prop_assert_eq!(bytes, msgs as u64 * msg_bytes, "byte totals match");

@@ -6,8 +6,14 @@
 //! must arrange a timer so it gets polled again; an endpoint with nothing to
 //! say reports `has_pending() == false` and is skipped until a packet or
 //! timer wakes it.
+//!
+//! Packets cross this boundary as pool handles ([`PktRef`]): `on_packet`
+//! *owns* the handle it is given and must `take`/`release` it from
+//! [`EndpointCtx::pool`] (a leaked handle trips the quiescence check);
+//! `pull` returns a handle freshly inserted into the same pool.
 
 use crate::packet::{FlowId, NodeId, Packet};
+use crate::pool::{PacketPool, PktRef};
 use crate::stats::TransportStats;
 use crate::time::Nanos;
 use dcp_telemetry::{Probe, ProbeEvent};
@@ -36,6 +42,8 @@ pub enum CompletionKind {
 /// Mutable context handed to endpoint callbacks.
 pub struct EndpointCtx<'a> {
     pub now: Nanos,
+    /// The simulation-wide packet arena; resolves [`PktRef`] handles.
+    pub pool: &'a mut PacketPool,
     /// Absolute-time timer requests `(fire_at, token)`; the simulator
     /// delivers them back through [`Endpoint::on_timer`].
     pub timers: &'a mut Vec<(Nanos, u64)>,
@@ -68,16 +76,19 @@ pub trait Endpoint {
         panic!("this endpoint does not accept work requests");
     }
 
-    /// A packet addressed to this endpoint arrived from the wire.
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx);
+    /// A packet addressed to this endpoint arrived from the wire. The
+    /// endpoint owns `pkt` and must resolve it against `ctx.pool`
+    /// (`take`/`release`) — handles left behind leak pool slots.
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx);
 
     /// A previously requested timer fired.
     fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx);
 
-    /// The NIC can transmit: return the next packet, or `None` if pacing or
-    /// out of permitted sends. Contract: if this returns `None` while
-    /// [`Endpoint::has_pending`] is true, a timer must already be pending.
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet>;
+    /// The NIC can transmit: return the next packet (inserted into
+    /// `ctx.pool`), or `None` if pacing or out of permitted sends.
+    /// Contract: if this returns `None` while [`Endpoint::has_pending`] is
+    /// true, a timer must already be pending.
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef>;
 
     /// Whether the endpoint currently wants wire time.
     fn has_pending(&self) -> bool;
@@ -88,4 +99,36 @@ pub trait Endpoint {
     /// True once every posted message has been fully delivered/acknowledged.
     /// Used by runners to detect quiescence.
     fn is_done(&self) -> bool;
+}
+
+/// Drives [`Endpoint::on_packet`] with an owned packet, routing it through
+/// `pool`. Convenience for tests and harnesses that construct packets
+/// directly instead of receiving them from the fabric.
+pub fn deliver(
+    ep: &mut dyn Endpoint,
+    pool: &mut PacketPool,
+    pkt: Packet,
+    now: Nanos,
+    timers: &mut Vec<(Nanos, u64)>,
+    completions: &mut Vec<Completion>,
+    rng: &mut StdRng,
+) {
+    let pr = pool.insert(pkt);
+    let ctx = &mut EndpointCtx { now, pool: &mut *pool, timers, completions, rng, probe: None };
+    ep.on_packet(pr, ctx);
+}
+
+/// Drives [`Endpoint::pull`] and takes the result back out of `pool`,
+/// returning the owned packet. Counterpart of [`deliver`].
+pub fn pull_owned(
+    ep: &mut dyn Endpoint,
+    pool: &mut PacketPool,
+    now: Nanos,
+    timers: &mut Vec<(Nanos, u64)>,
+    completions: &mut Vec<Completion>,
+    rng: &mut StdRng,
+) -> Option<Packet> {
+    let pr =
+        ep.pull(&mut EndpointCtx { now, pool: &mut *pool, timers, completions, rng, probe: None })?;
+    Some(pool.take(pr))
 }

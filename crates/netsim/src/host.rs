@@ -8,7 +8,8 @@
 
 use crate::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use crate::link::Link;
-use crate::packet::{FlowId, NodeId, Packet, PortId};
+use crate::packet::{FlowId, NodeId, PortId};
+use crate::pool::PktRef;
 use crate::sim::{Event, NodeCtx};
 use crate::time::{tx_time, Nanos};
 use dcp_rdma::qp::WorkReqOp;
@@ -32,6 +33,10 @@ pub struct Host {
     cursor: usize,
     quota_left: i64,
     round_quota: i64,
+    /// Scratch buffers reused across `run_endpoint` calls so the steady
+    /// state allocates nothing per event.
+    timers_scratch: Vec<(Nanos, u64)>,
+    comps_scratch: Vec<Completion>,
 }
 
 impl Host {
@@ -47,6 +52,8 @@ impl Host {
             cursor: 0,
             quota_left: ROUND_QUOTA,
             round_quota: ROUND_QUOTA,
+            timers_scratch: Vec::new(),
+            comps_scratch: Vec::new(),
         }
     }
 
@@ -85,8 +92,10 @@ impl Host {
         ctx: &mut NodeCtx,
         f: impl FnOnce(&mut dyn Endpoint, &mut EndpointCtx) -> R,
     ) -> R {
-        let mut timers: Vec<(Nanos, u64)> = Vec::new();
-        let mut comps: Vec<Completion> = Vec::new();
+        let mut timers = std::mem::take(&mut self.timers_scratch);
+        let mut comps = std::mem::take(&mut self.comps_scratch);
+        timers.clear();
+        comps.clear();
         // Transport-level probe events are derived by diffing the endpoint's
         // own counters around the callback — one extra stats() call per
         // callback when a probe is attached, nothing at all otherwise.
@@ -94,6 +103,7 @@ impl Host {
         let r = {
             let mut ectx = EndpointCtx {
                 now: ctx.now,
+                pool: ctx.pool,
                 timers: &mut timers,
                 completions: &mut comps,
                 rng: ctx.rng,
@@ -125,20 +135,24 @@ impl Host {
                 }
             }
         }
-        for (at, token) in timers {
+        for &(at, token) in &timers {
             ctx.out.push((at, Event::EndpointTimer { node: self.id, ep: ix, token }));
         }
-        ctx.completions.extend(comps);
+        ctx.completions.extend(comps.drain(..));
+        self.timers_scratch = timers;
+        self.comps_scratch = comps;
         r
     }
 
     /// A packet addressed to this host arrived.
-    pub fn on_packet(&mut self, pkt: Packet, ctx: &mut NodeCtx) {
-        let Some(&ix) = self.by_flow.get(&pkt.flow) else {
-            debug_assert!(false, "host {:?} got packet for unknown flow {:?}", self.id, pkt.flow);
+    pub fn on_packet(&mut self, pr: PktRef, ctx: &mut NodeCtx) {
+        let flow = ctx.pool[pr].flow;
+        let Some(&ix) = self.by_flow.get(&flow) else {
+            debug_assert!(false, "host {:?} got packet for unknown flow {:?}", self.id, flow);
+            ctx.pool.release(pr);
             return;
         };
-        self.run_endpoint(ix, ctx, |ep, ectx| ep.on_packet(pkt, ectx));
+        self.run_endpoint(ix, ctx, |ep, ectx| ep.on_packet(pr, ectx));
         self.try_transmit(ctx);
     }
 
@@ -184,13 +198,16 @@ impl Host {
             }
             let pulled = self.run_endpoint(ix, ctx, |ep, ectx| ep.pull(ectx));
             match pulled {
-                Some(mut pkt) => {
-                    pkt.sent_at = ctx.now;
-                    let bytes = pkt.wire_bytes();
-                    if ctx.probe.is_some() && pkt.is_data() {
-                        let (node, flow, psn) = (self.id.0, pkt.flow.0, pkt.psn());
+                Some(pr) => {
+                    let (bytes, is_data, is_retx, flow, psn) = {
+                        let pkt = &mut ctx.pool[pr];
+                        pkt.sent_at = ctx.now;
+                        (pkt.wire_bytes(), pkt.is_data(), pkt.is_retx, pkt.flow.0, pkt.psn())
+                    };
+                    if ctx.probe.is_some() && is_data {
+                        let node = self.id.0;
                         let wire = bytes as u32;
-                        if pkt.is_retx {
+                        if is_retx {
                             ctx.emit(|| ProbeEvent::Retx { node, flow, psn, bytes: wire });
                         } else {
                             ctx.emit(|| ProbeEvent::Tx { node, flow, psn, bytes: wire });
@@ -205,7 +222,7 @@ impl Host {
                     ctx.out.push((ctx.now + tx, Event::PortFree { node: self.id, port: 0 }));
                     ctx.out.push((
                         ctx.now + tx + link.delay,
-                        Event::PacketArrive { node: link.to, port: link.to_port, pkt },
+                        Event::PacketArrive { node: link.to, port: link.to_port, pkt: pr },
                     ));
                     return;
                 }

@@ -25,6 +25,7 @@ pub mod equeue;
 pub mod host;
 pub mod link;
 pub mod packet;
+pub mod pool;
 pub mod routing;
 pub mod sim;
 pub mod stats;
@@ -33,10 +34,11 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+pub use endpoint::{deliver, pull_owned, Completion, CompletionKind, Endpoint, EndpointCtx};
 pub use equeue::EventQueue;
 pub use link::Link;
-pub use packet::{FlowId, NodeId, Packet, PktExt, PortId};
+pub use packet::{FlowId, NodeId, Packet, PktDesc, PktExt, PortId};
+pub use pool::{PacketPool, PktRef};
 pub use routing::LoadBalance;
 pub use sim::{Event, Node, NodeCtx, Simulator};
 pub use stats::{Conservation, NetStats, TransportStats};

@@ -4,9 +4,15 @@
 //! instead data packets carry their [`PacketDescriptor`], which — combined
 //! with the deterministic pattern generator in `dcp-rdma::memory` — lets the
 //! receiver perform real direct placement that integrity tests can verify.
+//!
+//! `Packet` is sized for the pool-and-handle hot path: the descriptor is
+//! stored as the packed [`PktDesc`] (no per-field `Option` padding) and the
+//! struct's total size is locked by `packet_stays_within_three_cache_lines`
+//! below. Endpoints touch the header + descriptor prefix per event; the
+//! fabric moves only 8-byte [`crate::pool::PktRef`] handles.
 
 use crate::time::Nanos;
-use dcp_rdma::headers::{DcpTag, PacketHeader};
+use dcp_rdma::headers::{DcpTag, PacketHeader, RdmaOpcode};
 use dcp_rdma::segment::PacketDescriptor;
 
 /// Identifies a flow (one RC connection) across the simulation.
@@ -70,6 +76,117 @@ pub enum PktExt {
     },
 }
 
+/// Packed form of `Option<PacketDescriptor>`.
+///
+/// [`PacketDescriptor`] keeps four per-field `Option`s for API clarity; at
+/// ~8 bytes of discriminant padding each, the naive `Option<…>` field cost
+/// `Packet` an extra cache line. `PktDesc` flattens presence into one flags
+/// byte (40 bytes total vs. 64) and converts losslessly both ways — the
+/// round-trip is property-tested below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktDesc {
+    offset: u64,
+    remote_addr: u64,
+    index: u32,
+    payload_len: u32,
+    rkey: u32,
+    imm: u32,
+    ssn: u32,
+    opcode: RdmaOpcode,
+    flags: u8,
+}
+
+impl PktDesc {
+    const PRESENT: u8 = 1 << 0;
+    const HAS_REMOTE: u8 = 1 << 1;
+    const HAS_RKEY: u8 = 1 << 2;
+    const HAS_IMM: u8 = 1 << 3;
+    const HAS_SSN: u8 = 1 << 4;
+
+    /// The absent descriptor (ACK/HO/CNP-class packets).
+    pub const NONE: PktDesc = PktDesc {
+        offset: 0,
+        remote_addr: 0,
+        index: 0,
+        payload_len: 0,
+        rkey: 0,
+        imm: 0,
+        ssn: 0,
+        opcode: RdmaOpcode::Acknowledge,
+        flags: 0,
+    };
+
+    /// Packs a present descriptor.
+    pub fn some(d: PacketDescriptor) -> Self {
+        let mut flags = Self::PRESENT;
+        if d.remote_addr.is_some() {
+            flags |= Self::HAS_REMOTE;
+        }
+        if d.rkey.is_some() {
+            flags |= Self::HAS_RKEY;
+        }
+        if d.imm.is_some() {
+            flags |= Self::HAS_IMM;
+        }
+        if d.ssn.is_some() {
+            flags |= Self::HAS_SSN;
+        }
+        PktDesc {
+            offset: d.offset,
+            remote_addr: d.remote_addr.unwrap_or(0),
+            index: d.index,
+            payload_len: d.payload_len,
+            rkey: d.rkey.unwrap_or(0),
+            imm: d.imm.unwrap_or(0),
+            ssn: d.ssn.unwrap_or(0),
+            opcode: d.opcode,
+            flags,
+        }
+    }
+
+    /// Packs an optional descriptor.
+    pub fn pack(d: Option<PacketDescriptor>) -> Self {
+        match d {
+            Some(d) => Self::some(d),
+            None => Self::NONE,
+        }
+    }
+
+    /// Unpacks back to the `Option` form transports consume.
+    #[inline]
+    pub fn unpack(&self) -> Option<PacketDescriptor> {
+        if self.flags & Self::PRESENT == 0 {
+            return None;
+        }
+        Some(PacketDescriptor {
+            opcode: self.opcode,
+            index: self.index,
+            offset: self.offset,
+            payload_len: self.payload_len,
+            remote_addr: (self.flags & Self::HAS_REMOTE != 0).then_some(self.remote_addr),
+            rkey: (self.flags & Self::HAS_RKEY != 0).then_some(self.rkey),
+            imm: (self.flags & Self::HAS_IMM != 0).then_some(self.imm),
+            ssn: (self.flags & Self::HAS_SSN != 0).then_some(self.ssn),
+        })
+    }
+
+    #[inline]
+    pub fn is_some(&self) -> bool {
+        self.flags & Self::PRESENT != 0
+    }
+
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        !self.is_some()
+    }
+}
+
+impl From<Option<PacketDescriptor>> for PktDesc {
+    fn from(d: Option<PacketDescriptor>) -> Self {
+        Self::pack(d)
+    }
+}
+
 /// A packet in flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
@@ -79,8 +196,8 @@ pub struct Packet {
     pub header: PacketHeader,
     /// Payload bytes carried (0 for ACK/HO/CNP).
     pub payload_len: u32,
-    /// Placement descriptor for data packets.
-    pub desc: Option<PacketDescriptor>,
+    /// Placement descriptor for data packets (packed; see [`PktDesc`]).
+    pub desc: PktDesc,
     /// Transport-specific extension.
     pub ext: PktExt,
     /// Time the sender put the packet on the wire (RTT estimation).
@@ -88,8 +205,9 @@ pub struct Packet {
     /// True for retransmitted copies.
     pub is_retx: bool,
     /// Ingress port on the node currently holding the packet; maintained by
-    /// the simulator for PFC ingress accounting.
-    pub ingress: PortId,
+    /// the simulator for PFC ingress accounting. Kept as `u32` (not
+    /// `PortId`/`usize`) to avoid four bytes of padding per packet.
+    pub ingress: u32,
 }
 
 impl Packet {
@@ -147,7 +265,7 @@ mod tests {
                 aeth: None,
             },
             payload_len: payload,
-            desc: None,
+            desc: PktDesc::NONE,
             ext: PktExt::None,
             sent_at: 0,
             is_retx: false,
@@ -173,5 +291,47 @@ mod tests {
         let p = pkt(DcpTag::Data, 0);
         assert_eq!(p.src_node(), NodeId(5));
         assert_eq!(p.dst_node(), NodeId(9));
+    }
+
+    #[test]
+    fn pktdesc_roundtrips_every_presence_combination() {
+        for mask in 0u8..16 {
+            let d = PacketDescriptor {
+                opcode: RdmaOpcode::WriteLastImm,
+                index: 3,
+                offset: 4096,
+                payload_len: 1024,
+                remote_addr: (mask & 1 != 0).then_some(0xdead_beef),
+                rkey: (mask & 2 != 0).then_some(7),
+                imm: (mask & 4 != 0).then_some(42),
+                ssn: (mask & 8 != 0).then_some(9),
+            };
+            assert_eq!(PktDesc::some(d).unpack(), Some(d), "mask {mask:#06b}");
+        }
+        assert_eq!(PktDesc::NONE.unpack(), None);
+        assert_eq!(PktDesc::pack(None), PktDesc::NONE);
+        assert!(PktDesc::NONE.is_none());
+    }
+
+    /// Regression lock on the hot-path struct sizes. `PktDesc` must beat the
+    /// `Option<PacketDescriptor>` it replaces, and `Packet` overall must
+    /// stay within three cache lines — the header + descriptor prefix an
+    /// endpoint actually touches fits in the first two.
+    #[test]
+    fn packet_stays_within_three_cache_lines() {
+        assert!(
+            std::mem::size_of::<PktDesc>() <= 40,
+            "PktDesc grew to {} bytes",
+            std::mem::size_of::<PktDesc>()
+        );
+        assert!(
+            std::mem::size_of::<PktDesc>() < std::mem::size_of::<Option<PacketDescriptor>>(),
+            "packed descriptor no smaller than Option<PacketDescriptor>"
+        );
+        assert!(
+            std::mem::size_of::<Packet>() <= 192,
+            "Packet grew to {} bytes (budget: 3 × 64-byte cache lines)",
+            std::mem::size_of::<Packet>()
+        );
     }
 }

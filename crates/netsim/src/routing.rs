@@ -160,7 +160,7 @@ fn least_loaded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, PktExt};
+    use crate::packet::{FlowId, PktDesc, PktExt};
     use dcp_rdma::headers::*;
 
     fn pkt(src: u32, dst: u32, sport: u16) -> Packet {
@@ -177,7 +177,7 @@ mod tests {
                 aeth: None,
             },
             payload_len: 0,
-            desc: None,
+            desc: PktDesc::NONE,
             ext: PktExt::None,
             sent_at: 0,
             is_retx: false,

@@ -10,7 +10,8 @@ use crate::endpoint::{Completion, Endpoint};
 use crate::equeue::EventQueue;
 use crate::host::Host;
 use crate::link::Link;
-use crate::packet::{FlowId, NodeId, Packet, PortId};
+use crate::packet::{FlowId, NodeId, PortId};
+use crate::pool::{PacketPool, PktRef};
 use crate::stats::{NetStats, TransportStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::time::Nanos;
@@ -21,13 +22,15 @@ use rand::SeedableRng;
 use std::collections::VecDeque;
 
 /// Everything that can happen in the fabric.
-// A packet rides inside its arrival event by design; boxing it would cost
-// an allocation per hop on the hottest path.
-#[allow(clippy::large_enum_variant)]
-#[derive(Debug)]
+///
+/// Events are handle-sized and `Copy`: a packet rides through the calendar
+/// queue as its 8-byte [`PktRef`] into the simulator's [`PacketPool`], so
+/// bucket pushes and heapify swaps move ≤ 32 bytes
+/// (`event_stays_handle_sized` locks this).
+#[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// A packet finished propagating and arrives at `node` on `port`.
-    PacketArrive { node: NodeId, port: PortId, pkt: Packet },
+    PacketArrive { node: NodeId, port: PortId, pkt: PktRef },
     /// `node`'s egress `port` finished serializing its current packet.
     PortFree { node: NodeId, port: PortId },
     /// A PFC PAUSE (`pause = true`) or RESUME frame arrives at `node`.
@@ -51,6 +54,8 @@ impl Event {
 /// emitted events and completions, and the (optional) telemetry probe.
 pub struct NodeCtx<'a> {
     pub now: Nanos,
+    /// The simulation-wide packet arena; resolves [`PktRef`] handles.
+    pub pool: &'a mut PacketPool,
     pub rng: &'a mut StdRng,
     pub out: &'a mut Vec<(Nanos, Event)>,
     pub completions: &'a mut VecDeque<Completion>,
@@ -88,6 +93,9 @@ pub struct Simulator {
     queue: EventQueue<Event>,
     pub nodes: Vec<Node>,
     pub rng: StdRng,
+    /// The slab arena every in-flight packet lives in; events and queues
+    /// carry [`PktRef`] handles into it.
+    pub pool: PacketPool,
     completions: VecDeque<Completion>,
     scratch: Vec<(Nanos, Event)>,
     events: u64,
@@ -102,6 +110,7 @@ impl Simulator {
             queue: EventQueue::new(),
             nodes: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            pool: PacketPool::new(),
             completions: VecDeque::new(),
             scratch: Vec::new(),
             events: 0,
@@ -254,6 +263,7 @@ impl Simulator {
         {
             let mut ctx = NodeCtx {
                 now: self.now,
+                pool: &mut self.pool,
                 rng: &mut self.rng,
                 out: &mut out,
                 completions: &mut self.completions,
@@ -403,11 +413,21 @@ impl Simulator {
     /// drained [`Simulator::run_to_quiescence`] for exact accounting; on a
     /// violation an attached probe's dump is printed to stderr.
     pub fn check_conservation(&self, quiesced: bool) -> crate::stats::Conservation {
-        let c = crate::stats::Conservation::check(
+        let mut c = crate::stats::Conservation::check(
             &self.net_stats(),
             &self.all_endpoint_stats(),
             quiesced,
         );
+        // Pool leak check: at quiescence every handle must have been taken
+        // or released — a live slot means some path dropped a PktRef
+        // without freeing it.
+        if quiesced && !self.pool.is_empty() {
+            c.violations.push(format!(
+                "packet pool leaks {} live slot(s) at quiescence (capacity {})",
+                self.pool.len(),
+                self.pool.capacity()
+            ));
+        }
         if !c.is_ok() {
             if let Some(dump) = self.flight_dump() {
                 eprintln!("conservation violated:\n{}\n{dump}", c.violations.join("\n"));
@@ -427,5 +447,22 @@ impl Simulator {
     /// Whether `flow`'s endpoint on `host` reports itself finished.
     pub fn endpoint_done(&self, host: NodeId, flow: FlowId) -> bool {
         self.host(host).endpoint(flow).map(|e| e.is_done()).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression lock for the handle-based event layout: every calendar
+    /// queue entry copy must stay within 32 bytes. Growing a variant past
+    /// this puts struct traffic back on the hottest path in the simulator.
+    #[test]
+    fn event_stays_handle_sized() {
+        assert!(
+            std::mem::size_of::<Event>() <= 32,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
     }
 }

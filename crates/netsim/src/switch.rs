@@ -10,7 +10,8 @@
 //! gives the control queue a `w : 1` share — the WRR of §4.2.
 
 use crate::link::Link;
-use crate::packet::{NodeId, Packet, PortId};
+use crate::packet::{NodeId, PktDesc, PortId};
+use crate::pool::PktRef;
 use crate::routing::{select_port, LoadBalance, RoutingTable};
 use crate::sim::{Event, NodeCtx};
 use crate::stats::NetStats;
@@ -153,7 +154,7 @@ impl SwitchConfig {
 
 #[derive(Debug, Default)]
 struct Queue {
-    pkts: VecDeque<Packet>,
+    pkts: VecDeque<PktRef>,
     bytes: usize,
 }
 
@@ -247,75 +248,84 @@ impl Switch {
         self.ports[port].peer = Some(peer);
     }
 
-    /// A packet arrived on ingress `port`.
-    pub fn on_packet(&mut self, in_port: PortId, mut pkt: Packet, ctx: &mut NodeCtx) {
-        let dst = pkt.dst_node();
+    /// A packet arrived on ingress `port`. The switch owns the handle: it is
+    /// either queued on an egress or released back to the pool (a drop).
+    pub fn on_packet(&mut self, in_port: PortId, pr: PktRef, ctx: &mut NodeCtx) {
+        let (dst, flow) = {
+            let pkt = &ctx.pool[pr];
+            (pkt.dst_node(), pkt.flow)
+        };
         let Some(candidates) = self.routing.candidates(dst) else {
             // No route: a topology construction error; drop loudly in debug.
             debug_assert!(false, "switch {:?} has no route to {:?}", self.id, dst);
+            ctx.pool.release(pr);
             return;
         };
         let spray_roll = ctx.rng.random::<u64>();
         let ports = &self.ports;
         let egress = if let LoadBalance::Flowlet { gap_ns } = self.cfg.lb {
             // Sticky within a flowlet; re-pick (least-loaded) after a gap.
-            match self.flowlets.get(&pkt.flow) {
+            match self.flowlets.get(&flow) {
                 Some(&(port, last))
                     if ctx.now.saturating_sub(last) <= gap_ns && candidates.contains(&port) =>
                 {
-                    self.flowlets.insert(pkt.flow, (port, ctx.now));
+                    self.flowlets.insert(flow, (port, ctx.now));
                     port
                 }
                 _ => {
                     let fresh = select_port(
                         self.cfg.lb,
-                        &pkt,
+                        &ctx.pool[pr],
                         candidates,
                         self.salt,
                         |p| ports[p].queued_bytes(),
                         spray_roll,
                     );
-                    self.flowlets.insert(pkt.flow, (fresh, ctx.now));
+                    self.flowlets.insert(flow, (fresh, ctx.now));
                     fresh
                 }
             }
         } else {
             select_port(
                 self.cfg.lb,
-                &pkt,
+                &ctx.pool[pr],
                 candidates,
                 self.salt,
                 |p| ports[p].queued_bytes(),
                 spray_roll,
             )
         };
-        pkt.ingress = in_port;
-        self.enqueue(egress, pkt, ctx);
+        ctx.pool[pr].ingress = in_port as u32;
+        self.enqueue(egress, pr, ctx);
         self.try_transmit(egress, ctx);
     }
 
     /// Applies the §4.2 enqueue decision procedure on `egress`.
-    fn enqueue(&mut self, egress: PortId, mut pkt: Packet, ctx: &mut NodeCtx) {
-        let tag = pkt.dcp_tag();
+    fn enqueue(&mut self, egress: PortId, pr: PktRef, ctx: &mut NodeCtx) {
+        let (tag, is_data, flow, psn) = {
+            let pkt = &ctx.pool[pr];
+            (pkt.dcp_tag(), pkt.is_data(), pkt.flow.0, pkt.psn())
+        };
 
         // Forced loss injection: the testbed's "drop packets with a given
         // loss rate" knob. For DCP traffic the P4 switch trims instead of
         // dropping (§6.1 "Loss recovery efficiency").
         if self.cfg.forced_loss_rate > 0.0
-            && pkt.is_data()
+            && is_data
             && ctx.rng.random::<f64>() < self.cfg.forced_loss_rate
         {
             if self.cfg.trimming && tag == DcpTag::Data {
-                self.trim_and_admit(egress, &pkt, ctx);
+                self.trim_and_admit(egress, pr, ctx);
             } else {
                 self.stats.data_drops += 1;
                 ctx.emit(|| ProbeEvent::Drop {
                     node: self.id.0,
                     port: egress as u32,
-                    flow: pkt.flow.0,
-                    psn: pkt.psn(),
+                    flow,
+                    psn,
                     class: DropClass::Data,
                 });
+                ctx.pool.release(pr);
             }
             return;
         }
@@ -328,13 +338,14 @@ impl Switch {
                 ctx.emit(|| ProbeEvent::Drop {
                     node: self.id.0,
                     port: egress as u32,
-                    flow: pkt.flow.0,
-                    psn: pkt.psn(),
+                    flow,
+                    psn,
                     class: DropClass::HeaderOnly,
                 });
+                ctx.pool.release(pr);
                 return;
             }
-            self.admit(egress, Q_CTRL, pkt, ctx);
+            self.admit(egress, Q_CTRL, pr, ctx);
             return;
         }
 
@@ -345,74 +356,86 @@ impl Switch {
         // flow conservation.
         if self.ports[egress].queues[Q_DATA].bytes > self.cfg.data_q_threshold {
             if tag == DcpTag::Data && self.cfg.trimming {
-                self.trim_and_admit(egress, &pkt, ctx);
-            } else if pkt.is_data() {
+                self.trim_and_admit(egress, pr, ctx);
+            } else if is_data {
                 self.stats.data_drops += 1;
                 ctx.emit(|| ProbeEvent::Drop {
                     node: self.id.0,
                     port: egress as u32,
-                    flow: pkt.flow.0,
-                    psn: pkt.psn(),
+                    flow,
+                    psn,
                     class: DropClass::Data,
                 });
+                ctx.pool.release(pr);
             } else {
                 self.stats.ack_drops += 1;
                 ctx.emit(|| ProbeEvent::Drop {
                     node: self.id.0,
                     port: egress as u32,
-                    flow: pkt.flow.0,
-                    psn: pkt.psn(),
+                    flow,
+                    psn,
                     class: DropClass::Ack,
                 });
+                ctx.pool.release(pr);
             }
             return;
         }
 
         // ECN marking on the data queue.
         if let Some(ecn) = self.cfg.ecn {
-            if pkt.is_data() {
+            if is_data {
                 let p = ecn.mark_probability(self.ports[egress].queues[Q_DATA].bytes);
                 if p > 0.0 && ctx.rng.random::<f64>() < p {
-                    pkt.header.ip.set_ecn_ce(true);
+                    ctx.pool[pr].header.ip.set_ecn_ce(true);
                     self.stats.ecn_marks += 1;
                     ctx.emit(|| ProbeEvent::EcnMark {
                         node: self.id.0,
                         port: egress as u32,
-                        flow: pkt.flow.0,
-                        psn: pkt.psn(),
+                        flow,
+                        psn,
                     });
                 }
             }
         }
 
-        self.admit(egress, Q_DATA, pkt, ctx);
+        self.admit(egress, Q_DATA, pr, ctx);
     }
 
-    /// Buffer-checks and appends `pkt` to queue `q` of `egress`, updating
-    /// PFC accounting.
-    fn admit(&mut self, egress: PortId, q: usize, pkt: Packet, ctx: &mut NodeCtx) {
-        let bytes = pkt.wire_bytes();
+    /// Buffer-checks and appends `pr` to queue `q` of `egress`, updating
+    /// PFC accounting. Releases the handle on a buffer drop.
+    fn admit(&mut self, egress: PortId, q: usize, pr: PktRef, ctx: &mut NodeCtx) {
+        let (bytes, tag, is_data, flow, psn, ingress) = {
+            let pkt = &ctx.pool[pr];
+            (
+                pkt.wire_bytes(),
+                pkt.dcp_tag(),
+                pkt.is_data(),
+                pkt.flow.0,
+                pkt.psn(),
+                pkt.ingress as usize,
+            )
+        };
         if self.shared_used + bytes > self.cfg.buffer_bytes {
             self.stats.buffer_drops += 1;
-            if pkt.dcp_tag() == DcpTag::HeaderOnly {
+            if tag == DcpTag::HeaderOnly {
                 // A lost HO packet is a violated lossless-control-plane
                 // assumption — the quantity Table 5 measures.
                 self.stats.ho_drops += 1;
-            } else if pkt.is_data() {
+            } else if is_data {
                 self.stats.buffer_drops_data += 1;
             }
             ctx.emit(|| ProbeEvent::Drop {
                 node: self.id.0,
                 port: egress as u32,
-                flow: pkt.flow.0,
-                psn: pkt.psn(),
+                flow,
+                psn,
                 class: DropClass::Buffer,
             });
+            ctx.pool.release(pr);
             return;
         }
         self.shared_used += bytes;
         if self.cfg.pfc.is_some() && q == Q_DATA {
-            let ingress = pkt.ingress;
             self.ingress_bytes[ingress] += bytes;
             self.maybe_pause(ingress, ctx);
         }
@@ -420,56 +443,46 @@ impl Switch {
             node: self.id.0,
             port: egress as u32,
             queue: if q == Q_CTRL { QueueClass::Ctrl } else { QueueClass::Data },
-            flow: pkt.flow.0,
-            psn: pkt.psn(),
+            flow,
+            psn,
             bytes: bytes as u32,
         });
         let queue = &mut self.ports[egress].queues[q];
         queue.bytes += bytes;
-        queue.pkts.push_back(pkt);
+        queue.pkts.push_back(pr);
     }
 
-    /// Builds the 57-B header-only notification directly: the trimmed
-    /// header stack plus the metadata that survives trimming, skipping the
-    /// full-packet clone (descriptor and all) this used to start from.
-    fn trim(&self, pkt: &Packet) -> Packet {
-        Packet {
-            uid: pkt.uid,
-            flow: pkt.flow,
-            header: pkt.header.trim_to_header_only(),
-            payload_len: 0,
-            desc: None,
-            ext: pkt.ext,
-            sent_at: pkt.sent_at,
-            is_retx: pkt.is_retx,
-            ingress: pkt.ingress,
-        }
-    }
-
-    /// Trims `pkt` and admits the header-only notification — toward the
-    /// receiver for bouncing (the paper's deployed design), or directly back
-    /// toward the sender when §7's hypothetical mapping table is enabled.
-    fn trim_and_admit(&mut self, egress: PortId, pkt: &Packet, ctx: &mut NodeCtx) {
-        let mut ho = self.trim(pkt);
+    /// Trims the pooled packet *in place* to its 57-B header-only
+    /// notification (same slot, same uid — no clone, no pool churn) and
+    /// admits it — toward the receiver for bouncing (the paper's deployed
+    /// design), or directly back toward the sender when §7's hypothetical
+    /// mapping table is enabled.
+    fn trim_and_admit(&mut self, egress: PortId, pr: PktRef, ctx: &mut NodeCtx) {
+        let (flow, psn) = {
+            let p = &mut ctx.pool[pr];
+            p.header = p.header.trim_to_header_only();
+            p.payload_len = 0;
+            p.desc = PktDesc::NONE;
+            (p.flow.0, p.psn())
+        };
         self.stats.trims += 1;
-        ctx.emit(|| ProbeEvent::Trim {
-            node: self.id.0,
-            port: egress as u32,
-            flow: pkt.flow.0,
-            psn: pkt.psn(),
-        });
+        ctx.emit(|| ProbeEvent::Trim { node: self.id.0, port: egress as u32, flow, psn });
         let mut target = egress;
         if self.cfg.ho_direct_return {
             // The model pairs QPNs as (2f, 2f+1); a real ASIC would read the
             // sender QPN from the mapping table §7 describes.
-            let sender_qpn = ho.header.bth.dest_qpn ^ 1;
-            ho.header.swap_src_dst(sender_qpn);
-            if let Some(back) = self.routing.candidates(ho.dst_node()) {
+            let dst = {
+                let ho = &mut ctx.pool[pr];
+                let sender_qpn = ho.header.bth.dest_qpn ^ 1;
+                ho.header.swap_src_dst(sender_qpn);
+                ho.dst_node()
+            };
+            if let Some(back) = self.routing.candidates(dst) {
                 let roll = ctx.rng.random::<u64>();
                 let ports = &self.ports;
                 target = select_port(
                     self.cfg.lb,
-                    &ho,
+                    &ctx.pool[pr],
                     back,
                     self.salt,
                     |p| ports[p].queued_bytes(),
@@ -477,7 +490,7 @@ impl Switch {
                 );
             }
         }
-        self.admit(target, Q_CTRL, ho, ctx);
+        self.admit(target, Q_CTRL, pr, ctx);
         if target != egress {
             // The return port is not the one the caller is about to kick.
             self.try_transmit(target, ctx);
@@ -552,42 +565,53 @@ impl Switch {
                 }
             }
         };
-        let p = &mut self.ports[port];
-        let pkt = p.queues[q].pkts.pop_front().expect("picked queue is non-empty");
-        let bytes = pkt.wire_bytes();
-        p.queues[q].bytes -= bytes;
-        p.served[q] += bytes as f64;
-        // Keep service counters bounded without changing their ratio.
-        if p.served[q] > 1e15 {
-            p.served[Q_DATA] *= 0.5;
-            p.served[Q_CTRL] *= 0.5;
-        }
-        p.busy = true;
-        let link = p.link;
+        let pr = self.ports[port].queues[q].pkts.pop_front().expect("picked queue is non-empty");
+        let (bytes, ingress, is_ho, is_data, flow, psn) = {
+            let pkt = &ctx.pool[pr];
+            (
+                pkt.wire_bytes(),
+                pkt.ingress as usize,
+                pkt.dcp_tag() == DcpTag::HeaderOnly,
+                pkt.is_data(),
+                pkt.flow.0,
+                pkt.psn(),
+            )
+        };
+        let link = {
+            let p = &mut self.ports[port];
+            p.queues[q].bytes -= bytes;
+            p.served[q] += bytes as f64;
+            // Keep service counters bounded without changing their ratio.
+            if p.served[q] > 1e15 {
+                p.served[Q_DATA] *= 0.5;
+                p.served[Q_CTRL] *= 0.5;
+            }
+            p.busy = true;
+            p.link
+        };
         self.shared_used -= bytes;
         if self.cfg.pfc.is_some() && q == Q_DATA {
-            let ingress = pkt.ingress;
             self.ingress_bytes[ingress] -= bytes;
             self.maybe_resume(ingress, ctx);
         }
-        if pkt.dcp_tag() == DcpTag::HeaderOnly {
+        if is_ho {
             self.stats.ho_forwarded += 1;
-        } else if pkt.is_data() {
+        } else if is_data {
             self.stats.data_forwarded += 1;
         }
         ctx.emit(|| ProbeEvent::Dequeue {
             node: self.id.0,
             port: port as u32,
             queue: if q == Q_CTRL { QueueClass::Ctrl } else { QueueClass::Data },
-            flow: pkt.flow.0,
-            psn: pkt.psn(),
+            flow,
+            psn,
             bytes: bytes as u32,
         });
         let tx = tx_time(bytes, link.gbps);
         ctx.out.push((ctx.now + tx, Event::PortFree { node: self.id, port }));
         ctx.out.push((
             ctx.now + tx + link.delay,
-            Event::PacketArrive { node: link.to, port: link.to_port, pkt },
+            Event::PacketArrive { node: link.to, port: link.to_port, pkt: pr },
         ));
     }
 

@@ -37,11 +37,13 @@ impl Blaster {
 }
 
 impl Endpoint for Blaster {
-    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut EndpointCtx) {}
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        ctx.pool.release(pkt);
+    }
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         if self.sent >= self.n {
             return None;
         }
@@ -57,12 +59,12 @@ impl Endpoint for Blaster {
             reth: Some(Reth { vaddr: psn as u64 * 1024, rkey: 1, dma_len: self.payload }),
             aeth: None,
         };
-        Some(Packet {
+        Some(ctx.pool.insert(Packet {
             uid: psn as u64,
             flow: self.flow,
             header,
             payload_len: self.payload,
-            desc: Some(PacketDescriptor {
+            desc: PktDesc::some(PacketDescriptor {
                 opcode: RdmaOpcode::WriteMiddle,
                 index: psn,
                 offset: psn as u64 * 1024,
@@ -76,7 +78,7 @@ impl Endpoint for Blaster {
             sent_at: 0,
             is_retx: false,
             ingress: 0,
-        })
+        }))
     }
 
     fn has_pending(&self) -> bool {
@@ -106,7 +108,8 @@ impl Sink {
 }
 
 impl Endpoint for Sink {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pr: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pr);
         if pkt.dcp_tag() == DcpTag::HeaderOnly {
             self.ho_seen += 1;
         } else {
@@ -118,7 +121,7 @@ impl Endpoint for Sink {
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<PktRef> {
         None
     }
 

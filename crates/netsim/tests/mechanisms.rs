@@ -27,17 +27,19 @@ impl Blaster {
 }
 
 impl Endpoint for Blaster {
-    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut EndpointCtx) {}
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        ctx.pool.release(pkt);
+    }
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         if self.sent >= self.n {
             return None;
         }
         let psn = self.sent;
         self.sent += 1;
         self.stats.data_pkts += 1;
-        Some(Packet {
+        Some(ctx.pool.insert(Packet {
             uid: psn as u64,
             flow: self.flow,
             header: PacketHeader {
@@ -50,7 +52,7 @@ impl Endpoint for Blaster {
                 aeth: None,
             },
             payload_len: 1024,
-            desc: Some(PacketDescriptor {
+            desc: PktDesc::some(PacketDescriptor {
                 opcode: RdmaOpcode::WriteMiddle,
                 index: psn,
                 offset: psn as u64 * 1024,
@@ -64,7 +66,7 @@ impl Endpoint for Blaster {
             sent_at: 0,
             is_retx: false,
             ingress: 0,
-        })
+        }))
     }
 
     fn has_pending(&self) -> bool {
@@ -81,7 +83,8 @@ impl Endpoint for Blaster {
 struct Sink(TransportStats);
 
 impl Endpoint for Sink {
-    fn on_packet(&mut self, pkt: Packet, _ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pr: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pr);
         if pkt.is_data() {
             self.0.pkts_received += 1;
             self.0.goodput_bytes += pkt.payload_len as u64;
@@ -91,7 +94,7 @@ impl Endpoint for Sink {
         }
     }
     fn on_timer(&mut self, _t: u64, _c: &mut EndpointCtx) {}
-    fn pull(&mut self, _c: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, _c: &mut EndpointCtx) -> Option<PktRef> {
         None
     }
     fn has_pending(&self) -> bool {

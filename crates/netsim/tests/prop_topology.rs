@@ -20,15 +20,17 @@ struct Blaster {
 }
 
 impl Endpoint for Blaster {
-    fn on_packet(&mut self, _p: Packet, _c: &mut EndpointCtx) {}
+    fn on_packet(&mut self, p: PktRef, c: &mut EndpointCtx) {
+        c.pool.release(p);
+    }
     fn on_timer(&mut self, _t: u64, _c: &mut EndpointCtx) {}
-    fn pull(&mut self, _c: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, c: &mut EndpointCtx) -> Option<PktRef> {
         if self.sent >= self.n {
             return None;
         }
         let psn = self.sent;
         self.sent += 1;
-        Some(Packet {
+        Some(c.pool.insert(Packet {
             uid: psn as u64,
             flow: self.flow,
             header: PacketHeader {
@@ -41,7 +43,7 @@ impl Endpoint for Blaster {
                 aeth: None,
             },
             payload_len: 1024,
-            desc: Some(PacketDescriptor {
+            desc: PktDesc::some(PacketDescriptor {
                 opcode: RdmaOpcode::WriteMiddle,
                 index: psn,
                 offset: psn as u64 * 1024,
@@ -55,7 +57,7 @@ impl Endpoint for Blaster {
             sent_at: 0,
             is_retx: false,
             ingress: 0,
-        })
+        }))
     }
     fn has_pending(&self) -> bool {
         self.sent < self.n
@@ -71,13 +73,13 @@ impl Endpoint for Blaster {
 struct Sink(TransportStats);
 
 impl Endpoint for Sink {
-    fn on_packet(&mut self, p: Packet, _c: &mut EndpointCtx) {
-        if p.is_data() {
+    fn on_packet(&mut self, p: PktRef, c: &mut EndpointCtx) {
+        if c.pool.take(p).is_data() {
             self.0.pkts_received += 1;
         }
     }
     fn on_timer(&mut self, _t: u64, _c: &mut EndpointCtx) {}
-    fn pull(&mut self, _c: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, _c: &mut EndpointCtx) -> Option<PktRef> {
         None
     }
     fn has_pending(&self) -> bool {

@@ -2,7 +2,7 @@
 //! sender-side PSN ↔ message bookkeeping, packet construction and
 //! receiver-side payload placement.
 
-use dcp_netsim::packet::{FlowId, NodeId, Packet, PktExt};
+use dcp_netsim::packet::{FlowId, NodeId, Packet, PktDesc, PktExt};
 use dcp_netsim::time::Nanos;
 use dcp_rdma::headers::*;
 use dcp_rdma::memory::{Mtt, PatternGen};
@@ -226,7 +226,7 @@ pub fn data_packet(
         flow: cfg.flow,
         header,
         payload_len: desc.payload_len,
-        desc: Some(desc),
+        desc: PktDesc::some(desc),
         ext: PktExt::None,
         sent_at: 0,
         is_retx,
@@ -260,7 +260,7 @@ pub fn ack_packet(cfg: &FlowCfg, ext: PktExt, emsn: u32, uid: u64) -> Packet {
         flow: cfg.flow,
         header,
         payload_len: 0,
-        desc: None,
+        desc: PktDesc::NONE,
         ext,
         sent_at: 0,
         is_retx: false,

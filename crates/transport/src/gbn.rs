@@ -12,6 +12,7 @@ use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, P
 use crate::rxcore::RxCore;
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
 use dcp_rdma::qp::WorkReqOp;
@@ -101,7 +102,8 @@ impl Endpoint for GbnSender {
         self.book.post(wr_id, op, len, self.cfg.mtu);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         match pkt.ext {
             PktExt::GbnAck { epsn } => {
                 if epsn > self.snd_una {
@@ -163,7 +165,7 @@ impl Endpoint for GbnSender {
         }
     }
 
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         if self.snd_nxt >= self.book.next_psn() {
             return None;
         }
@@ -204,7 +206,7 @@ impl Endpoint for GbnSender {
                 ctx.timers.push((next, tokens::CC_TICK));
             }
         }
-        Some(pkt)
+        Some(ctx.pool.insert(pkt))
     }
 
     fn has_pending(&self) -> bool {
@@ -252,7 +254,8 @@ impl GbnReceiver {
 }
 
 impl Endpoint for GbnReceiver {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         if !pkt.is_data() {
             return;
         }
@@ -281,8 +284,8 @@ impl Endpoint for GbnReceiver {
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
-        self.out.pop_front()
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
+        self.out.pop_front().map(|p| ctx.pool.insert(p))
     }
 
     fn has_pending(&self) -> bool {
@@ -314,7 +317,9 @@ pub fn gbn_pair(
 mod tests {
     use super::*;
     use crate::cc::StaticWindow;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::pool::PacketPool;
     use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -325,11 +330,12 @@ mod tests {
 
     fn ctx<'a>(
         now: Nanos,
+        pool: &'a mut PacketPool,
         t: &'a mut Vec<(Nanos, u64)>,
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
+        EndpointCtx { now, pool, timers: t, completions: c, rng: r, probe: None }
     }
 
     #[test]
@@ -340,9 +346,10 @@ mod tests {
             Box::new(StaticWindow { window_bytes: 3 * 1024 }),
         );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 10 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let mut psns = vec![];
-        while let Some(p) = s.pull(&mut ctx(0, &mut t, &mut c, &mut r)) {
+        while let Some(p) = pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r) {
             psns.push(p.psn());
         }
         assert_eq!(psns, vec![0, 1, 2], "BDP window of 3 packets gates the burst");
@@ -357,14 +364,15 @@ mod tests {
             Box::new(StaticWindow { window_bytes: 8 * 1024 }),
         );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         for _ in 0..5 {
-            s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).unwrap();
+            pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).unwrap();
         }
         // Receiver saw 0,1 then a gap: NAK epsn=2.
         let nak = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnNak { epsn: 2 }, 0, 0);
-        s.on_packet(nak, &mut ctx(1000, &mut t, &mut c, &mut r));
-        let p = s.pull(&mut ctx(1000, &mut t, &mut c, &mut r)).unwrap();
+        deliver(&mut s, &mut pool, nak, 1000, &mut t, &mut c, &mut r);
+        let p = pull_owned(&mut s, &mut pool, 1000, &mut t, &mut c, &mut r).unwrap();
         assert_eq!(p.psn(), 2);
         assert!(p.is_retx);
         assert_eq!(s.stats().retx_pkts, 1);
@@ -378,10 +386,11 @@ mod tests {
             Box::new(StaticWindow { window_bytes: 64 * 1024 }),
         );
         s.post(7, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 2 }, 0, 0);
-        s.on_packet(ack, &mut ctx(5000, &mut t, &mut c, &mut r));
+        deliver(&mut s, &mut pool, ack, 5000, &mut t, &mut c, &mut r);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].wr_id, 7);
         assert!(s.is_done());
@@ -395,13 +404,14 @@ mod tests {
             Box::new(StaticWindow { window_bytes: 64 * 1024 }),
         );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let (at, token) =
             t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
-        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        s.on_timer(token, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
-        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        let p = pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r).unwrap();
         assert_eq!(p.psn(), 0);
         assert!(p.is_retx);
     }
@@ -414,14 +424,15 @@ mod tests {
             Box::new(StaticWindow { window_bytes: 64 * 1024 }),
         );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 2 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let (at, stale) =
             t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
         // Full ACK arrives before the timer fires.
         let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 2 }, 0, 0);
-        s.on_packet(ack, &mut ctx(100, &mut t, &mut c, &mut r));
-        s.on_timer(stale, &mut ctx(at, &mut t, &mut c, &mut r));
+        deliver(&mut s, &mut pool, ack, 100, &mut t, &mut c, &mut r);
+        s.on_timer(stale, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 0);
     }
 
@@ -435,12 +446,13 @@ mod tests {
         };
         let mut rx =
             GbnReceiver::new(FlowCfg::receiver_of(&scfg), GbnConfig::default(), Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        rx.on_packet(mk(0), &mut ctx(0, &mut t, &mut c, &mut r));
-        rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));
-        rx.on_packet(mk(3), &mut ctx(2, &mut t, &mut c, &mut r));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        deliver(&mut rx, &mut pool, mk(0), 0, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, mk(2), 1, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, mk(3), 2, &mut t, &mut c, &mut r);
         let mut outs = vec![];
-        while let Some(p) = rx.pull(&mut ctx(3, &mut t, &mut c, &mut r)) {
+        while let Some(p) = pull_owned(&mut rx, &mut pool, 3, &mut t, &mut c, &mut r) {
             outs.push(p.ext);
         }
         assert_eq!(

@@ -18,6 +18,7 @@ use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, P
 use crate::rxcore::{Accept, RxCore};
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
 use dcp_rdma::qp::WorkReqOp;
@@ -162,7 +163,8 @@ impl Endpoint for IrnSender {
         self.book.post(wr_id, op, len, self.cfg.mtu);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         match pkt.ext {
             PktExt::GbnAck { epsn } => {
                 self.advance_cum(epsn, ctx);
@@ -224,7 +226,7 @@ impl Endpoint for IrnSender {
         }
     }
 
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         let t = self.cc.next_send_time(ctx.now);
         if t > ctx.now {
             if self.has_pending() && !self.pace_armed {
@@ -244,7 +246,7 @@ impl Endpoint for IrnSender {
             if !self.rto_armed {
                 self.arm_rto(ctx);
             }
-            return Some(pkt);
+            return Some(ctx.pool.insert(pkt));
         }
         // New data within the BDP window.
         if self.snd_nxt < self.book.next_psn()
@@ -265,7 +267,7 @@ impl Endpoint for IrnSender {
                     ctx.timers.push((next, tokens::CC_TICK));
                 }
             }
-            return Some(pkt);
+            return Some(ctx.pool.insert(pkt));
         }
         None
     }
@@ -305,7 +307,8 @@ impl IrnReceiver {
 }
 
 impl Endpoint for IrnReceiver {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         if !pkt.is_data() {
             return;
         }
@@ -323,8 +326,8 @@ impl Endpoint for IrnReceiver {
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
-        self.out.pop_front()
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
+        self.out.pop_front().map(|p| ctx.pool.insert(p))
     }
 
     fn has_pending(&self) -> bool {
@@ -355,7 +358,9 @@ pub fn irn_pair(
 mod tests {
     use super::*;
     use crate::cc::StaticWindow;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::pool::PacketPool;
     use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -366,11 +371,12 @@ mod tests {
 
     fn ctx<'a>(
         now: Nanos,
+        pool: &'a mut PacketPool,
         t: &'a mut Vec<(Nanos, u64)>,
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
+        EndpointCtx { now, pool, timers: t, completions: c, rng: r, probe: None }
     }
 
     fn sender(window_pkts: u64) -> IrnSender {
@@ -384,23 +390,25 @@ mod tests {
     }
 
     fn drain(s: &mut IrnSender, now: Nanos) -> Vec<u32> {
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let mut v = vec![];
-        while let Some(p) = s.pull(&mut ctx(now, &mut t, &mut c, &mut r)) {
+        while let Some(p) = pull_owned(&mut *s, &mut pool, now, &mut t, &mut c, &mut r) {
             v.push(p.psn());
         }
         v
     }
 
     fn sack(s: &mut IrnSender, now: Nanos, epsn: u32, sacked: u32) {
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let p = ack_packet(
             &FlowCfg::receiver_of(&cfg()),
             PktExt::Sack { epsn, sacked_psn: sacked },
             0,
             0,
         );
-        s.on_packet(p, &mut ctx(now, &mut t, &mut c, &mut r));
+        deliver(&mut *s, &mut pool, p, now, &mut t, &mut c, &mut r);
     }
 
     #[test]
@@ -447,7 +455,8 @@ mod tests {
         drain(&mut s, 0);
         sack(&mut s, 50, 0, 2); // SACK psn 2 only
         let _ = drain(&mut s, 60); // spurious retx of 0,1 happen here
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         // Find the most recent RTO timer and fire it.
         let (at, token) = t
             .iter()
@@ -455,7 +464,7 @@ mod tests {
             .rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO)
             .copied()
             .unwrap_or((300_000, tokens::RTO | s.rto_gen));
-        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        s.on_timer(token, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
         let out = drain(&mut s, at + 1);
         assert!(out.contains(&0) && out.contains(&1) && out.contains(&3));
@@ -468,9 +477,10 @@ mod tests {
         drain(&mut s, 0);
         sack(&mut s, 100, 5, 7);
         assert!(s.in_recovery);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 32 }, 0, 0);
-        s.on_packet(ack, &mut ctx(200, &mut t, &mut c, &mut r));
+        deliver(&mut s, &mut pool, ack, 200, &mut t, &mut c, &mut r);
         assert!(!s.in_recovery);
         assert_eq!(c.len(), 1);
         assert!(s.is_done());
@@ -486,13 +496,14 @@ mod tests {
         };
         let mut rx =
             IrnReceiver::new(FlowCfg::receiver_of(&scfg), IrnConfig::default(), Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        rx.on_packet(mk(0), &mut ctx(0, &mut t, &mut c, &mut r));
-        rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));
-        rx.on_packet(mk(1), &mut ctx(2, &mut t, &mut c, &mut r));
-        rx.on_packet(mk(3), &mut ctx(3, &mut t, &mut c, &mut r));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        deliver(&mut rx, &mut pool, mk(0), 0, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, mk(2), 1, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, mk(1), 2, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, mk(3), 3, &mut t, &mut c, &mut r);
         let mut outs = vec![];
-        while let Some(p) = rx.pull(&mut ctx(4, &mut t, &mut c, &mut r)) {
+        while let Some(p) = pull_owned(&mut rx, &mut pool, 4, &mut t, &mut c, &mut r) {
             outs.push(p.ext);
         }
         assert_eq!(

@@ -18,6 +18,7 @@ use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, P
 use crate::rxcore::{Accept, RxCore};
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
 use dcp_rdma::qp::WorkReqOp;
@@ -118,7 +119,8 @@ impl Endpoint for MpRdmaSender {
         self.book.post(wr_id, op, len, self.cfg.mtu);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         let PktExt::MpAck { epsn, acked_psn, path, ecn } = pkt.ext else {
             if pkt.ext == PktExt::Cnp {
                 self.stats.cnps += 1;
@@ -187,7 +189,7 @@ impl Endpoint for MpRdmaSender {
         }
     }
 
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         if self.snd_nxt >= self.book.next_psn() {
             return None;
         }
@@ -213,7 +215,7 @@ impl Endpoint for MpRdmaSender {
         if !self.rto_armed {
             self.arm_rto(ctx);
         }
-        Some(pkt)
+        Some(ctx.pool.insert(pkt))
     }
 
     fn has_pending(&self) -> bool {
@@ -253,7 +255,8 @@ impl MpRdmaReceiver {
 }
 
 impl Endpoint for MpRdmaReceiver {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         if !pkt.is_data() {
             return;
         }
@@ -283,8 +286,8 @@ impl Endpoint for MpRdmaReceiver {
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
-        self.out.pop_front()
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
+        self.out.pop_front().map(|p| ctx.pool.insert(p))
     }
 
     fn has_pending(&self) -> bool {
@@ -313,7 +316,9 @@ pub fn mprdma_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::pool::PacketPool;
     use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -324,11 +329,12 @@ mod tests {
 
     fn ctx<'a>(
         now: Nanos,
+        pool: &'a mut PacketPool,
         t: &'a mut Vec<(Nanos, u64)>,
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
+        EndpointCtx { now, pool, timers: t, completions: c, rng: r, probe: None }
     }
 
     #[test]
@@ -336,9 +342,10 @@ mod tests {
         let mcfg = MpRdmaConfig { paths: 4, init_cwnd: 4.0, ..Default::default() };
         let mut s = MpRdmaSender::new(cfg(), mcfg);
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 16 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let mut sports = std::collections::HashSet::new();
-        while let Some(p) = s.pull(&mut ctx(0, &mut t, &mut c, &mut r)) {
+        while let Some(p) = pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r) {
             sports.insert(p.header.udp.src_port);
         }
         assert_eq!(sports.len(), 4, "all 4 virtual paths used");
@@ -351,18 +358,29 @@ mod tests {
         let mcfg = MpRdmaConfig { paths: 2, init_cwnd: 8.0, ..Default::default() };
         let mut s = MpRdmaSender::new(cfg(), mcfg);
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 32 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let before = s.paths[0].cwnd;
         let rcv = FlowCfg::receiver_of(&cfg());
-        s.on_packet(
+        deliver(
+            &mut s,
+            &mut pool,
             ack_packet(&rcv, PktExt::MpAck { epsn: 1, acked_psn: 0, path: 0, ecn: true }, 0, 0),
-            &mut ctx(100, &mut t, &mut c, &mut r),
+            100,
+            &mut t,
+            &mut c,
+            &mut r,
         );
         assert!(s.paths[0].cwnd < before);
-        s.on_packet(
+        deliver(
+            &mut s,
+            &mut pool,
             ack_packet(&rcv, PktExt::MpAck { epsn: 2, acked_psn: 1, path: 1, ecn: false }, 0, 0),
-            &mut ctx(200, &mut t, &mut c, &mut r),
+            200,
+            &mut t,
+            &mut c,
+            &mut r,
         );
         assert!(s.paths[1].cwnd > 8.0, "clean ACK grows the path window");
     }
@@ -372,13 +390,14 @@ mod tests {
         let mcfg = MpRdmaConfig { paths: 2, init_cwnd: 4.0, ..Default::default() };
         let mut s = MpRdmaSender::new(cfg(), mcfg);
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let (at, token) =
             t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
-        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        s.on_timer(token, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
-        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        let p = pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r).unwrap();
         assert_eq!(p.psn(), 0);
         assert!(p.is_retx);
         assert!(s.paths.iter().all(|p| p.cwnd <= 2.0));
@@ -394,10 +413,11 @@ mod tests {
             data_packet(&scfg, &m, desc_at(&m, scfg.mtu, psn), psn, 0, false, psn as u64)
         };
         let mut rx = MpRdmaReceiver::new(FlowCfg::receiver_of(&scfg), mcfg, Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        rx.on_packet(mk(10), &mut ctx(0, &mut t, &mut c, &mut r));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        deliver(&mut rx, &mut pool, mk(10), 0, &mut t, &mut c, &mut r);
         assert!(!rx.has_pending(), "no ACK for a rejected packet");
-        rx.on_packet(mk(2), &mut ctx(1, &mut t, &mut c, &mut r));
+        deliver(&mut rx, &mut pool, mk(2), 1, &mut t, &mut c, &mut r);
         assert!(rx.has_pending());
     }
 }

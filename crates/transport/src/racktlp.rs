@@ -16,7 +16,8 @@ use crate::common::{data_packet, desc_at, tokens, FlowCfg, Placement, RttEstimat
 use crate::irn::IrnConfig;
 use crate::irn::IrnReceiver;
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
-use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::packet::PktExt;
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
 use dcp_rdma::qp::WorkReqOp;
@@ -161,7 +162,8 @@ impl Endpoint for RackSender {
         self.book.post(wr_id, op, len, self.cfg.mtu);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         match pkt.ext {
             PktExt::GbnAck { epsn } => {
                 self.advance_cum(epsn, ctx);
@@ -216,7 +218,7 @@ impl Endpoint for RackSender {
         }
     }
 
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         let t = self.cc.next_send_time(ctx.now);
         if t > ctx.now {
             if self.has_pending() && !self.pace_armed {
@@ -238,7 +240,7 @@ impl Endpoint for RackSender {
             self.outstanding.insert(psn, TxRecord { sent_at: ctx.now, retx: true });
             self.cc.on_send(ctx.now, pkt.wire_bytes());
             self.arm_probe(ctx);
-            return Some(pkt);
+            return Some(ctx.pool.insert(pkt));
         }
         let inflight = (self.snd_nxt.saturating_sub(self.snd_una)) as u64 * self.cfg.mtu as u64;
         if self.snd_nxt < self.book.next_psn() && self.cc.awin(inflight) >= self.cfg.mtu as u64 {
@@ -253,7 +255,7 @@ impl Endpoint for RackSender {
             self.outstanding.insert(psn, TxRecord { sent_at: ctx.now, retx: false });
             self.cc.on_send(ctx.now, pkt.wire_bytes());
             self.arm_probe(ctx);
-            return Some(pkt);
+            return Some(ctx.pool.insert(pkt));
         }
         None
     }
@@ -291,7 +293,9 @@ mod tests {
     use super::*;
     use crate::cc::StaticWindow;
     use crate::common::ack_packet;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::pool::PacketPool;
     use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -302,11 +306,12 @@ mod tests {
 
     fn ctx<'a>(
         now: Nanos,
+        pool: &'a mut PacketPool,
         t: &'a mut Vec<(Nanos, u64)>,
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
+        EndpointCtx { now, pool, timers: t, completions: c, rng: r, probe: None }
     }
 
     fn sender() -> RackSender {
@@ -322,9 +327,10 @@ mod tests {
     /// Pulls every available packet, spacing transmissions 82 ns apart
     /// (1 KB at 100 Gbps), starting at `start`.
     fn drain_spaced(s: &mut RackSender, start: Nanos) -> Nanos {
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let mut now = start;
-        while s.pull(&mut ctx(now, &mut t, &mut c, &mut r)).is_some() {
+        while pull_owned(&mut *s, &mut pool, now, &mut t, &mut c, &mut r).is_some() {
             now += 82;
         }
         now
@@ -334,13 +340,19 @@ mod tests {
     fn reordering_within_window_is_tolerated() {
         let mut s = sender();
         drain_spaced(&mut s, 0);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         // PSN 1 delivered before PSN 0, shortly after sending: well inside
         // the ~10 µs reordering window, so no retransmission of PSN 0.
         let rcv = FlowCfg::receiver_of(&cfg());
-        s.on_packet(
+        deliver(
+            &mut s,
+            &mut pool,
             ack_packet(&rcv, PktExt::Sack { epsn: 0, sacked_psn: 1 }, 0, 0),
-            &mut ctx(2_000, &mut t, &mut c, &mut r),
+            2_000,
+            &mut t,
+            &mut c,
+            &mut r,
         );
         assert!(s.retx_q.is_empty(), "no loss inside the reordering window");
         assert_eq!(s.stats().retx_pkts, 0);
@@ -350,22 +362,33 @@ mod tests {
     fn loss_declared_after_one_rtt_of_reordering() {
         let mut s = sender();
         drain_spaced(&mut s, 0);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let rcv = FlowCfg::receiver_of(&cfg());
         // Establish an RTT sample of ~10 µs.
-        s.on_packet(
+        deliver(
+            &mut s,
+            &mut pool,
             ack_packet(&rcv, PktExt::Sack { epsn: 0, sacked_psn: 2 }, 0, 0),
-            &mut ctx(10_000, &mut t, &mut c, &mut r),
+            10_000,
+            &mut t,
+            &mut c,
+            &mut r,
         );
         // Much later a newer packet is delivered; PSN 0/1 have now been
         // outstanding far longer than one RTT and are declared lost.
-        s.on_packet(
+        deliver(
+            &mut s,
+            &mut pool,
             ack_packet(&rcv, PktExt::Sack { epsn: 0, sacked_psn: 5 }, 0, 0),
-            &mut ctx(60_000, &mut t, &mut c, &mut r),
+            60_000,
+            &mut t,
+            &mut c,
+            &mut r,
         );
         let mut retx = vec![];
         let mut now = 60_001;
-        while let Some(p) = s.pull(&mut ctx(now, &mut t, &mut c, &mut r)) {
+        while let Some(p) = pull_owned(&mut s, &mut pool, now, &mut t, &mut c, &mut r) {
             if p.is_retx {
                 retx.push(p.psn());
             }
@@ -377,13 +400,14 @@ mod tests {
     #[test]
     fn tlp_probes_tail_loss() {
         let mut s = sender();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         // No feedback at all; fire the probe timer.
         let (at, token) =
             t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::PROBE).copied().unwrap();
-        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
-        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        s.on_timer(token, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
+        let p = pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r).unwrap();
         assert!(p.is_retx);
         assert_eq!(p.psn(), 15, "TLP resends the highest outstanding PSN");
         assert_eq!(s.stats().timeouts, 0, "a probe is not an RTO");
@@ -392,14 +416,15 @@ mod tests {
     #[test]
     fn rto_flushes_everything_outstanding() {
         let mut s = sender();
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         let (at, token) =
             t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
-        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
+        s.on_timer(token, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         assert_eq!(s.stats().timeouts, 1);
         let mut n = 0;
-        while s.pull(&mut ctx(at + 1, &mut t, &mut c, &mut r)).is_some() {
+        while pull_owned(&mut s, &mut pool, at + 1, &mut t, &mut c, &mut r).is_some() {
             n += 1;
         }
         assert_eq!(n, 16, "all 16 outstanding packets requeued");

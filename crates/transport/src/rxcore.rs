@@ -94,7 +94,7 @@ impl RxCore {
             self.stats.ooo_rejected += 1;
             return Accept::Rejected;
         }
-        let desc = pkt.desc.as_ref().expect("data packet carries descriptor");
+        let desc = pkt.desc.unpack().expect("data packet carries descriptor");
         // Direct placement: Write packets carry their address; Send packets
         // land in a flow-local staging area (modelled at offset addressing).
         let addr = desc.remote_addr.unwrap_or(desc.offset);
@@ -164,11 +164,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn mkctx<'a>(
+        pool: &'a mut dcp_netsim::pool::PacketPool,
         timers: &'a mut Vec<(u64, u64)>,
         comps: &'a mut Vec<Completion>,
         rng: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now: 100, timers, completions: comps, rng, probe: None }
+        EndpointCtx { now: 100, pool, timers, completions: comps, rng, probe: None }
     }
 
     fn packets_for(lens: &[u64]) -> (Vec<Packet>, FlowCfg) {
@@ -197,9 +198,13 @@ mod tests {
     fn in_order_stream_completes_messages_in_order() {
         let (pkts, _) = packets_for(&[2048, 1024]);
         let mut rx = RxCore::new(NodeId(1), FlowId(1), u32::MAX, Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (dcp_netsim::pool::PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         for p in &pkts {
-            assert_eq!(rx.on_data(p, &mut mkctx(&mut t, &mut c, &mut r)), Accept::InOrder);
+            assert_eq!(
+                rx.on_data(p, &mut mkctx(&mut pool, &mut t, &mut c, &mut r)),
+                Accept::InOrder
+            );
         }
         assert_eq!(c.len(), 2);
         assert_eq!(c[0].wr_id, 0);
@@ -213,11 +218,12 @@ mod tests {
     fn reordered_stream_still_completes_and_counts_ooo() {
         let (pkts, _) = packets_for(&[4096]);
         let mut rx = RxCore::new(NodeId(1), FlowId(1), u32::MAX, Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
+        let (mut pool, mut t, mut c, mut r) =
+            (dcp_netsim::pool::PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
         let order = [3usize, 0, 2, 1];
         let kinds: Vec<_> = order
             .iter()
-            .map(|&i| rx.on_data(&pkts[i], &mut mkctx(&mut t, &mut c, &mut r)))
+            .map(|&i| rx.on_data(&pkts[i], &mut mkctx(&mut pool, &mut t, &mut c, &mut r)))
             .collect();
         assert_eq!(kinds[0], Accept::OutOfOrder);
         assert_eq!(kinds[1], Accept::InOrder);
@@ -230,11 +236,18 @@ mod tests {
     fn duplicates_are_counted_not_replayed() {
         let (pkts, _) = packets_for(&[2048]);
         let mut rx = RxCore::new(NodeId(1), FlowId(1), u32::MAX, Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        rx.on_data(&pkts[0], &mut mkctx(&mut t, &mut c, &mut r));
-        assert_eq!(rx.on_data(&pkts[0], &mut mkctx(&mut t, &mut c, &mut r)), Accept::Duplicate);
-        rx.on_data(&pkts[1], &mut mkctx(&mut t, &mut c, &mut r));
-        assert_eq!(rx.on_data(&pkts[1], &mut mkctx(&mut t, &mut c, &mut r)), Accept::Duplicate);
+        let (mut pool, mut t, mut c, mut r) =
+            (dcp_netsim::pool::PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        rx.on_data(&pkts[0], &mut mkctx(&mut pool, &mut t, &mut c, &mut r));
+        assert_eq!(
+            rx.on_data(&pkts[0], &mut mkctx(&mut pool, &mut t, &mut c, &mut r)),
+            Accept::Duplicate
+        );
+        rx.on_data(&pkts[1], &mut mkctx(&mut pool, &mut t, &mut c, &mut r));
+        assert_eq!(
+            rx.on_data(&pkts[1], &mut mkctx(&mut pool, &mut t, &mut c, &mut r)),
+            Accept::Duplicate
+        );
         assert_eq!(rx.stats.duplicates, 2);
         assert_eq!(c.len(), 1, "message completes exactly once");
         assert_eq!(rx.stats.goodput_bytes, 2048, "duplicates don't double-count goodput");
@@ -244,9 +257,16 @@ mod tests {
     fn ooo_cap_rejects_far_future_packets() {
         let (pkts, _) = packets_for(&[8192]);
         let mut rx = RxCore::new(NodeId(1), FlowId(1), 2, Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        assert_eq!(rx.on_data(&pkts[7], &mut mkctx(&mut t, &mut c, &mut r)), Accept::Rejected);
-        assert_eq!(rx.on_data(&pkts[2], &mut mkctx(&mut t, &mut c, &mut r)), Accept::OutOfOrder);
+        let (mut pool, mut t, mut c, mut r) =
+            (dcp_netsim::pool::PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        assert_eq!(
+            rx.on_data(&pkts[7], &mut mkctx(&mut pool, &mut t, &mut c, &mut r)),
+            Accept::Rejected
+        );
+        assert_eq!(
+            rx.on_data(&pkts[2], &mut mkctx(&mut pool, &mut t, &mut c, &mut r)),
+            Accept::OutOfOrder
+        );
         assert_eq!(rx.ooo_degree(), 2);
     }
 
@@ -256,11 +276,12 @@ mod tests {
         // no completion until the gap fills.
         let (pkts, _) = packets_for(&[3072]);
         let mut rx = RxCore::new(NodeId(1), FlowId(1), u32::MAX, Placement::Virtual);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        rx.on_data(&pkts[0], &mut mkctx(&mut t, &mut c, &mut r));
-        rx.on_data(&pkts[2], &mut mkctx(&mut t, &mut c, &mut r));
+        let (mut pool, mut t, mut c, mut r) =
+            (dcp_netsim::pool::PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        rx.on_data(&pkts[0], &mut mkctx(&mut pool, &mut t, &mut c, &mut r));
+        rx.on_data(&pkts[2], &mut mkctx(&mut pool, &mut t, &mut c, &mut r));
         assert!(c.is_empty());
-        rx.on_data(&pkts[1], &mut mkctx(&mut t, &mut c, &mut r));
+        rx.on_data(&pkts[1], &mut mkctx(&mut pool, &mut t, &mut c, &mut r));
         assert_eq!(c.len(), 1);
     }
 }

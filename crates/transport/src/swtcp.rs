@@ -20,6 +20,7 @@ use crate::common::{ack_packet, data_packet, desc_at, tokens, FlowCfg, Placement
 use crate::rxcore::RxCore;
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
 use dcp_rdma::qp::WorkReqOp;
@@ -90,7 +91,8 @@ impl Endpoint for SwTcpSender {
         self.book.post(wr_id, op, len, self.cfg.mtu);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         if let PktExt::TcpAck { ack_seq } = pkt.ext {
             let epsn = (ack_seq / self.cfg.mtu as u64) as u32;
             if epsn > self.snd_una {
@@ -133,7 +135,7 @@ impl Endpoint for SwTcpSender {
         }
     }
 
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         if self.snd_nxt >= self.book.next_psn() {
             return None;
         }
@@ -168,7 +170,7 @@ impl Endpoint for SwTcpSender {
         if !self.rto_armed {
             self.arm_rto(ctx);
         }
-        Some(pkt)
+        Some(ctx.pool.insert(pkt))
     }
 
     fn has_pending(&self) -> bool {
@@ -223,7 +225,8 @@ impl SwTcpReceiver {
 }
 
 impl Endpoint for SwTcpReceiver {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         if !pkt.is_data() {
             return;
         }
@@ -236,8 +239,8 @@ impl Endpoint for SwTcpReceiver {
         self.process_ready(ctx);
     }
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
-        self.out.pop_front()
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
+        self.out.pop_front().map(|p| ctx.pool.insert(p))
     }
 
     fn has_pending(&self) -> bool {
@@ -268,7 +271,9 @@ pub fn swtcp_pair(
 mod tests {
     use super::*;
     use crate::cc::StaticWindow;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::pool::PacketPool;
     use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -279,11 +284,12 @@ mod tests {
 
     fn ctx<'a>(
         now: Nanos,
+        pool: &'a mut PacketPool,
         t: &'a mut Vec<(Nanos, u64)>,
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
+        EndpointCtx { now, pool, timers: t, completions: c, rng: r, probe: None }
     }
 
     #[test]
@@ -294,10 +300,14 @@ mod tests {
             Box::new(StaticWindow { window_bytes: 1 << 20 }),
         );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 4 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        assert!(s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some());
-        assert!(s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_none(), "CPU busy");
-        assert!(s.pull(&mut ctx(150, &mut t, &mut c, &mut r)).is_some(), "free after cpu_per_pkt");
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        assert!(pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some());
+        assert!(pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_none(), "CPU busy");
+        assert!(
+            pull_owned(&mut s, &mut pool, 150, &mut t, &mut c, &mut r).is_some(),
+            "free after cpu_per_pkt"
+        );
     }
 
     #[test]
@@ -311,12 +321,13 @@ mod tests {
             SwTcpConfig::default(),
             Placement::Virtual,
         );
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        rx.on_packet(pkt, &mut ctx(1000, &mut t, &mut c, &mut r));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        deliver(&mut rx, &mut pool, pkt, 1000, &mut t, &mut c, &mut r);
         assert!(c.is_empty(), "not delivered yet");
         let (at, tok) = t[0];
         assert_eq!(at, 1000 + 12_000);
-        rx.on_timer(tok, &mut ctx(at, &mut t, &mut c, &mut r));
+        rx.on_timer(tok, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
         assert_eq!(c.len(), 1, "delivered after stack latency");
         assert_eq!(c[0].at, 13_000);
         assert!(rx.has_pending(), "ACK queued");

@@ -9,6 +9,7 @@ use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, P
 use crate::rxcore::RxCore;
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
 use dcp_rdma::qp::WorkReqOp;
@@ -73,7 +74,8 @@ impl Endpoint for TimeoutOnlySender {
         self.book.post(wr_id, op, len, self.cfg.mtu);
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         match pkt.ext {
             PktExt::GbnAck { epsn } => {
                 if epsn > self.snd_una {
@@ -123,7 +125,7 @@ impl Endpoint for TimeoutOnlySender {
         }
     }
 
-    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<Packet> {
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
         if self.snd_nxt >= self.book.next_psn() {
             return None;
         }
@@ -157,7 +159,7 @@ impl Endpoint for TimeoutOnlySender {
         if !self.rto_armed {
             self.arm_rto(ctx);
         }
-        Some(pkt)
+        Some(ctx.pool.insert(pkt))
     }
 
     fn has_pending(&self) -> bool {
@@ -196,7 +198,8 @@ impl TimeoutOnlyReceiver {
 }
 
 impl Endpoint for TimeoutOnlyReceiver {
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx) {
+    fn on_packet(&mut self, pkt: PktRef, ctx: &mut EndpointCtx) {
+        let pkt = ctx.pool.take(pkt);
         if !pkt.is_data() {
             return;
         }
@@ -216,8 +219,8 @@ impl Endpoint for TimeoutOnlyReceiver {
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
 
-    fn pull(&mut self, _ctx: &mut EndpointCtx) -> Option<Packet> {
-        self.out.pop_front()
+    fn pull(&mut self, ctx: &mut EndpointCtx) -> Option<PktRef> {
+        self.out.pop_front().map(|p| ctx.pool.insert(p))
     }
 
     fn has_pending(&self) -> bool {
@@ -248,7 +251,9 @@ pub fn timeout_only_pair(
 mod tests {
     use super::*;
     use crate::cc::StaticWindow;
+    use dcp_netsim::endpoint::{deliver, pull_owned};
     use dcp_netsim::packet::{FlowId, NodeId};
+    use dcp_netsim::pool::PacketPool;
     use dcp_rdma::headers::DcpTag;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -259,11 +264,12 @@ mod tests {
 
     fn ctx<'a>(
         now: Nanos,
+        pool: &'a mut PacketPool,
         t: &'a mut Vec<(Nanos, u64)>,
         c: &'a mut Vec<Completion>,
         r: &'a mut StdRng,
     ) -> EndpointCtx<'a> {
-        EndpointCtx { now, timers: t, completions: c, rng: r, probe: None }
+        EndpointCtx { now, pool, timers: t, completions: c, rng: r, probe: None }
     }
 
     #[test]
@@ -274,17 +280,18 @@ mod tests {
             Box::new(StaticWindow { window_bytes: 8 * 1024 }),
         );
         s.post(1, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        while s.pull(&mut ctx(0, &mut t, &mut c, &mut r)).is_some() {}
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
         // ACK for a prefix: sender just waits; no retx without timer.
         let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 3 }, 0, 0);
-        s.on_packet(ack, &mut ctx(1000, &mut t, &mut c, &mut r));
-        assert!(s.pull(&mut ctx(1001, &mut t, &mut c, &mut r)).is_none());
+        deliver(&mut s, &mut pool, ack, 1000, &mut t, &mut c, &mut r);
+        assert!(pull_owned(&mut s, &mut pool, 1001, &mut t, &mut c, &mut r).is_none());
         // RTO fires → rewind to snd_una = 3.
         let (at, token) =
             t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
-        s.on_timer(token, &mut ctx(at, &mut t, &mut c, &mut r));
-        let p = s.pull(&mut ctx(at, &mut t, &mut c, &mut r)).unwrap();
+        s.on_timer(token, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
+        let p = pull_owned(&mut s, &mut pool, at, &mut t, &mut c, &mut r).unwrap();
         assert_eq!(p.psn(), 3);
         assert!(p.is_retx);
         assert_eq!(s.stats().timeouts, 1);
@@ -303,10 +310,11 @@ mod tests {
             TimeoutOnlyConfig::default(),
             Placement::Virtual,
         );
-        let (mut t, mut c, mut r) = (vec![], vec![], StdRng::seed_from_u64(0));
-        rx.on_packet(mk(2), &mut ctx(0, &mut t, &mut c, &mut r));
-        rx.on_packet(mk(0), &mut ctx(1, &mut t, &mut c, &mut r));
-        rx.on_packet(mk(1), &mut ctx(2, &mut t, &mut c, &mut r));
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        deliver(&mut rx, &mut pool, mk(2), 0, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, mk(0), 1, &mut t, &mut c, &mut r);
+        deliver(&mut rx, &mut pool, mk(1), 2, &mut t, &mut c, &mut r);
         assert_eq!(c.len(), 1, "message completes despite reversal");
         assert_eq!(rx.stats().duplicates, 0);
     }

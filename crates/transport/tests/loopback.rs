@@ -58,12 +58,12 @@ fn run_sized(
     let mut done_at = 0;
     while sim.pending_events() > 0 && sim.now() < deadline {
         sim.step();
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == dcp_netsim::CompletionKind::RecvComplete {
                 assert_eq!(c.bytes, msg);
                 done_at = c.at;
             }
-        }
+        });
         if done_at > 0 && sim.endpoint_done(src, flow) {
             break;
         }

@@ -34,12 +34,12 @@ fn long_haul_goodput(km: f64) -> f64 {
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 done += 1;
                 last = c.at;
             }
-        }
+        });
     }
     assert_eq!(done, 64);
     total as f64 * 8.0 / last as f64

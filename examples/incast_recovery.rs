@@ -51,12 +51,12 @@ fn run(kind: TransportKind, cfg: SwitchConfig) {
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 done += 1;
                 jct = c.at;
             }
-        }
+        });
     }
     let ns = sim.net_stats();
     let mut retx = 0;

@@ -40,12 +40,12 @@ fn throughput(
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 done += 1;
                 last = c.at;
             }
-        }
+        });
     }
     assert_eq!(done, count, "stream did not finish");
     (msg * count) as f64 * 8.0 / last as f64
@@ -66,11 +66,11 @@ fn latency(make: impl Fn(FlowCfg) -> (Box<dyn Endpoint>, Box<dyn Endpoint>), tag
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 at = c.at;
             }
-        }
+        });
     }
     assert!(at > 0, "message never arrived");
     at as f64 / US as f64

@@ -58,11 +58,11 @@ fn main() {
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 done.push(c);
             }
-        }
+        });
     }
     println!("Two-sided Sends over a sprayed, lossy fabric:");
     for c in &done {

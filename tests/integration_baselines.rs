@@ -34,12 +34,12 @@ fn goodput(kind: TransportKind, loss: f64, trimming: bool) -> f64 {
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 done += 1;
                 last = c.at;
             }
-        }
+        });
     }
     assert_eq!(done, 8, "{kind:?} at loss {loss}");
     total as f64 * 8.0 / last as f64

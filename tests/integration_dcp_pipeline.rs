@@ -18,12 +18,12 @@ fn drive_to(sim: &mut Simulator, want: usize, deadline: Nanos) -> (usize, Nanos)
         if sim.step().is_none() {
             break;
         }
-        for c in sim.drain_completions() {
+        sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 done += 1;
                 last = c.at;
             }
-        }
+        });
     }
     (done, last)
 }
