@@ -1,0 +1,256 @@
+//! Declarative fault schedules.
+//!
+//! A [`FaultPlan`] is a seed plus a time-ordered list of [`TimedFault`]s —
+//! the whole experiment's misbehaviour written down up front, so a run is a
+//! pure function of `(workload seed, plan)`. Plans serialize to JSON
+//! (`load`/`save` on the hand-rolled [`Json`]; the vendored `serde` is a
+//! no-op stub, so the derives are forward-looking annotations only) and are
+//! executed by [`crate::engine::FaultEngine`] through the simulator's own
+//! event queue — fault timing obeys the same `(time, sequence)` total order
+//! as every packet.
+//!
+//! Cables are named from their switch side as `(switch, port)` — in the
+//! two-tier CLOS every cable has a switch on at least one end — and an
+//! event always affects *both* directions of the cable.
+
+use crate::loss::LossModel;
+use dcp_netsim::{Nanos, NodeId, PortId};
+use dcp_telemetry::Json;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault (or repair) action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Cable on `(sw, port)` goes dark: egress stops on both ends and
+    /// packets in flight on it are lost.
+    LinkDown { sw: NodeId, port: PortId },
+    /// The cable comes back; backed-up queues drain immediately.
+    LinkUp { sw: NodeId, port: PortId },
+    /// The cable stays up but runs at `gbps` with `delay` propagation —
+    /// degradation (or restoration, scheduling it again with the healthy
+    /// values).
+    LinkDegrade { sw: NodeId, port: PortId, gbps: f64, delay: Nanos },
+    /// The switch dies: queued packets drop (booked as fault drops), PFC
+    /// state clears with RESUMEs upstream, all ports go down, and arrivals
+    /// are dropped until recovery.
+    SwitchFail { sw: NodeId },
+    /// The switch returns with empty queues and its routing intact.
+    SwitchRecover { sw: NodeId },
+    /// Installs (`Some`) or clears (`None`) a stochastic loss model on both
+    /// directions of the cable.
+    SetLossModel { sw: NodeId, port: PortId, model: Option<LossModel> },
+    /// A spurious PFC PAUSE storm: the node at the far end of `(sw, port)`
+    /// holds its egress toward `sw` paused for `duration`, regardless of
+    /// buffer state — the classic malfunctioning-NIC/PFC-storm failure.
+    PauseStorm { sw: NodeId, port: PortId, duration: Nanos },
+}
+
+impl FaultEvent {
+    pub fn to_json(&self) -> Json {
+        let link = |kind: &str, sw: NodeId, port: PortId| {
+            Json::obj().set("kind", kind).set("sw", u64::from(sw.0)).set("port", port)
+        };
+        match *self {
+            FaultEvent::LinkDown { sw, port } => link("link_down", sw, port),
+            FaultEvent::LinkUp { sw, port } => link("link_up", sw, port),
+            FaultEvent::LinkDegrade { sw, port, gbps, delay } => {
+                link("link_degrade", sw, port).set("gbps", gbps).set("delay_ns", delay)
+            }
+            FaultEvent::SwitchFail { sw } => {
+                Json::obj().set("kind", "switch_fail").set("sw", u64::from(sw.0))
+            }
+            FaultEvent::SwitchRecover { sw } => {
+                Json::obj().set("kind", "switch_recover").set("sw", u64::from(sw.0))
+            }
+            FaultEvent::SetLossModel { sw, port, model } => link("set_loss_model", sw, port)
+                .set("model", model.map_or(Json::Null, |m| m.to_json())),
+            FaultEvent::PauseStorm { sw, port, duration } => {
+                link("pause_storm", sw, port).set("duration_ns", duration)
+            }
+        }
+    }
+
+    pub fn from_json(j: &Json) -> Result<FaultEvent, String> {
+        let sw = || {
+            j.get("sw")
+                .and_then(Json::as_u64)
+                .map(|v| NodeId(v as u32))
+                .ok_or("fault event: missing sw")
+        };
+        let port = || {
+            j.get("port")
+                .and_then(Json::as_u64)
+                .map(|v| v as PortId)
+                .ok_or("fault event: missing port")
+        };
+        let num = |key: &str| {
+            j.get(key).and_then(Json::as_f64).ok_or_else(|| format!("fault event: missing {key}"))
+        };
+        match j.get("kind").and_then(Json::as_str) {
+            Some("link_down") => Ok(FaultEvent::LinkDown { sw: sw()?, port: port()? }),
+            Some("link_up") => Ok(FaultEvent::LinkUp { sw: sw()?, port: port()? }),
+            Some("link_degrade") => Ok(FaultEvent::LinkDegrade {
+                sw: sw()?,
+                port: port()?,
+                gbps: num("gbps")?,
+                delay: num("delay_ns")? as Nanos,
+            }),
+            Some("switch_fail") => Ok(FaultEvent::SwitchFail { sw: sw()? }),
+            Some("switch_recover") => Ok(FaultEvent::SwitchRecover { sw: sw()? }),
+            Some("set_loss_model") => {
+                let model = match j.get("model") {
+                    None | Some(Json::Null) => None,
+                    Some(m) => Some(LossModel::from_json(m)?),
+                };
+                Ok(FaultEvent::SetLossModel { sw: sw()?, port: port()?, model })
+            }
+            Some("pause_storm") => Ok(FaultEvent::PauseStorm {
+                sw: sw()?,
+                port: port()?,
+                duration: num("duration_ns")? as Nanos,
+            }),
+            other => Err(format!("fault event: unknown kind {other:?}")),
+        }
+    }
+}
+
+/// A fault at a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedFault {
+    pub at: Nanos,
+    pub event: FaultEvent,
+}
+
+/// The full declarative schedule: loss-model RNG seed + timed events.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Root seed of every per-link loss RNG stream (mixed with the link
+    /// key, see [`crate::engine::link_stream_seed`]). Independent of the
+    /// workload seed on purpose: the same fault realization can be replayed
+    /// against different traffic.
+    pub seed: u64,
+    pub events: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, events: Vec::new() }
+    }
+
+    /// Appends `event` at time `at` (builder style).
+    pub fn at(mut self, at: Nanos, event: FaultEvent) -> Self {
+        self.events.push(TimedFault { at, event });
+        self
+    }
+
+    /// Installs `model` on every listed cable at t = 0 — the whole-fabric
+    /// BER knob.
+    pub fn with_loss_on(mut self, cables: &[(NodeId, PortId)], model: LossModel) -> Self {
+        for &(sw, port) in cables {
+            self.events.push(TimedFault {
+                at: 0,
+                event: FaultEvent::SetLossModel { sw, port, model: Some(model) },
+            });
+        }
+        self
+    }
+
+    /// Events sorted by time (stable, so same-time events keep plan order).
+    /// The engine requires this before installing.
+    pub fn sorted(mut self) -> Self {
+        self.events.sort_by_key(|t| t.at);
+        self
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("seed", self.seed)
+            .set("events", Json::Arr(self.events.iter().map(TimedFault::to_json).collect()))
+    }
+
+    pub fn from_json(j: &Json) -> Result<FaultPlan, String> {
+        let seed = j.get("seed").and_then(Json::as_u64).ok_or("fault plan: missing seed")?;
+        let events = j
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("fault plan: missing events")?
+            .iter()
+            .map(TimedFault::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan { seed, events })
+    }
+
+    /// Parses a plan from its JSON text.
+    pub fn load(text: &str) -> Result<FaultPlan, String> {
+        FaultPlan::from_json(&Json::parse(text)?)
+    }
+
+    /// Renders the plan as pretty JSON (the `load`able on-disk format).
+    pub fn save(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+impl TimedFault {
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(fields) = self.event.to_json() else { unreachable!("events are objects") };
+        let mut all = vec![("at_ns".to_string(), Json::from(self.at))];
+        all.extend(fields);
+        Json::Obj(all)
+    }
+
+    pub fn from_json(j: &Json) -> Result<TimedFault, String> {
+        let at =
+            j.get("at_ns").and_then(Json::as_u64).ok_or("timed fault: missing at_ns")? as Nanos;
+        Ok(TimedFault { at, event: FaultEvent::from_json(j)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_netsim::{MS, US};
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::new(0xfa01)
+            .with_loss_on(&[(NodeId(8), 4), (NodeId(9), 4)], LossModel::Ber { ber: 1e-5 })
+            .at(2 * MS, FaultEvent::LinkDown { sw: NodeId(8), port: 5 })
+            .at(4 * MS, FaultEvent::LinkUp { sw: NodeId(8), port: 5 })
+            .at(MS, FaultEvent::LinkDegrade { sw: NodeId(9), port: 6, gbps: 10.0, delay: 5000 })
+            .at(3 * MS, FaultEvent::SwitchFail { sw: NodeId(10) })
+            .at(5 * MS, FaultEvent::SwitchRecover { sw: NodeId(10) })
+            .at(6 * MS, FaultEvent::SetLossModel { sw: NodeId(8), port: 4, model: None })
+            .at(7 * MS, FaultEvent::PauseStorm { sw: NodeId(8), port: 0, duration: 100 * US })
+            .sorted()
+    }
+
+    #[test]
+    fn plan_json_round_trip() {
+        let plan = sample_plan();
+        let text = plan.save();
+        let back = FaultPlan::load(&text).expect("loads");
+        assert_eq!(back, plan);
+        // Compact rendering round-trips too.
+        assert_eq!(FaultPlan::load(&plan.to_json().render()).unwrap(), plan);
+    }
+
+    #[test]
+    fn sorted_orders_by_time_stably() {
+        let plan = sample_plan();
+        let times: Vec<Nanos> = plan.events.iter().map(|t| t.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        // The two t=0 SetLossModel events keep their relative plan order.
+        assert!(matches!(plan.events[0].event, FaultEvent::SetLossModel { sw: NodeId(8), .. }));
+        assert!(matches!(plan.events[1].event, FaultEvent::SetLossModel { sw: NodeId(9), .. }));
+    }
+
+    #[test]
+    fn load_rejects_malformed_plans() {
+        assert!(FaultPlan::load("{}").is_err());
+        assert!(FaultPlan::load(r#"{"seed": 1, "events": [{"at_ns": 5}]}"#).is_err());
+        assert!(FaultPlan::load(
+            r#"{"seed": 1, "events": [{"at_ns": 5, "kind": "warp_core_breach"}]}"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Recovery metrics: how fast the transport notices and heals a fault.
+//!
+//! [`RecoveryTracker`] is a passive [`Probe`] (install alongside others via
+//! `Fanout`) that watches the event stream for `Fault`/`FaultCleared`
+//! markers, the first retransmission after a fault (detection latency) and
+//! time-binned delivery goodput (restoration latency). It is a shared
+//! handle: keep a clone outside the simulator and read the metrics after
+//! the run — the `Box<dyn Probe>` given to the simulator can't be
+//! downcast back.
+
+use dcp_netsim::Nanos;
+use dcp_telemetry::{Probe, ProbeEvent};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug, Default)]
+struct State {
+    bin_ns: Nanos,
+    /// Delivered goodput bytes per `bin_ns` window, indexed by `now / bin_ns`.
+    bins: Vec<u64>,
+    first_fault_at: Option<Nanos>,
+    last_clear_at: Option<Nanos>,
+    first_retx_after_fault: Option<Nanos>,
+}
+
+/// Shared-handle probe measuring time-to-first-retransmit and
+/// goodput-recovery time around injected faults.
+#[derive(Debug, Clone)]
+pub struct RecoveryTracker {
+    state: Rc<RefCell<State>>,
+}
+
+impl RecoveryTracker {
+    /// `bin_ns` is the goodput histogram resolution (e.g. `100 * US`);
+    /// recovery time is quantized to it.
+    pub fn new(bin_ns: Nanos) -> Self {
+        assert!(bin_ns > 0, "bin width must be positive");
+        RecoveryTracker { state: Rc::new(RefCell::new(State { bin_ns, ..State::default() })) }
+    }
+
+    /// The probe half to install on the simulator (possibly inside a
+    /// `Fanout`); metrics stay readable through `self`.
+    pub fn probe(&self) -> Box<dyn Probe> {
+        Box::new(RecoveryProbe { state: Rc::clone(&self.state) })
+    }
+
+    /// When the first fault fired, if any did.
+    pub fn fault_at(&self) -> Option<Nanos> {
+        self.state.borrow().first_fault_at
+    }
+
+    /// When the last fault cleared, if any did.
+    pub fn cleared_at(&self) -> Option<Nanos> {
+        self.state.borrow().last_clear_at
+    }
+
+    /// Latency from the first fault to the transport's first
+    /// retransmission — how long loss detection took under the fault.
+    pub fn time_to_first_retx(&self) -> Option<Nanos> {
+        let s = self.state.borrow();
+        Some(s.first_retx_after_fault? - s.first_fault_at?)
+    }
+
+    /// Latency from the last `FaultCleared` until delivered goodput first
+    /// sustains `frac` of its pre-fault baseline (mean bin over the window
+    /// before the fault), quantized to the bin width. `None` when there was
+    /// no fault, no pre-fault baseline, or goodput never recovered.
+    pub fn goodput_recovery_time(&self, frac: f64) -> Option<Nanos> {
+        let s = self.state.borrow();
+        let fault_bin = (s.first_fault_at? / s.bin_ns) as usize;
+        let clear = s.last_clear_at?;
+        if fault_bin == 0 {
+            return None; // No pre-fault window to baseline against.
+        }
+        let baseline =
+            s.bins[..fault_bin.min(s.bins.len())].iter().sum::<u64>() as f64 / fault_bin as f64;
+        if baseline <= 0.0 {
+            return None;
+        }
+        let clear_bin = (clear / s.bin_ns) as usize;
+        // First bin strictly after the clear instant's bin, so a partially
+        // faulted bin can't count as recovered.
+        for (i, &b) in s.bins.iter().enumerate().skip(clear_bin + 1) {
+            if b as f64 >= frac * baseline {
+                return Some((i as Nanos) * s.bin_ns - clear);
+            }
+        }
+        None
+    }
+
+    /// Total delivered bytes seen (sanity hook for tests).
+    pub fn delivered_bytes(&self) -> u64 {
+        self.state.borrow().bins.iter().sum()
+    }
+}
+
+struct RecoveryProbe {
+    state: Rc<RefCell<State>>,
+}
+
+impl Probe for RecoveryProbe {
+    fn record(&mut self, at: u64, ev: &ProbeEvent) {
+        let mut s = self.state.borrow_mut();
+        match ev {
+            ProbeEvent::Fault { .. } if s.first_fault_at.is_none() => {
+                s.first_fault_at = Some(at);
+            }
+            ProbeEvent::FaultCleared { .. } => s.last_clear_at = Some(at),
+            ProbeEvent::Retx { .. }
+                if s.first_fault_at.is_some() && s.first_retx_after_fault.is_none() =>
+            {
+                s.first_retx_after_fault = Some(at);
+            }
+            ProbeEvent::Delivery { bytes, .. } => {
+                let ix = (at / s.bin_ns) as usize;
+                if s.bins.len() <= ix {
+                    s.bins.resize(ix + 1, 0);
+                }
+                s.bins[ix] += *bytes;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_telemetry::FaultKind;
+
+    fn feed(tracker: &RecoveryTracker, events: &[(u64, ProbeEvent)]) {
+        let mut probe = tracker.probe();
+        for (at, ev) in events {
+            probe.record(*at, ev);
+        }
+    }
+
+    fn delivery(bytes: u64) -> ProbeEvent {
+        ProbeEvent::Delivery { node: 0, flow: 0, wr_id: 0, bytes }
+    }
+
+    #[test]
+    fn detects_first_retx_after_fault() {
+        let t = RecoveryTracker::new(100);
+        feed(
+            &t,
+            &[
+                (50, ProbeEvent::Retx { node: 0, flow: 0, psn: 1, bytes: 1000 }), // pre-fault: ignored
+                (200, ProbeEvent::Fault { node: 8, port: 4, kind: FaultKind::Link }),
+                (450, ProbeEvent::Retx { node: 0, flow: 0, psn: 2, bytes: 1000 }),
+                (500, ProbeEvent::Retx { node: 0, flow: 0, psn: 3, bytes: 1000 }),
+            ],
+        );
+        assert_eq!(t.fault_at(), Some(200));
+        assert_eq!(t.time_to_first_retx(), Some(250));
+    }
+
+    #[test]
+    fn goodput_recovery_measures_against_pre_fault_baseline() {
+        let t = RecoveryTracker::new(100);
+        let mut events = Vec::new();
+        // Bins 0..5: healthy 1000 B/bin baseline.
+        for b in 0..5u64 {
+            events.push((b * 100 + 10, delivery(1000)));
+        }
+        events.push((500, ProbeEvent::Fault { node: 8, port: 4, kind: FaultKind::Link }));
+        // Bins 5..8: starved.
+        events.push((710, delivery(10)));
+        events.push((800, ProbeEvent::FaultCleared { node: 8, port: 4, kind: FaultKind::Link }));
+        // Bin 9 recovers to 90% of baseline; bin 10 full.
+        events.push((910, delivery(900)));
+        events.push((1010, delivery(1000)));
+        feed(&t, &events);
+        assert_eq!(t.cleared_at(), Some(800));
+        // 80% threshold first met in bin 9 ⇒ 900 − 800 = 100 ns.
+        assert_eq!(t.goodput_recovery_time(0.8), Some(100));
+        // 100% threshold not met until bin 10.
+        assert_eq!(t.goodput_recovery_time(1.0), Some(200));
+        assert_eq!(t.delivered_bytes(), 5000 + 10 + 900 + 1000);
+    }
+
+    #[test]
+    fn no_fault_or_no_recovery_yields_none() {
+        let t = RecoveryTracker::new(100);
+        feed(&t, &[(10, delivery(1000))]);
+        assert_eq!(t.time_to_first_retx(), None);
+        assert_eq!(t.goodput_recovery_time(0.8), None);
+
+        // Fault that never clears → no recovery figure.
+        let t = RecoveryTracker::new(100);
+        feed(
+            &t,
+            &[
+                (10, delivery(1000)),
+                (150, ProbeEvent::Fault { node: 1, port: 0, kind: FaultKind::Switch }),
+            ],
+        );
+        assert_eq!(t.goodput_recovery_time(0.8), None);
+    }
+}

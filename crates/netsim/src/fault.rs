@@ -1,0 +1,59 @@
+//! The fabric-side hooks the fault-injection plane plugs into.
+//!
+//! `dcp-netsim` owns the *mechanisms* — verdicts on arriving packets, port
+//! up/down, switch fail/drain, cable parameter changes (see the
+//! `Simulator::fail_switch` / `set_cable_up` / `set_cable_params` family) —
+//! while the *policy* (loss models, fault schedules, recovery metrics) lives
+//! in the `dcp-faults` crate, mirroring how [`dcp_telemetry::Probe`] splits
+//! observation policy from the hot-path hooks. The split keeps the
+//! dependency arrow pointing one way: netsim never needs to know what a
+//! Gilbert–Elliott chain is.
+//!
+//! A [`FaultPlane`] sees every packet arrival *before* the node does and
+//! rules on it ([`FaultVerdict`]); scheduled [`crate::sim::Event::Control`]
+//! events hand it the whole simulator so a fault plan can flip topology
+//! state (down a cable, fail a switch) at exact simulated instants, in
+//! deterministic event order.
+
+use crate::packet::{NodeId, Packet, PortId};
+use crate::sim::Simulator;
+use crate::time::Nanos;
+
+/// The fault plane's ruling on a packet arriving at `(node, port)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// No fault: hand the packet to the node as usual.
+    Deliver,
+    /// The packet is lost on the wire: the simulator books it into
+    /// [`crate::stats::NetStats`] by class (`fault_drops` for data,
+    /// `ho_drops` for header-only, `ack_drops` for ACK-class) and releases
+    /// the pooled handle, keeping conservation strict.
+    Drop,
+    /// The packet arrives corrupted — FCS/payload errors with the header
+    /// still parseable, the common link-BER outcome. A trimming switch
+    /// converts a corrupt DCP data packet into its 57-B header-only
+    /// notification (the switch cannot forward the mangled payload, but it
+    /// *can* tell the receiver what was lost — DCP's HO-based recovery
+    /// applied to wire loss). Everywhere else — hosts, non-trimming
+    /// switches, non-DCP packets — corruption degenerates to [`Drop`].
+    Corrupt,
+}
+
+/// A fault-injection plane installed on the [`Simulator`].
+///
+/// Implementations are deterministic: any randomness must come from their
+/// own seeded RNG streams (never the simulator's, whose draw order the
+/// packet trace depends on), so a same-seed run with the same plan yields a
+/// byte-identical trace regardless of `DCP_THREADS`.
+pub trait FaultPlane {
+    /// Rules on a packet about to arrive at `node` on `port`. Called on the
+    /// hot path for every `PacketArrive`; implementations should early-out
+    /// when the link has no active fault.
+    fn on_arrival(&mut self, now: Nanos, node: NodeId, port: PortId, pkt: &Packet) -> FaultVerdict;
+
+    /// A scheduled [`crate::sim::Event::Control`] fired. The plane is
+    /// detached from the simulator for the duration of the call, so it gets
+    /// full mutable access to apply topology faults (`sim.fail_switch(..)`,
+    /// `sim.set_cable_up(..)`, …) and schedule follow-up controls.
+    fn on_control(&mut self, token: u64, sim: &mut Simulator);
+}

@@ -23,6 +23,9 @@ pub struct Host {
     pub id: NodeId,
     /// Outgoing link; set when the topology wires the host up.
     pub link: Option<Link>,
+    /// Cable state (fault plane): a down NIC keeps accepting posts but
+    /// never transmits; the simulator kicks it when the cable is restored.
+    pub link_up: bool,
     endpoints: Vec<Box<dyn Endpoint>>,
     /// Flow of each endpoint, parallel to `endpoints` (probe labelling).
     flows: Vec<FlowId>,
@@ -44,6 +47,7 @@ impl Host {
         Host {
             id,
             link: None,
+            link_up: true,
             endpoints: Vec::new(),
             flows: Vec::new(),
             by_flow: HashMap::new(),
@@ -183,7 +187,7 @@ impl Host {
 
     /// QP scheduler: offer wire time round-robin with a byte quota.
     pub fn try_transmit(&mut self, ctx: &mut NodeCtx) {
-        if self.busy || self.paused || self.endpoints.is_empty() {
+        if self.busy || self.paused || !self.link_up || self.endpoints.is_empty() {
             return;
         }
         let Some(link) = self.link else { return };

@@ -15,13 +15,18 @@
 //! * the [`endpoint::Endpoint`] trait transports implement, pulled by the
 //!   NIC smoltcp-style whenever the wire is free;
 //! * topology builders for the paper's testbed and CLOS fabrics
-//!   ([`topology`]).
+//!   ([`topology`]);
+//! * fault-injection mechanisms ([`fault`]): a pluggable [`FaultPlane`]
+//!   rules on every packet arrival (deliver / drop / corrupt-to-HO) and
+//!   scheduled `Control` events let it down cables, degrade links and fail
+//!   switches mid-run — the policy lives in the `dcp-faults` crate.
 //!
 //! Determinism: all randomness flows from one seeded RNG, there is no wall
 //! clock, and same-seed runs produce identical traces — asserted by tests.
 
 pub mod endpoint;
 pub mod equeue;
+pub mod fault;
 pub mod host;
 pub mod link;
 pub mod packet;
@@ -36,6 +41,7 @@ pub mod trace;
 
 pub use endpoint::{deliver, pull_owned, Completion, CompletionKind, Endpoint, EndpointCtx};
 pub use equeue::EventQueue;
+pub use fault::{FaultPlane, FaultVerdict};
 pub use link::Link;
 pub use packet::{FlowId, NodeId, Packet, PktDesc, PktExt, PortId};
 pub use pool::{PacketPool, PktRef};

@@ -8,6 +8,7 @@
 
 use crate::endpoint::{Completion, Endpoint};
 use crate::equeue::EventQueue;
+use crate::fault::{FaultPlane, FaultVerdict};
 use crate::host::Host;
 use crate::link::Link;
 use crate::packet::{FlowId, NodeId, PortId};
@@ -15,8 +16,9 @@ use crate::pool::{PacketPool, PktRef};
 use crate::stats::{NetStats, TransportStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::time::Nanos;
+use dcp_rdma::headers::DcpTag;
 use dcp_rdma::qp::WorkReqOp;
-use dcp_telemetry::{Probe, ProbeEvent};
+use dcp_telemetry::{DropClass, Probe, ProbeEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -37,15 +39,20 @@ pub enum Event {
     Pfc { node: NodeId, port: PortId, pause: bool },
     /// A transport timer fires on endpoint `ep` of host `node`.
     EndpointTimer { node: NodeId, ep: usize, token: u64 },
+    /// A scheduled control-plane action fires: the installed
+    /// [`FaultPlane`] (if any) interprets `token` (e.g. "apply fault-plan
+    /// entry #3 now"). Not addressed to a node — it acts on the simulator.
+    Control { token: u64 },
 }
 
 impl Event {
-    fn node(&self) -> NodeId {
+    fn node(&self) -> Option<NodeId> {
         match self {
             Event::PacketArrive { node, .. }
             | Event::PortFree { node, .. }
             | Event::Pfc { node, .. }
-            | Event::EndpointTimer { node, .. } => *node,
+            | Event::EndpointTimer { node, .. } => Some(*node),
+            Event::Control { .. } => None,
         }
     }
 }
@@ -100,6 +107,11 @@ pub struct Simulator {
     scratch: Vec<(Nanos, Event)>,
     events: u64,
     probe: Option<Box<dyn Probe>>,
+    fault_plane: Option<Box<dyn FaultPlane>>,
+    /// Drops ruled by the fault plane at link ingress — they happen *on the
+    /// wire*, before any switch sees the packet, so they are booked here
+    /// rather than against a switch and merged in [`Simulator::net_stats`].
+    fault_stats: NetStats,
 }
 
 impl Simulator {
@@ -115,6 +127,8 @@ impl Simulator {
             scratch: Vec::new(),
             events: 0,
             probe: None,
+            fault_plane: None,
+            fault_stats: NetStats::default(),
         }
     }
 
@@ -145,6 +159,23 @@ impl Simulator {
     /// The attached probe's dump (flight-recorder ring, counters …), if any.
     pub fn flight_dump(&self) -> Option<String> {
         self.probe.as_ref().and_then(|p| p.dump())
+    }
+
+    /// Installs a fault-injection plane: every subsequent packet arrival is
+    /// ruled on by it, and [`Event::Control`] events are dispatched to it.
+    pub fn set_fault_plane(&mut self, plane: Box<dyn FaultPlane>) {
+        self.fault_plane = Some(plane);
+    }
+
+    /// Detaches and returns the fault plane, e.g. to read its state after a
+    /// run. Arrivals are delivered unconditionally afterwards.
+    pub fn take_fault_plane(&mut self) -> Option<Box<dyn FaultPlane>> {
+        self.fault_plane.take()
+    }
+
+    /// Schedules a control event for the fault plane at time `at`.
+    pub fn schedule_control(&mut self, at: Nanos, token: u64) {
+        self.schedule(at, Event::Control { token });
     }
 
     /// Creates a host; wire it with the `connect_*` helpers.
@@ -279,13 +310,96 @@ impl Simulator {
         self.scratch = out;
     }
 
+    /// Consults the installed fault plane about an arrival; returns `true`
+    /// when the packet was consumed (dropped or corrupted) and must not be
+    /// delivered to the node.
+    fn fault_intercept(&mut self, node: NodeId, port: PortId, pkt: PktRef) -> bool {
+        let verdict = match self.fault_plane.as_mut() {
+            Some(plane) => plane.on_arrival(self.now, node, port, &self.pool[pkt]),
+            None => FaultVerdict::Deliver,
+        };
+        match verdict {
+            FaultVerdict::Deliver => false,
+            FaultVerdict::Drop => {
+                self.fault_discard(node, port, pkt);
+                true
+            }
+            FaultVerdict::Corrupt => {
+                // A trimming switch turns a corrupt DCP data packet into its
+                // header-only notification (the payload is gone but the
+                // parseable header still tells the receiver *what* was
+                // lost); anywhere else corruption is just a wire loss.
+                let can_trim = matches!(
+                    &self.nodes[node.0 as usize],
+                    Node::Switch(s) if s.cfg.trimming
+                ) && self.pool[pkt].dcp_tag() == DcpTag::Data;
+                if can_trim {
+                    self.with_node(node, |n, ctx| {
+                        if let Node::Switch(sw) = n {
+                            sw.on_corrupt(port, pkt, ctx);
+                        }
+                    });
+                } else {
+                    self.fault_discard(node, port, pkt);
+                }
+                true
+            }
+        }
+    }
+
+    /// Books a fault-plane wire loss by packet class and releases the
+    /// handle. Data losses land in `fault_drops` (distinct from congestion
+    /// `data_drops`); header-only losses stay in `ho_drops` so the Table 5
+    /// identity `trims = ho_received + ho_drops` holds; ACK-class losses
+    /// join `ack_drops`.
+    fn fault_discard(&mut self, node: NodeId, port: PortId, pkt: PktRef) {
+        let (is_ho, is_data, flow, psn) = {
+            let p = &self.pool[pkt];
+            (p.dcp_tag() == DcpTag::HeaderOnly, p.is_data(), p.flow.0, p.psn())
+        };
+        if is_ho {
+            self.fault_stats.ho_drops += 1;
+        } else if is_data {
+            self.fault_stats.fault_drops += 1;
+        } else {
+            self.fault_stats.ack_drops += 1;
+        }
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.record(
+                self.now,
+                &ProbeEvent::Drop {
+                    node: node.0,
+                    port: port as u32,
+                    flow,
+                    psn,
+                    class: DropClass::Fault,
+                },
+            );
+        }
+        self.pool.release(pkt);
+    }
+
     /// Processes one event; returns its timestamp, or `None` if idle.
     pub fn step(&mut self) -> Option<Nanos> {
         let (at, _seq, ev) = self.queue.pop()?;
         debug_assert!(at >= self.now);
         self.now = at;
         self.events += 1;
-        let node_id = ev.node();
+        let Some(node_id) = ev.node() else {
+            let Event::Control { token } = ev else { unreachable!("only Control is node-less") };
+            // Detach the plane so it can mutate the simulator re-entrantly
+            // (fail switches, flip cables, schedule more controls).
+            if let Some(mut plane) = self.fault_plane.take() {
+                plane.on_control(token, self);
+                self.fault_plane = Some(plane);
+            }
+            return Some(at);
+        };
+        if let Event::PacketArrive { node, port, pkt } = ev {
+            if self.fault_plane.is_some() && self.fault_intercept(node, port, pkt) {
+                return Some(at);
+            }
+        }
         self.with_node(node_id, |node, ctx| match (node, ev) {
             (Node::Host(h), Event::PacketArrive { pkt, .. }) => h.on_packet(pkt, ctx),
             (Node::Host(h), Event::PortFree { .. }) => h.on_port_free(ctx),
@@ -299,6 +413,7 @@ impl Simulator {
             (Node::Switch(_), Event::EndpointTimer { .. }) => {
                 unreachable!("switches have no endpoints")
             }
+            (_, Event::Control { .. }) => unreachable!("Control handled before dispatch"),
             (Node::Empty, _) => unreachable!("event for node under processing"),
         });
         Some(at)
@@ -382,9 +497,10 @@ impl Simulator {
         self.queue.peak_len()
     }
 
-    /// Aggregated fabric counters across all switches.
+    /// Aggregated fabric counters across all switches, plus the simulator's
+    /// own fault-plane wire losses.
     pub fn net_stats(&self) -> NetStats {
-        let mut total = NetStats::default();
+        let mut total = self.fault_stats.clone();
         for n in &self.nodes {
             if let Node::Switch(s) = n {
                 total.merge(&s.stats);
@@ -447,6 +563,106 @@ impl Simulator {
     /// Whether `flow`'s endpoint on `host` reports itself finished.
     pub fn endpoint_done(&self, host: NodeId, flow: FlowId) -> bool {
         self.host(host).endpoint(flow).map(|e| e.is_done()).unwrap_or(true)
+    }
+
+    // --- Topology-fault mechanisms (driven by an installed `FaultPlane`) ---
+
+    /// The two unidirectional links of the full-duplex cable on `sw`'s
+    /// `port`, each named by its *arrival* endpoint `(node, port)` — the key
+    /// a [`FaultPlane`] sees in `on_arrival`. `[0]` is the direction leaving
+    /// `sw`, `[1]` the direction arriving at `sw`.
+    pub fn cable_arrival_keys(&self, sw: NodeId, port: PortId) -> [(NodeId, PortId); 2] {
+        let link = self.switch(sw).ports[port].link;
+        [(link.to, link.to_port), (sw, port)]
+    }
+
+    /// Downs (`up = false`) or restores both directions of the cable on
+    /// `sw`'s `port`. Down ports stop serving their egress queues — traffic
+    /// hashed onto them backs up, which is exactly what lets adaptive
+    /// routing route around the fault while static ECMP blackholes.
+    /// Restoring kicks both ends so backed-up queues drain immediately.
+    /// Packets already in flight on the wire are *not* touched; pair this
+    /// with a [`FaultPlane`] dropping arrivals on the same keys for full
+    /// link-down semantics.
+    pub fn set_cable_up(&mut self, sw: NodeId, port: PortId, up: bool) {
+        let link = self.switch(sw).ports[port].link;
+        self.switch_mut(sw).set_port_up(port, up);
+        match &mut self.nodes[link.to.0 as usize] {
+            Node::Host(h) => h.link_up = up,
+            Node::Switch(s) => s.set_port_up(link.to_port, up),
+            Node::Empty => unreachable!("cable peer under processing"),
+        }
+        if up {
+            self.kick_switch_port(sw, port);
+            match &self.nodes[link.to.0 as usize] {
+                Node::Host(_) => self.kick(link.to),
+                Node::Switch(_) => self.kick_switch_port(link.to, link.to_port),
+                Node::Empty => unreachable!(),
+            }
+        }
+    }
+
+    /// Degrades (or restores) both directions of the cable on `sw`'s `port`
+    /// to the given rate and propagation delay. Packets already serializing
+    /// keep their old timing; subsequent transmissions use the new one.
+    pub fn set_cable_params(&mut self, sw: NodeId, port: PortId, gbps: f64, delay: Nanos) {
+        let (to, to_port) = {
+            let l = &mut self.switch_mut(sw).ports[port].link;
+            l.gbps = gbps;
+            l.delay = delay;
+            (l.to, l.to_port)
+        };
+        match &mut self.nodes[to.0 as usize] {
+            Node::Host(h) => {
+                if let Some(l) = h.link.as_mut() {
+                    l.gbps = gbps;
+                    l.delay = delay;
+                }
+            }
+            Node::Switch(s) => {
+                // `to_port` is the peer's egress back toward us — the
+                // reverse direction of this same cable (see
+                // `connect_switches`), so parallel cables stay distinct.
+                let back = &mut s.ports[to_port].link;
+                debug_assert_eq!(back.to, sw);
+                back.gbps = gbps;
+                back.delay = delay;
+            }
+            Node::Empty => unreachable!("cable peer under processing"),
+        }
+    }
+
+    /// Fails switch `sw` in place: every queued packet is drained and
+    /// booked as a fault drop (by class), PFC state is cleared with RESUMEs
+    /// sent upstream so no neighbour stays wedged, and all ports go down.
+    /// The node object survives — arrivals while failed are the
+    /// [`FaultPlane`]'s to drop.
+    pub fn fail_switch(&mut self, sw: NodeId) {
+        self.with_node(sw, |n, ctx| {
+            if let Node::Switch(s) = n {
+                s.fail(ctx);
+            }
+        });
+    }
+
+    /// Recovers a failed switch: ports come back up (queues are empty —
+    /// `fail` drained them — so there is nothing to kick until traffic
+    /// arrives). Routing and configuration are unchanged.
+    pub fn recover_switch(&mut self, sw: NodeId) {
+        let s = self.switch_mut(sw);
+        for p in 0..s.ports.len() {
+            s.set_port_up(p, true);
+        }
+    }
+
+    /// Gives `sw`'s egress `port` a transmission opportunity now (used
+    /// after a cable comes back up with a backlog).
+    pub fn kick_switch_port(&mut self, sw: NodeId, port: PortId) {
+        self.with_node(sw, |n, ctx| {
+            if let Node::Switch(s) = n {
+                s.try_transmit(port, ctx);
+            }
+        });
     }
 }
 

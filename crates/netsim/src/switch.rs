@@ -171,6 +171,9 @@ pub struct SwitchPort {
     served: [f64; 2],
     /// Egress data queue paused by a downstream PFC PAUSE.
     pub paused: bool,
+    /// Cable state (fault plane): a down port keeps accepting enqueues —
+    /// its queue backs up like a real dead cable's — but never transmits.
+    pub up: bool,
 }
 
 impl SwitchPort {
@@ -182,6 +185,7 @@ impl SwitchPort {
             busy: false,
             served: [0.0, 0.0],
             paused: false,
+            up: true,
         }
     }
 
@@ -248,9 +252,21 @@ impl Switch {
         self.ports[port].peer = Some(peer);
     }
 
-    /// A packet arrived on ingress `port`. The switch owns the handle: it is
-    /// either queued on an egress or released back to the pool (a drop).
-    pub fn on_packet(&mut self, in_port: PortId, pr: PktRef, ctx: &mut NodeCtx) {
+    /// Marks `port`'s cable up or down (fault plane). Downing stops egress
+    /// service; restoring does *not* kick the port — the simulator does,
+    /// via `kick_switch_port`, once both cable ends are consistent.
+    pub fn set_port_up(&mut self, port: PortId, up: bool) {
+        self.ports[port].up = up;
+    }
+
+    pub fn port_up(&self, port: PortId) -> bool {
+        self.ports[port].up
+    }
+
+    /// Routing pick for `pr`: flowlet-sticky or per-packet per `cfg.lb`,
+    /// recording the ingress port on the packet. `None` (with the handle
+    /// released) when the destination has no route — a topology bug.
+    fn route(&mut self, in_port: PortId, pr: PktRef, ctx: &mut NodeCtx) -> Option<PortId> {
         let (dst, flow) = {
             let pkt = &ctx.pool[pr];
             (pkt.dst_node(), pkt.flow)
@@ -259,7 +275,7 @@ impl Switch {
             // No route: a topology construction error; drop loudly in debug.
             debug_assert!(false, "switch {:?} has no route to {:?}", self.id, dst);
             ctx.pool.release(pr);
-            return;
+            return None;
         };
         let spray_roll = ctx.rng.random::<u64>();
         let ports = &self.ports;
@@ -296,8 +312,88 @@ impl Switch {
             )
         };
         ctx.pool[pr].ingress = in_port as u32;
+        Some(egress)
+    }
+
+    /// A packet arrived on ingress `port`. The switch owns the handle: it is
+    /// either queued on an egress or released back to the pool (a drop).
+    pub fn on_packet(&mut self, in_port: PortId, pr: PktRef, ctx: &mut NodeCtx) {
+        let Some(egress) = self.route(in_port, pr, ctx) else { return };
         self.enqueue(egress, pr, ctx);
         self.try_transmit(egress, ctx);
+    }
+
+    /// A DCP data packet arrived *corrupted* (fault plane,
+    /// [`crate::fault::FaultVerdict::Corrupt`]): the payload is unusable but
+    /// the header parses, so a trimming switch converts it to its 57-B
+    /// header-only notification and forwards that — wire loss recovered the
+    /// same way congestion loss is. The caller guarantees `cfg.trimming`
+    /// and `DcpTag::Data`.
+    pub fn on_corrupt(&mut self, in_port: PortId, pr: PktRef, ctx: &mut NodeCtx) {
+        debug_assert!(self.cfg.trimming);
+        debug_assert_eq!(ctx.pool[pr].dcp_tag(), DcpTag::Data);
+        let Some(egress) = self.route(in_port, pr, ctx) else { return };
+        self.trim_and_admit(egress, pr, ctx);
+        self.try_transmit(egress, ctx);
+    }
+
+    /// Fails the switch in place: drains every queued packet as a fault
+    /// drop (booked by class so conservation stays strict), clears PFC
+    /// state — sending RESUME to any upstream neighbour we had PAUSEd, so
+    /// nobody stays wedged on a dead switch — and downs all ports. Arrivals
+    /// while failed are dropped by the fault plane, not here.
+    pub fn fail(&mut self, ctx: &mut NodeCtx) {
+        for port in 0..self.ports.len() {
+            for q in [Q_DATA, Q_CTRL] {
+                while let Some(pr) = self.ports[port].queues[q].pkts.pop_front() {
+                    let (bytes, is_ho, is_data, flow, psn) = {
+                        let pkt = &ctx.pool[pr];
+                        (
+                            pkt.wire_bytes(),
+                            pkt.dcp_tag() == DcpTag::HeaderOnly,
+                            pkt.is_data(),
+                            pkt.flow.0,
+                            pkt.psn(),
+                        )
+                    };
+                    self.ports[port].queues[q].bytes -= bytes;
+                    if is_ho {
+                        self.stats.ho_drops += 1;
+                    } else if is_data {
+                        self.stats.fault_drops += 1;
+                    } else {
+                        self.stats.ack_drops += 1;
+                    }
+                    ctx.emit(|| ProbeEvent::Drop {
+                        node: self.id.0,
+                        port: port as u32,
+                        flow,
+                        psn,
+                        class: DropClass::Fault,
+                    });
+                    ctx.pool.release(pr);
+                }
+                debug_assert_eq!(self.ports[port].queues[q].bytes, 0);
+            }
+            self.ports[port].up = false;
+            self.ports[port].paused = false;
+        }
+        self.shared_used = 0;
+        // Un-wedge upstream neighbours we had PAUSEd before dying.
+        for ingress in 0..self.ingress_bytes.len() {
+            self.ingress_bytes[ingress] = 0;
+            if std::mem::take(&mut self.ingress_paused[ingress]) {
+                self.stats.resumes_sent += 1;
+                ctx.emit(|| ProbeEvent::PfcResume { node: self.id.0, port: ingress as u32 });
+                if let Some((peer, peer_port)) = self.ports[ingress].peer {
+                    ctx.out.push((
+                        ctx.now + self.ports[ingress].link.delay,
+                        Event::Pfc { node: peer, port: peer_port, pause: false },
+                    ));
+                }
+            }
+        }
+        self.flowlets.clear();
     }
 
     /// Applies the §4.2 enqueue decision procedure on `egress`.
@@ -542,8 +638,8 @@ impl Switch {
     }
 
     /// Weighted fair pick between control and data queues, then transmit.
-    fn try_transmit(&mut self, port: PortId, ctx: &mut NodeCtx) {
-        if self.ports[port].busy {
+    pub(crate) fn try_transmit(&mut self, port: PortId, ctx: &mut NodeCtx) {
+        if self.ports[port].busy || !self.ports[port].up {
             return;
         }
         let q = {

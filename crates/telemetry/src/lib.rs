@@ -30,6 +30,7 @@ pub mod recorder;
 pub use hist::LogHistogram;
 pub use json::Json;
 pub use probe::{
-    CountingProbe, DropClass, EventKind, Fanout, NullProbe, Probe, ProbeEvent, QueueClass,
+    CountingProbe, DropClass, EventKind, Fanout, FaultKind, NullProbe, Probe, ProbeEvent,
+    QueueClass,
 };
 pub use recorder::{EventLog, FlightRecorder};

@@ -37,6 +37,9 @@ pub enum DropClass {
     Ack,
     /// Shared buffer exhausted (any class; see the event's `flow`/`psn`).
     Buffer,
+    /// Killed by an injected fault (wire corruption past recovery, a downed
+    /// link, or a failed switch draining its queues) — never congestion.
+    Fault,
 }
 
 impl DropClass {
@@ -46,6 +49,36 @@ impl DropClass {
             DropClass::HeaderOnly => "ho",
             DropClass::Ack => "ack",
             DropClass::Buffer => "buffer",
+            DropClass::Fault => "fault",
+        }
+    }
+}
+
+/// Which injected fault a [`ProbeEvent::Fault`]/[`ProbeEvent::FaultCleared`]
+/// pair brackets. The variants mirror the fault plan's event vocabulary so
+/// a trace alone reconstructs the schedule that was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A cable went down (both directions) / came back up.
+    Link,
+    /// A cable's rate/latency degraded / was restored.
+    Degrade,
+    /// A whole switch failed (queues drained) / recovered.
+    Switch,
+    /// A stochastic loss model was installed / cleared on a cable.
+    LossModel,
+    /// A PFC PAUSE storm started / ended on a port.
+    PauseStorm,
+}
+
+impl FaultKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Link => "link",
+            FaultKind::Degrade => "degrade",
+            FaultKind::Switch => "switch",
+            FaultKind::LossModel => "loss_model",
+            FaultKind::PauseStorm => "pause_storm",
         }
     }
 }
@@ -81,6 +114,12 @@ pub enum ProbeEvent {
     Duplicate { node: u32, flow: u32 },
     /// A message was fully delivered in order (receiver-side completion).
     Delivery { node: u32, flow: u32, wr_id: u64, bytes: u64 },
+    /// An injected fault took effect at `node`/`port` (`port` is 0 for
+    /// whole-node faults such as a switch failure).
+    Fault { node: u32, port: u32, kind: FaultKind },
+    /// A previously injected fault cleared (link up, switch recovered,
+    /// loss model removed).
+    FaultCleared { node: u32, port: u32, kind: FaultKind },
 }
 
 /// Discriminant-only view of [`ProbeEvent`], for counting and filtering.
@@ -100,11 +139,13 @@ pub enum EventKind {
     HoReceived,
     Duplicate,
     Delivery,
+    Fault,
+    FaultCleared,
 }
 
 impl EventKind {
     /// Number of kinds (array-size constant for per-kind counters).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     pub const ALL: [EventKind; Self::COUNT] = [
         EventKind::Enqueue,
@@ -120,6 +161,8 @@ impl EventKind {
         EventKind::HoReceived,
         EventKind::Duplicate,
         EventKind::Delivery,
+        EventKind::Fault,
+        EventKind::FaultCleared,
     ];
 
     pub fn name(self) -> &'static str {
@@ -137,6 +180,8 @@ impl EventKind {
             EventKind::HoReceived => "ho_received",
             EventKind::Duplicate => "duplicate",
             EventKind::Delivery => "delivery",
+            EventKind::Fault => "fault",
+            EventKind::FaultCleared => "fault_cleared",
         }
     }
 }
@@ -157,6 +202,8 @@ impl ProbeEvent {
             ProbeEvent::HoReceived { .. } => EventKind::HoReceived,
             ProbeEvent::Duplicate { .. } => EventKind::Duplicate,
             ProbeEvent::Delivery { .. } => EventKind::Delivery,
+            ProbeEvent::Fault { .. } => EventKind::Fault,
+            ProbeEvent::FaultCleared { .. } => EventKind::FaultCleared,
         }
     }
 
@@ -197,6 +244,10 @@ impl ProbeEvent {
                 "{},\"flow\":{flow},\"wr_id\":{wr_id},\"bytes\":{bytes}}}",
                 head(node)
             ),
+            ProbeEvent::Fault { node, port, kind }
+            | ProbeEvent::FaultCleared { node, port, kind } => {
+                format!("{},\"port\":{port},\"kind\":\"{}\"}}", head(node), kind.name())
+            }
         }
     }
 }
@@ -340,6 +391,8 @@ mod tests {
             ProbeEvent::HoReceived { node: 0, flow: 2 },
             ProbeEvent::Duplicate { node: 0, flow: 2 },
             ProbeEvent::Delivery { node: 0, flow: 2, wr_id: 9, bytes: 1024 },
+            ProbeEvent::Fault { node: 0, port: 1, kind: FaultKind::Link },
+            ProbeEvent::FaultCleared { node: 0, port: 1, kind: FaultKind::Switch },
         ];
         assert_eq!(evs.len(), EventKind::COUNT);
         let mut c = CountingProbe::default();
@@ -367,6 +420,9 @@ mod tests {
             ProbeEvent::Drop { node: 1, port: 2, flow: 3, psn: 4, class: DropClass::Buffer },
             ProbeEvent::Delivery { node: 1, flow: 3, wr_id: 0, bytes: 1 << 20 },
             ProbeEvent::PfcPause { node: 9, port: 0 },
+            ProbeEvent::Drop { node: 1, port: 2, flow: 3, psn: 4, class: DropClass::Fault },
+            ProbeEvent::Fault { node: 4, port: 9, kind: FaultKind::LossModel },
+            ProbeEvent::FaultCleared { node: 4, port: 9, kind: FaultKind::PauseStorm },
         ];
         for e in evs {
             let line = e.to_jsonl(123_456);

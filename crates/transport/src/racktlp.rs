@@ -65,6 +65,10 @@ pub struct RackSender {
     retx_q: VecDeque<u32>,
     probe_gen: u64,
     rto_gen: u64,
+    rto_armed: bool,
+    /// Consecutive cumulative ACKs that failed to advance `snd_una` — the
+    /// signal a TLP probe elicits when the receiver is stuck on a hole.
+    dup_acks: u32,
     pace_armed: bool,
     uid: u64,
     stats: TransportStats,
@@ -85,6 +89,8 @@ impl RackSender {
             retx_q: VecDeque::new(),
             probe_gen: 0,
             rto_gen: 0,
+            rto_armed: false,
+            dup_acks: 0,
             pace_armed: false,
             uid: 0,
             stats: TransportStats::default(),
@@ -99,8 +105,26 @@ impl RackSender {
         self.probe_gen += 1;
         let pto = 2 * self.rtt.srtt_ns().max(self.rcfg.initial_rtt);
         ctx.timers.push((ctx.now + pto, tokens::PROBE | self.probe_gen));
+        self.ensure_rto(ctx);
+    }
+
+    /// Restarts the RTO clock. Only called on forward progress (cumulative
+    /// advance, an RTO round) — a TLP probe or duplicate ACK must never
+    /// push the fallback out (RFC 6298 §5.3 restarts on ACKs *of new
+    /// data*), or a probe→dup-ACK cycle shorter than the RTO would defer
+    /// it forever while the receiver's hole is never retransmitted.
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
         self.rto_gen += 1;
+        self.rto_armed = true;
         ctx.timers.push((ctx.now + self.rcfg.rto, tokens::RTO | self.rto_gen));
+    }
+
+    /// Arms the RTO only when none is pending, leaving a running clock
+    /// untouched.
+    fn ensure_rto(&mut self, ctx: &mut EndpointCtx) {
+        if !self.rto_armed {
+            self.arm_rto(ctx);
+        }
     }
 
     /// RACK loss detection, per the paper's description of the algorithm:
@@ -133,9 +157,10 @@ impl RackSender {
         }
     }
 
-    fn advance_cum(&mut self, epsn: u32, ctx: &mut EndpointCtx) {
+    /// Returns whether `snd_una` advanced.
+    fn advance_cum(&mut self, epsn: u32, ctx: &mut EndpointCtx) -> bool {
         if epsn <= self.snd_una {
-            return;
+            return false;
         }
         self.cc.on_ack(ctx.now, (epsn - self.snd_una) as u64 * self.cfg.mtu as u64);
         let covered: Vec<u32> = self.outstanding.range(..epsn).map(|(&p, _)| p).collect();
@@ -154,6 +179,14 @@ impl RackSender {
                 at: ctx.now,
             });
         }
+        // Forward progress: restart the fallback clock (or stop it when
+        // everything is acknowledged).
+        if self.snd_una < self.snd_nxt {
+            self.arm_rto(ctx);
+        } else {
+            self.rto_armed = false;
+        }
+        true
     }
 }
 
@@ -166,14 +199,34 @@ impl Endpoint for RackSender {
         let pkt = ctx.pool.take(pkt);
         match pkt.ext {
             PktExt::GbnAck { epsn } => {
-                self.advance_cum(epsn, ctx);
+                let advanced = self.advance_cum(epsn, ctx);
+                // A cumulative ACK that doesn't move is the receiver saying
+                // "still missing `epsn`" — the very ACK a TLP probe exists
+                // to elicit (RFC 8985 §TLP: the probe's dup-ACK converts a
+                // tail timeout into fast recovery). Two in a row mean the
+                // hole itself was lost: retransmit it directly instead of
+                // waiting out the RTO.
+                if advanced {
+                    self.dup_acks = 0;
+                } else if epsn == self.snd_una && epsn < self.snd_nxt {
+                    self.dup_acks += 1;
+                    if self.dup_acks >= 2 {
+                        self.dup_acks = 0;
+                        self.outstanding.remove(&epsn);
+                        if !self.retx_q.contains(&epsn) {
+                            self.retx_q.push_front(epsn);
+                        }
+                    }
+                }
                 self.detect_losses(ctx.now);
                 if !self.outstanding.is_empty() || self.has_pending() {
                     self.arm_probe(ctx);
                 }
             }
             PktExt::Sack { epsn, sacked_psn } => {
-                self.advance_cum(epsn, ctx);
+                if self.advance_cum(epsn, ctx) {
+                    self.dup_acks = 0;
+                }
                 self.on_delivered(sacked_psn, ctx);
                 self.detect_losses(ctx.now);
                 if !self.outstanding.is_empty() || self.has_pending() {
@@ -202,6 +255,7 @@ impl Endpoint for RackSender {
             }
             tokens::RTO => {
                 if tokens::generation(token) == self.rto_gen
+                    && self.rto_armed
                     && (!self.outstanding.is_empty() || self.snd_una < self.snd_nxt)
                 {
                     self.stats.timeouts += 1;
@@ -210,6 +264,9 @@ impl Endpoint for RackSender {
                         self.outstanding.remove(&p);
                         self.retx_q.push_back(p);
                     }
+                    // An expired round restarts its own clock; `arm_probe`
+                    // alone must not, or probes would starve the fallback.
+                    self.arm_rto(ctx);
                     self.arm_probe(ctx);
                 }
             }
@@ -428,5 +485,55 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 16, "all 16 outstanding packets requeued");
+    }
+
+    #[test]
+    fn dup_cum_acks_fast_retransmit_the_hole() {
+        // PSN 0 is lost; later arrivals make the receiver emit cumulative
+        // ACKs stuck at 0. Two of them must retransmit the hole directly.
+        let mut s = sender();
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        let mut now = 0;
+        while pull_owned(&mut s, &mut pool, now, &mut t, &mut c, &mut r).is_some() {
+            now += 82;
+        }
+        let dup = || ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 0 }, 0, 0);
+        deliver(&mut s, &mut pool, dup(), now + 10, &mut t, &mut c, &mut r);
+        assert!(
+            pull_owned(&mut s, &mut pool, now + 11, &mut t, &mut c, &mut r).is_none(),
+            "one dup-ACK could be reordering; no retransmit yet"
+        );
+        deliver(&mut s, &mut pool, dup(), now + 20, &mut t, &mut c, &mut r);
+        let p = pull_owned(&mut s, &mut pool, now + 21, &mut t, &mut c, &mut r).unwrap();
+        assert!(p.is_retx);
+        assert_eq!(p.psn(), 0, "the receiver's hole is resent, not the tail");
+        assert_eq!(s.stats().timeouts, 0, "no RTO was needed");
+    }
+
+    #[test]
+    fn probes_and_dup_acks_do_not_defer_the_rto() {
+        // The livelock this guards against: probe fires → resent tail is a
+        // duplicate → dup-ACK re-arms every timer → probe fires again …
+        // forever, with the RTO generation bumped each cycle so the
+        // fallback never runs. The RTO clock must survive any number of
+        // probe/dup-ACK rounds untouched.
+        let mut s = sender();
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        while pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).is_some() {}
+        let (rto_at, rto_token) =
+            t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        for i in 0..5u64 {
+            let at = 100 + i * 50;
+            let (_, probe) =
+                t.iter().rfind(|(_, tok)| tokens::kind(*tok) == tokens::PROBE).copied().unwrap();
+            s.on_timer(probe, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
+            pull_owned(&mut s, &mut pool, at + 1, &mut t, &mut c, &mut r);
+            let ack = ack_packet(&FlowCfg::receiver_of(&cfg()), PktExt::GbnAck { epsn: 0 }, 0, 0);
+            deliver(&mut s, &mut pool, ack, at + 2, &mut t, &mut c, &mut r);
+        }
+        s.on_timer(rto_token, &mut ctx(rto_at, &mut pool, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 1, "the original RTO token still fires");
     }
 }

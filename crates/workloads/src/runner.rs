@@ -69,11 +69,21 @@ pub struct RunOpts {
     pub rto: Nanos,
     /// DCP-RNIC configuration (coarse fallback timeout et al.).
     pub dcp: DcpConfig,
+    /// Message size flows are chunked into when posted. The default mirrors
+    /// [`dcp_core::config::MSG_CHUNK_BYTES`]; fault experiments use smaller
+    /// messages because whole-message fallback resends (DCP's coarse
+    /// timeout, go-back-N rewinds) price a message's worth of work per
+    /// unlucky loss.
+    pub chunk: u64,
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { rto: 200_000, dcp: DcpConfig::default() }
+        RunOpts {
+            rto: 200_000,
+            dcp: DcpConfig::default(),
+            chunk: dcp_core::config::MSG_CHUNK_BYTES,
+        }
     }
 }
 
@@ -157,8 +167,7 @@ pub struct FlowRecord {
 /// applications actually issue large transfers (and what keeps DCP's
 /// eMSN-based ACK stream flowing during a long flow). Returns the number of
 /// messages posted.
-fn post_chunked(sim: &mut Simulator, host: NodeId, flow: FlowId, bytes: u64) -> u64 {
-    let chunk = dcp_core::config::MSG_CHUNK_BYTES;
+fn post_chunked(sim: &mut Simulator, host: NodeId, flow: FlowId, bytes: u64, chunk: u64) -> u64 {
     let bytes = bytes.max(1);
     let n = bytes.div_ceil(chunk);
     let mut remaining = bytes;
@@ -218,7 +227,7 @@ pub fn run_flows_opts(
             let (tx, rx) = endpoint_pair_opts(kind, cc, flow_id, src, dst, opts);
             sim.install_endpoint(src, flow_id, tx);
             sim.install_endpoint(dst, flow_id, rx);
-            let n = post_chunked(sim, src, flow_id, f.bytes);
+            let n = post_chunked(sim, src, flow_id, f.bytes, opts.chunk);
             msgs_left.insert(ix as u32, n);
             next += 1;
         }
