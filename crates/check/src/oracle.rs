@@ -1,0 +1,248 @@
+//! The delivery oracle: exactly-once, correctly-sized completions.
+//!
+//! A transport can "pass" a lossy run while silently corrupting it — the
+//! paper's Finding 1 is precisely a completion signalled with a data packet
+//! missing. Stats counters cannot see that class of bug (a duplicate
+//! completion and a lost one cancel in any aggregate), so the oracle works
+//! at the *event* level: every [`ProbeEvent::MsgPosted`] submit must be
+//! answered by exactly one [`ProbeEvent::Delivery`] with the same byte
+//! count, and no `Delivery` may appear for a message never posted.
+//!
+//! Shared-handle pattern (like `dcp_faults::RecoveryTracker`): keep the
+//! [`DeliveryOracle`], install [`DeliveryOracle::probe`] on the simulator
+//! (inside a `Fanout` when composing with a flight recorder), and read
+//! verdicts after — or during — the run.
+//!
+//! Messages are keyed by `(flow, wr_id)`; harnesses guarantee flow ids are
+//! unique per sender/receiver pair, which makes the key global.
+
+use dcp_netsim::Nanos;
+use dcp_telemetry::{Probe, ProbeEvent};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Cap on retained violation strings; everything past it is counted but
+/// not rendered, so a systemically broken run cannot balloon memory.
+const MAX_DETAILED: usize = 64;
+
+#[derive(Debug, Default)]
+struct MsgState {
+    bytes: u64,
+    completions: u32,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    msgs: HashMap<(u32, u64), MsgState>,
+    posted: u64,
+    completed: u64,
+    violations: Vec<String>,
+    suppressed: u64,
+    last_delivery_at: Option<Nanos>,
+}
+
+impl State {
+    fn violate(&mut self, msg: String) {
+        if self.violations.len() < MAX_DETAILED {
+            self.violations.push(msg);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+}
+
+/// Shared-handle exactly-once delivery oracle.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryOracle {
+    state: Rc<RefCell<State>>,
+}
+
+impl DeliveryOracle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The probe half to install on the simulator.
+    pub fn probe(&self) -> Box<dyn Probe> {
+        Box::new(OracleProbe { state: Rc::clone(&self.state) })
+    }
+
+    /// Messages posted so far.
+    pub fn posted(&self) -> u64 {
+        self.state.borrow().posted
+    }
+
+    /// Messages that have completed exactly once so far.
+    pub fn completed(&self) -> u64 {
+        self.state.borrow().completed
+    }
+
+    /// Posted messages still lacking their completion — the "work
+    /// outstanding" input the liveness watchdog gates on.
+    pub fn outstanding(&self) -> u64 {
+        self.state.borrow().posted - self.state.borrow().completed
+    }
+
+    /// Virtual time of the most recent completion, if any.
+    pub fn last_delivery_at(&self) -> Option<Nanos> {
+        self.state.borrow().last_delivery_at
+    }
+
+    /// Violations observed so far (duplicates, wrong sizes, spurious
+    /// completions). Missing completions only show up in
+    /// [`DeliveryOracle::final_check`], since mid-run they are just
+    /// in-flight work.
+    pub fn violations(&self) -> Vec<String> {
+        self.state.borrow().violations.clone()
+    }
+
+    /// The end-of-run verdict, to be called at quiescence: every posted
+    /// message completed exactly once with matching bytes, nothing
+    /// spurious. `Err` carries every violation, newline-joined.
+    pub fn final_check(&self) -> Result<(), String> {
+        let mut s = self.state.borrow_mut();
+        let mut missing: Vec<&(u32, u64)> =
+            s.msgs.iter().filter(|(_, m)| m.completions == 0).map(|(k, _)| k).collect();
+        missing.sort_unstable();
+        let missing: Vec<String> = missing
+            .into_iter()
+            .map(|&(flow, wr_id)| {
+                format!("oracle: flow {flow} wr_id {wr_id} posted but never completed")
+            })
+            .collect();
+        for m in missing {
+            s.violate(m);
+        }
+        if s.violations.is_empty() {
+            return Ok(());
+        }
+        let mut out = s.violations.join("\n");
+        if s.suppressed > 0 {
+            out.push_str(&format!("\n... and {} more violations", s.suppressed));
+        }
+        Err(out)
+    }
+}
+
+struct OracleProbe {
+    state: Rc<RefCell<State>>,
+}
+
+impl Probe for OracleProbe {
+    fn record(&mut self, at: u64, ev: &ProbeEvent) {
+        match *ev {
+            ProbeEvent::MsgPosted { flow, wr_id, bytes, .. } => {
+                let mut s = self.state.borrow_mut();
+                s.posted += 1;
+                if s.msgs.insert((flow, wr_id), MsgState { bytes, completions: 0 }).is_some() {
+                    s.violate(format!(
+                        "oracle: flow {flow} wr_id {wr_id} posted twice — key reuse breaks \
+                         exactly-once accounting"
+                    ));
+                }
+            }
+            ProbeEvent::Delivery { flow, wr_id, bytes, node } => {
+                let mut s = self.state.borrow_mut();
+                s.last_delivery_at = Some(at);
+                let matched = s.msgs.get_mut(&(flow, wr_id)).map(|m| {
+                    m.completions += 1;
+                    (m.bytes, m.completions)
+                });
+                match matched {
+                    None => s.violate(format!(
+                        "oracle: node {node} completed flow {flow} wr_id {wr_id} \
+                         which was never posted"
+                    )),
+                    Some((want, n)) => {
+                        if n == 1 {
+                            s.completed += 1;
+                        } else {
+                            s.violate(format!(
+                                "oracle: flow {flow} wr_id {wr_id} completed {n} times \
+                                 (exactly-once violated)"
+                            ));
+                        }
+                        if bytes != want {
+                            s.violate(format!(
+                                "oracle: flow {flow} wr_id {wr_id} completed with {bytes} bytes, \
+                                 posted {want}"
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn dump(&self) -> Option<String> {
+        let s = self.state.borrow();
+        Some(format!(
+            "delivery oracle: {} posted, {} completed, {} violations ({} suppressed)",
+            s.posted,
+            s.completed,
+            s.violations.len(),
+            s.suppressed
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posted(flow: u32, wr_id: u64, bytes: u64) -> ProbeEvent {
+        ProbeEvent::MsgPosted { node: 0, flow, wr_id, bytes }
+    }
+
+    fn delivered(flow: u32, wr_id: u64, bytes: u64) -> ProbeEvent {
+        ProbeEvent::Delivery { node: 1, flow, wr_id, bytes }
+    }
+
+    #[test]
+    fn clean_post_deliver_passes() {
+        let o = DeliveryOracle::new();
+        let mut p = o.probe();
+        p.record(0, &posted(1, 0, 4096));
+        p.record(10, &delivered(1, 0, 4096));
+        assert_eq!(o.outstanding(), 0);
+        assert_eq!(o.final_check(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_completion_is_flagged() {
+        let o = DeliveryOracle::new();
+        let mut p = o.probe();
+        p.record(0, &posted(1, 0, 4096));
+        p.record(10, &delivered(1, 0, 4096));
+        p.record(20, &delivered(1, 0, 4096));
+        let err = o.final_check().unwrap_err();
+        assert!(err.contains("completed 2 times"), "{err}");
+    }
+
+    #[test]
+    fn wrong_size_and_spurious_are_flagged() {
+        let o = DeliveryOracle::new();
+        let mut p = o.probe();
+        p.record(0, &posted(1, 0, 4096));
+        p.record(10, &delivered(1, 0, 4000));
+        p.record(11, &delivered(2, 9, 64));
+        let err = o.final_check().unwrap_err();
+        assert!(err.contains("4000 bytes, posted 4096"), "{err}");
+        assert!(err.contains("never posted"), "{err}");
+    }
+
+    #[test]
+    fn missing_completion_fails_only_the_final_check() {
+        let o = DeliveryOracle::new();
+        let mut p = o.probe();
+        p.record(0, &posted(1, 0, 4096));
+        p.record(0, &posted(1, 1, 4096));
+        p.record(10, &delivered(1, 0, 4096));
+        assert!(o.violations().is_empty(), "in-flight work is not a violation");
+        assert_eq!(o.outstanding(), 1);
+        let err = o.final_check().unwrap_err();
+        assert!(err.contains("wr_id 1 posted but never completed"), "{err}");
+    }
+}

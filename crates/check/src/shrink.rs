@@ -1,0 +1,229 @@
+//! Failure-trace shrinking: delta-debug a tripping fault schedule down to a
+//! minimal replayable repro.
+//!
+//! When the oracle or the watchdog trips under a 40-event fault plan, the
+//! plan *is* the bug report — and almost all of it is noise. [`shrink_plan`]
+//! runs Zeller's ddmin over the plan's event list: it repeatedly re-executes
+//! the scenario (the caller-supplied `trips` closure) on subsets and
+//! complements, keeping the smallest event set that still trips.
+//! [`shrink_repro`] goes one step further and ablates the adversary's
+//! mechanisms (duplication, delay, reordering) one at a time, so the final
+//! [`Repro`] names only the misbehaviour that matters. `Repro::save` renders
+//! the whole thing — plan, profile, seeds — as the JSON artifact CI uploads
+//! on failure.
+//!
+//! Every candidate execution is a full deterministic run, so shrinking is
+//! exact: no flaky "sometimes reproduces" candidates, which is what lets
+//! ddmin's 1-minimality guarantee actually hold here.
+
+use crate::adversary::AdversaryProfile;
+use dcp_faults::{FaultPlan, TimedFault};
+use dcp_telemetry::Json;
+
+/// Minimal sub-plan (by ddmin over `plan.events`) that still makes `trips`
+/// return true. The caller should ensure the full plan trips; if it does
+/// not, the full plan is returned unchanged. `trips` runs a complete
+/// scenario per candidate — O(n²) runs worst case, n = event count.
+pub fn shrink_plan(plan: &FaultPlan, mut trips: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mk = |events: &[TimedFault]| FaultPlan { seed: plan.seed, events: events.to_vec() };
+    if !trips(plan) {
+        return plan.clone();
+    }
+    let mut cur = plan.events.clone();
+    // An empty plan tripping means the adversary alone reproduces it.
+    if trips(&mk(&[])) {
+        return mk(&[]);
+    }
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        // Try each chunk alone ("reduce to subset")...
+        for lo in (0..cur.len()).step_by(chunk) {
+            let cand = &cur[lo..(lo + chunk).min(cur.len())];
+            if trips(&mk(cand)) {
+                cur = cand.to_vec();
+                n = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+        // ... then each chunk removed ("reduce to complement").
+        if n < cur.len() {
+            for lo in (0..cur.len()).step_by(chunk) {
+                let mut cand = cur[..lo].to_vec();
+                cand.extend_from_slice(&cur[(lo + chunk).min(cur.len())..]);
+                if trips(&mk(&cand)) {
+                    cur = cand;
+                    n = (n - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (2 * n).min(cur.len());
+        }
+    }
+    // Final 1-minimality pass: no single remaining event is removable.
+    let mut i = 0;
+    while i < cur.len() && cur.len() > 1 {
+        let mut cand = cur.clone();
+        cand.remove(i);
+        if trips(&mk(&cand)) {
+            cur = cand;
+        } else {
+            i += 1;
+        }
+    }
+    mk(&cur)
+}
+
+/// A fully replayable failure repro: the (shrunken) fault plan plus the
+/// adversary configuration it tripped under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    pub plan: FaultPlan,
+    pub profile: AdversaryProfile,
+    pub adversary_seed: u64,
+}
+
+impl Repro {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("plan", self.plan.to_json())
+            .set("profile", self.profile.to_json())
+            .set("adversary_seed", self.adversary_seed)
+    }
+
+    pub fn from_json(j: &Json) -> Result<Repro, String> {
+        Ok(Repro {
+            plan: FaultPlan::from_json(j.get("plan").ok_or("repro: missing plan")?)?,
+            profile: AdversaryProfile::from_json(
+                j.get("profile").ok_or("repro: missing profile")?,
+            )?,
+            adversary_seed: j
+                .get("adversary_seed")
+                .and_then(Json::as_u64)
+                .ok_or("repro: missing adversary_seed")?,
+        })
+    }
+
+    /// The JSON artifact format (pretty, `load`able).
+    pub fn save(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    pub fn load(text: &str) -> Result<Repro, String> {
+        Repro::from_json(&Json::parse(text)?)
+    }
+}
+
+/// Shrinks both halves of a repro: ddmin over the plan's events, then
+/// ablation of each adversary mechanism (duplication, delay, reordering)
+/// that is not needed to keep `trips` true.
+pub fn shrink_repro(repro: &Repro, mut trips: impl FnMut(&Repro) -> bool) -> Repro {
+    let mut cur = repro.clone();
+    cur.plan = shrink_plan(&cur.plan, |p| {
+        trips(&Repro {
+            plan: p.clone(),
+            profile: cur.profile.clone(),
+            adversary_seed: cur.adversary_seed,
+        })
+    });
+    let ablations: [fn(&mut AdversaryProfile); 3] =
+        [|p| p.dup_prob = 0.0, |p| p.delay_prob = 0.0, |p| p.reorder_prob = 0.0];
+    for ablate in ablations {
+        let mut cand = cur.clone();
+        ablate(&mut cand.profile);
+        if cand.profile != cur.profile && trips(&cand) {
+            cur = cand;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_faults::FaultEvent;
+    use dcp_netsim::{NodeId, MS};
+
+    fn event(sw: u32) -> FaultEvent {
+        FaultEvent::LinkDown { sw: NodeId(sw), port: 0 }
+    }
+
+    fn plan_of(ids: &[u32]) -> FaultPlan {
+        let mut p = FaultPlan::new(9);
+        for (i, &id) in ids.iter().enumerate() {
+            p = p.at((i as u64 + 1) * MS, event(id));
+        }
+        p
+    }
+
+    fn ids(p: &FaultPlan) -> Vec<u32> {
+        p.events
+            .iter()
+            .map(|t| match t.event {
+                FaultEvent::LinkDown { sw, .. } => sw.0,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_event() {
+        let plan = plan_of(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut runs = 0;
+        let shrunk = shrink_plan(&plan, |p| {
+            runs += 1;
+            ids(p).contains(&5)
+        });
+        assert_eq!(ids(&shrunk), vec![5]);
+        assert!(runs < 64, "ddmin should not brute-force ({runs} runs)");
+    }
+
+    #[test]
+    fn shrinks_to_a_guilty_pair() {
+        let plan = plan_of(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let shrunk = shrink_plan(&plan, |p| {
+            let v = ids(p);
+            v.contains(&1) && v.contains(&6)
+        });
+        assert_eq!(ids(&shrunk), vec![1, 6]);
+    }
+
+    #[test]
+    fn adversary_only_failures_shrink_to_the_empty_plan() {
+        let plan = plan_of(&[0, 1, 2]);
+        let shrunk = shrink_plan(&plan, |_| true);
+        assert!(shrunk.events.is_empty());
+        assert_eq!(shrunk.seed, plan.seed);
+    }
+
+    #[test]
+    fn non_tripping_plan_is_returned_unchanged() {
+        let plan = plan_of(&[0, 1]);
+        assert_eq!(shrink_plan(&plan, |_| false), plan);
+    }
+
+    #[test]
+    fn repro_round_trips_and_ablates() {
+        let repro = Repro {
+            plan: plan_of(&[2, 4]),
+            profile: AdversaryProfile::reorder(),
+            adversary_seed: 77,
+        };
+        assert_eq!(Repro::load(&repro.save()).unwrap(), repro);
+        // Failure depends only on event 2 and not on the reordering.
+        let shrunk = shrink_repro(&repro, |r| ids(&r.plan).contains(&2));
+        assert_eq!(ids(&shrunk.plan), vec![2]);
+        assert_eq!(shrunk.profile.reorder_prob, 0.0);
+    }
+}

@@ -177,6 +177,13 @@ impl Endpoint for DcpReceiver {
                     Track::OldRound => {
                         self.stats.duplicates += 1;
                     }
+                    Track::DupInRound => {
+                        // Wire-duplicated copy of a current-round packet.
+                        // Counting it would let the message complete with a
+                        // real packet still missing (DESIGN.md Finding 6) —
+                        // reject, count, and wait for the genuine packet.
+                        self.stats.duplicates += 1;
+                    }
                     Track::TableFull => {
                         // Hardware back-pressures; the model drops and the
                         // sender's coarse fallback recovers.

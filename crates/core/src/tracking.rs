@@ -11,6 +11,19 @@
 //! equals counting distinct packets. The coarse-timeout fallback breaks
 //! exactly-once, and the `sRetryNo`/`rRetryNo` handshake restores it by
 //! restarting the count for the newest round.
+//!
+//! A fabric that *duplicates* packets (a flapping LAG member replaying a
+//! buffered frame) breaks the assumption a second way the handshake cannot
+//! see: two copies of the same current-round packet would count as two
+//! distinct packets and could raise `mcf` with a real packet still missing
+//! — a completion over a hole. The tracker therefore keeps a per-message
+//! *seen-index* set and reports the second copy as [`Track::DupInRound`]
+//! instead of counting it. The guard is pure defense: on a non-duplicating
+//! fabric it never fires (each PSN arrives at most once per round), so
+//! clean-run traces are identical with or without it. The honest cost —
+//! per-packet state, exactly what the counting design eliminates — is
+//! discussed in DESIGN.md (Findings): DCP's 2 B/message figure holds only
+//! on fabrics that may lose or reorder but never duplicate.
 
 /// Outcome of offering a packet to the tracker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,12 +35,16 @@ pub enum Track {
     Stale,
     /// The packet's retry round is older than the receiver's — ignored.
     OldRound,
+    /// A second copy of a packet already counted in the *current* round —
+    /// wire duplication. Counting it would risk completing the message with
+    /// another packet still missing, so the tracker rejects it.
+    DupInRound,
     /// Message table is full; packet cannot be tracked. Hardware would
     /// back-pressure here; the model drops (sender's fallback recovers).
     TableFull,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct MsgTrack {
     /// Packets counted in the current retry round.
     counter: u32,
@@ -45,11 +62,35 @@ struct MsgTrack {
     imm: u32,
     /// Receiver-side retry round (§4.5's rRetryNo).
     rretry: u8,
+    /// Packet indices counted this round, one bit each (lazily grown).
+    /// Defends the count against fabric duplication — see the module docs
+    /// for why this re-introduces per-packet state and what it costs.
+    seen: Vec<u64>,
 }
 
 impl MsgTrack {
     fn new() -> Self {
-        MsgTrack { counter: 0, expected: None, bytes: 0, mcf: false, cf: false, imm: 0, rretry: 0 }
+        MsgTrack {
+            counter: 0,
+            expected: None,
+            bytes: 0,
+            mcf: false,
+            cf: false,
+            imm: 0,
+            rretry: 0,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Marks `index` as seen this round; returns whether it already was.
+    fn test_and_set(&mut self, index: u32) -> bool {
+        let (word, bit) = ((index / 64) as usize, index % 64);
+        if self.seen.len() <= word {
+            self.seen.resize(word + 1, 0);
+        }
+        let already = self.seen[word] & (1 << bit) != 0;
+        self.seen[word] |= 1 << bit;
+        already
     }
 }
 
@@ -130,9 +171,14 @@ impl MsgTracker {
         if sretry > t.rretry {
             t.rretry = sretry;
             t.counter = 0;
+            t.seen.clear();
         } else if sretry < t.rretry {
             self.stale_pkts += 1;
             return Track::OldRound;
+        }
+        if t.test_and_set(index) {
+            self.stale_pkts += 1;
+            return Track::DupInRound;
         }
         t.counter += 1;
         if is_last {
@@ -166,6 +212,9 @@ impl MsgTracker {
     /// Bytes of tracker state per tracked message — the Table 3 accounting
     /// (14-bit counter + expected + flags packs into 2 B in hardware; the
     /// model reports the hardware figure, not Rust's in-memory layout).
+    /// The figure assumes a non-duplicating fabric: the duplicate guard's
+    /// seen-index bits (one per packet of a tracked message) come on top
+    /// wherever the fabric can replay frames — see the module docs.
     pub const HW_BYTES_PER_MSG: usize = 2;
 
     /// Current number of tracked (incomplete) messages.
@@ -249,6 +298,35 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].imm, 7);
         assert_eq!(done[0].bytes, 4096);
+    }
+
+    /// The corruption class Finding 1's `sRetryNo` decision defends
+    /// against, now for wire duplication: two copies of one current-round
+    /// packet must not complete a message that still has a hole.
+    #[test]
+    fn in_round_duplicate_cannot_complete_over_a_hole() {
+        let mut t = MsgTracker::new(8);
+        // 3-packet message; packet 1 is lost but packet 0 arrives twice.
+        assert_eq!(t.on_packet(0, 0, false, 0, 0, true, 0), Track::Counted);
+        assert_eq!(t.on_packet(0, 0, false, 0, 0, true, 0), Track::DupInRound);
+        assert_eq!(t.on_packet(0, 0, true, 2, 3072, true, 0), Track::Counted);
+        assert!(t.drain_completed().is_empty(), "a duplicate must not fill the hole");
+        assert_eq!(t.stale_pkts, 1);
+        // The real packet completes it.
+        assert_eq!(t.on_packet(0, 0, false, 1, 0, true, 0), Track::Counted);
+        assert_eq!(t.drain_completed().len(), 1);
+    }
+
+    /// A round bump clears the seen-set: the retransmitted round's copies
+    /// are fresh packets, not duplicates of the old round's.
+    #[test]
+    fn round_restart_clears_duplicate_guard() {
+        let mut t = MsgTracker::new(8);
+        t.on_packet(0, 0, false, 0, 0, true, 0);
+        assert_eq!(t.on_packet(0, 1, false, 0, 0, true, 0), Track::Counted);
+        assert_eq!(t.on_packet(0, 1, false, 0, 0, true, 0), Track::DupInRound);
+        t.on_packet(0, 1, true, 1, 2048, true, 0);
+        assert_eq!(t.drain_completed().len(), 1);
     }
 
     #[test]

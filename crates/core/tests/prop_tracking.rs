@@ -31,6 +31,32 @@ fn exactly_once_schedule() -> impl Strategy<Value = (Vec<u32>, Vec<Arrival>)> {
     })
 }
 
+/// Like [`exactly_once_schedule`], but adversarial: up to 8 arrivals are
+/// duplicated (wire duplication) and the whole sequence — originals and
+/// copies — is reshuffled, so duplicates can land before, between, or long
+/// after their originals.
+fn adversarial_schedule() -> impl Strategy<Value = (Vec<u32>, Vec<Arrival>)> {
+    proptest::collection::vec(1u32..=6, 1..=5).prop_flat_map(|sizes| {
+        let base: Vec<Arrival> = sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(msn, &n)| {
+                (0..n).map(move |index| Arrival { msn: msn as u32, index, round: 0 })
+            })
+            .collect();
+        let len = base.len() as u32;
+        (Just(sizes), Just(base), proptest::collection::vec(0u32..len, 0..=8)).prop_flat_map(
+            |(sizes, base, picks)| {
+                let mut all = base.clone();
+                for p in picks {
+                    all.push(base[p as usize % base.len()]);
+                }
+                (Just(sizes), Just(all).prop_shuffle())
+            },
+        )
+    })
+}
+
 proptest! {
     #[test]
     fn every_permutation_completes_all_messages_in_order((sizes, arrivals) in exactly_once_schedule()) {
@@ -44,6 +70,57 @@ proptest! {
             completed.extend(t.drain_completed());
         }
         // All messages completed, exactly once, in MSN order.
+        prop_assert_eq!(completed.len(), sizes.len());
+        for (i, c) in completed.iter().enumerate() {
+            prop_assert_eq!(c.msn, i as u32);
+            prop_assert_eq!(c.bytes, sizes[i] as u64 * 1024);
+        }
+        prop_assert_eq!(t.tracked(), 0);
+        prop_assert_eq!(t.emsn(), sizes.len() as u32);
+    }
+
+    // Under duplication + reordering the counting tracker must agree with
+    // a reference *set-based* tracker on every single verdict: a first
+    // copy counts, a second copy of a live message is `DupInRound`
+    // (DESIGN.md Finding 6 — counting it could complete the message with a
+    // packet missing), a copy of a retired message is `Stale` — and `eMSN`
+    // must advance monotonically, always equal to the reference's
+    // contiguously-completed prefix.
+    #[test]
+    fn adversarial_dup_reorder_matches_the_set_based_reference((sizes, arrivals) in adversarial_schedule()) {
+        use std::collections::HashSet;
+        let mut t = MsgTracker::new(64);
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut completed = Vec::new();
+        let mut prev_emsn = t.emsn();
+        let ref_emsn = |seen: &HashSet<(u32, u32)>| {
+            sizes
+                .iter()
+                .enumerate()
+                .take_while(|&(m, &n)| (0..n).all(|i| seen.contains(&(m as u32, i))))
+                .count() as u32
+        };
+        for a in &arrivals {
+            let pkts = sizes[a.msn as usize];
+            let is_last = a.index == pkts - 1;
+            let expect = if a.msn < ref_emsn(&seen) {
+                Track::Stale
+            } else if seen.contains(&(a.msn, a.index)) {
+                Track::DupInRound
+            } else {
+                Track::Counted
+            };
+            let r = t.on_packet(a.msn, a.round, is_last, a.index, pkts as u64 * 1024, true, 0);
+            prop_assert_eq!(r, expect);
+            seen.insert((a.msn, a.index));
+            completed.extend(t.drain_completed());
+            let e = t.emsn();
+            prop_assert!(e >= prev_emsn, "eMSN must be monotone ({} -> {})", prev_emsn, e);
+            prop_assert_eq!(e, ref_emsn(&seen));
+            prev_emsn = e;
+        }
+        // Every message still completes exactly once, in MSN order, with
+        // the right byte count — duplicates change nothing observable.
         prop_assert_eq!(completed.len(), sizes.len());
         for (i, c) in completed.iter().enumerate() {
             prop_assert_eq!(c.msn, i as u32);

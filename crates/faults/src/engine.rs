@@ -66,6 +66,15 @@ impl FaultEngine {
         sim.set_fault_plane(Box::new(engine));
     }
 
+    /// [`FaultEngine::install`] for untrusted (loaded) plans: validates the
+    /// plan against the simulator's topology first and arms nothing on
+    /// rejection, returning the descriptive error instead.
+    pub fn try_install(sim: &mut Simulator, plan: FaultPlan) -> Result<(), String> {
+        plan.validate(|sw| sim.switch_port_count(sw))?;
+        Self::install(sim, plan);
+        Ok(())
+    }
+
     fn link_mut(&mut self, key: (NodeId, PortId)) -> &mut LinkState {
         self.links.entry((key.0 .0, key.1)).or_default()
     }

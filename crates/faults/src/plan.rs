@@ -86,15 +86,32 @@ impl FaultEvent {
         let num = |key: &str| {
             j.get(key).and_then(Json::as_f64).ok_or_else(|| format!("fault event: missing {key}"))
         };
+        // Durations and delays are u64 nanoseconds on the wire; a negative
+        // JSON number would silently wrap through an `as` cast into a
+        // ~585-year timer, so reject it with the value in the message.
+        let nanos = |key: &str| match j.get(key) {
+            None => Err(format!("fault event: missing {key}")),
+            Some(v) => v.as_u64().map(|n| n as Nanos).ok_or_else(|| {
+                format!("fault event: {key} must be a non-negative integer, got {}", v.render())
+            }),
+        };
         match j.get("kind").and_then(Json::as_str) {
             Some("link_down") => Ok(FaultEvent::LinkDown { sw: sw()?, port: port()? }),
             Some("link_up") => Ok(FaultEvent::LinkUp { sw: sw()?, port: port()? }),
-            Some("link_degrade") => Ok(FaultEvent::LinkDegrade {
-                sw: sw()?,
-                port: port()?,
-                gbps: num("gbps")?,
-                delay: num("delay_ns")? as Nanos,
-            }),
+            Some("link_degrade") => {
+                let gbps = num("gbps")?;
+                if !(gbps > 0.0 && gbps.is_finite()) {
+                    return Err(format!(
+                        "fault event: link_degrade rate must be a positive finite Gbps, got {gbps}"
+                    ));
+                }
+                Ok(FaultEvent::LinkDegrade {
+                    sw: sw()?,
+                    port: port()?,
+                    gbps,
+                    delay: nanos("delay_ns")?,
+                })
+            }
             Some("switch_fail") => Ok(FaultEvent::SwitchFail { sw: sw()? }),
             Some("switch_recover") => Ok(FaultEvent::SwitchRecover { sw: sw()? }),
             Some("set_loss_model") => {
@@ -107,7 +124,7 @@ impl FaultEvent {
             Some("pause_storm") => Ok(FaultEvent::PauseStorm {
                 sw: sw()?,
                 port: port()?,
-                duration: num("duration_ns")? as Nanos,
+                duration: nanos("duration_ns")?,
             }),
             other => Err(format!("fault event: unknown kind {other:?}")),
         }
@@ -180,6 +197,77 @@ impl FaultPlan {
         Ok(FaultPlan { seed, events })
     }
 
+    /// Checks the plan against a topology extent and its own consistency.
+    /// `switch_ports` answers "how many ports does this switch have?"
+    /// (`None` for ids that aren't switches — hosts included, since every
+    /// cable is named from its switch side). Rejections carry descriptive
+    /// messages rather than panicking later inside the engine:
+    ///
+    /// - any event naming an unknown switch or an out-of-range port;
+    /// - overlapping `SwitchFail` windows (a second failure before the
+    ///   first one's recovery);
+    /// - `SwitchRecover` with no preceding failure.
+    ///
+    /// Evaluation walks the events in time order (stable for ties, like
+    /// [`FaultPlan::sorted`]), so an unsorted plan is judged by when its
+    /// events would actually fire.
+    pub fn validate(&self, switch_ports: impl Fn(NodeId) -> Option<usize>) -> Result<(), String> {
+        let known = |sw: NodeId| {
+            switch_ports(sw).ok_or_else(|| {
+                format!("fault plan: node {} is not a switch in this topology", sw.0)
+            })
+        };
+        let link = |sw: NodeId, port: PortId| {
+            let n = known(sw)?;
+            if port >= n {
+                return Err(format!(
+                    "fault plan: port {port} out of range for switch {} ({n} ports)",
+                    sw.0
+                ));
+            }
+            Ok(())
+        };
+        let mut order: Vec<&TimedFault> = self.events.iter().collect();
+        order.sort_by_key(|t| t.at);
+        let mut failed: Vec<u32> = Vec::new();
+        for t in order {
+            match t.event {
+                FaultEvent::LinkDown { sw, port }
+                | FaultEvent::LinkUp { sw, port }
+                | FaultEvent::LinkDegrade { sw, port, .. }
+                | FaultEvent::SetLossModel { sw, port, .. }
+                | FaultEvent::PauseStorm { sw, port, .. } => link(sw, port)?,
+                FaultEvent::SwitchFail { sw } => {
+                    known(sw)?;
+                    if failed.contains(&sw.0) {
+                        return Err(format!(
+                            "fault plan: overlapping SwitchFail windows for switch {} \
+                             (second failure at {} ns before the first recovered)",
+                            sw.0, t.at
+                        ));
+                    }
+                    failed.push(sw.0);
+                }
+                FaultEvent::SwitchRecover { sw } => {
+                    known(sw)?;
+                    match failed.iter().position(|&f| f == sw.0) {
+                        Some(i) => {
+                            failed.remove(i);
+                        }
+                        None => {
+                            return Err(format!(
+                                "fault plan: SwitchRecover for switch {} at {} ns \
+                                 without a preceding SwitchFail",
+                                sw.0, t.at
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Parses a plan from its JSON text.
     pub fn load(text: &str) -> Result<FaultPlan, String> {
         FaultPlan::from_json(&Json::parse(text)?)
@@ -200,8 +288,12 @@ impl TimedFault {
     }
 
     pub fn from_json(j: &Json) -> Result<TimedFault, String> {
-        let at =
-            j.get("at_ns").and_then(Json::as_u64).ok_or("timed fault: missing at_ns")? as Nanos;
+        let at = match j.get("at_ns") {
+            None => return Err("timed fault: missing at_ns".to_string()),
+            Some(v) => v.as_u64().ok_or_else(|| {
+                format!("timed fault: at_ns must be a non-negative integer, got {}", v.render())
+            })? as Nanos,
+        };
         Ok(TimedFault { at, event: FaultEvent::from_json(j)? })
     }
 }
@@ -252,5 +344,105 @@ mod tests {
             r#"{"seed": 1, "events": [{"at_ns": 5, "kind": "warp_core_breach"}]}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn load_rejects_negative_event_time() {
+        let err = FaultPlan::load(
+            r#"{"seed": 1, "events": [{"at_ns": -5, "kind": "link_down", "sw": 0, "port": 1}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("at_ns") && err.contains("-5"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_negative_durations() {
+        let err = FaultPlan::load(
+            r#"{"seed": 1, "events": [{"at_ns": 5, "kind": "pause_storm", "sw": 0, "port": 1,
+                "duration_ns": -100}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("duration_ns") && err.contains("-100"), "{err}");
+        let err = FaultPlan::load(
+            r#"{"seed": 1, "events": [{"at_ns": 5, "kind": "link_degrade", "sw": 0, "port": 1,
+                "gbps": 10.0, "delay_ns": -1}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("delay_ns"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_non_positive_degrade_rate() {
+        for gbps in ["0.0", "-40.0"] {
+            let err = FaultPlan::load(&format!(
+                r#"{{"seed": 1, "events": [{{"at_ns": 5, "kind": "link_degrade", "sw": 0,
+                    "port": 1, "gbps": {gbps}, "delay_ns": 100}}]}}"#,
+            ))
+            .unwrap_err();
+            assert!(err.contains("positive finite Gbps"), "{err}");
+        }
+    }
+
+    /// Two switches (ids 0 and 1, 4 ports each) for the topology checks.
+    fn two_switches(sw: NodeId) -> Option<usize> {
+        (sw.0 < 2).then_some(4)
+    }
+
+    #[test]
+    fn validate_rejects_unknown_switch() {
+        let plan = FaultPlan::new(1).at(MS, FaultEvent::LinkDown { sw: NodeId(7), port: 0 });
+        let err = plan.validate(two_switches).unwrap_err();
+        assert!(err.contains("node 7 is not a switch"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_port() {
+        let plan = FaultPlan::new(1).at(MS, FaultEvent::LinkUp { sw: NodeId(1), port: 9 });
+        let err = plan.validate(two_switches).unwrap_err();
+        assert!(err.contains("port 9 out of range for switch 1 (4 ports)"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_switch_fail_windows() {
+        let plan = FaultPlan::new(1)
+            .at(MS, FaultEvent::SwitchFail { sw: NodeId(0) })
+            .at(3 * MS, FaultEvent::SwitchFail { sw: NodeId(0) })
+            .at(4 * MS, FaultEvent::SwitchRecover { sw: NodeId(0) });
+        let err = plan.validate(two_switches).unwrap_err();
+        assert!(err.contains("overlapping SwitchFail windows for switch 0"), "{err}");
+        // Disjoint windows on the same switch are fine, as are concurrent
+        // windows on different switches.
+        let ok = FaultPlan::new(1)
+            .at(MS, FaultEvent::SwitchFail { sw: NodeId(0) })
+            .at(2 * MS, FaultEvent::SwitchFail { sw: NodeId(1) })
+            .at(3 * MS, FaultEvent::SwitchRecover { sw: NodeId(0) })
+            .at(4 * MS, FaultEvent::SwitchFail { sw: NodeId(0) })
+            .at(5 * MS, FaultEvent::SwitchRecover { sw: NodeId(0) })
+            .at(6 * MS, FaultEvent::SwitchRecover { sw: NodeId(1) });
+        assert_eq!(ok.validate(two_switches), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_recover_without_fail() {
+        let plan = FaultPlan::new(1).at(MS, FaultEvent::SwitchRecover { sw: NodeId(1) });
+        let err = plan.validate(two_switches).unwrap_err();
+        assert!(err.contains("without a preceding SwitchFail"), "{err}");
+    }
+
+    #[test]
+    fn validate_judges_events_in_time_order() {
+        // Recover appended before Fail in plan order, but firing after it in
+        // time — a valid window.
+        let plan = FaultPlan::new(1)
+            .at(2 * MS, FaultEvent::SwitchRecover { sw: NodeId(0) })
+            .at(MS, FaultEvent::SwitchFail { sw: NodeId(0) });
+        assert_eq!(plan.validate(two_switches), Ok(()));
+    }
+
+    #[test]
+    fn validate_accepts_the_sample_plan() {
+        // The round-trip sample uses switches 8..=10 with wide fan-out.
+        let ports = |sw: NodeId| (8..=10).contains(&sw.0).then_some(8);
+        assert_eq!(sample_plan().validate(ports), Ok(()));
     }
 }

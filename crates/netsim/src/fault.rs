@@ -37,6 +37,21 @@ pub enum FaultVerdict {
     /// applied to wire loss). Everywhere else — hosts, non-trimming
     /// switches, non-DCP packets — corruption degenerates to [`Drop`].
     Corrupt,
+    /// The packet arrives *and* a duplicate copy arrives `after` ns later —
+    /// the wire-duplication case (e.g. a flapping LAG member replaying a
+    /// buffered frame). The simulator clones the packet, books the extra
+    /// copy into `NetStats` so conservation stays strict, and delivers both;
+    /// neither copy is offered to the plane again.
+    Duplicate { after: Nanos },
+    /// The packet is held on the wire for `by` extra ns before arriving —
+    /// jitter. Later packets on the cable may legally overtake it. The
+    /// re-scheduled arrival is not offered to the plane again.
+    Delay { by: Nanos },
+    /// The packet is stepped over by its successors: held for `by` ns,
+    /// chosen adversarially rather than as jitter. Mechanically identical to
+    /// [`FaultVerdict::Delay`]; the separate variant keeps adversary
+    /// decisions (and shrunken repros) self-describing.
+    Reorder { by: Nanos },
 }
 
 /// A fault-injection plane installed on the [`Simulator`].

@@ -21,7 +21,7 @@ use dcp_rdma::qp::WorkReqOp;
 use dcp_telemetry::{DropClass, Probe, ProbeEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 /// Everything that can happen in the fabric.
 ///
@@ -112,6 +112,12 @@ pub struct Simulator {
     /// wire*, before any switch sees the packet, so they are booked here
     /// rather than against a switch and merged in [`Simulator::net_stats`].
     fault_stats: NetStats,
+    /// Handles re-scheduled by a `Delay`/`Reorder`/`Duplicate` verdict.
+    /// Their (re-)arrival bypasses the fault plane — a ruling applies once
+    /// per wire traversal, so a delayed packet cannot be delayed again and
+    /// a duplicate cannot breed. Entries are removed on arrival; the set is
+    /// never iterated, so it cannot perturb determinism.
+    fault_immune: HashSet<PktRef>,
 }
 
 impl Simulator {
@@ -129,6 +135,7 @@ impl Simulator {
             probe: None,
             fault_plane: None,
             fault_stats: NetStats::default(),
+            fault_immune: HashSet::new(),
         }
     }
 
@@ -268,6 +275,12 @@ impl Simulator {
 
     /// Posts a Work Request on `flow`'s sender endpoint and kicks the NIC.
     pub fn post(&mut self, host: NodeId, flow: FlowId, wr_id: u64, op: WorkReqOp, len: u64) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.record(
+                self.now,
+                &ProbeEvent::MsgPosted { node: host.0, flow: flow.0, wr_id, bytes: len },
+            );
+        }
         self.host_mut(host).post(flow, wr_id, op, len);
         self.kick(host);
     }
@@ -314,6 +327,11 @@ impl Simulator {
     /// when the packet was consumed (dropped or corrupted) and must not be
     /// delivered to the node.
     fn fault_intercept(&mut self, node: NodeId, port: PortId, pkt: PktRef) -> bool {
+        // A handle re-scheduled by an earlier Delay/Reorder/Duplicate
+        // verdict arrives exactly once more, without a second ruling.
+        if self.fault_immune.remove(&pkt) {
+            return false;
+        }
         let verdict = match self.fault_plane.as_mut() {
             Some(plane) => plane.on_arrival(self.now, node, port, &self.pool[pkt]),
             None => FaultVerdict::Deliver,
@@ -322,6 +340,28 @@ impl Simulator {
             FaultVerdict::Deliver => false,
             FaultVerdict::Drop => {
                 self.fault_discard(node, port, pkt);
+                true
+            }
+            FaultVerdict::Duplicate { after } => {
+                // The original is delivered now; an extra copy (fresh pool
+                // slot, immune to further rulings) arrives `after` ns later.
+                // The copy entered the fabric without a sender transmission,
+                // so it is booked on the supply side of conservation.
+                let copy = self.pool.insert(self.pool[pkt].clone());
+                match self.pool[copy].dcp_tag() {
+                    DcpTag::HeaderOnly => self.fault_stats.dup_ho_injected += 1,
+                    _ if self.pool[copy].is_data() => self.fault_stats.dup_data_injected += 1,
+                    _ => {} // ACK-class copies sit outside the identities.
+                }
+                self.fault_immune.insert(copy);
+                self.schedule(self.now + after, Event::PacketArrive { node, port, pkt: copy });
+                false
+            }
+            FaultVerdict::Delay { by } | FaultVerdict::Reorder { by } => {
+                // Hold the packet on the wire; same-cable successors may
+                // overtake it through the (time, seq) ordering.
+                self.fault_immune.insert(pkt);
+                self.schedule(self.now + by, Event::PacketArrive { node, port, pkt });
                 true
             }
             FaultVerdict::Corrupt => {
@@ -565,6 +605,16 @@ impl Simulator {
         self.host(host).endpoint(flow).map(|e| e.is_done()).unwrap_or(true)
     }
 
+    /// Port count of `id` when it names a switch, `None` for hosts and
+    /// out-of-range ids — the non-panicking topology query fault-plan
+    /// validation runs against untrusted (loaded) plans.
+    pub fn switch_port_count(&self, id: NodeId) -> Option<usize> {
+        match self.nodes.get(id.0 as usize) {
+            Some(Node::Switch(s)) => Some(s.ports.len()),
+            _ => None,
+        }
+    }
+
     // --- Topology-fault mechanisms (driven by an installed `FaultPlane`) ---
 
     /// The two unidirectional links of the full-duplex cable on `sw`'s
@@ -653,6 +703,28 @@ impl Simulator {
         for p in 0..s.ports.len() {
             s.set_port_up(p, true);
         }
+    }
+
+    /// The fabric's PFC pause-dependency edges, one `(blocked, blocker)`
+    /// pair per asserted pause: switch `s` holding ingress `p` over xoff
+    /// has PAUSEd its upstream peer `u`, so `u`'s egress toward `s` cannot
+    /// drain until `s` does — `u` waits on `s`. A cycle in this graph is
+    /// the classic PFC deadlock (every switch in the cycle waits on the
+    /// next); the `dcp-check` watchdog runs cycle detection over it.
+    /// Edges are emitted in node/port order, so the export is
+    /// deterministic.
+    pub fn pause_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        for n in &self.nodes {
+            if let Node::Switch(s) = n {
+                for p in s.paused_ingress_ports() {
+                    if let Some((u, _)) = s.ports[p].peer {
+                        edges.push((u, s.id));
+                    }
+                }
+            }
+        }
+        edges
     }
 
     /// Gives `sw`'s egress `port` a transmission opportunity now (used

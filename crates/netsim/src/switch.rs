@@ -715,4 +715,12 @@ impl Switch {
     pub fn buffer_used(&self) -> usize {
         self.shared_used
     }
+
+    /// Ingress ports whose accounting is over xoff — the ports on which
+    /// this switch is currently PAUSING its upstream peer. Feeds the
+    /// simulator's pause-dependency-graph export (PFC deadlock detection);
+    /// emitted in port order so consumers stay deterministic.
+    pub fn paused_ingress_ports(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.ingress_paused.iter().enumerate().filter(|&(_, &p)| p).map(|(i, _)| i)
+    }
 }

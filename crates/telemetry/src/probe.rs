@@ -112,6 +112,9 @@ pub enum ProbeEvent {
     HoReceived { node: u32, flow: u32 },
     /// A receiver observed a duplicate data packet (spurious retx).
     Duplicate { node: u32, flow: u32 },
+    /// A work request was posted at the sender (submit-side twin of
+    /// [`ProbeEvent::Delivery`]; the pair is what a delivery oracle checks).
+    MsgPosted { node: u32, flow: u32, wr_id: u64, bytes: u64 },
     /// A message was fully delivered in order (receiver-side completion).
     Delivery { node: u32, flow: u32, wr_id: u64, bytes: u64 },
     /// An injected fault took effect at `node`/`port` (`port` is 0 for
@@ -138,6 +141,7 @@ pub enum EventKind {
     Timeout,
     HoReceived,
     Duplicate,
+    MsgPosted,
     Delivery,
     Fault,
     FaultCleared,
@@ -145,7 +149,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Number of kinds (array-size constant for per-kind counters).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     pub const ALL: [EventKind; Self::COUNT] = [
         EventKind::Enqueue,
@@ -160,6 +164,7 @@ impl EventKind {
         EventKind::Timeout,
         EventKind::HoReceived,
         EventKind::Duplicate,
+        EventKind::MsgPosted,
         EventKind::Delivery,
         EventKind::Fault,
         EventKind::FaultCleared,
@@ -179,6 +184,7 @@ impl EventKind {
             EventKind::Timeout => "timeout",
             EventKind::HoReceived => "ho_received",
             EventKind::Duplicate => "duplicate",
+            EventKind::MsgPosted => "msg_posted",
             EventKind::Delivery => "delivery",
             EventKind::Fault => "fault",
             EventKind::FaultCleared => "fault_cleared",
@@ -201,6 +207,7 @@ impl ProbeEvent {
             ProbeEvent::Timeout { .. } => EventKind::Timeout,
             ProbeEvent::HoReceived { .. } => EventKind::HoReceived,
             ProbeEvent::Duplicate { .. } => EventKind::Duplicate,
+            ProbeEvent::MsgPosted { .. } => EventKind::MsgPosted,
             ProbeEvent::Delivery { .. } => EventKind::Delivery,
             ProbeEvent::Fault { .. } => EventKind::Fault,
             ProbeEvent::FaultCleared { .. } => EventKind::FaultCleared,
@@ -240,7 +247,8 @@ impl ProbeEvent {
             | ProbeEvent::Duplicate { node, flow } => {
                 format!("{},\"flow\":{flow}}}", head(node))
             }
-            ProbeEvent::Delivery { node, flow, wr_id, bytes } => format!(
+            ProbeEvent::MsgPosted { node, flow, wr_id, bytes }
+            | ProbeEvent::Delivery { node, flow, wr_id, bytes } => format!(
                 "{},\"flow\":{flow},\"wr_id\":{wr_id},\"bytes\":{bytes}}}",
                 head(node)
             ),
@@ -390,6 +398,7 @@ mod tests {
             ProbeEvent::Timeout { node: 0, flow: 2 },
             ProbeEvent::HoReceived { node: 0, flow: 2 },
             ProbeEvent::Duplicate { node: 0, flow: 2 },
+            ProbeEvent::MsgPosted { node: 0, flow: 2, wr_id: 9, bytes: 1024 },
             ProbeEvent::Delivery { node: 0, flow: 2, wr_id: 9, bytes: 1024 },
             ProbeEvent::Fault { node: 0, port: 1, kind: FaultKind::Link },
             ProbeEvent::FaultCleared { node: 0, port: 1, kind: FaultKind::Switch },
@@ -418,6 +427,7 @@ mod tests {
                 bytes: 1098,
             },
             ProbeEvent::Drop { node: 1, port: 2, flow: 3, psn: 4, class: DropClass::Buffer },
+            ProbeEvent::MsgPosted { node: 1, flow: 3, wr_id: 0, bytes: 1 << 20 },
             ProbeEvent::Delivery { node: 1, flow: 3, wr_id: 0, bytes: 1 << 20 },
             ProbeEvent::PfcPause { node: 9, port: 0 },
             ProbeEvent::Drop { node: 1, port: 2, flow: 3, psn: 4, class: DropClass::Fault },

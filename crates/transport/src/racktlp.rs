@@ -33,11 +33,25 @@ pub struct RackConfig {
     /// Reordering window as a multiple of SRTT (1.0 per the paper's
     /// characterization of RACK's tolerance).
     pub reo_wnd_rtts: f64,
+    /// Re-enables the pre-fix RTO discipline for regression testing ONLY:
+    /// every ACK and every TLP probe restarts the full RTO, and the
+    /// dup-ACK fast retransmit is disabled — the exact combination whose
+    /// probe→dup-ACK cycle defers the fallback forever while the
+    /// receiver's hole is never retransmitted (DESIGN.md Finding 5). The
+    /// liveness-watchdog regression test builds a sender with this flag to
+    /// prove the watchdog flags the livelock; nothing else may set it.
+    #[doc(hidden)]
+    pub broken_rto_restart: bool,
 }
 
 impl Default for RackConfig {
     fn default() -> Self {
-        RackConfig { rto: 400 * US, initial_rtt: 10 * US, reo_wnd_rtts: 1.0 }
+        RackConfig {
+            rto: 400 * US,
+            initial_rtt: 10 * US,
+            reo_wnd_rtts: 1.0,
+            broken_rto_restart: false,
+        }
     }
 }
 
@@ -120,9 +134,10 @@ impl RackSender {
     }
 
     /// Arms the RTO only when none is pending, leaving a running clock
-    /// untouched.
+    /// untouched. (The broken regression shim restarts it unconditionally —
+    /// the pre-fix behaviour that lets probes defer the fallback forever.)
     fn ensure_rto(&mut self, ctx: &mut EndpointCtx) {
-        if !self.rto_armed {
+        if self.rcfg.broken_rto_restart || !self.rto_armed {
             self.arm_rto(ctx);
         }
     }
@@ -208,7 +223,10 @@ impl Endpoint for RackSender {
                 // waiting out the RTO.
                 if advanced {
                     self.dup_acks = 0;
-                } else if epsn == self.snd_una && epsn < self.snd_nxt {
+                } else if !self.rcfg.broken_rto_restart
+                    && epsn == self.snd_una
+                    && epsn < self.snd_nxt
+                {
                     self.dup_acks += 1;
                     if self.dup_acks >= 2 {
                         self.dup_acks = 0;
