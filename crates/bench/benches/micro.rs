@@ -147,6 +147,35 @@ fn bench_equeue(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         );
     });
+    // Steady-state churn at three pending depths: pop one, insert one a
+    // fixed horizon ahead. The >20k depths are the incast regime the
+    // adaptive bucket width exists for — cost per op must stay flat as
+    // pending grows (non-super-linear), not degrade into deep-heap pops.
+    for pending in [2_000u64, 20_000, 80_000] {
+        g.bench_with_input(BenchmarkId::new("churn_steady", pending), &pending, |b, &pending| {
+            b.iter_batched(
+                || {
+                    let mut q = EventQueue::<u64>::new();
+                    // ~100 entries/µs regardless of depth: depth scales the
+                    // occupied span, density stays incast-like.
+                    let span = pending * 10;
+                    for i in 0..pending {
+                        q.insert((i * 7_919) % span, i, i);
+                    }
+                    (q, pending, span)
+                },
+                |(mut q, mut seq, span)| {
+                    for _ in 0..N {
+                        let (at, ..) = q.pop().unwrap();
+                        seq += 1;
+                        q.insert(at + span, seq, seq);
+                    }
+                    q
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
     g.bench_function("step_1k_mixed", |b| {
         b.iter_batched(
             || {

@@ -1,17 +1,21 @@
 //! `perf_events` — end-to-end event-engine throughput measurement.
 //!
-//! Runs fixed scenarios (a 16-to-1 incast, a quick WebSearch CLOS sweep
-//! and a Fig. 14-shaped 256-host collective run), reports events/second,
-//! wall time and peak pending-event depth,
+//! Runs fixed scenarios (a 16-to-1 incast, a quick WebSearch CLOS sweep, a
+//! Fig. 14-shaped 256-host collective run, and 1024/4096-host three-tier
+//! CLOS runs in both serial and 8-shard engine configurations), reports
+//! events/second, wall time and peak pending-event depth,
 //! and writes the numbers to `BENCH_netsim.json` (override the path with
 //! `DCP_BENCH_JSON`). The scenarios are deterministic; only the wall-clock
 //! numbers vary between machines.
+//!
+//! `--quick` runs a single scaled-down 1024-host smoke (honoring
+//! `DCP_SHARDS`/`DCP_THREADS`) and skips the JSON export — the CI mode.
 
 use dcp_bench::{allocations_now, build_clos, Scale};
 use dcp_core::dcp_switch_config;
 use dcp_netsim::packet::FlowId;
 use dcp_netsim::time::{MS, SEC, US};
-use dcp_netsim::{topology, LoadBalance, Simulator};
+use dcp_netsim::{topology, LoadBalance, Simulator, Topology};
 use dcp_rdma::qp::WorkReqOp;
 use dcp_workloads::{
     endpoint_pair, poisson_flows, run_collective, run_flows, CcKind, Collective, Group, SizeDist,
@@ -194,7 +198,143 @@ fn fig14_clos_256() -> Measurement {
     }
 }
 
+/// The 1024-host three-tier CLOS: 8 pods × (4 aggs, 8 leaves × 16 hosts),
+/// 8 cores. 100 G host links, 400 G fabric links, 1 µs hops.
+fn clos_1024_topo(sim: &mut Simulator) -> Topology {
+    let cfg = dcp_switch_config(LoadBalance::AdaptiveRouting, 24);
+    topology::clos3(sim, cfg, 8, 4, 8, 16, 8, 100.0, 400.0, US, US)
+}
+
+/// Fig. 14-shaped collective at 1024 hosts: 16 RingAllReduce groups whose
+/// members stride 64 hosts apart, so every ring hop crosses pods through
+/// the core tier. `shards = 1` runs the serial engine; `shards > 1`
+/// partitions the fabric (workers come from `DCP_THREADS`).
+fn fig14_clos_1024(name: &'static str, shards: usize, total_bytes: u64) -> Measurement {
+    let n_hosts = 1024usize;
+    let (n_groups, group_size) = (16usize, 16usize);
+    let mut sim = Simulator::new(17);
+    sim.disable_auto_partition();
+    let topo = clos_1024_topo(&mut sim);
+    if shards > 1 {
+        assert!(sim.partition(&topo, shards), "1024-host clos3 must partition");
+        assert_eq!(sim.shard_count(), shards);
+    }
+    let groups: Vec<Group> = (0..n_groups)
+        .map(|g| Group {
+            members: (0..group_size).map(|m| (g + m * 64) % n_hosts).collect(),
+            total_bytes,
+        })
+        .collect();
+    let t0 = Instant::now();
+    let a0 = allocations_now();
+    let res = run_collective(
+        &mut sim,
+        &topo,
+        TransportKind::Dcp,
+        CcKind::Dcqcn { gbps: 100.0 },
+        &groups,
+        Collective::RingAllReduce,
+        60 * SEC,
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(res.len(), n_groups);
+    assert!(res.iter().all(|r| r.jct > 0), "every group must finish");
+    Measurement {
+        name,
+        events: sim.events_processed(),
+        wall_s,
+        peak_pending: sim.peak_pending_events(),
+        sim_ns: sim.now(),
+        allocs: allocations_now() - a0,
+        steady_allocs_per_event: None,
+    }
+}
+
+/// 4096-host three-tier CLOS (16 pods × (4 aggs, 16 leaves × 16 hosts),
+/// 16 cores) running a full cross-pod permutation: every host streams
+/// 512 KB to the host half the fabric away, all posted upfront, then the
+/// engine runs to quiescence and the strict conservation identities are
+/// checked — the scale point the sharded engine exists for.
+fn clos_4096(name: &'static str, shards: usize) -> Measurement {
+    let n_hosts = 4096usize;
+    let mut sim = Simulator::new(19);
+    sim.disable_auto_partition();
+    let cfg = dcp_switch_config(LoadBalance::AdaptiveRouting, 32);
+    let topo = topology::clos3(&mut sim, cfg, 16, 4, 16, 16, 16, 100.0, 400.0, US, US);
+    assert_eq!(topo.hosts.len(), n_hosts);
+    if shards > 1 {
+        assert!(sim.partition(&topo, shards), "4096-host clos3 must partition");
+    }
+    for i in 0..n_hosts {
+        let flow = FlowId(i as u32 + 1);
+        let (src, dst) = (topo.hosts[i], topo.hosts[(i + n_hosts / 2) % n_hosts]);
+        let (tx, rx) =
+            endpoint_pair(TransportKind::Dcp, CcKind::Dcqcn { gbps: 100.0 }, flow, src, dst);
+        sim.install_endpoint(src, flow, tx);
+        sim.install_endpoint(dst, flow, rx);
+        sim.post(src, flow, 0, WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 }, 512 << 10);
+    }
+    let t0 = Instant::now();
+    let a0 = allocations_now();
+    assert!(sim.run_to_quiescence(60 * SEC), "clos_4096 must drain");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let c = sim.check_conservation(true);
+    assert!(c.is_ok(), "clos_4096 conservation violated: {:?}", c.violations);
+    Measurement {
+        name,
+        events: sim.events_processed(),
+        wall_s,
+        peak_pending: sim.peak_pending_events(),
+        sim_ns: sim.now(),
+        allocs: allocations_now() - a0,
+        steady_allocs_per_event: None,
+    }
+}
+
+/// `--quick`: one scaled-down 1024-host collective honoring `DCP_SHARDS`
+/// (via the builder's auto-partition) — the CI smoke that the sharded
+/// engine builds, runs, finishes and conserves at three-tier scale.
+fn quick_smoke() {
+    let n_hosts = 1024usize;
+    let mut sim = Simulator::new(17);
+    let topo = clos_1024_topo(&mut sim);
+    println!(
+        "quick smoke: 1024-host clos3, {} shard(s), lookahead {} ns",
+        sim.shard_count(),
+        if sim.shard_count() > 1 { sim.lookahead_ns() } else { 0 },
+    );
+    let groups: Vec<Group> = (0..8usize)
+        .map(|g| Group {
+            members: (0..8usize).map(|m| (g + m * 64) % n_hosts).collect(),
+            total_bytes: 512 << 10,
+        })
+        .collect();
+    let t0 = Instant::now();
+    let res = run_collective(
+        &mut sim,
+        &topo,
+        TransportKind::Dcp,
+        CcKind::Dcqcn { gbps: 100.0 },
+        &groups,
+        Collective::RingAllReduce,
+        60 * SEC,
+    );
+    assert!(res.iter().all(|r| r.jct > 0), "every group must finish");
+    let c = sim.check_conservation(false);
+    assert!(c.is_ok(), "quick smoke conservation violated: {:?}", c.violations);
+    println!(
+        "quick smoke ok: {} events in {:.3}s ({:.0} ev/s)",
+        sim.events_processed(),
+        t0.elapsed().as_secs_f64(),
+        sim.events_processed() as f64 / t0.elapsed().as_secs_f64(),
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_smoke();
+        return;
+    }
     println!("perf_events — event-engine throughput");
     println!(
         "{:<18}{:>14}{:>12}{:>16}{:>14}",
@@ -209,6 +349,10 @@ fn main() {
         incast("incast_telemetry", Some(Box::new(dcp_telemetry::CountingProbe::default()))),
         websearch_quick(),
         fig14_clos_256(),
+        fig14_clos_1024("fig14_clos_1024", 1, 8 << 20),
+        fig14_clos_1024("fig14_clos_1024_sh8", 8, 8 << 20),
+        clos_4096("clos_4096", 1),
+        clos_4096("clos_4096_sh8", 8),
     ];
     for m in &runs {
         println!(

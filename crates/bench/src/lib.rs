@@ -188,7 +188,7 @@ pub fn stream_goodput(
     let mut done = 0;
     let mut last = 0;
     while done < n && sim.now() < deadline {
-        if sim.step().is_none() {
+        if sim.advance().is_none() {
             break;
         }
         sim.for_each_completion(|c| {

@@ -14,15 +14,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads a sweep will use: `DCP_THREADS` if set and
-/// valid, else `std::thread::available_parallelism`.
+/// valid, else `std::thread::available_parallelism`. Parsed once per
+/// process (cached behind a `OnceLock` in `dcp-netsim`) — the same knob
+/// also sizes the sharded engine's window workers.
 pub fn threads() -> usize {
-    if let Ok(v) = std::env::var("DCP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-        eprintln!("warn: ignoring unparsable DCP_THREADS={v:?}");
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    dcp_netsim::env_threads()
 }
 
 /// Runs `f` over every point, in parallel across [`threads`] workers, and
@@ -63,20 +59,22 @@ where
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..n_points).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|s| {
-        for _ in 0..n_threads.min(n_points) {
-            s.spawn(|| loop {
-                let ix = next.fetch_add(1, Ordering::Relaxed);
-                if ix >= n_points {
-                    return;
-                }
-                let p = work[ix].lock().expect("unpoisoned").take().expect("claimed once");
-                let r = f(p);
-                *results[ix].lock().expect("unpoisoned") = Some(r);
-            });
+    std::thread::scope(|s| {
+        for wi in 0..n_threads.min(n_points) {
+            std::thread::Builder::new()
+                .name(format!("dcp-sweep-{wi}"))
+                .spawn_scoped(s, || loop {
+                    let ix = next.fetch_add(1, Ordering::Relaxed);
+                    if ix >= n_points {
+                        return;
+                    }
+                    let p = work[ix].lock().expect("unpoisoned").take().expect("claimed once");
+                    let r = f(p);
+                    *results[ix].lock().expect("unpoisoned") = Some(r);
+                })
+                .expect("spawn sweep worker");
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_iter()

@@ -18,9 +18,8 @@
 
 use dcp_netsim::Nanos;
 use dcp_telemetry::{Probe, ProbeEvent};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Cap on retained violation strings; everything past it is counted but
 /// not rendered, so a systemically broken run cannot balloon memory.
@@ -55,7 +54,7 @@ impl State {
 /// Shared-handle exactly-once delivery oracle.
 #[derive(Debug, Clone, Default)]
 pub struct DeliveryOracle {
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
 }
 
 impl DeliveryOracle {
@@ -65,28 +64,29 @@ impl DeliveryOracle {
 
     /// The probe half to install on the simulator.
     pub fn probe(&self) -> Box<dyn Probe> {
-        Box::new(OracleProbe { state: Rc::clone(&self.state) })
+        Box::new(OracleProbe { state: Arc::clone(&self.state) })
     }
 
     /// Messages posted so far.
     pub fn posted(&self) -> u64 {
-        self.state.borrow().posted
+        self.state.lock().unwrap().posted
     }
 
     /// Messages that have completed exactly once so far.
     pub fn completed(&self) -> u64 {
-        self.state.borrow().completed
+        self.state.lock().unwrap().completed
     }
 
     /// Posted messages still lacking their completion — the "work
     /// outstanding" input the liveness watchdog gates on.
     pub fn outstanding(&self) -> u64 {
-        self.state.borrow().posted - self.state.borrow().completed
+        let s = self.state.lock().unwrap();
+        s.posted - s.completed
     }
 
     /// Virtual time of the most recent completion, if any.
     pub fn last_delivery_at(&self) -> Option<Nanos> {
-        self.state.borrow().last_delivery_at
+        self.state.lock().unwrap().last_delivery_at
     }
 
     /// Violations observed so far (duplicates, wrong sizes, spurious
@@ -94,14 +94,14 @@ impl DeliveryOracle {
     /// [`DeliveryOracle::final_check`], since mid-run they are just
     /// in-flight work.
     pub fn violations(&self) -> Vec<String> {
-        self.state.borrow().violations.clone()
+        self.state.lock().unwrap().violations.clone()
     }
 
     /// The end-of-run verdict, to be called at quiescence: every posted
     /// message completed exactly once with matching bytes, nothing
     /// spurious. `Err` carries every violation, newline-joined.
     pub fn final_check(&self) -> Result<(), String> {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         let mut missing: Vec<&(u32, u64)> =
             s.msgs.iter().filter(|(_, m)| m.completions == 0).map(|(k, _)| k).collect();
         missing.sort_unstable();
@@ -126,14 +126,14 @@ impl DeliveryOracle {
 }
 
 struct OracleProbe {
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
 }
 
 impl Probe for OracleProbe {
     fn record(&mut self, at: u64, ev: &ProbeEvent) {
         match *ev {
             ProbeEvent::MsgPosted { flow, wr_id, bytes, .. } => {
-                let mut s = self.state.borrow_mut();
+                let mut s = self.state.lock().unwrap();
                 s.posted += 1;
                 if s.msgs.insert((flow, wr_id), MsgState { bytes, completions: 0 }).is_some() {
                     s.violate(format!(
@@ -143,7 +143,7 @@ impl Probe for OracleProbe {
                 }
             }
             ProbeEvent::Delivery { flow, wr_id, bytes, node } => {
-                let mut s = self.state.borrow_mut();
+                let mut s = self.state.lock().unwrap();
                 s.last_delivery_at = Some(at);
                 let matched = s.msgs.get_mut(&(flow, wr_id)).map(|m| {
                     m.completions += 1;
@@ -177,7 +177,7 @@ impl Probe for OracleProbe {
     }
 
     fn dump(&self) -> Option<String> {
-        let s = self.state.borrow();
+        let s = self.state.lock().unwrap();
         Some(format!(
             "delivery oracle: {} posted, {} completed, {} violations ({} suppressed)",
             s.posted,

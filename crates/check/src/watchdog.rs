@@ -25,9 +25,8 @@
 
 use dcp_netsim::{Nanos, NodeId, Simulator, MS};
 use dcp_telemetry::{Probe, ProbeEvent};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Tunables for the no-progress bound.
 #[derive(Debug, Clone, Copy)]
@@ -72,17 +71,17 @@ struct State {
 #[derive(Debug, Clone, Default)]
 pub struct Watchdog {
     cfg: WatchdogConfig,
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
 }
 
 impl Watchdog {
     pub fn new(cfg: WatchdogConfig) -> Self {
-        Watchdog { cfg, state: Rc::default() }
+        Watchdog { cfg, state: Arc::default() }
     }
 
     /// The probe half to install on the simulator.
     pub fn probe(&self) -> Box<dyn Probe> {
-        Box::new(WatchdogProbe { state: Rc::clone(&self.state) })
+        Box::new(WatchdogProbe { state: Arc::clone(&self.state) })
     }
 
     /// Verdict at virtual time `now` with `outstanding` posted-but-
@@ -93,7 +92,7 @@ impl Watchdog {
         if outstanding == 0 {
             return Liveness::Ok;
         }
-        let s = self.state.borrow();
+        let s = self.state.lock().unwrap();
         let stalled_for = now.saturating_sub(s.last_delivery);
         if stalled_for < self.cfg.stall_after {
             return Liveness::Ok;
@@ -119,19 +118,19 @@ impl Watchdog {
 }
 
 struct WatchdogProbe {
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
 }
 
 impl Probe for WatchdogProbe {
     fn record(&mut self, at: u64, ev: &ProbeEvent) {
         match ev {
             ProbeEvent::Delivery { .. } => {
-                let mut s = self.state.borrow_mut();
+                let mut s = self.state.lock().unwrap();
                 s.last_delivery = at;
                 s.retx_since_delivery = 0;
             }
             ProbeEvent::Retx { .. } => {
-                self.state.borrow_mut().retx_since_delivery += 1;
+                self.state.lock().unwrap().retx_since_delivery += 1;
             }
             _ => {}
         }

@@ -10,8 +10,7 @@
 
 use dcp_netsim::Nanos;
 use dcp_telemetry::{Probe, ProbeEvent};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Default)]
 struct State {
@@ -27,7 +26,7 @@ struct State {
 /// goodput-recovery time around injected faults.
 #[derive(Debug, Clone)]
 pub struct RecoveryTracker {
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
 }
 
 impl RecoveryTracker {
@@ -35,29 +34,29 @@ impl RecoveryTracker {
     /// recovery time is quantized to it.
     pub fn new(bin_ns: Nanos) -> Self {
         assert!(bin_ns > 0, "bin width must be positive");
-        RecoveryTracker { state: Rc::new(RefCell::new(State { bin_ns, ..State::default() })) }
+        RecoveryTracker { state: Arc::new(Mutex::new(State { bin_ns, ..State::default() })) }
     }
 
     /// The probe half to install on the simulator (possibly inside a
     /// `Fanout`); metrics stay readable through `self`.
     pub fn probe(&self) -> Box<dyn Probe> {
-        Box::new(RecoveryProbe { state: Rc::clone(&self.state) })
+        Box::new(RecoveryProbe { state: Arc::clone(&self.state) })
     }
 
     /// When the first fault fired, if any did.
     pub fn fault_at(&self) -> Option<Nanos> {
-        self.state.borrow().first_fault_at
+        self.state.lock().unwrap().first_fault_at
     }
 
     /// When the last fault cleared, if any did.
     pub fn cleared_at(&self) -> Option<Nanos> {
-        self.state.borrow().last_clear_at
+        self.state.lock().unwrap().last_clear_at
     }
 
     /// Latency from the first fault to the transport's first
     /// retransmission — how long loss detection took under the fault.
     pub fn time_to_first_retx(&self) -> Option<Nanos> {
-        let s = self.state.borrow();
+        let s = self.state.lock().unwrap();
         Some(s.first_retx_after_fault? - s.first_fault_at?)
     }
 
@@ -66,7 +65,7 @@ impl RecoveryTracker {
     /// before the fault), quantized to the bin width. `None` when there was
     /// no fault, no pre-fault baseline, or goodput never recovered.
     pub fn goodput_recovery_time(&self, frac: f64) -> Option<Nanos> {
-        let s = self.state.borrow();
+        let s = self.state.lock().unwrap();
         let fault_bin = (s.first_fault_at? / s.bin_ns) as usize;
         let clear = s.last_clear_at?;
         if fault_bin == 0 {
@@ -90,17 +89,17 @@ impl RecoveryTracker {
 
     /// Total delivered bytes seen (sanity hook for tests).
     pub fn delivered_bytes(&self) -> u64 {
-        self.state.borrow().bins.iter().sum()
+        self.state.lock().unwrap().bins.iter().sum()
     }
 }
 
 struct RecoveryProbe {
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
 }
 
 impl Probe for RecoveryProbe {
     fn record(&mut self, at: u64, ev: &ProbeEvent) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         match ev {
             ProbeEvent::Fault { .. } if s.first_fault_at.is_none() => {
                 s.first_fault_at = Some(at);

@@ -68,7 +68,7 @@ impl EndpointCtx<'_> {
 }
 
 /// One side of a transport connection, attached to a host NIC.
-pub trait Endpoint {
+pub trait Endpoint: Send {
     /// Posts a Work Request on a sender endpoint. Receiver endpoints keep
     /// the default, which panics — posting to one is a harness bug.
     fn post(&mut self, wr_id: u64, op: dcp_rdma::qp::WorkReqOp, len: u64) {

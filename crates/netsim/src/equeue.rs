@@ -25,15 +25,35 @@
 //! global `BinaryHeap` produced. The structure only changes *where* an
 //! entry waits, never how ties break: same-`at` entries always share a
 //! bucket window, so they meet again in `cur` before either can be popped.
+//!
+//! The bucket width adapts to the pending-event density (deterministically:
+//! the triggers are pure functions of the operation sequence). Sustained
+//! crowded rotations — the >20k-pending incast regime, where a fixed-width
+//! bucket would hold hundreds of entries and every pop pays a deep heap —
+//! halve the width; long runs of empty rotations double it back. A width
+//! change re-buckets all pending entries in one O(n) pass and is rare by
+//! hysteresis; it never affects pop order.
 
 use crate::time::Nanos;
 use std::collections::BinaryHeap;
 
-/// log2 of the bucket width: 1024 ns per bucket.
-const WIDTH_LOG2: u32 = 10;
-const WIDTH: Nanos = 1 << WIDTH_LOG2;
-/// Wheel size (power of two): horizon = WIDTH * NBUCKETS ≈ 1 ms.
+/// log2 of the starting bucket width: 1024 ns per bucket.
+const DEFAULT_WIDTH_LOG2: u32 = 10;
+/// Adaptive width bounds: 16 ns (dense incast) to ~1 ms (sparse timers).
+const MIN_WIDTH_LOG2: u32 = 4;
+const MAX_WIDTH_LOG2: u32 = 20;
+/// Wheel size (power of two): horizon = width * NBUCKETS (≈1 ms at the
+/// default width).
 const NBUCKETS: usize = 1024;
+/// A rotation heapifying more entries than this counts as crowded.
+const CROWDED_BUCKET: usize = 64;
+/// Consecutive crowded rotations before the width halves.
+const SHRINK_AFTER: u32 = 8;
+/// Rotation window over which average occupancy is evaluated; the width
+/// doubles when it falls below one entry per rotated bucket (rotations are
+/// mostly wasted). The band between 1 and `CROWDED_BUCKET` entries per
+/// bucket is the hysteresis that keeps mixed workloads still.
+const GROW_WINDOW: u32 = 4096;
 
 struct Entry<T> {
     at: Nanos,
@@ -70,9 +90,11 @@ impl<T> Ord for Entry<T> {
 
 /// Deterministic timer queue keyed on `(time, seq)`; see module docs.
 pub struct EventQueue<T> {
-    /// Start of the current bucket's window; multiple of `WIDTH`.
+    /// log2 of the current bucket width (adaptive; see module docs).
+    width_log2: u32,
+    /// Start of the current bucket's window; multiple of the width.
     cur_start: Nanos,
-    /// Min-heap of all entries with `at < cur_start + WIDTH`.
+    /// Min-heap of all entries with `at < cur_start + width`.
     cur: BinaryHeap<Entry<T>>,
     buckets: Vec<Vec<Entry<T>>>,
     /// Total entries across `buckets`.
@@ -80,6 +102,16 @@ pub struct EventQueue<T> {
     overflow: BinaryHeap<Entry<T>>,
     len: usize,
     peak_len: usize,
+    /// Consecutive crowded rotations (shrink trigger).
+    crowded_rotations: u32,
+    /// Rotations and total entries heapified in the current grow-evaluation
+    /// window.
+    window_rotations: u32,
+    window_rotated: u64,
+    /// Largest bucket ever heapified in one rotation — the structure's
+    /// actual per-pop heap depth exposure, which adaptation exists to
+    /// bound.
+    peak_rotated: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -91,6 +123,7 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
+            width_log2: DEFAULT_WIDTH_LOG2,
             cur_start: 0,
             cur: BinaryHeap::new(),
             buckets: (0..NBUCKETS).map(|_| Vec::new()).collect(),
@@ -98,6 +131,10 @@ impl<T> EventQueue<T> {
             overflow: BinaryHeap::new(),
             len: 0,
             peak_len: 0,
+            crowded_rotations: 0,
+            window_rotations: 0,
+            window_rotated: 0,
+            peak_rotated: 0,
         }
     }
 
@@ -114,8 +151,38 @@ impl<T> EventQueue<T> {
         self.peak_len
     }
 
+    /// Current (adaptive) log2 bucket width.
+    pub fn width_log2(&self) -> u32 {
+        self.width_log2
+    }
+
+    /// Largest single-rotation heapify so far — bounded by adaptation even
+    /// when tens of thousands of events are pending.
+    pub fn peak_rotated(&self) -> usize {
+        self.peak_rotated
+    }
+
+    #[inline]
+    fn width(&self) -> Nanos {
+        1 << self.width_log2
+    }
+
     fn horizon(&self) -> Nanos {
-        self.cur_start + WIDTH * NBUCKETS as Nanos
+        self.cur_start + ((NBUCKETS as Nanos) << self.width_log2)
+    }
+
+    /// Routes an entry to `cur`, the wheel or overflow. No accounting —
+    /// shared by `insert` and width-change re-bucketing.
+    #[inline]
+    fn place(&mut self, e: Entry<T>) {
+        if e.at < self.cur_start + self.width() {
+            self.cur.push(e);
+        } else if e.at < self.horizon() {
+            self.buckets[(e.at >> self.width_log2) as usize & (NBUCKETS - 1)].push(e);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(e);
+        }
     }
 
     /// Inserts an entry. `(at, seq)` pairs must be unique and `seq`
@@ -124,15 +191,34 @@ impl<T> EventQueue<T> {
     pub fn insert(&mut self, at: Nanos, seq: u64, item: T) {
         self.len += 1;
         self.peak_len = self.peak_len.max(self.len);
-        let e = Entry { at, seq, item };
-        if at < self.cur_start + WIDTH {
-            self.cur.push(e);
-        } else if at < self.horizon() {
-            self.buckets[(at >> WIDTH_LOG2) as usize & (NBUCKETS - 1)].push(e);
-            self.in_buckets += 1;
-        } else {
-            self.overflow.push(e);
+        self.place(Entry { at, seq, item });
+    }
+
+    /// Re-buckets every pending entry under a new width: one O(n) pass,
+    /// rare by hysteresis. Pop order is unaffected — only *where* entries
+    /// wait changes.
+    fn set_width(&mut self, new_log2: u32) {
+        let mut all: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        // `cur` must be re-placed too: when the width shrinks, entries it
+        // holds beyond the new window would otherwise be popped ahead of
+        // earlier entries that later inserts put in the buckets in between.
+        all.extend(std::mem::take(&mut self.cur));
+        for b in &mut self.buckets {
+            all.append(b);
         }
+        all.extend(std::mem::take(&mut self.overflow));
+        self.in_buckets = 0;
+        self.width_log2 = new_log2;
+        // Realign the current window. Entries below `cur_start` (late
+        // inserts after the wheel advanced) re-enter `cur` via `place`'s
+        // `< cur_start + width` test, so nothing is stranded.
+        self.cur_start = (self.cur_start >> new_log2) << new_log2;
+        for e in all {
+            self.place(e);
+        }
+        self.crowded_rotations = 0;
+        self.window_rotations = 0;
+        self.window_rotated = 0;
     }
 
     /// Timestamp of the earliest pending entry. `&mut` because reaching the
@@ -156,22 +242,53 @@ impl<T> EventQueue<T> {
     fn advance(&mut self) {
         while self.cur.is_empty() && self.len > 0 {
             if self.in_buckets > 0 {
-                self.cur_start += WIDTH;
-                let idx = (self.cur_start >> WIDTH_LOG2) as usize & (NBUCKETS - 1);
+                self.cur_start += self.width();
+                let idx = (self.cur_start >> self.width_log2) as usize & (NBUCKETS - 1);
                 let v = std::mem::take(&mut self.buckets[idx]);
                 self.in_buckets -= v.len();
+                let rotated = v.len();
+                self.peak_rotated = self.peak_rotated.max(rotated);
                 // Heapify in place and hand the drained heap's storage back
                 // to the slot so bucket capacity is recycled.
                 let old = std::mem::replace(&mut self.cur, BinaryHeap::from(v));
                 self.buckets[idx] = old.into_vec();
                 self.migrate_overflow();
+                self.adapt(rotated);
             } else {
                 // Only overflow left: jump the wheel straight to its min
                 // instead of rotating through empty buckets (a far-future
                 // RTO would otherwise cost millions of rotations).
                 let at = self.overflow.peek().expect("len>0 with empty wheel").at;
-                self.cur_start = (at >> WIDTH_LOG2) << WIDTH_LOG2;
+                self.cur_start = (at >> self.width_log2) << self.width_log2;
                 self.migrate_overflow();
+            }
+        }
+    }
+
+    /// Width adaptation, fed one rotation's bucket size. Sustained crowded
+    /// rotations halve the width (deep per-pop heaps otherwise); a window
+    /// averaging under one entry per rotated bucket doubles it back (the
+    /// rotations are mostly wasted work).
+    fn adapt(&mut self, rotated: usize) {
+        if rotated > CROWDED_BUCKET {
+            self.crowded_rotations += 1;
+            if self.crowded_rotations >= SHRINK_AFTER && self.width_log2 > MIN_WIDTH_LOG2 {
+                self.set_width(self.width_log2 - 1);
+                return;
+            }
+        } else {
+            self.crowded_rotations = 0;
+        }
+        self.window_rotations += 1;
+        self.window_rotated += rotated as u64;
+        if self.window_rotations >= GROW_WINDOW {
+            if self.window_rotated < u64::from(self.window_rotations)
+                && self.width_log2 < MAX_WIDTH_LOG2
+            {
+                self.set_width(self.width_log2 + 1);
+            } else {
+                self.window_rotations = 0;
+                self.window_rotated = 0;
             }
         }
     }
@@ -182,10 +299,10 @@ impl<T> EventQueue<T> {
         let horizon = self.horizon();
         while self.overflow.peek().is_some_and(|e| e.at < horizon) {
             let e = self.overflow.pop().expect("peeked");
-            if e.at < self.cur_start + WIDTH {
+            if e.at < self.cur_start + self.width() {
                 self.cur.push(e);
             } else {
-                self.buckets[(e.at >> WIDTH_LOG2) as usize & (NBUCKETS - 1)].push(e);
+                self.buckets[(e.at >> self.width_log2) as usize & (NBUCKETS - 1)].push(e);
                 self.in_buckets += 1;
             }
         }
@@ -282,6 +399,81 @@ mod tests {
         }
         reference.sort_unstable();
         assert_eq!(popped, reference);
+    }
+
+    /// The >20k-pending incast regime: sustained density far above the
+    /// default bucket capacity. The width must shrink (deterministically),
+    /// per-rotation heapifies must stay bounded instead of scaling with the
+    /// pending count — the structural guarantee behind non-super-linear
+    /// cost — and the pop order must still exactly match a reference sort.
+    #[test]
+    fn dense_churn_adapts_width_and_bounds_rotations() {
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(Nanos, u64)> = Vec::new();
+        let pending = 30_000u64;
+        let span = pending * 10; // ~100 entries/µs: crowded at 1024 ns
+        let mut seq = 0u64;
+        for i in 0..pending {
+            seq += 1;
+            let at = (i * 7_919) % span;
+            q.insert(at, seq, seq as u32);
+            reference.push((at, seq));
+        }
+        // Steady churn: every pop schedules a successor one span ahead,
+        // keeping the pending set at 30k while the wheel rotates through
+        // the dense region.
+        let mut popped = Vec::new();
+        for _ in 0..100_000 {
+            let (at, s, _) = q.pop().unwrap();
+            popped.push((at, s));
+            seq += 1;
+            q.insert(at + span, seq, seq as u32);
+            reference.push((at + span, seq));
+        }
+        while let Some((at, s, _)) = q.pop() {
+            popped.push((at, s));
+        }
+        reference.sort_unstable();
+        assert_eq!(popped, reference, "adaptation must never change pop order");
+        assert!(
+            q.width_log2() < DEFAULT_WIDTH_LOG2,
+            "a 100-entries/µs regime must shrink the bucket width (still {})",
+            q.width_log2()
+        );
+        assert!(
+            q.peak_rotated() < 2_048,
+            "per-rotation heapify must stay bounded with 30k pending, saw {}",
+            q.peak_rotated()
+        );
+    }
+
+    /// After a dense phase, a sparse phase (entries a couple of µs apart)
+    /// must grow the width back so rotations stop burning empty cycles.
+    #[test]
+    fn sparse_phase_grows_width_back() {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        // Dense phase: force a shrink.
+        for i in 0..40_000u64 {
+            seq += 1;
+            q.insert(i * 10, seq, 0u32);
+        }
+        while q.pop().is_some() {}
+        let shrunk = q.width_log2();
+        assert!(shrunk < DEFAULT_WIDTH_LOG2, "dense phase must shrink, still {shrunk}");
+        // Sparse phase: one entry per 2 µs, always within the wheel.
+        let mut now: Nanos = 500_000;
+        for _ in 0..40_000u64 {
+            seq += 1;
+            q.insert(now + 2_000, seq, 0u32);
+            let (at, ..) = q.pop().unwrap();
+            now = at;
+        }
+        assert!(
+            q.width_log2() > shrunk,
+            "sparse phase must grow the width back (still {})",
+            q.width_log2()
+        );
     }
 
     #[test]

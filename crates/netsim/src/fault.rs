@@ -60,7 +60,7 @@ pub enum FaultVerdict {
 /// own seeded RNG streams (never the simulator's, whose draw order the
 /// packet trace depends on), so a same-seed run with the same plan yields a
 /// byte-identical trace regardless of `DCP_THREADS`.
-pub trait FaultPlane {
+pub trait FaultPlane: Send {
     /// Rules on a packet about to arrive at `node` on `port`. Called on the
     /// hot path for every `PacketArrive`; implementations should early-out
     /// when the link has no active fault.

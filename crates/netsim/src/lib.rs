@@ -32,6 +32,7 @@ pub mod link;
 pub mod packet;
 pub mod pool;
 pub mod routing;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod switch;
@@ -46,6 +47,7 @@ pub use link::Link;
 pub use packet::{FlowId, NodeId, Packet, PktDesc, PktExt, PortId};
 pub use pool::{PacketPool, PktRef};
 pub use routing::LoadBalance;
+pub use shard::{env_shards, env_threads};
 pub use sim::{Event, Node, NodeCtx, Simulator};
 pub use stats::{Conservation, NetStats, TransportStats};
 pub use switch::{EcnConfig, PfcConfig, SwitchConfig};

@@ -5,14 +5,23 @@
 //! stable, so a given seed always produces an identical packet trace. Node
 //! handlers never touch other nodes directly — they emit `(time, Event)`
 //! pairs through [`NodeCtx`].
+//!
+//! The simulator holds one or more engine *shards* (see [`crate::shard`]):
+//! unsharded it is exactly the serial engine of PR 3 — one queue, one
+//! pool, one RNG — and [`Simulator::partition`] splits it along topology
+//! boundaries for conservative-lookahead parallel execution. All public
+//! stepping APIs work in both modes; `step`/`step_bounded` stay
+//! event-at-a-time, while [`Simulator::advance`] /
+//! [`Simulator::advance_bounded`] batch to safe window boundaries and are
+//! what lets a sharded run actually go wide.
 
 use crate::endpoint::{Completion, Endpoint};
-use crate::equeue::EventQueue;
 use crate::fault::{FaultPlane, FaultVerdict};
 use crate::host::Host;
 use crate::link::Link;
 use crate::packet::{FlowId, NodeId, PortId};
 use crate::pool::{PacketPool, PktRef};
+use crate::shard::{SerialWindow, Shard, StepOut, IDLE};
 use crate::stats::{NetStats, TransportStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::time::Nanos;
@@ -20,8 +29,9 @@ use dcp_rdma::headers::DcpTag;
 use dcp_rdma::qp::WorkReqOp;
 use dcp_telemetry::{DropClass, Probe, ProbeEvent};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::{HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 /// Everything that can happen in the fabric.
 ///
@@ -46,7 +56,7 @@ pub enum Event {
 }
 
 impl Event {
-    fn node(&self) -> Option<NodeId> {
+    pub(crate) fn node(&self) -> Option<NodeId> {
         match self {
             Event::PacketArrive { node, .. }
             | Event::PortFree { node, .. }
@@ -61,11 +71,11 @@ impl Event {
 /// emitted events and completions, and the (optional) telemetry probe.
 pub struct NodeCtx<'a> {
     pub now: Nanos,
-    /// The simulation-wide packet arena; resolves [`PktRef`] handles.
+    /// The owning shard's packet arena; resolves [`PktRef`] handles.
     pub pool: &'a mut PacketPool,
     pub rng: &'a mut StdRng,
     pub out: &'a mut Vec<(Nanos, Event)>,
-    pub completions: &'a mut VecDeque<Completion>,
+    pub completions: &'a mut VecDequeCompletions<'a>,
     /// Telemetry sink; `None` on bare runs. Emit through [`NodeCtx::emit`]
     /// so event construction is skipped entirely when no probe is attached.
     /// (The `'static` trait-object bound keeps reborrowing through nested
@@ -93,91 +103,101 @@ pub enum Node {
     Empty,
 }
 
-/// The simulator: owns all nodes, the event queue and the RNG.
+/// The simulator: owns all nodes, the engine shards and the control plane.
 pub struct Simulator {
-    now: Nanos,
-    seq: u64,
-    queue: EventQueue<Event>,
+    /// User-visible clock: the latest processed event time (high-water
+    /// across shards), pushed forward by `run_until` limits.
+    pub(crate) clock: Nanos,
+    pub(crate) seed: u64,
+    /// Engine shards; exactly one until [`Simulator::partition`] runs.
+    pub(crate) shards: Vec<Shard>,
+    /// Node index → owning shard; empty while unsharded.
+    pub(crate) node_shard: Vec<u32>,
+    /// Conservative-lookahead horizon (min cross-shard link delay).
+    pub(crate) lookahead: Nanos,
+    /// Worker threads for parallel window sessions.
+    pub(crate) workers: usize,
+    pub(crate) auto_partition_enabled: bool,
     pub nodes: Vec<Node>,
-    pub rng: StdRng,
-    /// The slab arena every in-flight packet lives in; events and queues
-    /// carry [`PktRef`] handles into it.
-    pub pool: PacketPool,
-    completions: VecDeque<Completion>,
-    scratch: Vec<(Nanos, Event)>,
-    events: u64,
-    probe: Option<Box<dyn Probe>>,
-    fault_plane: Option<Box<dyn FaultPlane>>,
-    /// Drops ruled by the fault plane at link ingress — they happen *on the
-    /// wire*, before any switch sees the packet, so they are booked here
-    /// rather than against a switch and merged in [`Simulator::net_stats`].
-    fault_stats: NetStats,
-    /// Handles re-scheduled by a `Delay`/`Reorder`/`Duplicate` verdict.
-    /// Their (re-)arrival bypasses the fault plane — a ruling applies once
-    /// per wire traversal, so a delayed packet cannot be delayed again and
-    /// a duplicate cannot breed. Entries are removed on arrival; the set is
-    /// never iterated, so it cannot perturb determinism.
-    fault_immune: HashSet<PktRef>,
+    pub(crate) probe: Option<Mutex<Box<dyn Probe>>>,
+    pub(crate) fault_plane: Option<Mutex<Box<dyn FaultPlane>>>,
+    /// Sharded-mode control events, ordered `(at, seq)`; with one shard
+    /// controls stay in the shard queue for exact legacy ordering.
+    pub(crate) controls: BinaryHeap<Reverse<(Nanos, u64, u64)>>,
+    pub(crate) ctl_seq: u64,
+    pub(crate) ctl_events: u64,
+    /// In-progress serial window walk (sharded mode only).
+    pub(crate) serial_window: Option<SerialWindow>,
+    /// Per-shard probe staging slots for parallel window sessions.
+    pub(crate) probe_slots: Vec<Mutex<Vec<(Nanos, ProbeEvent)>>>,
+    /// `n × n` cross-shard mailboxes, indexed `src * n + dst`.
+    pub(crate) mail: Vec<Mutex<Vec<crate::shard::MailEntry>>>,
 }
+
+/// Alias kept so `NodeCtx` reads naturally; completions are a plain
+/// `VecDeque`.
+pub type VecDequeCompletions<'a> = std::collections::VecDeque<Completion>;
 
 impl Simulator {
     pub fn new(seed: u64) -> Self {
         Simulator {
-            now: 0,
-            seq: 0,
-            queue: EventQueue::new(),
+            clock: 0,
+            seed,
+            shards: vec![Shard::new(seed)],
+            node_shard: Vec::new(),
+            lookahead: IDLE,
+            workers: 1,
+            auto_partition_enabled: true,
             nodes: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
-            pool: PacketPool::new(),
-            completions: VecDeque::new(),
-            scratch: Vec::new(),
-            events: 0,
             probe: None,
             fault_plane: None,
-            fault_stats: NetStats::default(),
-            fault_immune: HashSet::new(),
+            controls: BinaryHeap::new(),
+            ctl_seq: 0,
+            ctl_events: 0,
+            serial_window: None,
+            probe_slots: Vec::new(),
+            mail: Vec::new(),
         }
     }
 
     pub fn now(&self) -> Nanos {
-        self.now
+        self.clock
     }
 
     /// Attaches a telemetry probe; every subsequent hot-path event flows
     /// into it. Probes are passive observers — attaching one must not (and,
     /// by the determinism tests, does not) change the packet trace.
     pub fn set_probe(&mut self, probe: Box<dyn Probe>) {
-        self.probe = Some(probe);
+        self.probe = Some(Mutex::new(probe));
     }
 
     /// Detaches and returns the probe, e.g. to drain a trace after a run.
+    /// Buffered sharded-mode records are flushed into it first.
     pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
-        self.probe.take()
-    }
-
-    pub fn probe(&self) -> Option<&dyn Probe> {
-        self.probe.as_deref()
+        self.flush_probes_serial();
+        self.probe.take().map(|m| m.into_inner().unwrap())
     }
 
     pub fn probe_mut(&mut self) -> Option<&mut (dyn Probe + 'static)> {
-        self.probe.as_deref_mut()
+        self.flush_probes_serial();
+        self.probe.as_mut().map(|m| &mut **m.get_mut().unwrap())
     }
 
     /// The attached probe's dump (flight-recorder ring, counters …), if any.
     pub fn flight_dump(&self) -> Option<String> {
-        self.probe.as_ref().and_then(|p| p.dump())
+        self.probe.as_ref().and_then(|m| m.lock().unwrap().dump())
     }
 
     /// Installs a fault-injection plane: every subsequent packet arrival is
     /// ruled on by it, and [`Event::Control`] events are dispatched to it.
     pub fn set_fault_plane(&mut self, plane: Box<dyn FaultPlane>) {
-        self.fault_plane = Some(plane);
+        self.fault_plane = Some(Mutex::new(plane));
     }
 
     /// Detaches and returns the fault plane, e.g. to read its state after a
     /// run. Arrivals are delivered unconditionally afterwards.
     pub fn take_fault_plane(&mut self) -> Option<Box<dyn FaultPlane>> {
-        self.fault_plane.take()
+        self.fault_plane.take().map(|m| m.into_inner().unwrap())
     }
 
     /// Schedules a control event for the fault plane at time `at`.
@@ -275,9 +295,10 @@ impl Simulator {
 
     /// Posts a Work Request on `flow`'s sender endpoint and kicks the NIC.
     pub fn post(&mut self, host: NodeId, flow: FlowId, wr_id: u64, op: WorkReqOp, len: u64) {
-        if let Some(p) = self.probe.as_deref_mut() {
-            p.record(
-                self.now,
+        let now = self.clock;
+        if let Some(m) = self.probe.as_mut() {
+            m.get_mut().unwrap().record(
+                now,
                 &ProbeEvent::MsgPosted { node: host.0, flow: flow.0, wr_id, bytes: len },
             );
         }
@@ -294,52 +315,117 @@ impl Simulator {
         });
     }
 
-    /// Schedules an event.
-    pub fn schedule(&mut self, at: Nanos, ev: Event) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
-        self.seq += 1;
-        self.queue.insert(at, self.seq, ev);
+    /// Which shard owns node `id` (always 0 while unsharded).
+    #[inline]
+    pub(crate) fn shard_of(&self, id: NodeId) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            self.node_shard[id.0 as usize] as usize
+        }
     }
 
+    /// Schedules an event, routing it to the owning shard (node events) or
+    /// the control queue (sharded mode).
+    pub fn schedule(&mut self, at: Nanos, ev: Event) {
+        debug_assert!(at >= self.clock, "scheduling into the past: {at} < {}", self.clock);
+        match ev.node() {
+            Some(id) => {
+                let d = self.shard_of(id);
+                self.shards[d].schedule(at, ev);
+                // The insert may land inside an open serial window of an
+                // already-walked shard; rescan from the start.
+                if let Some(w) = self.serial_window.as_mut() {
+                    w.cursor = 0;
+                }
+            }
+            None => {
+                if self.shards.len() == 1 {
+                    self.shards[0].schedule(at, ev);
+                } else {
+                    let Event::Control { token } = ev else {
+                        unreachable!("only Control is node-less")
+                    };
+                    self.ctl_seq += 1;
+                    self.controls.push(Reverse((at, self.ctl_seq, token)));
+                }
+            }
+        }
+    }
+
+    /// Serial (non-window) node access: control-plane paths, `post`/`kick`
+    /// from harness code, cable flips. Uses the owning shard's pool/RNG and
+    /// routes emissions across shards directly (no mailboxes — this runs
+    /// with exclusive access to everything).
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut Node, &mut NodeCtx)) {
+        let s = self.shard_of(id);
         let mut node = std::mem::replace(&mut self.nodes[id.0 as usize], Node::Empty);
-        let mut out = std::mem::take(&mut self.scratch);
+        let shard = &mut self.shards[s];
+        let mut out = std::mem::take(&mut shard.scratch);
         {
             let mut ctx = NodeCtx {
-                now: self.now,
-                pool: &mut self.pool,
-                rng: &mut self.rng,
+                now: self.clock,
+                pool: &mut shard.pool,
+                rng: &mut shard.rng,
                 out: &mut out,
-                completions: &mut self.completions,
-                probe: self.probe.as_deref_mut(),
+                completions: &mut shard.completions,
+                probe: self.probe.as_mut().map(|m| &mut **m.get_mut().unwrap()),
             };
             f(&mut node, &mut ctx);
         }
         self.nodes[id.0 as usize] = node;
         for (at, ev) in out.drain(..) {
-            self.seq += 1;
-            self.queue.insert(at, self.seq, ev);
+            self.serial_insert(s, at, ev);
         }
-        self.scratch = out;
+        self.shards[s].scratch = out;
+    }
+
+    /// Inserts an event emitted from a serial context on shard `src`,
+    /// moving the packet between pools when it crosses shards.
+    fn serial_insert(&mut self, src: usize, at: Nanos, ev: Event) {
+        let Some(node) = ev.node() else {
+            // Handlers do not emit Control, but route defensively.
+            self.schedule(at, ev);
+            return;
+        };
+        let dst = self.shard_of(node);
+        if dst == src {
+            self.shards[src].schedule(at, ev);
+        } else {
+            let ev = match ev {
+                Event::PacketArrive { node, port, pkt } => {
+                    let p = self.shards[src].pool.take(pkt);
+                    let fresh = self.shards[dst].pool.insert(p);
+                    Event::PacketArrive { node, port, pkt: fresh }
+                }
+                other => other,
+            };
+            self.shards[dst].schedule(at, ev);
+        }
+        if let Some(w) = self.serial_window.as_mut() {
+            w.cursor = 0;
+        }
     }
 
     /// Consults the installed fault plane about an arrival; returns `true`
     /// when the packet was consumed (dropped or corrupted) and must not be
-    /// delivered to the node.
-    fn fault_intercept(&mut self, node: NodeId, port: PortId, pkt: PktRef) -> bool {
+    /// delivered to the node. Serial single-shard path; the sharded twin
+    /// lives in [`crate::shard`].
+    fn fault_intercept_single(&mut self, node: NodeId, port: PortId, pkt: PktRef) -> bool {
         // A handle re-scheduled by an earlier Delay/Reorder/Duplicate
         // verdict arrives exactly once more, without a second ruling.
-        if self.fault_immune.remove(&pkt) {
+        if self.shards[0].fault_immune.remove(&pkt) {
             return false;
         }
+        let now = self.clock;
         let verdict = match self.fault_plane.as_mut() {
-            Some(plane) => plane.on_arrival(self.now, node, port, &self.pool[pkt]),
+            Some(m) => m.get_mut().unwrap().on_arrival(now, node, port, &self.shards[0].pool[pkt]),
             None => FaultVerdict::Deliver,
         };
         match verdict {
             FaultVerdict::Deliver => false,
             FaultVerdict::Drop => {
-                self.fault_discard(node, port, pkt);
+                self.fault_discard_single(node, port, pkt);
                 true
             }
             FaultVerdict::Duplicate { after } => {
@@ -347,21 +433,22 @@ impl Simulator {
                 // slot, immune to further rulings) arrives `after` ns later.
                 // The copy entered the fabric without a sender transmission,
                 // so it is booked on the supply side of conservation.
-                let copy = self.pool.insert(self.pool[pkt].clone());
-                match self.pool[copy].dcp_tag() {
-                    DcpTag::HeaderOnly => self.fault_stats.dup_ho_injected += 1,
-                    _ if self.pool[copy].is_data() => self.fault_stats.dup_data_injected += 1,
+                let s0 = &mut self.shards[0];
+                let copy = s0.pool.insert(s0.pool[pkt].clone());
+                match s0.pool[copy].dcp_tag() {
+                    DcpTag::HeaderOnly => s0.fault_stats.dup_ho_injected += 1,
+                    _ if s0.pool[copy].is_data() => s0.fault_stats.dup_data_injected += 1,
                     _ => {} // ACK-class copies sit outside the identities.
                 }
-                self.fault_immune.insert(copy);
-                self.schedule(self.now + after, Event::PacketArrive { node, port, pkt: copy });
+                s0.fault_immune.insert(copy);
+                self.schedule(now + after, Event::PacketArrive { node, port, pkt: copy });
                 false
             }
             FaultVerdict::Delay { by } | FaultVerdict::Reorder { by } => {
                 // Hold the packet on the wire; same-cable successors may
                 // overtake it through the (time, seq) ordering.
-                self.fault_immune.insert(pkt);
-                self.schedule(self.now + by, Event::PacketArrive { node, port, pkt });
+                self.shards[0].fault_immune.insert(pkt);
+                self.schedule(now + by, Event::PacketArrive { node, port, pkt });
                 true
             }
             FaultVerdict::Corrupt => {
@@ -372,7 +459,7 @@ impl Simulator {
                 let can_trim = matches!(
                     &self.nodes[node.0 as usize],
                     Node::Switch(s) if s.cfg.trimming
-                ) && self.pool[pkt].dcp_tag() == DcpTag::Data;
+                ) && self.shards[0].pool[pkt].dcp_tag() == DcpTag::Data;
                 if can_trim {
                     self.with_node(node, |n, ctx| {
                         if let Node::Switch(sw) = n {
@@ -380,7 +467,7 @@ impl Simulator {
                         }
                     });
                 } else {
-                    self.fault_discard(node, port, pkt);
+                    self.fault_discard_single(node, port, pkt);
                 }
                 true
             }
@@ -392,21 +479,23 @@ impl Simulator {
     /// `data_drops`); header-only losses stay in `ho_drops` so the Table 5
     /// identity `trims = ho_received + ho_drops` holds; ACK-class losses
     /// join `ack_drops`.
-    fn fault_discard(&mut self, node: NodeId, port: PortId, pkt: PktRef) {
+    fn fault_discard_single(&mut self, node: NodeId, port: PortId, pkt: PktRef) {
+        let now = self.clock;
+        let s0 = &mut self.shards[0];
         let (is_ho, is_data, flow, psn) = {
-            let p = &self.pool[pkt];
+            let p = &s0.pool[pkt];
             (p.dcp_tag() == DcpTag::HeaderOnly, p.is_data(), p.flow.0, p.psn())
         };
         if is_ho {
-            self.fault_stats.ho_drops += 1;
+            s0.fault_stats.ho_drops += 1;
         } else if is_data {
-            self.fault_stats.fault_drops += 1;
+            s0.fault_stats.fault_drops += 1;
         } else {
-            self.fault_stats.ack_drops += 1;
+            s0.fault_stats.ack_drops += 1;
         }
-        if let Some(p) = self.probe.as_deref_mut() {
-            p.record(
-                self.now,
+        if let Some(m) = self.probe.as_mut() {
+            m.get_mut().unwrap().record(
+                now,
                 &ProbeEvent::Drop {
                     node: node.0,
                     port: port as u32,
@@ -416,27 +505,30 @@ impl Simulator {
                 },
             );
         }
-        self.pool.release(pkt);
+        self.shards[0].pool.release(pkt);
     }
 
-    /// Processes one event; returns its timestamp, or `None` if idle.
-    pub fn step(&mut self) -> Option<Nanos> {
-        let (at, _seq, ev) = self.queue.pop()?;
-        debug_assert!(at >= self.now);
-        self.now = at;
-        self.events += 1;
+    /// The exact pre-sharding event loop: one queue, events (including
+    /// controls) in `(at, seq)` order.
+    fn step_single(&mut self) -> Option<Nanos> {
+        let (at, _seq, ev) = self.shards[0].queue.pop()?;
+        debug_assert!(at >= self.clock);
+        self.clock = at;
+        self.shards[0].now = at;
+        self.shards[0].events += 1;
         let Some(node_id) = ev.node() else {
             let Event::Control { token } = ev else { unreachable!("only Control is node-less") };
             // Detach the plane so it can mutate the simulator re-entrantly
             // (fail switches, flip cables, schedule more controls).
-            if let Some(mut plane) = self.fault_plane.take() {
+            if let Some(m) = self.fault_plane.take() {
+                let mut plane = m.into_inner().unwrap();
                 plane.on_control(token, self);
-                self.fault_plane = Some(plane);
+                self.fault_plane = Some(Mutex::new(plane));
             }
             return Some(at);
         };
         if let Event::PacketArrive { node, port, pkt } = ev {
-            if self.fault_plane.is_some() && self.fault_intercept(node, port, pkt) {
+            if self.fault_plane.is_some() && self.fault_intercept_single(node, port, pkt) {
                 return Some(at);
             }
         }
@@ -459,24 +551,85 @@ impl Simulator {
         Some(at)
     }
 
+    /// Processes one event; returns its timestamp, or `None` if idle.
+    ///
+    /// Sharded mode processes exactly one event too (window closes are
+    /// internal) — always serial. Use [`Simulator::advance`] to let a
+    /// sharded run use worker threads.
+    pub fn step(&mut self) -> Option<Nanos> {
+        if self.shards.len() == 1 {
+            return self.step_single();
+        }
+        loop {
+            match self.step_sharded(IDLE) {
+                StepOut::Event(t) => return Some(t),
+                StepOut::Closed => continue,
+                StepOut::Idle => return None,
+                StepOut::Limited => unreachable!("unlimited step cannot be limited"),
+            }
+        }
+    }
+
     /// Processes the next event only if it is due at or before `limit`;
     /// returns `None` (without advancing) otherwise or when idle.
     pub fn step_bounded(&mut self, limit: Nanos) -> Option<Nanos> {
-        match self.queue.next_at() {
-            Some(at) if at <= limit => self.step(),
-            _ => None,
+        if self.shards.len() == 1 {
+            return match self.shards[0].queue.next_at() {
+                Some(at) if at <= limit => self.step_single(),
+                _ => None,
+            };
         }
+        loop {
+            match self.step_sharded(limit) {
+                StepOut::Event(t) => return Some(t),
+                StepOut::Closed => continue,
+                StepOut::Idle | StepOut::Limited => return None,
+            }
+        }
+    }
+
+    /// Batch step: processes events up to the next completion boundary —
+    /// the point after which completions are safe to drain. Unsharded this
+    /// is exactly [`Simulator::step`]; sharded it runs whole lookahead
+    /// windows (on worker threads when configured) and returns at a window
+    /// close once completions are pending, or when idle (`None`).
+    ///
+    /// Event-per-step driver loops (`while sim.step().is_some()`) convert
+    /// to `while sim.advance().is_some()` and keep identical observable
+    /// behavior at every shard/worker count: completions surface in the
+    /// same order with the same contents; only the granularity at which
+    /// the loop body observes them changes (and only for `shards > 1`).
+    pub fn advance(&mut self) -> Option<Nanos> {
+        if self.shards.len() == 1 {
+            return self.step_single();
+        }
+        self.pump(None, true)
+    }
+
+    /// Bounded [`Simulator::advance`]: stops (returning `None` if nothing
+    /// was processed) once the next event lies past `limit`.
+    pub fn advance_bounded(&mut self, limit: Nanos) -> Option<Nanos> {
+        if self.shards.len() == 1 {
+            return self.step_bounded(limit);
+        }
+        self.pump(Some(limit), true)
     }
 
     /// Runs until the queue is empty or the clock passes `t`.
     pub fn run_until(&mut self, t: Nanos) {
-        while let Some(at) = self.queue.next_at() {
-            if at > t {
-                break;
+        if self.shards.len() == 1 {
+            while let Some(at) = self.shards[0].queue.next_at() {
+                if at > t {
+                    break;
+                }
+                self.step_single();
             }
-            self.step();
+            self.clock = self.clock.max(t);
+            self.shards[0].now = self.shards[0].now.max(t);
+            return;
         }
-        self.now = self.now.max(t);
+        self.pump(Some(t), false);
+        self.clock = self.clock.max(t);
     }
 
     /// Runs until every event is processed or `deadline` passes. Returns
@@ -484,20 +637,52 @@ impl Simulator {
     /// dump (e.g. the flight-recorder ring of the last few thousand events)
     /// is printed to stderr — a stalled run leaves a trace, not a boolean.
     pub fn run_to_quiescence(&mut self, deadline: Nanos) -> bool {
-        while let Some(at) = self.queue.next_at() {
-            if at > deadline {
-                if let Some(dump) = self.flight_dump() {
-                    eprintln!(
-                        "run_to_quiescence: deadline {deadline} missed at t={} with {} pending events\n{dump}",
-                        self.now,
-                        self.queue.len(),
-                    );
+        if self.shards.len() == 1 {
+            while let Some(at) = self.shards[0].queue.next_at() {
+                if at > deadline {
+                    if let Some(dump) = self.flight_dump() {
+                        eprintln!(
+                            "run_to_quiescence: deadline {deadline} missed at t={} with {} pending events\n{dump}",
+                            self.clock,
+                            self.shards[0].queue.len(),
+                        );
+                    }
+                    return false;
                 }
-                return false;
+                self.step_single();
             }
-            self.step();
+            return true;
         }
-        true
+        self.pump(Some(deadline), false);
+        let pending = self.pending_events();
+        if pending == 0 {
+            return true;
+        }
+        self.flush_probes_serial();
+        if let Some(dump) = self.flight_dump() {
+            eprintln!(
+                "run_to_quiescence: deadline {deadline} missed at t={} with {pending} pending events\n{dump}",
+                self.clock,
+            );
+        }
+        false
+    }
+
+    /// Pops the globally next completion: ascending completion time, ties
+    /// broken by shard index (single-shard: plain FIFO, as ever).
+    fn pop_next_completion(&mut self) -> Option<Completion> {
+        if self.shards.len() == 1 {
+            return self.shards[0].completions.pop_front();
+        }
+        let mut best: Option<(Nanos, usize)> = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some(c) = s.completions.front() {
+                if best.is_none_or(|(at, _)| c.at < at) {
+                    best = Some((c.at, i));
+                }
+            }
+        }
+        best.map(|(_, i)| self.shards[i].completions.pop_front().expect("peeked"))
     }
 
     /// Drains completions surfaced since the last call.
@@ -505,13 +690,17 @@ impl Simulator {
     /// Allocates a fresh `Vec` per call; event-per-step loops should prefer
     /// [`Simulator::for_each_completion`].
     pub fn drain_completions(&mut self) -> Vec<Completion> {
-        self.completions.drain(..).collect()
+        let mut v = Vec::new();
+        while let Some(c) = self.pop_next_completion() {
+            v.push(c);
+        }
+        v
     }
 
     /// Invokes `f` on each completion surfaced since the last drain,
     /// without allocating.
     pub fn for_each_completion(&mut self, mut f: impl FnMut(Completion)) {
-        while let Some(c) = self.completions.pop_front() {
+        while let Some(c) = self.pop_next_completion() {
             f(c);
         }
     }
@@ -520,27 +709,34 @@ impl Simulator {
     /// for loops that must keep `&mut Simulator` free while consuming them.
     pub fn drain_completions_into(&mut self, buf: &mut Vec<Completion>) {
         buf.clear();
-        buf.extend(self.completions.drain(..));
+        while let Some(c) = self.pop_next_completion() {
+            buf.push(c);
+        }
     }
 
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.shards.iter().map(|s| s.queue.len()).sum::<usize>() + self.controls.len()
     }
 
-    /// Total events dispatched by [`Simulator::step`] so far.
+    /// Total events dispatched so far (controls included).
     pub fn events_processed(&self) -> u64 {
-        self.events
+        self.ctl_events + self.shards.iter().map(|s| s.events).sum::<u64>()
     }
 
-    /// High-water mark of the pending-event queue.
+    /// High-water mark of the pending-event set. Sharded runs report the
+    /// sum of per-shard high-water marks — an upper bound on the true
+    /// simultaneous peak (shards may peak at different times).
     pub fn peak_pending_events(&self) -> usize {
-        self.queue.peak_len()
+        self.shards.iter().map(|s| s.queue.peak_len()).sum()
     }
 
-    /// Aggregated fabric counters across all switches, plus the simulator's
-    /// own fault-plane wire losses.
+    /// Aggregated fabric counters across all switches, plus the engine's
+    /// fault-plane wire losses (merged across shards).
     pub fn net_stats(&self) -> NetStats {
-        let mut total = self.fault_stats.clone();
+        let mut total = NetStats::default();
+        for s in &self.shards {
+            total.merge(&s.fault_stats);
+        }
         for n in &self.nodes {
             if let Node::Switch(s) = n {
                 total.merge(&s.stats);
@@ -576,12 +772,12 @@ impl Simulator {
         );
         // Pool leak check: at quiescence every handle must have been taken
         // or released — a live slot means some path dropped a PktRef
-        // without freeing it.
-        if quiesced && !self.pool.is_empty() {
+        // without freeing it. Sharded runs check every shard's pool.
+        let live: usize = self.shards.iter().map(|s| s.pool.len()).sum();
+        if quiesced && live > 0 {
+            let cap: usize = self.shards.iter().map(|s| s.pool.capacity()).sum();
             c.violations.push(format!(
-                "packet pool leaks {} live slot(s) at quiescence (capacity {})",
-                self.pool.len(),
-                self.pool.capacity()
+                "packet pool leaks {live} live slot(s) at quiescence (capacity {cap})"
             ));
         }
         if !c.is_ok() {
@@ -655,6 +851,11 @@ impl Simulator {
     /// Degrades (or restores) both directions of the cable on `sw`'s `port`
     /// to the given rate and propagation delay. Packets already serializing
     /// keep their old timing; subsequent transmissions use the new one.
+    ///
+    /// Sharded runs refuse to *shorten* a cross-shard cable below the
+    /// engine lookahead — the safe horizon was computed from the build-time
+    /// minimum (debug assertion; release builds would lose determinism, not
+    /// memory safety).
     pub fn set_cable_params(&mut self, sw: NodeId, port: PortId, gbps: f64, delay: Nanos) {
         let (to, to_port) = {
             let l = &mut self.switch_mut(sw).ports[port].link;
@@ -662,6 +863,14 @@ impl Simulator {
             l.delay = delay;
             (l.to, l.to_port)
         };
+        debug_assert!(
+            self.shards.len() == 1
+                || self.shard_of(sw) == self.shard_of(to)
+                || delay >= self.lookahead,
+            "degrading a cross-shard cable below the engine lookahead ({} < {})",
+            delay,
+            self.lookahead,
+        );
         match &mut self.nodes[to.0 as usize] {
             Node::Host(h) => {
                 if let Some(l) = h.link.as_mut() {

@@ -7,6 +7,13 @@
 //! * [`clos`] — the simulation fabric: a two-layer CLOS of leaf and spine
 //!   switches with configurable leaf–spine delay (intra-DC 1 µs, cross-DC
 //!   500 µs / 5 ms for Fig. 15).
+//! * [`clos3`] — a three-tier (pod-structured) CLOS for the 1024–4096-host
+//!   scale runs: pods of leaf + aggregation switches joined by a core
+//!   layer.
+//!
+//! Every builder finishes with [`Simulator::auto_partition`], so setting
+//! `DCP_SHARDS` shards the engine along the topology's pod/leaf boundaries
+//! with no harness changes.
 
 use crate::packet::NodeId;
 use crate::sim::Simulator;
@@ -19,11 +26,34 @@ pub struct Topology {
     pub hosts: Vec<NodeId>,
     pub leaves: Vec<NodeId>,
     pub spines: Vec<NodeId>,
+    /// Aggregation tier ([`clos3`] only; empty on two-layer fabrics).
+    pub aggs: Vec<NodeId>,
+    /// Core tier ([`clos3`] only; empty on two-layer fabrics).
+    pub cores: Vec<NodeId>,
+    /// `pod_of_leaf[l]` = pod index of `leaves[l]`; empty when the fabric
+    /// has no pod structure (each leaf then partitions on its own).
+    pub pod_of_leaf: Vec<usize>,
+    /// `pod_of_agg[a]` = pod index of `aggs[a]`.
+    pub pod_of_agg: Vec<usize>,
     /// Link rate between hosts and leaves (Gbps).
     pub host_gbps: f64,
 }
 
 impl Topology {
+    /// A pod-less (two-layer or flat) fabric handle.
+    fn flat(hosts: Vec<NodeId>, leaves: Vec<NodeId>, spines: Vec<NodeId>, host_gbps: f64) -> Self {
+        Topology {
+            hosts,
+            leaves,
+            spines,
+            aggs: Vec::new(),
+            cores: Vec::new(),
+            pod_of_leaf: Vec::new(),
+            pod_of_agg: Vec::new(),
+            host_gbps,
+        }
+    }
+
     /// The leaf switch a host attaches to, given `hosts_per_leaf`.
     pub fn leaf_of(&self, host_ix: usize, hosts_per_leaf: usize) -> NodeId {
         self.leaves[host_ix / hosts_per_leaf]
@@ -35,7 +65,9 @@ pub fn back_to_back(sim: &mut Simulator, gbps: f64, delay: Nanos) -> Topology {
     let a = sim.add_host();
     let b = sim.add_host();
     sim.connect_hosts(a, b, gbps, delay);
-    Topology { hosts: vec![a, b], leaves: vec![], spines: vec![], host_gbps: gbps }
+    let topo = Topology::flat(vec![a, b], vec![], vec![], gbps);
+    sim.auto_partition(&topo);
+    topo
 }
 
 /// The Fig. 9 testbed: two switches with `hosts_per_switch` hosts each and
@@ -83,7 +115,9 @@ pub fn two_switch_testbed(
         sim.switch_mut(s2).routing.add_route(h, vec![port]);
         sim.switch_mut(s1).routing.add_route(h, cross_s1.clone());
     }
-    Topology { hosts, leaves: vec![s1, s2], spines: vec![], host_gbps }
+    let topo = Topology::flat(hosts, vec![s1, s2], vec![], host_gbps);
+    sim.auto_partition(&topo);
+    topo
 }
 
 /// A two-layer CLOS: `n_leaf` leaves with `hosts_per_leaf` hosts each, all
@@ -151,7 +185,144 @@ pub fn clos(
             }
         }
     }
-    Topology { hosts, leaves, spines, host_gbps }
+    let topo = Topology::flat(hosts, leaves, spines, host_gbps);
+    sim.auto_partition(&topo);
+    topo
+}
+
+/// A three-tier pod-structured CLOS: `pods` pods, each with
+/// `leaves_per_pod` leaves (`hosts_per_leaf` hosts each) and
+/// `aggs_per_pod` aggregation switches, joined by `n_core` core switches.
+/// Every leaf connects to every agg in its pod; every agg connects to every
+/// core. Fabric links (leaf–agg and agg–core) run at `fabric_gbps` with
+/// `fabric_delay` propagation.
+///
+/// Routing mirrors [`clos`] one tier up: leaves send local hosts down their
+/// access port and everything else up the pod aggs; aggs send pod-local
+/// hosts down the leaf port and foreign hosts up the core links; cores send
+/// each host down toward any agg of its pod.
+#[allow(clippy::too_many_arguments)]
+pub fn clos3(
+    sim: &mut Simulator,
+    cfg: SwitchConfig,
+    pods: usize,
+    aggs_per_pod: usize,
+    leaves_per_pod: usize,
+    hosts_per_leaf: usize,
+    n_core: usize,
+    host_gbps: f64,
+    fabric_gbps: f64,
+    host_delay: Nanos,
+    fabric_delay: Nanos,
+) -> Topology {
+    let cores: Vec<NodeId> = (0..n_core).map(|_| sim.add_switch(cfg)).collect();
+    let mut hosts = Vec::new();
+    let mut leaves = Vec::new();
+    let mut aggs = Vec::new();
+    let mut pod_of_leaf = Vec::new();
+    let mut pod_of_agg = Vec::new();
+    // Per-leaf: attached (host, access port) pairs; per-leaf uplink ports
+    // toward its pod aggs; per-agg: (leaf index → down port), core uplink
+    // ports; per-core: (agg index → down port).
+    let mut leaf_hosts: Vec<Vec<(NodeId, usize)>> = Vec::new();
+    let mut leaf_ups: Vec<Vec<usize>> = Vec::new();
+    let mut agg_leaf_port: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut agg_ups: Vec<Vec<usize>> = Vec::new();
+    let mut core_agg_port: Vec<Vec<usize>> = vec![Vec::new(); n_core];
+
+    for pod in 0..pods {
+        let pod_aggs: Vec<NodeId> = (0..aggs_per_pod).map(|_| sim.add_switch(cfg)).collect();
+        for &agg in &pod_aggs {
+            let a = aggs.len();
+            let mut ups = Vec::new();
+            for (c, &core) in cores.iter().enumerate() {
+                let (pa, pc) = sim.connect_switches(agg, core, fabric_gbps, fabric_delay);
+                ups.push(pa);
+                debug_assert_eq!(core_agg_port[c].len(), a);
+                core_agg_port[c].push(pc);
+            }
+            aggs.push(agg);
+            pod_of_agg.push(pod);
+            agg_ups.push(ups);
+            agg_leaf_port.push(Vec::new());
+        }
+        for _ in 0..leaves_per_pod {
+            let leaf = sim.add_switch(cfg);
+            let l = leaves.len();
+            let mut local = Vec::new();
+            for _ in 0..hosts_per_leaf {
+                let h = sim.add_host();
+                let port = sim.connect_host_switch(h, leaf, host_gbps, host_delay);
+                local.push((h, port));
+                hosts.push(h);
+            }
+            let mut ups = Vec::new();
+            for (ai, &agg) in pod_aggs.iter().enumerate() {
+                let (pl, pa) = sim.connect_switches(leaf, agg, fabric_gbps, fabric_delay);
+                ups.push(pl);
+                let a = aggs.len() - aggs_per_pod + ai;
+                agg_leaf_port[a].push((l, pa));
+            }
+            leaves.push(leaf);
+            pod_of_leaf.push(pod);
+            leaf_hosts.push(local);
+            leaf_ups.push(ups);
+        }
+    }
+
+    // Leaf routing: local hosts down, everything else up the pod aggs.
+    for (l, &leaf) in leaves.iter().enumerate() {
+        for (l2, locals) in leaf_hosts.iter().enumerate() {
+            for &(h, port) in locals {
+                if l2 == l {
+                    sim.switch_mut(leaf).routing.add_route(h, vec![port]);
+                } else {
+                    sim.switch_mut(leaf).routing.add_route(h, leaf_ups[l].clone());
+                }
+            }
+        }
+    }
+    // Agg routing: pod-local hosts down the leaf port, foreign hosts up.
+    for (a, &agg) in aggs.iter().enumerate() {
+        for (l, locals) in leaf_hosts.iter().enumerate() {
+            if pod_of_leaf[l] == pod_of_agg[a] {
+                let down =
+                    agg_leaf_port[a].iter().find(|&&(li, _)| li == l).expect("pod leaf wired").1;
+                for &(h, _) in locals {
+                    sim.switch_mut(agg).routing.add_route(h, vec![down]);
+                }
+            } else {
+                for &(h, _) in locals {
+                    sim.switch_mut(agg).routing.add_route(h, agg_ups[a].clone());
+                }
+            }
+        }
+    }
+    // Core routing: each host down toward any agg of its pod.
+    for (c, &core) in cores.iter().enumerate() {
+        let mut pod_ports: Vec<Vec<usize>> = vec![Vec::new(); pods];
+        for (a, &p) in core_agg_port[c].iter().enumerate() {
+            pod_ports[pod_of_agg[a]].push(p);
+        }
+        for (l, locals) in leaf_hosts.iter().enumerate() {
+            for &(h, _) in locals {
+                sim.switch_mut(core).routing.add_route(h, pod_ports[pod_of_leaf[l]].clone());
+            }
+        }
+    }
+
+    let topo = Topology {
+        hosts,
+        leaves,
+        spines: Vec::new(),
+        aggs,
+        cores,
+        pod_of_leaf,
+        pod_of_agg,
+        host_gbps,
+    };
+    sim.auto_partition(&topo);
+    topo
 }
 
 #[cfg(test)]

@@ -264,7 +264,7 @@ impl ProbeEvent {
 /// they may not influence the simulation (no RNG draws, no event
 /// scheduling), which is what keeps probed runs trace-identical to bare
 /// runs.
-pub trait Probe {
+pub trait Probe: Send {
     /// Called from the hot paths with the simulation time and the event.
     fn record(&mut self, at: u64, ev: &ProbeEvent);
 

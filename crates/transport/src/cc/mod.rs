@@ -20,7 +20,7 @@ pub use dcqcn::{Dcqcn, DcqcnConfig};
 use dcp_netsim::time::Nanos;
 
 /// The interface between a transport's Tx path and its CC module.
-pub trait CongestionControl {
+pub trait CongestionControl: Send {
     /// A data packet of `bytes` left the NIC.
     fn on_send(&mut self, now: Nanos, bytes: usize);
 

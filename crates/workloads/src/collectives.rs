@@ -164,7 +164,7 @@ pub fn run_collective(
     // completions instead of using the zero-copy closure API.
     let mut comps = Vec::new();
     while total_done < total_expected && sim.now() < deadline {
-        if sim.step().is_none() {
+        if sim.advance().is_none() {
             break;
         }
         sim.drain_completions_into(&mut comps);

@@ -234,15 +234,17 @@ pub fn run_flows_opts(
         if sim.now() >= deadline {
             break;
         }
-        // Advance: to the next arrival if the queue outruns it, else step.
+        // Advance: to the next arrival if the queue outruns it, else batch
+        // to the next completion boundary (whole lookahead windows when the
+        // engine is sharded).
         if next < order.len() {
             let next_start = flows[order[next]].start;
-            if sim.step_bounded(next_start).is_none() {
+            if sim.advance_bounded(next_start).is_none() {
                 // Queue empty or next event beyond the arrival: jump.
                 sim.run_until(next_start.min(deadline));
                 continue;
             }
-        } else if sim.step().is_none() {
+        } else if sim.advance().is_none() {
             break;
         }
         sim.for_each_completion(|c| {
