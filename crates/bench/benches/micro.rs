@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks for the mechanisms whose per-packet cost the
 //! paper argues about: the bitmap-free tracker vs a bitmap (Fig. 7's
-//! empirical companion), wire encode/decode, RetransQ operations and raw
-//! event-loop throughput.
+//! empirical companion), wire encode/decode, RetransQ operations,
+//! kind-filtered probe dispatch and raw event-loop throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dcp_core::tracking::MsgTracker;
@@ -202,6 +202,62 @@ fn bench_equeue(c: &mut Criterion) {
     g.finish();
 }
 
+/// Probe dispatch with `KindMask` filtering: a `Fanout` checks each
+/// member's cached interest mask before calling `record`, so an event no
+/// member subscribed to must cost a bitmask test per member — not a match
+/// over the event. Three points: every member rejects, one member
+/// accepts, and an interested-in-everything probe as the ceiling.
+fn bench_probe_filter(c: &mut Criterion) {
+    use dcp_scope::{PfcTreeMonitor, QueueHighWaterMonitor, RetxStormMonitor};
+    use dcp_telemetry::{CountingProbe, Fanout, Probe, ProbeEvent, QueueClass};
+    let mut g = c.benchmark_group("probe_filter");
+    g.throughput(Throughput::Elements(1));
+    let enq = ProbeEvent::Enqueue {
+        node: 1,
+        port: 2,
+        queue: QueueClass::Data,
+        flow: 3,
+        psn: 4,
+        bytes: 1064,
+    };
+    // Narrow-mask monitors: neither wants Enqueue, so dispatch is two
+    // rejected mask tests and no record calls.
+    g.bench_function("fanout_all_reject", |b| {
+        let mut f = Fanout::new(vec![
+            Box::new(RetxStormMonitor::new(1_000_000, 256)),
+            Box::new(PfcTreeMonitor::new(4)),
+        ]);
+        let mut at = 0u64;
+        b.iter(|| {
+            at += 1;
+            f.record(black_box(at), black_box(&enq));
+        });
+    });
+    // Same fanout plus the queue tracker: one member accepts Enqueue.
+    g.bench_function("fanout_one_accepts", |b| {
+        let mut f = Fanout::new(vec![
+            Box::new(RetxStormMonitor::new(1_000_000, 256)),
+            Box::new(PfcTreeMonitor::new(4)),
+            Box::new(QueueHighWaterMonitor::new()),
+        ]);
+        let mut at = 0u64;
+        b.iter(|| {
+            at += 1;
+            f.record(black_box(at), black_box(&enq));
+        });
+    });
+    // The ceiling: a probe subscribed to every kind sees every event.
+    g.bench_function("counting_all_kinds", |b| {
+        let mut p = CountingProbe::default();
+        let mut at = 0u64;
+        b.iter(|| {
+            at += 1;
+            p.record(black_box(at), black_box(&enq));
+        });
+    });
+    g.finish();
+}
+
 /// Raw simulator throughput: a full 1 MB DCP transfer per iteration.
 fn bench_event_loop(c: &mut Criterion) {
     use dcp_core::{dcp_pair, dcp_switch_config, DcpConfig};
@@ -250,6 +306,7 @@ criterion_group!(
     bench_wire,
     bench_retransq,
     bench_equeue,
+    bench_probe_filter,
     bench_event_loop
 );
 criterion_main!(benches);

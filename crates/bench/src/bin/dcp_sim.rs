@@ -19,6 +19,8 @@
 //!   csv=PATH        write per-flow results as CSV (.seedN suffix when runs>1)
 //!   --metrics-out PATH   structured JSON metrics (schemas/metrics.schema.json)
 //!   --trace-out PATH     JSONL event trace (.seedN suffix when runs>1)
+//!   --spans-out PATH     dcp-scope span + monitor document
+//!                        (schemas/trace.schema.json, .seedN suffix when runs>1)
 //! ```
 //!
 //! Prints overall FCT slowdown percentiles, transport counters and fabric
@@ -149,12 +151,14 @@ fn main() {
 
         println!("dcp_sim transport={transport:?} lb={lb:?} cc={cc:?} load={load} flows={n_flows} loss={loss} seed={seed}");
         println!("result unfinished={} now_ms={:.2}", unfinished(&records), now as f64 / 1e6);
+        let fct = FctSummary::from_records(&records, &ideal);
         println!(
             "result slowdown p50={:.2} p95={:.2} p99={:.2}",
             overall_slowdown(&records, &ideal, 50.0),
             overall_slowdown(&records, &ideal, 95.0),
             overall_slowdown(&records, &ideal, 99.0)
         );
+        println!("result slo burn4x={:.4}", fct.slo_burn(4.0));
         println!("result transport retx={retx} rtos={rtos} duplicates={dups}");
         println!(
             "result fabric trims={} data_drops={} ho_drops={} ack_drops={} ecn_marks={} pauses={}",
@@ -168,8 +172,8 @@ fn main() {
         }
         let suffix = (runs > 1).then(|| format!("seed{seed}"));
         export.write_trace_lines(&trace, suffix.as_deref());
+        export.write_spans(&trace, suffix.as_deref());
         if export.metrics_out.is_some() {
-            let fct = FctSummary::from_records(&records, &ideal);
             doc.push_run(run_entry(&format!("{transport:?}"), seed, &fct, &ns, &ep, &cons));
         }
     }

@@ -72,7 +72,9 @@ pub fn allocations_now() -> u64 {
         0
     }
 }
-pub use metrics::{run_entry, run_entry_counters, ExportOpts, MetricsDoc, METRICS_SCHEMA};
+pub use metrics::{
+    run_entry, run_entry_counters, spans_doc, ExportOpts, MetricsDoc, METRICS_SCHEMA,
+};
 pub use sweep::{sweep, sweep_with_threads};
 
 /// Experiment scale, from the `DCP_FULL` environment variable.

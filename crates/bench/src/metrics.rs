@@ -13,12 +13,19 @@
 //! line, captured by installing an [`EventLog`] probe on the simulator.
 //! Tracing is passive (no RNG draws, no event reordering): a traced run
 //! produces the same simulation as an untraced one.
+//!
+//! `--spans-out <json>` folds the same captured event stream through
+//! `dcp-scope`'s span builder and anomaly monitors and writes the
+//! resulting `dcp-trace/v1` document (schema `schemas/trace.schema.json`):
+//! per-packet causal spans, per-message latency brackets, and the
+//! retx-storm / PFC-tree / queue-high-water / SLO-burn verdicts.
 
 use dcp_netsim::stats::{Conservation, NetStats, TransportStats};
 use dcp_netsim::Simulator;
-use dcp_telemetry::{EventLog, Json};
+use dcp_scope::{Monitors, SpanBuilder};
+use dcp_telemetry::{EventLog, Json, Probe, ProbeEvent};
 use dcp_workloads::FctSummary;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Version tag stamped into every metrics document.
 pub const METRICS_SCHEMA: &str = "dcp-metrics/v1";
@@ -27,11 +34,12 @@ pub const METRICS_SCHEMA: &str = "dcp-metrics/v1";
 ///
 /// Accepts `--metrics-out PATH`, `--metrics-out=PATH` and the
 /// `metrics_out=PATH` KEY=VALUE spelling (`dcp_sim`'s native argument
-/// style), and the same for `trace-out`.
+/// style), and the same for `trace-out` and `spans-out`.
 #[derive(Debug, Clone, Default)]
 pub struct ExportOpts {
     pub metrics_out: Option<PathBuf>,
     pub trace_out: Option<PathBuf>,
+    pub spans_out: Option<PathBuf>,
 }
 
 impl ExportOpts {
@@ -41,17 +49,23 @@ impl ExportOpts {
         ExportOpts {
             metrics_out: find_flag(&argv, "metrics-out").map(PathBuf::from),
             trace_out: find_flag(&argv, "trace-out").map(PathBuf::from),
+            spans_out: find_flag(&argv, "spans-out").map(PathBuf::from),
         }
     }
 
     pub fn any(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_out.is_some()
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.spans_out.is_some()
     }
 
-    /// Installs an [`EventLog`] probe when a trace was requested. Call
-    /// before driving the simulation; pair with [`ExportOpts::write_trace`].
+    fn capturing(&self) -> bool {
+        self.trace_out.is_some() || self.spans_out.is_some()
+    }
+
+    /// Installs an [`EventLog`] probe when a trace or span export was
+    /// requested. Call before driving the simulation; pair with
+    /// [`ExportOpts::write_trace`] / [`ExportOpts::write_spans`].
     pub fn arm_trace(&self, sim: &mut Simulator) {
-        if self.trace_out.is_some() {
+        if self.capturing() {
             sim.set_probe(Box::new(EventLog::default()));
         }
     }
@@ -61,7 +75,7 @@ impl ExportOpts {
     /// from the ordered report loop with [`ExportOpts::write_trace_lines`].
     pub fn take_trace(&self, sim: &mut Simulator) -> Vec<String> {
         match sim.probe_mut() {
-            Some(p) if self.trace_out.is_some() => p.drain_jsonl(),
+            Some(p) if self.capturing() => p.drain_jsonl(),
             _ => Vec::new(),
         }
     }
@@ -72,10 +86,7 @@ impl ExportOpts {
     /// single-run binaries.
     pub fn write_trace_lines(&self, lines: &[String], suffix: Option<&str>) {
         let Some(path) = &self.trace_out else { return };
-        let path = match suffix {
-            Some(s) => PathBuf::from(format!("{}.{s}", path.display())),
-            None => path.clone(),
-        };
+        let path = suffixed(path, suffix);
         let mut out = lines.join("\n");
         if !out.is_empty() {
             out.push('\n');
@@ -84,10 +95,23 @@ impl ExportOpts {
         println!("result trace={}", path.display());
     }
 
+    /// Folds captured trace lines through the span builder and the
+    /// standard monitor set and writes the `dcp-trace/v1` document
+    /// (`schemas/trace.schema.json`). Same `suffix` convention as
+    /// [`ExportOpts::write_trace_lines`].
+    pub fn write_spans(&self, lines: &[String], suffix: Option<&str>) {
+        let Some(path) = &self.spans_out else { return };
+        let doc = spans_doc(lines.iter().map(String::as_str));
+        let path = suffixed(path, suffix);
+        std::fs::write(&path, doc.render_pretty()).expect("write spans");
+        println!("result spans={}", path.display());
+    }
+
     /// Single-run convenience: drain and write in one step.
     pub fn write_trace(&self, sim: &mut Simulator) {
         let lines = self.take_trace(sim);
         self.write_trace_lines(&lines, None);
+        self.write_spans(&lines, None);
     }
 
     /// Renders and writes the finished metrics document.
@@ -96,6 +120,33 @@ impl ExportOpts {
         std::fs::write(path, doc.finish().render_pretty()).expect("write metrics");
         println!("result metrics={}", path.display());
     }
+}
+
+fn suffixed(path: &Path, suffix: Option<&str>) -> PathBuf {
+    match suffix {
+        Some(s) => PathBuf::from(format!("{}.{s}", path.display())),
+        None => path.to_path_buf(),
+    }
+}
+
+/// Builds the `dcp-trace/v1` span document from JSONL trace lines: the
+/// span builder's packets/messages/flows/stats plus every monitor's
+/// verdict under `monitors`. Shared by `--spans-out` and the `dcp_trace`
+/// converter so both emit the same shape.
+pub fn spans_doc<'a>(lines: impl Iterator<Item = &'a str>) -> Json {
+    let mut spans = SpanBuilder::new();
+    let mut monitors = Monitors::with_defaults();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((at, ev)) = Json::parse(line).ok().as_ref().and_then(ProbeEvent::from_json) {
+            spans.record(at, &ev);
+            monitors.record(at, &ev);
+        }
+    }
+    spans.to_json().set("monitors", monitors.to_json())
 }
 
 fn find_flag(argv: &[String], name: &str) -> Option<String> {
@@ -239,9 +290,30 @@ mod tests {
             .collect();
         assert_eq!(find_flag(&argv, "metrics-out").as_deref(), Some("m.json"));
         assert_eq!(find_flag(&argv, "trace-out").as_deref(), Some("t.jsonl"));
-        let kv: Vec<String> = ["metrics_out=x.json"].iter().map(|s| s.to_string()).collect();
+        let kv: Vec<String> =
+            ["metrics_out=x.json", "spans_out=s.json"].iter().map(|s| s.to_string()).collect();
         assert_eq!(find_flag(&kv, "metrics-out").as_deref(), Some("x.json"));
+        assert_eq!(find_flag(&kv, "spans-out").as_deref(), Some("s.json"));
         assert_eq!(find_flag(&kv, "trace-out"), None);
+    }
+
+    #[test]
+    fn spans_doc_folds_lines_and_embeds_monitors() {
+        use dcp_telemetry::RetxCause;
+        let evs = [
+            ProbeEvent::Tx { node: 0, flow: 1, psn: 0, bytes: 1064 }.to_jsonl(100),
+            ProbeEvent::Retx { node: 0, flow: 1, psn: 0, bytes: 1064, cause: RetxCause::Ho }
+                .to_jsonl(900),
+            "garbage line".to_string(),
+        ];
+        let doc = spans_doc(evs.iter().map(String::as_str));
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("dcp-trace/v1"));
+        let packets = doc.get("packets").and_then(Json::as_arr).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].get("transmissions").and_then(Json::as_u64), Some(2));
+        let storm = doc.get("monitors").and_then(|m| m.get("retx_storm")).unwrap();
+        assert_eq!(storm.get("peak").and_then(Json::as_u64), Some(1));
+        assert!(Json::parse(&doc.render_pretty()).is_ok());
     }
 
     #[test]

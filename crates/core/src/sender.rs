@@ -14,6 +14,7 @@ use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use dcp_netsim::packet::{Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
+use dcp_netsim::RetxCause;
 use dcp_rdma::headers::DcpTag;
 use dcp_rdma::qp::{RetransEntry, WorkReqOp};
 use dcp_transport::cc::CongestionControl;
@@ -241,7 +242,8 @@ impl Endpoint for DcpSender {
         }
         // 1. Timeout-round retransmissions.
         while let Some((msn, psn)) = self.timeout_q.pop_front() {
-            if let Some(pkt) = self.build(msn, psn, true) {
+            if let Some(mut pkt) = self.build(msn, psn, true) {
+                pkt.retx_cause = RetxCause::Timeout;
                 self.stats.retx_pkts += 1;
                 self.cc.on_send(ctx.now, pkt.wire_bytes());
                 return Some(ctx.pool.insert(pkt));
@@ -250,7 +252,8 @@ impl Endpoint for DcpSender {
         // 2. Fetched HO-named retransmissions.
         while let Some(e) = self.fetched.pop_front() {
             self.maybe_fetch(ctx);
-            if let Some(pkt) = self.build(e.msn, e.psn, true) {
+            if let Some(mut pkt) = self.build(e.msn, e.psn, true) {
+                pkt.retx_cause = RetxCause::Ho;
                 self.stats.retx_pkts += 1;
                 self.cc.on_send(ctx.now, pkt.wire_bytes());
                 return Some(ctx.pool.insert(pkt));

@@ -125,7 +125,7 @@ impl Probe for RecoveryProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_telemetry::FaultKind;
+    use dcp_telemetry::{FaultKind, RetxCause};
 
     fn feed(tracker: &RecoveryTracker, events: &[(u64, ProbeEvent)]) {
         let mut probe = tracker.probe();
@@ -144,10 +144,37 @@ mod tests {
         feed(
             &t,
             &[
-                (50, ProbeEvent::Retx { node: 0, flow: 0, psn: 1, bytes: 1000 }), // pre-fault: ignored
+                (
+                    50,
+                    ProbeEvent::Retx {
+                        node: 0,
+                        flow: 0,
+                        psn: 1,
+                        bytes: 1000,
+                        cause: RetxCause::Timeout,
+                    },
+                ), // pre-fault: ignored
                 (200, ProbeEvent::Fault { node: 8, port: 4, kind: FaultKind::Link }),
-                (450, ProbeEvent::Retx { node: 0, flow: 0, psn: 2, bytes: 1000 }),
-                (500, ProbeEvent::Retx { node: 0, flow: 0, psn: 3, bytes: 1000 }),
+                (
+                    450,
+                    ProbeEvent::Retx {
+                        node: 0,
+                        flow: 0,
+                        psn: 2,
+                        bytes: 1000,
+                        cause: RetxCause::Timeout,
+                    },
+                ),
+                (
+                    500,
+                    ProbeEvent::Retx {
+                        node: 0,
+                        flow: 0,
+                        psn: 3,
+                        bytes: 1000,
+                        cause: RetxCause::Timeout,
+                    },
+                ),
             ],
         );
         assert_eq!(t.fault_at(), Some(200));

@@ -203,16 +203,23 @@ impl Host {
             let pulled = self.run_endpoint(ix, ctx, |ep, ectx| ep.pull(ectx));
             match pulled {
                 Some(pr) => {
-                    let (bytes, is_data, is_retx, flow, psn) = {
+                    let (bytes, is_data, is_retx, flow, psn, cause) = {
                         let pkt = &mut ctx.pool[pr];
                         pkt.sent_at = ctx.now;
-                        (pkt.wire_bytes(), pkt.is_data(), pkt.is_retx, pkt.flow.0, pkt.psn())
+                        (
+                            pkt.wire_bytes(),
+                            pkt.is_data(),
+                            pkt.is_retx,
+                            pkt.flow.0,
+                            pkt.psn(),
+                            pkt.retx_cause,
+                        )
                     };
                     if ctx.probe.is_some() && is_data {
                         let node = self.id.0;
                         let wire = bytes as u32;
                         if is_retx {
-                            ctx.emit(|| ProbeEvent::Retx { node, flow, psn, bytes: wire });
+                            ctx.emit(|| ProbeEvent::Retx { node, flow, psn, bytes: wire, cause });
                         } else {
                             ctx.emit(|| ProbeEvent::Tx { node, flow, psn, bytes: wire });
                         }

@@ -40,6 +40,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use dcp_telemetry::RetxCause;
 pub use endpoint::{deliver, pull_owned, Completion, CompletionKind, Endpoint, EndpointCtx};
 pub use equeue::EventQueue;
 pub use fault::{FaultPlane, FaultVerdict};

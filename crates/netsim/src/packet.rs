@@ -14,6 +14,7 @@
 use crate::time::Nanos;
 use dcp_rdma::headers::{DcpTag, PacketHeader, RdmaOpcode};
 use dcp_rdma::segment::PacketDescriptor;
+use dcp_telemetry::RetxCause;
 
 /// Identifies a flow (one RC connection) across the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -204,6 +205,10 @@ pub struct Packet {
     pub sent_at: Nanos,
     /// True for retransmitted copies.
     pub is_retx: bool,
+    /// For retransmitted copies, the transport signal that triggered the
+    /// recovery ([`RetxCause::Unknown`] on first transmissions) — stamped by
+    /// the deciding transport, reported on the wire-side `Retx` probe event.
+    pub retx_cause: RetxCause,
     /// Ingress port on the node currently holding the packet; maintained by
     /// the simulator for PFC ingress accounting. Kept as `u32` (not
     /// `PortId`/`usize`) to avoid four bytes of padding per packet.
@@ -269,6 +274,7 @@ mod tests {
             ext: PktExt::None,
             sent_at: 0,
             is_retx: false,
+            retx_cause: RetxCause::Unknown,
             ingress: 0,
         }
     }

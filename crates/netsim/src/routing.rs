@@ -181,6 +181,7 @@ mod tests {
             ext: PktExt::None,
             sent_at: 0,
             is_retx: false,
+            retx_cause: dcp_telemetry::RetxCause::Unknown,
             ingress: 0,
         }
     }

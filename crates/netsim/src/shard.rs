@@ -111,9 +111,10 @@ pub(crate) struct MailEntry {
 }
 
 /// Per-shard probe buffer: hot-path `record` calls append here and the
-/// engine drains buffers into the real probe at each window close, in shard
-/// index order — the same order whether a window ran serially or on worker
-/// threads.
+/// engine drains buffers into the real probe at each window close — merged
+/// by timestamp with a stable shard-index tie-break (see
+/// [`merge_probe_buffers`]), the same order whether a window ran serially
+/// or on worker threads.
 #[derive(Default)]
 pub(crate) struct BufProbe {
     pub(crate) buf: Vec<(Nanos, ProbeEvent)>,
@@ -557,16 +558,23 @@ impl Simulator {
         }
     }
 
-    /// Drains every shard's probe buffer into the real probe, in shard
-    /// index order — the canonical record order at a window close.
+    /// Drains every shard's probe buffer into the real probe in timestamp
+    /// order (stable shard-index tie-break) — the canonical record order at
+    /// a window close. Single-shard runs drain directly: their buffer is
+    /// already time-ordered.
     pub(crate) fn flush_probes_serial(&mut self) {
         let Some(m) = self.probe.as_mut() else { return };
         let probe = &mut **m.get_mut().unwrap();
-        for shard in &mut self.shards {
-            for (at, ev) in shard.bufp.buf.drain(..) {
+        if self.shards.len() == 1 {
+            for (at, ev) in self.shards[0].bufp.buf.drain(..) {
                 probe.record(at, &ev);
             }
+            return;
         }
+        for shard in &mut self.shards {
+            self.probe_merge.append(&mut shard.bufp.buf);
+        }
+        merge_probe_buffers(&mut self.probe_merge, probe);
     }
 
     /// The sharded run loop: serial micro-steps, escaping to parallel
@@ -876,6 +884,21 @@ impl Simulator {
     }
 }
 
+/// Delivers a shard-major concatenation of per-shard probe buffers to the
+/// real probe in timestamp order. A window's buffers are each internally
+/// time-sorted but the serial walk (and the worker split) visits shards one
+/// after another, so the concatenation interleaves out of order across
+/// shards; the *stable* sort restores global `at` order while ties keep
+/// shard-index-then-emission order — one canonical stream for every
+/// shard/worker configuration. The staging vector is caller-owned and
+/// reused window to window (drained empty here).
+pub(crate) fn merge_probe_buffers(staged: &mut Vec<(Nanos, ProbeEvent)>, probe: &mut dyn Probe) {
+    staged.sort_by_key(|e| e.0);
+    for (at, ev) in staged.drain(..) {
+        probe.record(at, &ev);
+    }
+}
+
 /// One worker's window loop; see [`Simulator::parallel_session`] docs.
 #[allow(clippy::too_many_arguments)]
 fn session_worker(
@@ -892,6 +915,7 @@ fn session_worker(
     lookahead: Nanos,
     stop_on_comps: bool,
 ) {
+    let mut staged: Vec<(Nanos, ProbeEvent)> = Vec::new();
     loop {
         // Phase A: walk every owned shard through the window.
         for (ix, shard) in group.iter_mut() {
@@ -911,17 +935,17 @@ fn session_worker(
             comp_len[*ix].store(shard.completions.len(), Ordering::Relaxed);
         }
         barrier.wait();
-        // Phase C: worker 0 drains the slots into the real probe in shard
-        // index order; then every worker computes the identical
-        // continue/stop decision from the published atomics.
+        // Phase C: worker 0 concatenates the slots in shard index order and
+        // merges them into the real probe by timestamp; then every worker
+        // computes the identical continue/stop decision from the published
+        // atomics.
         if let Some(m) = flush {
             if sh.probe_on {
                 let mut probe = m.lock().unwrap();
                 for slot in slots {
-                    for (at, ev) in slot.lock().unwrap().drain(..) {
-                        probe.record(at, &ev);
-                    }
+                    staged.append(&mut slot.lock().unwrap());
                 }
+                merge_probe_buffers(&mut staged, &mut **probe);
             }
         }
         let mut tmin = IDLE;

@@ -130,6 +130,9 @@ pub struct Simulator {
     pub(crate) serial_window: Option<SerialWindow>,
     /// Per-shard probe staging slots for parallel window sessions.
     pub(crate) probe_slots: Vec<Mutex<Vec<(Nanos, ProbeEvent)>>>,
+    /// Reused staging vector for the serial timestamp-merge of per-shard
+    /// probe buffers at window closes.
+    pub(crate) probe_merge: Vec<(Nanos, ProbeEvent)>,
     /// `n × n` cross-shard mailboxes, indexed `src * n + dst`.
     pub(crate) mail: Vec<Mutex<Vec<crate::shard::MailEntry>>>,
 }
@@ -156,6 +159,7 @@ impl Simulator {
             ctl_events: 0,
             serial_window: None,
             probe_slots: Vec::new(),
+            probe_merge: Vec::new(),
             mail: Vec::new(),
         }
     }
@@ -296,11 +300,19 @@ impl Simulator {
     /// Posts a Work Request on `flow`'s sender endpoint and kicks the NIC.
     pub fn post(&mut self, host: NodeId, flow: FlowId, wr_id: u64, op: WorkReqOp, len: u64) {
         let now = self.clock;
-        if let Some(m) = self.probe.as_mut() {
-            m.get_mut().unwrap().record(
-                now,
-                &ProbeEvent::MsgPosted { node: host.0, flow: flow.0, wr_id, bytes: len },
-            );
+        if self.probe.is_some() {
+            let ev = ProbeEvent::MsgPosted { node: host.0, flow: flow.0, wr_id, bytes: len };
+            if self.shards.len() == 1 {
+                if let Some(p) = self.probe.as_mut() {
+                    p.get_mut().unwrap().record(now, &ev);
+                }
+            } else {
+                // Sharded: stage into the owning shard's buffer so the event
+                // lands in timestamp order at the next window-close merge
+                // (a direct record could jump buffered earlier events).
+                let s = self.shard_of(host);
+                self.shards[s].bufp.record(now, &ev);
+            }
         }
         self.host_mut(host).post(flow, wr_id, op, len);
         self.kick(host);
@@ -359,17 +371,28 @@ impl Simulator {
     /// with exclusive access to everything).
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut Node, &mut NodeCtx)) {
         let s = self.shard_of(id);
+        let sharded = self.shards.len() > 1;
         let mut node = std::mem::replace(&mut self.nodes[id.0 as usize], Node::Empty);
         let shard = &mut self.shards[s];
         let mut out = std::mem::take(&mut shard.scratch);
         {
+            // Sharded runs stage emissions into the shard's probe buffer
+            // (merged by timestamp at the next window close) so a serial
+            // control-path call between or inside windows cannot interleave
+            // records out of order with buffered hot-path events; a
+            // single-shard run records straight into the probe, as ever.
+            let probe: Option<&mut (dyn Probe + 'static)> = match &mut self.probe {
+                Some(_) if sharded => Some(&mut shard.bufp),
+                Some(m) => Some(&mut **m.get_mut().unwrap()),
+                None => None,
+            };
             let mut ctx = NodeCtx {
                 now: self.clock,
                 pool: &mut shard.pool,
                 rng: &mut shard.rng,
                 out: &mut out,
                 completions: &mut shard.completions,
-                probe: self.probe.as_mut().map(|m| &mut **m.get_mut().unwrap()),
+                probe,
             };
             f(&mut node, &mut ctx);
         }

@@ -77,6 +77,7 @@ impl Endpoint for Blaster {
             ext: PktExt::None,
             sent_at: 0,
             is_retx: false,
+            retx_cause: dcp_netsim::RetxCause::Unknown,
             ingress: 0,
         }))
     }

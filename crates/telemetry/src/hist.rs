@@ -151,6 +151,14 @@ impl LogHistogram {
         self.sum += o.sum;
     }
 
+    /// Samples strictly above `v`, at bucket granularity: samples that
+    /// landed in `v`'s own bucket count as *not* above — the same
+    /// quantization rule the percentile queries use. Exact when `v` is a
+    /// bucket edge (always, below `2^sub_bits`).
+    pub fn count_above(&self, v: u64) -> u64 {
+        self.counts[self.index(v) + 1..].iter().sum()
+    }
+
     /// Non-empty `(bucket_low, bucket_high, count)` triples, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.counts
@@ -210,6 +218,24 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 63);
         assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn count_above_is_exact_at_bucket_edges() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 2, 3, 10, 63] {
+            h.record(v);
+        }
+        // Below 2^sub_bits every value is its own bucket: exact everywhere.
+        assert_eq!(h.count_above(0), 5);
+        assert_eq!(h.count_above(3), 2);
+        assert_eq!(h.count_above(63), 0);
+        // Tail mass above a threshold in the log region.
+        let mut big = LogHistogram::default();
+        big.record_n(100, 99);
+        big.record_n(1 << 30, 1);
+        assert_eq!(big.count_above(1 << 20), 1);
+        assert_eq!(big.count_above(u64::MAX), 0);
     }
 
     #[test]
@@ -323,5 +349,106 @@ mod tests {
         assert_eq!(a.count(), b.count());
         assert_eq!(a.value_at_percentile(50.0), b.value_at_percentile(50.0));
         assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LogHistogram::default();
+        for v in [3u64, 900, 70_000] {
+            a.record(v);
+        }
+        let snapshot = (a.count(), a.min(), a.max(), a.p50_p99_p999(), a.mean());
+        // Empty into populated: nothing changes.
+        a.merge(&LogHistogram::default());
+        assert_eq!((a.count(), a.min(), a.max(), a.p50_p99_p999(), a.mean()), snapshot);
+        // Populated into empty: the result is the populated histogram —
+        // in particular the empty side's min sentinel must not leak.
+        let mut e = LogHistogram::default();
+        e.merge(&a);
+        assert_eq!((e.count(), e.min(), e.max(), e.p50_p99_p999(), e.mean()), snapshot);
+        // Empty into empty stays calm.
+        let mut z = LogHistogram::default();
+        z.merge(&LogHistogram::default());
+        assert!(z.is_empty());
+        assert_eq!((z.min(), z.max(), z.value_at_percentile(99.9)), (0, 0, 0));
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_covers_both() {
+        // One histogram entirely below the other: the merge's percentiles
+        // must walk from the low range into the high one at the right rank.
+        let mut lo = LogHistogram::default();
+        let mut hi = LogHistogram::default();
+        for v in 0..90u64 {
+            lo.record(v); // 90 samples in [0, 90)
+        }
+        for v in 0..10u64 {
+            hi.record(1 << 40 | v); // 10 samples around 2^40
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 100);
+        assert_eq!(lo.min(), 0);
+        assert_eq!(lo.max(), (1 << 40) | 9);
+        // p50 stays in the low range; p99+ lands in the high range.
+        assert!(lo.value_at_percentile(50.0) < 90);
+        assert!(lo.value_at_percentile(99.0) >= 1 << 40);
+        assert!(lo.value_at_percentile(99.9) >= 1 << 40);
+        // Bucket triples are ascending and disjoint across the gap.
+        let buckets = lo.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 100);
+        for w in buckets.windows(2) {
+            assert!(w[0].1 < w[1].0, "buckets must stay ordered: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram resolutions differ")]
+    fn merge_refuses_mismatched_resolution() {
+        let mut a = LogHistogram::new(6);
+        a.merge(&LogHistogram::new(8));
+    }
+
+    #[test]
+    fn p999_on_single_bucket_data_is_that_bucket() {
+        // All mass in one bucket: every percentile (p0.1 through p99.9)
+        // must report the same value — the exact one, thanks to min/max
+        // clamping, even for a coarse 1-sub-bit histogram.
+        for sub_bits in [1, DEFAULT_SUB_BITS, 16] {
+            let mut h = LogHistogram::new(sub_bits);
+            h.record_n(123_457, 100_000);
+            for p in [0.1, 50.0, 99.0, 99.9, 100.0] {
+                assert_eq!(h.value_at_percentile(p), 123_457, "sub_bits={sub_bits} p={p}");
+            }
+            assert_eq!(h.p50_p99_p999(), (123_457, 123_457, 123_457));
+        }
+        // A single *sample* is its own p99.9 too.
+        let mut one = LogHistogram::default();
+        one.record(7);
+        assert_eq!(one.p50_p99_p999(), (7, 7, 7));
+    }
+
+    #[test]
+    fn extreme_values_saturate_without_overflow() {
+        // u64::MAX must land in the last bucket (not index out of bounds),
+        // survive a merge, and report exactly through the max clamp; the
+        // running sum must not wrap even with many maximal samples.
+        let mut h = LogHistogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record_n(u64::MAX, 1000);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.value_at_percentile(100.0), u64::MAX);
+        assert_eq!(h.value_at_percentile(99.9), u64::MAX);
+        assert!(h.mean() > u64::MAX as f64 * 0.99);
+        let mut other = LogHistogram::default();
+        other.record(0);
+        other.merge(&h);
+        assert_eq!(other.min(), 0);
+        assert_eq!(other.max(), u64::MAX);
+        // The finest resolution exercises the largest bucket table.
+        let mut fine = LogHistogram::new(16);
+        fine.record(u64::MAX);
+        assert_eq!(fine.value_at_percentile(50.0), u64::MAX);
     }
 }

@@ -383,13 +383,29 @@ impl Parser<'_> {
                         _ => return Err(format!("bad escape at offset {}", self.i)),
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.b[self.i..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.i += c.len_utf8();
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                Some(lead) => {
+                    // Consume one multi-byte UTF-8 character: validate only
+                    // its own bytes, never the remaining input (an
+                    // O(rest-of-document) check per character turns parsing
+                    // quadratic on megabyte documents).
+                    let len = match lead {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err("invalid UTF-8 in string".into()),
+                    };
+                    let end = self.i + len;
+                    let chunk = self
+                        .b
+                        .get(self.i..end)
+                        .and_then(|w| std::str::from_utf8(w).ok())
+                        .ok_or("invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                    self.i = end;
                 }
             }
         }

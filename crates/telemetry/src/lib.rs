@@ -30,7 +30,7 @@ pub mod recorder;
 pub use hist::LogHistogram;
 pub use json::Json;
 pub use probe::{
-    CountingProbe, DropClass, EventKind, Fanout, FaultKind, NullProbe, Probe, ProbeEvent,
-    QueueClass,
+    CountingProbe, DropClass, EventKind, Fanout, FaultKind, KindMask, NullProbe, Probe, ProbeEvent,
+    QueueClass, RetxCause,
 };
 pub use recorder::{EventLog, FlightRecorder};

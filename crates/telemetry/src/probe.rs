@@ -23,6 +23,14 @@ impl QueueClass {
             QueueClass::Ctrl => "ctrl",
         }
     }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "data" => QueueClass::Data,
+            "ctrl" => QueueClass::Ctrl,
+            _ => return None,
+        })
+    }
 }
 
 /// Why a packet died at a switch.
@@ -51,6 +59,17 @@ impl DropClass {
             DropClass::Buffer => "buffer",
             DropClass::Fault => "fault",
         }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "data" => DropClass::Data,
+            "ho" => DropClass::HeaderOnly,
+            "ack" => DropClass::Ack,
+            "buffer" => DropClass::Buffer,
+            "fault" => DropClass::Fault,
+            _ => return None,
+        })
     }
 }
 
@@ -81,6 +100,72 @@ impl FaultKind {
             FaultKind::PauseStorm => "pause_storm",
         }
     }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "link" => FaultKind::Link,
+            "degrade" => FaultKind::Degrade,
+            "switch" => FaultKind::Switch,
+            "loss_model" => FaultKind::LossModel,
+            "pause_storm" => FaultKind::PauseStorm,
+            _ => return None,
+        })
+    }
+}
+
+/// *Why* a retransmitted copy went back on the wire. Annotated by the
+/// transport that decided to retransmit and carried on the packet, so a
+/// trace attributes every recovery to its trigger — the attribution
+/// SDR-RDMA leans on to compare reliability modes, and the signal the
+/// retx-storm monitor groups by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RetxCause {
+    /// First transmission, or a transport that does not annotate.
+    Unknown,
+    /// A header-only loss notification named the PSN (DCP precise repeat).
+    Ho,
+    /// An explicit NAK rewound the window (go-back-N).
+    Nack,
+    /// A SACK gap marked the PSN lost (IRN-style selective repeat).
+    Sack,
+    /// The RACK reordering timer expired past the PSN.
+    Rack,
+    /// Duplicate ACKs crossed the fast-retransmit threshold.
+    DupAck,
+    /// A tail-loss-probe timer fired (probe transmission).
+    Tlp,
+    /// The retransmission timeout fired (last resort).
+    Timeout,
+}
+
+impl RetxCause {
+    pub fn name(self) -> &'static str {
+        match self {
+            RetxCause::Unknown => "unknown",
+            RetxCause::Ho => "ho",
+            RetxCause::Nack => "nack",
+            RetxCause::Sack => "sack",
+            RetxCause::Rack => "rack",
+            RetxCause::DupAck => "dup_ack",
+            RetxCause::Tlp => "tlp",
+            RetxCause::Timeout => "timeout",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "unknown" => RetxCause::Unknown,
+            "ho" => RetxCause::Ho,
+            "nack" => RetxCause::Nack,
+            "sack" => RetxCause::Sack,
+            "rack" => RetxCause::Rack,
+            "dup_ack" => RetxCause::DupAck,
+            "tlp" => RetxCause::Tlp,
+            "timeout" => RetxCause::Timeout,
+            _ => return None,
+        })
+    }
 }
 
 /// One observable event on a hot path. Every variant carries enough
@@ -104,8 +189,9 @@ pub enum ProbeEvent {
     PfcResume { node: u32, port: u32 },
     /// A host NIC put a first-transmission data/control packet on the wire.
     Tx { node: u32, flow: u32, psn: u32, bytes: u32 },
-    /// A host NIC put a *retransmitted* copy on the wire.
-    Retx { node: u32, flow: u32, psn: u32, bytes: u32 },
+    /// A host NIC put a *retransmitted* copy on the wire; `cause` names the
+    /// transport signal that triggered the recovery.
+    Retx { node: u32, flow: u32, psn: u32, bytes: u32, cause: RetxCause },
     /// A transport retransmission timeout fired.
     Timeout { node: u32, flow: u32 },
     /// A sender received a header-only loss notification.
@@ -190,6 +276,65 @@ impl EventKind {
             EventKind::FaultCleared => "fault_cleared",
         }
     }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// A subscription bitmask over [`EventKind`]s. Heavy probes declare the
+/// kinds they consume via [`Probe::interest`]; [`Fanout`] tests the mask
+/// before dispatching, so a span builder that ignores PFC frames never pays
+/// a virtual call (let alone a match) for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindMask(pub u32);
+
+impl KindMask {
+    /// Subscribes to every kind (the default for existing probes).
+    pub const ALL: KindMask = KindMask((1 << EventKind::COUNT as u32) - 1);
+    /// Subscribes to nothing.
+    pub const NONE: KindMask = KindMask(0);
+
+    /// A mask of exactly one kind.
+    pub const fn only(kind: EventKind) -> KindMask {
+        KindMask(1 << kind as u32)
+    }
+
+    /// A mask of several kinds.
+    pub const fn of(kinds: &[EventKind]) -> KindMask {
+        let mut bits = 0u32;
+        let mut i = 0;
+        while i < kinds.len() {
+            bits |= 1 << kinds[i] as u32;
+            i += 1;
+        }
+        KindMask(bits)
+    }
+
+    #[must_use]
+    pub const fn with(self, kind: EventKind) -> KindMask {
+        KindMask(self.0 | (1 << kind as u32))
+    }
+
+    #[must_use]
+    pub const fn union(self, other: KindMask) -> KindMask {
+        KindMask(self.0 | other.0)
+    }
+
+    #[inline]
+    pub const fn contains(self, kind: EventKind) -> bool {
+        self.0 & (1 << kind as u32) != 0
+    }
+
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for KindMask {
+    fn default() -> Self {
+        KindMask::ALL
+    }
 }
 
 impl ProbeEvent {
@@ -239,9 +384,14 @@ impl ProbeEvent {
             ProbeEvent::PfcPause { node, port } | ProbeEvent::PfcResume { node, port } => {
                 format!("{},\"port\":{port}}}", head(node))
             }
-            ProbeEvent::Tx { node, flow, psn, bytes } | ProbeEvent::Retx { node, flow, psn, bytes } => {
+            ProbeEvent::Tx { node, flow, psn, bytes } => {
                 format!("{},\"flow\":{flow},\"psn\":{psn},\"bytes\":{bytes}}}", head(node))
             }
+            ProbeEvent::Retx { node, flow, psn, bytes, cause } => format!(
+                "{},\"flow\":{flow},\"psn\":{psn},\"bytes\":{bytes},\"cause\":\"{}\"}}",
+                head(node),
+                cause.name()
+            ),
             ProbeEvent::Timeout { node, flow }
             | ProbeEvent::HoReceived { node, flow }
             | ProbeEvent::Duplicate { node, flow } => {
@@ -258,6 +408,77 @@ impl ProbeEvent {
             }
         }
     }
+
+    /// Inverse of [`ProbeEvent::to_jsonl`]: rebuilds `(at, event)` from one
+    /// parsed trace line, so offline tools (`dcp_trace`, the span builder's
+    /// file path) consume exactly what `--trace-out` wrote. Returns `None`
+    /// for lines that are not probe events (unknown `ev`, missing fields).
+    pub fn from_json(v: &crate::json::Json) -> Option<(u64, ProbeEvent)> {
+        use crate::json::Json;
+        let at = v.get("at").and_then(Json::as_u64)?;
+        let kind = EventKind::from_name(v.get("ev").and_then(Json::as_str)?)?;
+        let u = |key: &str| v.get(key).and_then(Json::as_u64).map(|x| x as u32);
+        let node = u("node")?;
+        let ev = match kind {
+            EventKind::Enqueue | EventKind::Dequeue => {
+                let queue = QueueClass::from_name(v.get("queue").and_then(Json::as_str)?)?;
+                let (port, flow, psn, bytes) = (u("port")?, u("flow")?, u("psn")?, u("bytes")?);
+                if kind == EventKind::Enqueue {
+                    ProbeEvent::Enqueue { node, port, queue, flow, psn, bytes }
+                } else {
+                    ProbeEvent::Dequeue { node, port, queue, flow, psn, bytes }
+                }
+            }
+            EventKind::Trim => {
+                ProbeEvent::Trim { node, port: u("port")?, flow: u("flow")?, psn: u("psn")? }
+            }
+            EventKind::Drop => ProbeEvent::Drop {
+                node,
+                port: u("port")?,
+                flow: u("flow")?,
+                psn: u("psn")?,
+                class: DropClass::from_name(v.get("class").and_then(Json::as_str)?)?,
+            },
+            EventKind::EcnMark => {
+                ProbeEvent::EcnMark { node, port: u("port")?, flow: u("flow")?, psn: u("psn")? }
+            }
+            EventKind::PfcPause => ProbeEvent::PfcPause { node, port: u("port")? },
+            EventKind::PfcResume => ProbeEvent::PfcResume { node, port: u("port")? },
+            EventKind::Tx => {
+                ProbeEvent::Tx { node, flow: u("flow")?, psn: u("psn")?, bytes: u("bytes")? }
+            }
+            EventKind::Retx => ProbeEvent::Retx {
+                node,
+                flow: u("flow")?,
+                psn: u("psn")?,
+                bytes: u("bytes")?,
+                cause: RetxCause::from_name(v.get("cause").and_then(Json::as_str)?)?,
+            },
+            EventKind::Timeout => ProbeEvent::Timeout { node, flow: u("flow")? },
+            EventKind::HoReceived => ProbeEvent::HoReceived { node, flow: u("flow")? },
+            EventKind::Duplicate => ProbeEvent::Duplicate { node, flow: u("flow")? },
+            EventKind::MsgPosted | EventKind::Delivery => {
+                let flow = u("flow")?;
+                let wr_id = v.get("wr_id").and_then(Json::as_u64)?;
+                let bytes = v.get("bytes").and_then(Json::as_u64)?;
+                if kind == EventKind::MsgPosted {
+                    ProbeEvent::MsgPosted { node, flow, wr_id, bytes }
+                } else {
+                    ProbeEvent::Delivery { node, flow, wr_id, bytes }
+                }
+            }
+            EventKind::Fault | EventKind::FaultCleared => {
+                let port = u("port")?;
+                let fk = FaultKind::from_name(v.get("kind").and_then(Json::as_str)?)?;
+                if kind == EventKind::Fault {
+                    ProbeEvent::Fault { node, port, kind: fk }
+                } else {
+                    ProbeEvent::FaultCleared { node, port, kind: fk }
+                }
+            }
+        };
+        Some((at, ev))
+    }
 }
 
 /// A consumer of probe events. Implementations must be passive observers:
@@ -267,6 +488,16 @@ impl ProbeEvent {
 pub trait Probe: Send {
     /// Called from the hot paths with the simulation time and the event.
     fn record(&mut self, at: u64, ev: &ProbeEvent);
+
+    /// The event kinds this probe consumes. [`Fanout`] (and any other
+    /// dispatcher) may skip `record` entirely for kinds outside the mask,
+    /// so heavy consumers subscribing to a subset pay nothing for the rest.
+    /// The default subscribes to everything — existing probes are
+    /// unaffected. Must be constant for the probe's lifetime (dispatchers
+    /// cache it at installation).
+    fn interest(&self) -> KindMask {
+        KindMask::ALL
+    }
 
     /// Human-readable dump of whatever the probe retains (ring contents,
     /// counters), used when a run is aborted mid-flight. `None` means the
@@ -326,29 +557,45 @@ impl Probe for CountingProbe {
     }
 }
 
-/// Feeds every event to several probes in order (e.g. a flight recorder
-/// plus a JSONL trace writer in one run).
+/// Feeds events to several probes in order (e.g. a flight recorder plus a
+/// JSONL trace writer in one run), honoring each probe's
+/// [`Probe::interest`] mask: the kind is computed once per event and tested
+/// against the cached mask before the virtual call, so subscribing a
+/// narrow consumer next to a broad one costs the narrow one one AND per
+/// event it skips.
 #[derive(Default)]
 pub struct Fanout {
-    pub probes: Vec<Box<dyn Probe>>,
+    entries: Vec<(KindMask, Box<dyn Probe>)>,
 }
 
 impl Fanout {
     pub fn new(probes: Vec<Box<dyn Probe>>) -> Self {
-        Fanout { probes }
+        Fanout { entries: probes.into_iter().map(|p| (p.interest(), p)).collect() }
+    }
+
+    /// The installed probes, in dispatch order (masks stay cached).
+    pub fn probes(&self) -> impl Iterator<Item = &dyn Probe> {
+        self.entries.iter().map(|(_, p)| p.as_ref() as &dyn Probe)
     }
 }
 
 impl Probe for Fanout {
     #[inline]
     fn record(&mut self, at: u64, ev: &ProbeEvent) {
-        for p in &mut self.probes {
-            p.record(at, ev);
+        let kind = ev.kind();
+        for (mask, p) in &mut self.entries {
+            if mask.contains(kind) {
+                p.record(at, ev);
+            }
         }
     }
 
+    fn interest(&self) -> KindMask {
+        self.entries.iter().fold(KindMask::NONE, |m, (k, _)| m.union(*k))
+    }
+
     fn dump(&self) -> Option<String> {
-        let parts: Vec<String> = self.probes.iter().filter_map(|p| p.dump()).collect();
+        let parts: Vec<String> = self.entries.iter().filter_map(|(_, p)| p.dump()).collect();
         if parts.is_empty() {
             None
         } else {
@@ -358,7 +605,7 @@ impl Probe for Fanout {
 
     fn drain_jsonl(&mut self) -> Vec<String> {
         let mut out = Vec::new();
-        for p in &mut self.probes {
+        for (_, p) in &mut self.entries {
             out.extend(p.drain_jsonl());
         }
         out
@@ -394,7 +641,7 @@ mod tests {
             ProbeEvent::PfcPause { node: 0, port: 1 },
             ProbeEvent::PfcResume { node: 0, port: 1 },
             ProbeEvent::Tx { node: 0, flow: 2, psn: 3, bytes: 4 },
-            ProbeEvent::Retx { node: 0, flow: 2, psn: 3, bytes: 4 },
+            ProbeEvent::Retx { node: 0, flow: 2, psn: 3, bytes: 4, cause: RetxCause::Ho },
             ProbeEvent::Timeout { node: 0, flow: 2 },
             ProbeEvent::HoReceived { node: 0, flow: 2 },
             ProbeEvent::Duplicate { node: 0, flow: 2 },
@@ -431,6 +678,7 @@ mod tests {
             ProbeEvent::Delivery { node: 1, flow: 3, wr_id: 0, bytes: 1 << 20 },
             ProbeEvent::PfcPause { node: 9, port: 0 },
             ProbeEvent::Drop { node: 1, port: 2, flow: 3, psn: 4, class: DropClass::Fault },
+            ProbeEvent::Retx { node: 1, flow: 3, psn: 4, bytes: 1098, cause: RetxCause::Sack },
             ProbeEvent::Fault { node: 4, port: 9, kind: FaultKind::LossModel },
             ProbeEvent::FaultCleared { node: 4, port: 9, kind: FaultKind::PauseStorm },
         ];
@@ -444,6 +692,94 @@ mod tests {
                 "{line}"
             );
         }
+    }
+
+    /// Every variant must survive a to_jsonl → parse → from_json roundtrip
+    /// unchanged — the contract that lets offline tools rebuild spans from
+    /// a `--trace-out` capture instead of needing an in-process probe.
+    #[test]
+    fn jsonl_roundtrips_through_from_json() {
+        let evs = [
+            ProbeEvent::Enqueue {
+                node: 7,
+                port: 1,
+                queue: QueueClass::Data,
+                flow: 2,
+                psn: 3,
+                bytes: 4,
+            },
+            ProbeEvent::Dequeue {
+                node: 7,
+                port: 1,
+                queue: QueueClass::Ctrl,
+                flow: 2,
+                psn: 3,
+                bytes: 4,
+            },
+            ProbeEvent::Trim { node: 0, port: 1, flow: 2, psn: 3 },
+            ProbeEvent::Drop { node: 0, port: 1, flow: 2, psn: 3, class: DropClass::Buffer },
+            ProbeEvent::EcnMark { node: 0, port: 1, flow: 2, psn: 3 },
+            ProbeEvent::PfcPause { node: 0, port: 1 },
+            ProbeEvent::PfcResume { node: 0, port: 1 },
+            ProbeEvent::Tx { node: 0, flow: 2, psn: 3, bytes: 4 },
+            ProbeEvent::Retx { node: 0, flow: 2, psn: 3, bytes: 4, cause: RetxCause::Rack },
+            ProbeEvent::Timeout { node: 0, flow: 2 },
+            ProbeEvent::HoReceived { node: 0, flow: 2 },
+            ProbeEvent::Duplicate { node: 0, flow: 2 },
+            ProbeEvent::MsgPosted { node: 0, flow: 2, wr_id: 9, bytes: 1 << 40 },
+            ProbeEvent::Delivery { node: 0, flow: 2, wr_id: 9, bytes: 1 << 40 },
+            ProbeEvent::Fault { node: 0, port: 1, kind: FaultKind::Link },
+            ProbeEvent::FaultCleared { node: 0, port: 1, kind: FaultKind::Switch },
+        ];
+        assert_eq!(evs.len(), EventKind::COUNT);
+        for e in evs {
+            let v = crate::json::Json::parse(&e.to_jsonl(42)).unwrap();
+            assert_eq!(ProbeEvent::from_json(&v), Some((42, e)));
+        }
+        assert_eq!(ProbeEvent::from_json(&crate::json::Json::obj()), None);
+    }
+
+    #[test]
+    fn kind_mask_selects_kinds() {
+        let m = KindMask::of(&[EventKind::Retx, EventKind::Delivery]);
+        assert!(m.contains(EventKind::Retx));
+        assert!(m.contains(EventKind::Delivery));
+        assert!(!m.contains(EventKind::Tx));
+        assert!(KindMask::NONE.is_empty());
+        for k in EventKind::ALL {
+            assert!(KindMask::ALL.contains(k));
+            assert!(KindMask::only(k).contains(k));
+        }
+        assert_eq!(m.union(KindMask::only(EventKind::Tx)).0, m.with(EventKind::Tx).0);
+    }
+
+    /// A filtering consumer inside a `Fanout` must see only its subscribed
+    /// kinds, while an unrestricted sibling still sees everything.
+    #[test]
+    fn fanout_honors_interest_masks() {
+        struct RetxOnly(CountingProbe);
+        impl Probe for RetxOnly {
+            fn record(&mut self, at: u64, ev: &ProbeEvent) {
+                self.0.record(at, ev);
+            }
+            fn interest(&self) -> KindMask {
+                KindMask::only(EventKind::Retx)
+            }
+            fn dump(&self) -> Option<String> {
+                Some(format!("retx_only={}", self.0.total()))
+            }
+        }
+        let mut f = Fanout::new(vec![
+            Box::new(RetxOnly(CountingProbe::default())),
+            Box::new(CountingProbe::default()),
+        ]);
+        f.record(1, &ProbeEvent::Timeout { node: 0, flow: 1 });
+        f.record(2, &ProbeEvent::Retx { node: 0, flow: 1, psn: 0, bytes: 4, cause: RetxCause::Ho });
+        f.record(3, &ProbeEvent::Tx { node: 0, flow: 1, psn: 1, bytes: 4 });
+        let dump = f.dump().unwrap();
+        assert!(dump.contains("retx_only=1"), "{dump}");
+        assert!(dump.contains("timeout=1") && dump.contains("tx=1"), "{dump}");
+        assert_eq!(f.interest(), KindMask::ALL);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use dcp_netsim::packet::{FlowId, NodeId, Packet, PktDesc, PktExt};
 use dcp_netsim::time::Nanos;
+use dcp_netsim::RetxCause;
 use dcp_rdma::headers::*;
 use dcp_rdma::memory::{Mtt, PatternGen};
 use dcp_rdma::qp::{Qpn, SendWqe, WorkReqOp};
@@ -230,6 +231,9 @@ pub fn data_packet(
         ext: PktExt::None,
         sent_at: 0,
         is_retx,
+        // First transmissions stay Unknown; retransmitting transports stamp
+        // the triggering signal on the built packet (see each `pull`).
+        retx_cause: RetxCause::Unknown,
         ingress: 0,
     }
 }
@@ -264,6 +268,7 @@ pub fn ack_packet(cfg: &FlowCfg, ext: PktExt, emsn: u32, uid: u64) -> Packet {
         ext,
         sent_at: 0,
         is_retx: false,
+        retx_cause: RetxCause::Unknown,
         ingress: 0,
     }
 }

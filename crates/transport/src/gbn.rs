@@ -15,6 +15,7 @@ use dcp_netsim::packet::{Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
+use dcp_netsim::RetxCause;
 use dcp_rdma::qp::WorkReqOp;
 use std::collections::VecDeque;
 
@@ -45,6 +46,9 @@ pub struct GbnSender {
     snd_nxt: u32,
     /// Highest PSN ever sent + 1 (for retransmission detection).
     max_sent: u32,
+    /// Signal behind the most recent rewind; stamped on every packet the
+    /// rewind causes to be resent (GBN resends whole windows per episode).
+    retx_cause: RetxCause,
     rto_gen: u64,
     rto_armed: bool,
     pace_armed: bool,
@@ -63,6 +67,7 @@ impl GbnSender {
             snd_una: 0,
             snd_nxt: 0,
             max_sent: 0,
+            retx_cause: RetxCause::Unknown,
             rto_gen: 0,
             rto_armed: false,
             pace_armed: false,
@@ -127,6 +132,7 @@ impl Endpoint for GbnSender {
                     self.retire(epsn, ctx);
                 }
                 self.snd_nxt = self.snd_una;
+                self.retx_cause = RetxCause::Nack;
                 self.arm_rto(ctx);
             }
             PktExt::Cnp => {
@@ -146,6 +152,7 @@ impl Endpoint for GbnSender {
                 {
                     self.stats.timeouts += 1;
                     self.snd_nxt = self.snd_una;
+                    self.retx_cause = RetxCause::Timeout;
                     self.arm_rto(ctx);
                 }
             }
@@ -188,7 +195,10 @@ impl Endpoint for GbnSender {
         let desc = desc_at(&m, self.cfg.mtu, psn);
         let is_retx = psn < self.max_sent;
         self.uid += 1;
-        let pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        let mut pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        if is_retx {
+            pkt.retx_cause = self.retx_cause;
+        }
         self.snd_nxt += 1;
         self.max_sent = self.max_sent.max(self.snd_nxt);
         if is_retx {

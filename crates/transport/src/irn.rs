@@ -21,6 +21,7 @@ use dcp_netsim::packet::{Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
+use dcp_netsim::RetxCause;
 use dcp_rdma::qp::WorkReqOp;
 use std::collections::{BTreeSet, VecDeque};
 
@@ -51,8 +52,8 @@ pub struct IrnSender {
     sacked: BTreeSet<u32>,
     in_recovery: bool,
     recovery_point: u32,
-    /// PSNs queued for retransmission.
-    retx_q: VecDeque<u32>,
+    /// PSNs queued for retransmission, with the signal that queued them.
+    retx_q: VecDeque<(u32, RetxCause)>,
     /// PSNs already retransmitted in this recovery episode ("the sender
     /// enters the loss recovery mode only once", §2.2).
     retx_done: BTreeSet<u32>,
@@ -144,7 +145,7 @@ impl IrnSender {
         let Some(&hi) = self.sacked.last() else { return };
         for psn in self.snd_una..hi {
             if !self.sacked.contains(&psn) && self.retx_done.insert(psn) {
-                self.retx_q.push_back(psn);
+                self.retx_q.push_back((psn, RetxCause::Sack));
             }
         }
     }
@@ -203,7 +204,7 @@ impl Endpoint for IrnSender {
                     self.retx_q.clear();
                     for psn in self.snd_una..self.snd_nxt {
                         if !self.sacked.contains(&psn) {
-                            self.retx_q.push_back(psn);
+                            self.retx_q.push_back((psn, RetxCause::Timeout));
                             self.retx_done.insert(psn);
                         }
                     }
@@ -236,11 +237,12 @@ impl Endpoint for IrnSender {
             return None;
         }
         // Retransmissions first (they occupy already-granted window).
-        while let Some(psn) = self.retx_q.pop_front() {
+        while let Some((psn, cause)) = self.retx_q.pop_front() {
             if psn < self.snd_una || self.sacked.contains(&psn) {
                 continue; // already made it
             }
-            let pkt = self.build(psn, true);
+            let mut pkt = self.build(psn, true);
+            pkt.retx_cause = cause;
             self.stats.retx_pkts += 1;
             self.cc.on_send(ctx.now, pkt.wire_bytes());
             if !self.rto_armed {

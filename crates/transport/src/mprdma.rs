@@ -21,6 +21,7 @@ use dcp_netsim::packet::{Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
+use dcp_netsim::RetxCause;
 use dcp_rdma::qp::WorkReqOp;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -201,6 +202,10 @@ impl Endpoint for MpRdmaSender {
         let is_retx = psn < self.max_sent;
         self.uid += 1;
         let mut pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        if is_retx {
+            // Recovery is timeout + go-back-N: any resend traces to an RTO.
+            pkt.retx_cause = RetxCause::Timeout;
+        }
         // Virtual path = ECMP entropy: distinct UDP source port per path.
         pkt.header.udp.src_port = self.cfg.sport.wrapping_add(path);
         self.snd_nxt += 1;

@@ -20,6 +20,7 @@ use dcp_netsim::packet::PktExt;
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
+use dcp_netsim::RetxCause;
 use dcp_rdma::qp::WorkReqOp;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -76,7 +77,7 @@ pub struct RackSender {
     rtt: RttEstimator,
     /// Most recent transmit time among delivered packets (RACK.xmit_ts).
     rack_xmit: Nanos,
-    retx_q: VecDeque<u32>,
+    retx_q: VecDeque<(u32, RetxCause)>,
     probe_gen: u64,
     rto_gen: u64,
     rto_armed: bool,
@@ -159,7 +160,7 @@ impl RackSender {
             .collect();
         for p in lost {
             self.outstanding.remove(&p);
-            self.retx_q.push_back(p);
+            self.retx_q.push_back((p, RetxCause::Rack));
         }
     }
 
@@ -231,8 +232,8 @@ impl Endpoint for RackSender {
                     if self.dup_acks >= 2 {
                         self.dup_acks = 0;
                         self.outstanding.remove(&epsn);
-                        if !self.retx_q.contains(&epsn) {
-                            self.retx_q.push_front(epsn);
+                        if !self.retx_q.iter().any(|e| e.0 == epsn) {
+                            self.retx_q.push_front((epsn, RetxCause::DupAck));
                         }
                     }
                 }
@@ -266,7 +267,7 @@ impl Endpoint for RackSender {
                     // Tail loss probe: resend the highest outstanding PSN.
                     if let Some((&psn, _)) = self.outstanding.iter().next_back() {
                         self.outstanding.remove(&psn);
-                        self.retx_q.push_back(psn);
+                        self.retx_q.push_back((psn, RetxCause::Tlp));
                     }
                     self.arm_probe(ctx);
                 }
@@ -280,7 +281,7 @@ impl Endpoint for RackSender {
                     let all: Vec<u32> = self.outstanding.keys().copied().collect();
                     for p in all {
                         self.outstanding.remove(&p);
-                        self.retx_q.push_back(p);
+                        self.retx_q.push_back((p, RetxCause::Timeout));
                     }
                     // An expired round restarts its own clock; `arm_probe`
                     // alone must not, or probes would starve the fallback.
@@ -302,7 +303,7 @@ impl Endpoint for RackSender {
             }
             return None;
         }
-        while let Some(psn) = self.retx_q.pop_front() {
+        while let Some((psn, cause)) = self.retx_q.pop_front() {
             if psn < self.snd_una {
                 continue;
             }
@@ -310,7 +311,8 @@ impl Endpoint for RackSender {
             let m = *m;
             let desc = desc_at(&m, self.cfg.mtu, psn);
             self.uid += 1;
-            let pkt = data_packet(&self.cfg, &m, desc, psn, 0, true, self.uid);
+            let mut pkt = data_packet(&self.cfg, &m, desc, psn, 0, true, self.uid);
+            pkt.retx_cause = cause;
             self.stats.retx_pkts += 1;
             self.outstanding.insert(psn, TxRecord { sent_at: ctx.now, retx: true });
             self.cc.on_send(ctx.now, pkt.wire_bytes());

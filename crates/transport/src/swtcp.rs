@@ -23,6 +23,7 @@ use dcp_netsim::packet::{Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
+use dcp_netsim::RetxCause;
 use dcp_rdma::qp::WorkReqOp;
 use std::collections::VecDeque;
 
@@ -157,7 +158,11 @@ impl Endpoint for SwTcpSender {
         let desc = desc_at(&m, self.cfg.mtu, psn);
         let is_retx = psn < self.max_sent;
         self.uid += 1;
-        let pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        let mut pkt = data_packet(&self.cfg, &m, desc, psn, 0, is_retx, self.uid);
+        if is_retx {
+            // The model recovers by RTO rewind only.
+            pkt.retx_cause = RetxCause::Timeout;
+        }
         self.snd_nxt += 1;
         self.max_sent = self.max_sent.max(self.snd_nxt);
         self.next_cpu_free = ctx.now + self.tcfg.cpu_per_pkt;

@@ -103,6 +103,16 @@ impl FctSummary {
     pub fn fct_p50_p99_p999(&self) -> (u64, u64, u64) {
         self.fct.p50_p99_p999()
     }
+
+    /// Fraction of completed flows whose slowdown exceeded `slo` — the
+    /// workload-level SLO-burn companion to dcp-scope's per-message
+    /// monitor, at the slowdown histogram's bucket granularity.
+    pub fn slo_burn(&self, slo: f64) -> f64 {
+        if self.fct.count() == 0 {
+            return 0.0;
+        }
+        self.slowdown.count_above(slowdown_to_fixed(slo)) as f64 / self.fct.count() as f64
+    }
 }
 
 /// Percentile over a sorted-or-not slice (nearest-rank). Exact — kept for
@@ -218,6 +228,20 @@ mod tests {
         let m = IdealFct::intra_dc_100g();
         assert_eq!(m.slowdown(1024, 1), 1.0);
         assert!((m.slowdown(1024, 2 * m.ideal(1024)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_burn_counts_the_slow_tail() {
+        let m = IdealFct::intra_dc_100g();
+        let ideal = m.ideal(1024);
+        // Three on-time flows, one 10x over ideal.
+        let records =
+            vec![rec(1024, ideal), rec(1024, ideal), rec(1024, 2 * ideal), rec(1024, 10 * ideal)];
+        let s = FctSummary::from_records(&records, &m);
+        assert!((s.slo_burn(4.0) - 0.25).abs() < 1e-9);
+        assert_eq!(s.slo_burn(100.0), 0.0);
+        let empty = FctSummary::from_records(&[], &m);
+        assert_eq!(empty.slo_burn(4.0), 0.0);
     }
 
     #[test]
