@@ -1,0 +1,267 @@
+//! `qp_scale` — million-QP host audit for the slab connection table.
+//!
+//! Measures, per transport (DCP / GBN / IRN) and per host QP count
+//! (100 k / 300 k / 1 M):
+//!
+//! * resident heap bytes per installed connection (tx + rx endpoint pair
+//!   plus the host's slab slot, flow page and ready-bit), measured with
+//!   the counting allocator (`--features alloc-stats`; 0 without it) —
+//!   alongside the **provisioned** hardware bytes/QP from
+//!   `dcp-analytic::resources`. The two answer different questions: IRN's
+//!   BDP bitmaps are lazily grown in this model, so an idle IRN QP
+//!   *measures* GBN-sized while a hardware RNIC must *provision* the
+//!   bitmap — quoting only the measured figure would flatter IRN.
+//! * install / lookup / teardown nanoseconds per QP (slab slot reuse,
+//!   direct flow-page index, generation-checked removal).
+//! * scheduler cost vs active fraction: with N installed QPs and only
+//!   `f·N` of them ready, the ready-ring scheduler's events/second must
+//!   track the *active* count, not N — the O(active) claim of the
+//!   connection plane.
+//!
+//! `--quick` runs the 100 k point only and applies the CI assertions;
+//! the full sweep writes `BENCH_qp_scale.json` (override with
+//! `DCP_QP_SCALE_JSON`).
+
+use dcp_bench::live_bytes_now;
+use dcp_core::dcp_switch_config;
+use dcp_netsim::packet::FlowId;
+use dcp_netsim::time::{SEC, US};
+use dcp_netsim::{topology, LoadBalance, QpRef, Simulator, Topology};
+use dcp_rdma::qp::WorkReqOp;
+use dcp_workloads::{endpoint_pair, CcKind, TransportKind};
+use std::time::Instant;
+
+struct Point {
+    kind: TransportKind,
+    qps: usize,
+    bytes_per_qp: f64,
+    provisioned_bytes_per_qp: usize,
+    install_ns: f64,
+    lookup_ns: f64,
+    teardown_ns: f64,
+}
+
+impl Point {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"transport\": \"{:?}\", \"qps\": {}, \"bytes_per_qp\": {:.1}, \"provisioned_bytes_per_qp\": {}, \"install_ns\": {:.1}, \"lookup_ns\": {:.1}, \"teardown_ns\": {:.1}}}",
+            self.kind,
+            self.qps,
+            self.bytes_per_qp,
+            self.provisioned_bytes_per_qp,
+            self.install_ns,
+            self.lookup_ns,
+            self.teardown_ns
+        )
+    }
+}
+
+/// Hardware-provisioned per-QP bytes from the Table 4 accounting: what an
+/// RNIC must reserve per connection regardless of traffic.
+fn provisioned(kind: TransportKind) -> usize {
+    use dcp_analytic::resources::{dcp_state, gbn_state, irn_state};
+    match kind {
+        TransportKind::Gbn => gbn_state().total(),
+        // Intra-DC 400 G BDP = 500 packets, the paper's sizing.
+        TransportKind::Irn => irn_state(500).total(),
+        TransportKind::Dcp => dcp_state(8).total(),
+        _ => unreachable!("qp_scale covers DCP/GBN/IRN"),
+    }
+}
+
+fn two_hosts(seed: u64) -> (Simulator, Topology) {
+    let cfg = dcp_switch_config(LoadBalance::Ecmp, 4);
+    let mut sim = Simulator::new(seed);
+    let topo = topology::two_switch_testbed(&mut sim, cfg, 1, 100.0, &[100.0], US, US);
+    (sim, topo)
+}
+
+/// Installs `n` connections host A → host B, measures the table costs,
+/// then tears every one down again.
+fn audit(kind: TransportKind, n: usize) -> Point {
+    let (mut sim, topo) = two_hosts(11);
+    let (a, b) = (topo.hosts[0], topo.hosts[1]);
+    // Pre-size the bookkeeping the audit itself needs so it stays out of
+    // the bytes/QP measurement.
+    let mut qps: Vec<(QpRef, QpRef)> = Vec::with_capacity(n);
+    let b0 = live_bytes_now();
+    let t0 = Instant::now();
+    for i in 0..n {
+        let flow = FlowId(i as u32 + 1);
+        let (tx, rx) = endpoint_pair(kind, CcKind::None, flow, a, b);
+        let qt = sim.install_endpoint(a, flow, tx);
+        let qr = sim.install_endpoint(b, flow, rx);
+        qps.push((qt, qr));
+    }
+    let install_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+    let bytes_per_qp = (live_bytes_now() - b0) as f64 / n as f64;
+    assert_eq!(sim.host(a).installed(), n);
+
+    // Lookup: stride-sampled flow → QpRef resolution through the page
+    // table (the per-packet delivery path's index).
+    let samples = 1_000_000usize;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for s in 0..samples {
+        let flow = FlowId(((s * 2_654_435_761) % n) as u32 + 1);
+        let qp = sim.host(a).qp_ref(flow).expect("installed flow resolves");
+        acc = acc.wrapping_add(qp.slot as u64);
+    }
+    let lookup_ns = t0.elapsed().as_nanos() as f64 / samples as f64;
+    std::hint::black_box(acc);
+
+    let t0 = Instant::now();
+    for (i, &(qt, qr)) in qps.iter().enumerate() {
+        let flow = FlowId(i as u32 + 1);
+        sim.remove_endpoint(a, qt).expect("live sender handle");
+        sim.remove_endpoint(b, qr).expect("live receiver handle");
+        assert!(sim.host(a).qp_ref(flow).is_none(), "flow unmapped on removal");
+    }
+    let teardown_ns = t0.elapsed().as_nanos() as f64 / (2 * n) as f64;
+    assert_eq!(sim.host(a).installed(), 0);
+
+    Point {
+        kind,
+        qps: n,
+        bytes_per_qp,
+        provisioned_bytes_per_qp: provisioned(kind),
+        install_ns,
+        lookup_ns,
+        teardown_ns,
+    }
+}
+
+/// Scheduler cost vs active fraction: N installed DCP QPs, `f·N` of them
+/// posted one message each; returns (events, wall seconds) for the drain.
+fn scheduler_point(n: usize, active: usize) -> (u64, f64) {
+    let (mut sim, topo) = two_hosts(13);
+    let (a, b) = (topo.hosts[0], topo.hosts[1]);
+    for i in 0..n {
+        let flow = FlowId(i as u32 + 1);
+        let (tx, rx) = endpoint_pair(TransportKind::Dcp, CcKind::None, flow, a, b);
+        sim.install_endpoint(a, flow, tx);
+        sim.install_endpoint(b, flow, rx);
+    }
+    // Spread the active QPs across the slab so the ready ring, not slot
+    // adjacency, does the work.
+    let stride = (n / active).max(1);
+    let mut posted = 0usize;
+    let mut i = 0usize;
+    while posted < active {
+        let flow = FlowId((i % n) as u32 + 1);
+        sim.post(
+            a,
+            flow,
+            posted as u64,
+            WorkReqOp::Write { remote_addr: 0x10_0000, rkey: 1 },
+            8 << 10,
+        );
+        posted += 1;
+        i += stride;
+    }
+    let t0 = Instant::now();
+    assert!(sim.run_to_quiescence(60 * SEC), "scheduler point must drain");
+    (sim.events_processed(), t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let counts: &[usize] = if quick { &[100_000] } else { &[100_000, 300_000, 1_000_000] };
+    let kinds = [TransportKind::Gbn, TransportKind::Irn, TransportKind::Dcp];
+    println!("qp_scale — slab connection-table audit ({})", if quick { "quick" } else { "full" });
+    if !cfg!(feature = "alloc-stats") {
+        println!("note: built without --features alloc-stats; bytes/qp will read 0");
+    }
+    println!(
+        "{:<8}{:>10}{:>14}{:>18}{:>14}{:>12}{:>14}",
+        "kind", "qps", "bytes/qp", "provisioned B/qp", "install ns", "lookup ns", "teardown ns"
+    );
+    let mut points = Vec::new();
+    for &n in counts {
+        for kind in kinds {
+            let p = audit(kind, n);
+            println!(
+                "{:<8}{:>10}{:>14.1}{:>18}{:>14.1}{:>12.1}{:>14.1}",
+                format!("{:?}", p.kind),
+                p.qps,
+                p.bytes_per_qp,
+                p.provisioned_bytes_per_qp,
+                p.install_ns,
+                p.lookup_ns,
+                p.teardown_ns
+            );
+            points.push(p);
+        }
+    }
+
+    // O(active) scheduler claim: drain cost per event must not scale with
+    // the installed count, only with the active fraction.
+    let sched_n = if quick { 100_000 } else { 1_000_000 };
+    println!("\nscheduler cost vs active fraction ({sched_n} installed DCP QPs):");
+    println!("{:<10}{:>12}{:>12}{:>16}", "active", "events", "wall (s)", "events/sec");
+    let fractions: &[f64] = if quick { &[0.001, 0.01] } else { &[0.001, 0.01, 0.1] };
+    let mut sched = Vec::new();
+    for &f in fractions {
+        let active = ((sched_n as f64 * f) as usize).max(1);
+        let (events, wall) = scheduler_point(sched_n, active);
+        println!(
+            "{:<10}{:>12}{:>12.3}{:>16.0}",
+            active,
+            events,
+            wall,
+            events as f64 / wall.max(1e-9)
+        );
+        sched.push((active, events, wall));
+    }
+
+    if cfg!(feature = "alloc-stats") {
+        let gbn = points.iter().find(|p| p.kind == TransportKind::Gbn).unwrap();
+        let irn = points.iter().find(|p| p.kind == TransportKind::Irn).unwrap();
+        let dcp = points.iter().find(|p| p.kind == TransportKind::Dcp).unwrap();
+        // Measured resident bytes: DCP within a modest factor of GBN (the
+        // tracker window + RetransQ head are small); quoting provisioned
+        // hardware bytes, IRN's BDP bitmaps dwarf both.
+        assert!(
+            dcp.bytes_per_qp < gbn.bytes_per_qp * 1.5,
+            "DCP resident bytes/QP ({:.0}) must stay near GBN's ({:.0})",
+            dcp.bytes_per_qp,
+            gbn.bytes_per_qp
+        );
+        // Same thresholds as dcp-analytic's own Table 4 test: the base QPC
+        // fields (addresses, rings, CC) dilute the totals, so the bitmap
+        // penalty shows as ~2.6×/~2× on the whole QPC — the
+        // order-of-magnitude gap lives in the tracking state itself
+        // (bitmaps vs counters), which `irn_bitmaps_dominate` isolates.
+        assert!(
+            irn.provisioned_bytes_per_qp * 10 > 25 * gbn.provisioned_bytes_per_qp
+                && irn.provisioned_bytes_per_qp * 10 > 18 * dcp.provisioned_bytes_per_qp,
+            "IRN must provision far more than GBN/DCP: {} vs {}/{}",
+            irn.provisioned_bytes_per_qp,
+            gbn.provisioned_bytes_per_qp,
+            dcp.provisioned_bytes_per_qp
+        );
+        println!("\nalloc-stats assertions ok: DCP ~ GBN resident; IRN >> both provisioned");
+    }
+
+    if !quick {
+        let body: Vec<String> = points.iter().map(Point::json).collect();
+        let sched_body: Vec<String> = sched
+            .iter()
+            .map(|(active, events, wall)| {
+                format!(
+                    "    {{\"active\": {}, \"events\": {}, \"wall_s\": {:.6}}}",
+                    active, events, wall
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"qp_scale\",\n  \"points\": [\n{}\n  ],\n  \"scheduler\": [\n{}\n  ]\n}}\n",
+            body.join(",\n"),
+            sched_body.join(",\n")
+        );
+        let path = std::env::var("DCP_QP_SCALE_JSON")
+            .unwrap_or_else(|_| "BENCH_qp_scale.json".to_string());
+        std::fs::write(&path, json).expect("write qp_scale json");
+        println!("\nwrote {path}");
+    }
+}

@@ -28,25 +28,30 @@ pub mod sweep;
 #[cfg(feature = "alloc-stats")]
 pub mod alloc_stats {
     use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
 
-    /// Passes through to [`System`], counting `alloc`/`realloc` calls.
+    /// Passes through to [`System`], counting `alloc`/`realloc` calls and
+    /// tracking net resident heap bytes (alloc − dealloc).
     pub struct CountingAlloc;
 
-    // SAFETY: defers entirely to `System`; the counter has no effect on
+    // SAFETY: defers entirely to `System`; the counters have no effect on
     // the returned memory.
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
             unsafe { System.alloc(layout) }
         }
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
             unsafe { System.dealloc(ptr, layout) }
         }
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }
@@ -58,6 +63,13 @@ pub mod alloc_stats {
     pub fn allocations() -> u64 {
         ALLOCS.load(Ordering::Relaxed)
     }
+
+    /// Net heap bytes currently allocated. Two snapshots bracket the
+    /// resident cost of whatever was built in between — how `qp_scale`
+    /// measures bytes per installed connection.
+    pub fn live_bytes() -> i64 {
+        LIVE_BYTES.load(Ordering::Relaxed)
+    }
 }
 
 /// Heap allocations so far, or 0 when `alloc-stats` is off — callers can
@@ -66,6 +78,18 @@ pub fn allocations_now() -> u64 {
     #[cfg(feature = "alloc-stats")]
     {
         alloc_stats::allocations()
+    }
+    #[cfg(not(feature = "alloc-stats"))]
+    {
+        0
+    }
+}
+
+/// Net resident heap bytes, or 0 when `alloc-stats` is off.
+pub fn live_bytes_now() -> i64 {
+    #[cfg(feature = "alloc-stats")]
+    {
+        alloc_stats::live_bytes()
     }
     #[cfg(not(feature = "alloc-stats"))]
     {

@@ -3,9 +3,9 @@
 //! eMSN-carrying ACKs.
 
 use crate::config::DcpConfig;
-use crate::tracking::{MsgTracker, Track};
+use crate::tracking::{CompletedMsg, MsgTracker, Track};
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
-use dcp_netsim::packet::{Packet, PktDesc, PktExt};
+use dcp_netsim::packet::{FlowId, NodeId, Packet, PktDesc, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_rdma::headers::DcpTag;
@@ -32,6 +32,8 @@ pub struct DcpReceiver {
     /// synthetic buffer at the message offset — convenient for workload
     /// simulations that don't model application receive posting.
     pub auto_rq: bool,
+    /// Reused buffer for completed messages (no per-packet allocation).
+    comp_scratch: Vec<CompletedMsg>,
 }
 
 impl DcpReceiver {
@@ -47,6 +49,7 @@ impl DcpReceiver {
             ho_bounced: 0,
             rq: dcp_rdma::qp::RecvQueue::new(),
             auto_rq: true,
+            comp_scratch: Vec::new(),
         }
     }
 
@@ -74,11 +77,14 @@ impl DcpReceiver {
     }
 
     fn flush_completions(&mut self, ctx: &mut EndpointCtx) {
-        let done = self.tracker.drain_completed();
+        let mut done = std::mem::take(&mut self.comp_scratch);
+        done.clear();
+        self.tracker.drain_completed_into(&mut done);
         if done.is_empty() {
+            self.comp_scratch = done;
             return;
         }
-        for m in done {
+        for &m in &done {
             // Two-sided completions consume their Receive WQE in posting
             // order, now that the message is done (§4.4).
             let wr_id = if m.cf {
@@ -96,6 +102,7 @@ impl DcpReceiver {
                 at: ctx.now,
             });
         }
+        self.comp_scratch = done;
         // eMSN advanced: tell the sender (§4.5, Fig. 4b).
         self.queue_ack();
     }
@@ -210,6 +217,24 @@ impl Endpoint for DcpReceiver {
 
     fn is_done(&self) -> bool {
         self.out.is_empty()
+    }
+
+    fn recycle(&mut self, flow: FlowId, local: NodeId, remote: NodeId) -> bool {
+        // Real placement ties the endpoint to registered buffers of the old
+        // connection; only virtual placement recycles safely.
+        if !matches!(self.placement, Placement::Virtual) {
+            return false;
+        }
+        self.cfg.rebind(flow, local, remote, false);
+        self.tracker.reset();
+        self.cnp.reset();
+        self.out.clear();
+        self.uid = 0;
+        self.stats = TransportStats::default();
+        self.ho_bounced = 0;
+        self.rq.reset();
+        self.auto_rq = true;
+        true
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::config::{DcpConfig, RetransMode};
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
-use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::packet::{FlowId, NodeId, Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::RetxCause;
@@ -49,6 +49,8 @@ pub struct DcpSender {
     stats: TransportStats,
     /// PCIe round trips spent on the retransmission path (ablation metric).
     pub pcie_fetches: u64,
+    /// Reused buffer for retired messages (no per-ACK allocation).
+    retire_scratch: Vec<dcp_transport::common::MsgState>,
 }
 
 impl DcpSender {
@@ -72,6 +74,7 @@ impl DcpSender {
             uid: 0,
             stats: TransportStats::default(),
             pcie_fetches: 0,
+            retire_scratch: Vec::new(),
         }
     }
 
@@ -149,7 +152,9 @@ impl Endpoint for DcpSender {
                 }
                 let Some(aeth) = pkt.header.aeth else { return };
                 let emsn = aeth.emsn;
-                let retired = self.book.retire_below(emsn);
+                let mut retired = std::mem::take(&mut self.retire_scratch);
+                retired.clear();
+                self.book.retire_below_into(emsn, &mut retired);
                 if !retired.is_empty() {
                     for m in &retired {
                         self.retry_no.remove(&m.wqe.msn);
@@ -171,6 +176,7 @@ impl Endpoint for DcpSender {
                         self.arm_coarse(ctx);
                     }
                 }
+                self.retire_scratch = retired;
             }
             _ => {}
         }
@@ -298,6 +304,28 @@ impl Endpoint for DcpSender {
 
     fn is_done(&self) -> bool {
         self.book.is_empty()
+    }
+
+    fn recycle(&mut self, flow: FlowId, local: NodeId, remote: NodeId) -> bool {
+        self.cfg.rebind(flow, local, remote, true);
+        self.book.clear();
+        self.cc.reset();
+        self.snd_nxt = 0;
+        self.retransq.clear();
+        self.fetched.clear();
+        self.fetch_inflight = false;
+        self.retry_no.clear();
+        self.timeout_q.clear();
+        // Keep the generation monotone so any RTO token armed by the old
+        // connection stays stale forever.
+        self.coarse_gen += 1;
+        self.coarse_armed = false;
+        self.pace_armed = false;
+        self.cc_tick_armed = false;
+        self.uid = 0;
+        self.stats = TransportStats::default();
+        self.pcie_fetches = 0;
+        true
     }
 }
 

@@ -62,10 +62,13 @@ struct MsgTrack {
     imm: u32,
     /// Receiver-side retry round (§4.5's rRetryNo).
     rretry: u8,
-    /// Packet indices counted this round, one bit each (lazily grown).
-    /// Defends the count against fabric duplication — see the module docs
-    /// for why this re-introduces per-packet state and what it costs.
-    seen: Vec<u64>,
+    /// Packet indices 0..64 counted this round, one bit each — inline so
+    /// messages up to 64 packets (256 KB at 4 KB MTU) track without heap
+    /// allocation. Defends the count against fabric duplication — see the
+    /// module docs for why this re-introduces per-packet state.
+    seen0: u64,
+    /// Spill bits for indices ≥ 64 (lazily grown; rare for typical MTUs).
+    seen_spill: Vec<u64>,
 }
 
 impl MsgTrack {
@@ -78,19 +81,30 @@ impl MsgTrack {
             cf: false,
             imm: 0,
             rretry: 0,
-            seen: Vec::new(),
+            seen0: 0,
+            seen_spill: Vec::new(),
         }
     }
 
     /// Marks `index` as seen this round; returns whether it already was.
     fn test_and_set(&mut self, index: u32) -> bool {
-        let (word, bit) = ((index / 64) as usize, index % 64);
-        if self.seen.len() <= word {
-            self.seen.resize(word + 1, 0);
+        if index < 64 {
+            let already = self.seen0 & (1 << index) != 0;
+            self.seen0 |= 1 << index;
+            return already;
         }
-        let already = self.seen[word] & (1 << bit) != 0;
-        self.seen[word] |= 1 << bit;
+        let (word, bit) = (((index - 64) / 64) as usize, index % 64);
+        if self.seen_spill.len() <= word {
+            self.seen_spill.resize(word + 1, 0);
+        }
+        let already = self.seen_spill[word] & (1 << bit) != 0;
+        self.seen_spill[word] |= 1 << bit;
         already
+    }
+
+    fn clear_seen(&mut self) {
+        self.seen0 = 0;
+        self.seen_spill.clear();
     }
 }
 
@@ -171,7 +185,7 @@ impl MsgTracker {
         if sretry > t.rretry {
             t.rretry = sretry;
             t.counter = 0;
-            t.seen.clear();
+            t.clear_seen();
         } else if sretry < t.rretry {
             self.stale_pkts += 1;
             return Track::OldRound;
@@ -198,6 +212,14 @@ impl MsgTracker {
     /// non-empty result.
     pub fn drain_completed(&mut self) -> Vec<CompletedMsg> {
         let mut out = Vec::new();
+        self.drain_completed_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`drain_completed`](Self::drain_completed):
+    /// appends to a caller-owned buffer so the delivery hot path can reuse
+    /// one Vec across packets.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<CompletedMsg>) {
         while let Some(front) = self.window.front() {
             if !front.mcf {
                 break;
@@ -206,7 +228,15 @@ impl MsgTracker {
             out.push(CompletedMsg { msn: self.emsn, bytes: t.bytes, cf: t.cf, imm: t.imm });
             self.emsn += 1;
         }
-        out
+    }
+
+    /// Returns the tracker to its initial state while keeping the window's
+    /// buffer capacity — the receiver half of connection recycling (the QP
+    /// slab reuses endpoint structures across flow lifetimes).
+    pub fn reset(&mut self) {
+        self.emsn = 0;
+        self.window.clear();
+        self.stale_pkts = 0;
     }
 
     /// Bytes of tracker state per tracked message — the Table 3 accounting

@@ -99,6 +99,20 @@ pub trait Endpoint: Send {
     /// True once every posted message has been fully delivered/acknowledged.
     /// Used by runners to detect quiescence.
     fn is_done(&self) -> bool;
+
+    /// Rebinds a retired endpoint to a fresh connection identity, clearing
+    /// all per-connection state *in place* (collections keep their
+    /// capacity, so steady-state churn allocates nothing) and zeroing the
+    /// counters — the host's retired-stats accumulator already holds the
+    /// previous life's numbers, so a recycled endpoint restarting at zero
+    /// keeps conservation exact.
+    ///
+    /// Returns `false` (the default) when the transport does not support
+    /// recycling; callers then construct a fresh endpoint instead.
+    fn recycle(&mut self, flow: FlowId, local: NodeId, remote: NodeId) -> bool {
+        let _ = (flow, local, remote);
+        false
+    }
 }
 
 /// Drives [`Endpoint::on_packet`] with an owned packet, routing it through

@@ -228,6 +228,13 @@ impl<T> EventQueue<T> {
         self.cur.peek().map(|e| e.at)
     }
 
+    /// Full `(at, seq)` key of the earliest pending entry — what lets a
+    /// shard merge this queue with its timer wheel into one total order.
+    pub fn next_key(&mut self) -> Option<(Nanos, u64)> {
+        self.advance();
+        self.cur.peek().map(|e| e.key())
+    }
+
     /// Removes and returns the earliest entry as `(at, seq, item)`.
     pub fn pop(&mut self) -> Option<(Nanos, u64, T)> {
         self.advance();

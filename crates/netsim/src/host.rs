@@ -1,23 +1,60 @@
-//! The host NIC model: endpoint registry, QP scheduling and wire pacing.
+//! The host NIC model: connection table, QP scheduling and wire pacing.
 //!
 //! A host owns one full-duplex link (single-NIC servers, as in the paper's
-//! simulations). Its transmit side implements the RNIC QP Scheduler of §4.3
-//! as a round-robin over endpoints with a per-round byte quota
-//! (`round_quota`, default 16 KB ≈ the PCIe BDP), pulling packets from
-//! transports only when the wire is free.
+//! simulations). Its connection plane is built for O(active), not
+//! O(installed), cost — the regime the paper's Table 4 argues DCP enables
+//! (millions of mostly-idle QPs per host):
+//!
+//! * Endpoints live in a **slab** addressed by [`QpRef`] `{slot, gen}`;
+//!   `install`/`remove` recycle slots through a free list, so connection
+//!   churn allocates nothing in steady state, and the generation counter
+//!   makes stale references (a timer armed by a previous occupant of the
+//!   slot) detectably dead instead of silently misdelivered.
+//! * `FlowId → slot` resolves through a **direct-index page table** (flow
+//!   ids are dense), so the per-packet delivery path is two array loads —
+//!   no hashing.
+//! * The transmit side implements the RNIC QP Scheduler of §4.3 as a
+//!   round-robin with a per-round byte quota (`round_quota`, default 16 KB
+//!   ≈ the PCIe BDP) over the **ready set** ([`crate::ready::ReadySet`]):
+//!   only endpoints with `has_pending()` are visited, preserving the exact
+//!   cyclic order and quota semantics of the full scan (the determinism
+//!   suite locks byte-identical traces).
 
 use crate::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
 use crate::link::Link;
 use crate::packet::{FlowId, NodeId, PortId};
 use crate::pool::PktRef;
+use crate::ready::ReadySet;
 use crate::sim::{Event, NodeCtx};
+use crate::stats::TransportStats;
 use crate::time::{tx_time, Nanos};
 use dcp_rdma::qp::WorkReqOp;
 use dcp_telemetry::ProbeEvent;
-use std::collections::HashMap;
 
 /// Default per-round quota of the QP scheduler (§4.3: 16 KB ≈ PCIe BDP).
 pub const ROUND_QUOTA: i64 = 16 * 1024;
+
+/// Entries per page of the `FlowId → slot` table.
+const PAGE: usize = 256;
+/// "No slot" sentinel in page-table entries.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Generational handle to an installed endpoint — the PR-3 pool pattern
+/// applied to QPs. A `QpRef` held across a `remove` never resurrects: the
+/// slot's generation moved on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QpRef {
+    pub slot: u32,
+    pub gen: u32,
+}
+
+/// One slab slot: the endpoint (when occupied), the flow it serves and the
+/// generation stamp that invalidates old handles.
+struct QpEntry {
+    gen: u32,
+    flow: FlowId,
+    ep: Option<Box<dyn Endpoint>>,
+}
 
 pub struct Host {
     pub id: NodeId,
@@ -26,14 +63,23 @@ pub struct Host {
     /// Cable state (fault plane): a down NIC keeps accepting posts but
     /// never transmits; the simulator kicks it when the cable is restored.
     pub link_up: bool,
-    endpoints: Vec<Box<dyn Endpoint>>,
-    /// Flow of each endpoint, parallel to `endpoints` (probe labelling).
-    flows: Vec<FlowId>,
-    by_flow: HashMap<FlowId, usize>,
+    /// Slab of connection slots; freed slots are reused LIFO.
+    slots: Vec<QpEntry>,
+    free: Vec<u32>,
+    /// Occupied-slot count.
+    live: usize,
+    /// `FlowId → slot` pages (`flow.0 / PAGE` selects the page); dense flow
+    /// ids make this a direct index, no per-packet hashing.
+    pages: Vec<Option<Box<[u32; PAGE]>>>,
+    /// Counters of removed endpoints, merged at removal so conservation
+    /// stays exact under churn.
+    retired: TransportStats,
     busy: bool,
     /// PFC PAUSE received from the ToR.
     pub paused: bool,
-    cursor: usize,
+    /// Slots whose endpoint currently has something to send.
+    ready: ReadySet,
+    cursor: u32,
     quota_left: i64,
     round_quota: i64,
     /// Scratch buffers reused across `run_endpoint` calls so the steady
@@ -48,11 +94,14 @@ impl Host {
             id,
             link: None,
             link_up: true,
-            endpoints: Vec::new(),
-            flows: Vec::new(),
-            by_flow: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            pages: Vec::new(),
+            retired: TransportStats::default(),
             busy: false,
             paused: false,
+            ready: ReadySet::new(),
             cursor: 0,
             quota_left: ROUND_QUOTA,
             round_quota: ROUND_QUOTA,
@@ -61,38 +110,135 @@ impl Host {
         }
     }
 
+    /// Slot serving `flow`, through the page table.
+    #[inline]
+    fn slot_of(&self, flow: FlowId) -> Option<u32> {
+        let f = flow.0 as usize;
+        match self.pages.get(f / PAGE)?.as_deref() {
+            Some(page) => {
+                let s = page[f % PAGE];
+                (s != NO_SLOT).then_some(s)
+            }
+            None => None,
+        }
+    }
+
+    fn map_flow(&mut self, flow: FlowId, slot: u32) {
+        let f = flow.0 as usize;
+        let p = f / PAGE;
+        if p >= self.pages.len() {
+            self.pages.resize_with(p + 1, || None);
+        }
+        let page = self.pages[p].get_or_insert_with(|| Box::new([NO_SLOT; PAGE]));
+        assert!(page[f % PAGE] == NO_SLOT, "flow {flow:?} already installed on host {:?}", self.id);
+        page[f % PAGE] = slot;
+    }
+
+    fn unmap_flow(&mut self, flow: FlowId) {
+        let f = flow.0 as usize;
+        let page = self.pages[f / PAGE].as_deref_mut().expect("mapped flow has a page");
+        debug_assert_ne!(page[f % PAGE], NO_SLOT);
+        page[f % PAGE] = NO_SLOT;
+    }
+
     /// Registers a transport endpoint for `flow`; packets of that flow
-    /// arriving at this host are delivered to it.
-    pub fn install(&mut self, flow: FlowId, ep: Box<dyn Endpoint>) -> usize {
-        let ix = self.endpoints.len();
-        self.endpoints.push(ep);
-        self.flows.push(flow);
-        let prev = self.by_flow.insert(flow, ix);
-        assert!(prev.is_none(), "flow {flow:?} already installed on host {:?}", self.id);
-        ix
+    /// arriving at this host are delivered to it. Returns the generational
+    /// handle; reuses a freed slot when one exists.
+    pub fn install(&mut self, flow: FlowId, ep: Box<dyn Endpoint>) -> QpRef {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let e = &mut self.slots[s as usize];
+                debug_assert!(e.ep.is_none());
+                e.flow = flow;
+                e.ep = Some(ep);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(QpEntry { gen: 0, flow, ep: Some(ep) });
+                s
+            }
+        };
+        self.map_flow(flow, slot);
+        self.live += 1;
+        self.refresh_ready(slot as usize);
+        QpRef { slot, gen: self.slots[slot as usize].gen }
+    }
+
+    /// Uninstalls the endpoint behind `qp`, returning it for recycling (or
+    /// dropping). The slot's generation advances — timers and references
+    /// stamped with the old generation are dead — and the endpoint's
+    /// counters are folded into the host's retired accumulator so the
+    /// conservation identities keep holding. `None` when `qp` is stale.
+    pub fn remove(&mut self, qp: QpRef) -> Option<Box<dyn Endpoint>> {
+        let e = self.slots.get_mut(qp.slot as usize)?;
+        if e.gen != qp.gen || e.ep.is_none() {
+            return None;
+        }
+        let ep = e.ep.take().expect("checked occupied");
+        e.gen = e.gen.wrapping_add(1);
+        let flow = e.flow;
+        self.retired.merge(&ep.stats());
+        self.unmap_flow(flow);
+        self.ready.remove(qp.slot as usize);
+        self.free.push(qp.slot);
+        self.live -= 1;
+        Some(ep)
+    }
+
+    /// The current handle for `flow`'s endpoint, if installed.
+    pub fn qp_ref(&self, flow: FlowId) -> Option<QpRef> {
+        let slot = self.slot_of(flow)?;
+        Some(QpRef { slot, gen: self.slots[slot as usize].gen })
     }
 
     pub fn endpoint(&self, flow: FlowId) -> Option<&dyn Endpoint> {
-        self.by_flow.get(&flow).map(|&ix| self.endpoints[ix].as_ref())
+        let slot = self.slot_of(flow)?;
+        self.slots[slot as usize].ep.as_deref()
     }
 
     pub fn endpoint_mut(&mut self, flow: FlowId) -> Option<&mut Box<dyn Endpoint>> {
-        self.by_flow.get(&flow).map(|&ix| &mut self.endpoints[ix])
+        let slot = self.slot_of(flow)?;
+        self.slots[slot as usize].ep.as_mut()
     }
 
+    /// Iterates the installed endpoints (removal leaves no holes visible).
     pub fn endpoints(&self) -> impl Iterator<Item = &dyn Endpoint> {
-        self.endpoints.iter().map(|e| e.as_ref())
+        self.slots.iter().filter_map(|e| e.ep.as_deref())
+    }
+
+    /// Installed-endpoint count.
+    pub fn installed(&self) -> usize {
+        self.live
+    }
+
+    /// Counters accumulated from removed endpoints.
+    pub fn retired_stats(&self) -> &TransportStats {
+        &self.retired
     }
 
     /// Posts a Work Request on the sender endpoint of `flow`.
     pub fn post(&mut self, flow: FlowId, wr_id: u64, op: WorkReqOp, len: u64) {
-        let ep = self.endpoint_mut(flow).unwrap_or_else(|| panic!("no endpoint for flow {flow:?}"));
-        ep.post(wr_id, op, len);
+        let slot = self.slot_of(flow).unwrap_or_else(|| panic!("no endpoint for flow {flow:?}"));
+        self.slots[slot as usize]
+            .ep
+            .as_mut()
+            .expect("mapped slot is occupied")
+            .post(wr_id, op, len);
+        self.refresh_ready(slot as usize);
+    }
+
+    /// Re-derives the ready bit of `slot` from its endpoint. Called after
+    /// every endpoint callback so the bitmap always equals `has_pending()`.
+    #[inline]
+    fn refresh_ready(&mut self, slot: usize) {
+        let pending = self.slots[slot].ep.as_deref().is_some_and(|e| e.has_pending());
+        self.ready.assign(slot, pending);
     }
 
     fn run_endpoint<R>(
         &mut self,
-        ix: usize,
+        slot: usize,
         ctx: &mut NodeCtx,
         f: impl FnOnce(&mut dyn Endpoint, &mut EndpointCtx) -> R,
     ) -> R {
@@ -100,10 +246,11 @@ impl Host {
         let mut comps = std::mem::take(&mut self.comps_scratch);
         timers.clear();
         comps.clear();
+        let ep = self.slots[slot].ep.as_deref_mut().expect("callback on occupied slot");
         // Transport-level probe events are derived by diffing the endpoint's
         // own counters around the callback — one extra stats() call per
         // callback when a probe is attached, nothing at all otherwise.
-        let before = ctx.probe.is_some().then(|| self.endpoints[ix].stats());
+        let before = ctx.probe.is_some().then(|| ep.stats());
         let r = {
             let mut ectx = EndpointCtx {
                 now: ctx.now,
@@ -113,11 +260,11 @@ impl Host {
                 rng: ctx.rng,
                 probe: ctx.probe.as_deref_mut(),
             };
-            f(self.endpoints[ix].as_mut(), &mut ectx)
+            f(ep, &mut ectx)
         };
         if let Some(before) = before {
-            let after = self.endpoints[ix].stats();
-            let flow = self.flows[ix].0;
+            let after = self.slots[slot].ep.as_deref().expect("still occupied").stats();
+            let flow = self.slots[slot].flow.0;
             let node = self.id.0;
             for _ in before.timeouts..after.timeouts {
                 ctx.emit(|| ProbeEvent::Timeout { node, flow });
@@ -139,30 +286,42 @@ impl Host {
                 }
             }
         }
+        let gen = self.slots[slot].gen;
         for &(at, token) in &timers {
-            ctx.out.push((at, Event::EndpointTimer { node: self.id, ep: ix, token }));
+            ctx.out
+                .push((at, Event::EndpointTimer { node: self.id, slot: slot as u32, gen, token }));
         }
         ctx.completions.extend(comps.drain(..));
         self.timers_scratch = timers;
         self.comps_scratch = comps;
+        self.refresh_ready(slot);
         r
     }
 
-    /// A packet addressed to this host arrived.
+    /// A packet addressed to this host arrived. Delivery is two array
+    /// loads: page-table index, slab slot.
     pub fn on_packet(&mut self, pr: PktRef, ctx: &mut NodeCtx) {
         let flow = ctx.pool[pr].flow;
-        let Some(&ix) = self.by_flow.get(&flow) else {
+        let Some(slot) = self.slot_of(flow) else {
             debug_assert!(false, "host {:?} got packet for unknown flow {:?}", self.id, flow);
             ctx.pool.release(pr);
             return;
         };
-        self.run_endpoint(ix, ctx, |ep, ectx| ep.on_packet(pr, ectx));
+        debug_assert_eq!(self.slots[slot as usize].flow, flow, "page table out of sync");
+        self.run_endpoint(slot as usize, ctx, |ep, ectx| ep.on_packet(pr, ectx));
         self.try_transmit(ctx);
     }
 
-    /// A timer for endpoint `ep` fired.
-    pub fn on_timer(&mut self, ep: usize, token: u64, ctx: &mut NodeCtx) {
-        self.run_endpoint(ep, ctx, |e, ectx| e.on_timer(token, ectx));
+    /// A timer stamped `{slot, gen}` fired. Stale generations — the slot
+    /// was removed (and possibly refilled) since the timer was armed — are
+    /// dropped here; the event was still dispatched and counted, keeping
+    /// the fire-and-filter timer discipline unchanged.
+    pub fn on_timer(&mut self, slot: u32, gen: u32, token: u64, ctx: &mut NodeCtx) {
+        let Some(e) = self.slots.get(slot as usize) else { return };
+        if e.gen != gen || e.ep.is_none() {
+            return;
+        }
+        self.run_endpoint(slot as usize, ctx, |ep, ectx| ep.on_timer(token, ectx));
         self.try_transmit(ctx);
     }
 
@@ -180,27 +339,50 @@ impl Host {
         }
     }
 
-    fn advance(&mut self) {
-        self.cursor = (self.cursor + 1) % self.endpoints.len().max(1);
-        self.quota_left = self.round_quota;
+    #[inline]
+    fn next_slot(&self, slot: u32) -> u32 {
+        let n = self.slots.len() as u32;
+        if slot + 1 >= n {
+            0
+        } else {
+            slot + 1
+        }
     }
 
-    /// QP scheduler: offer wire time round-robin with a byte quota.
+    /// QP scheduler: offer wire time round-robin with a byte quota, over
+    /// the ready set only.
+    ///
+    /// Trace-equivalence with the historical full scan (what the
+    /// determinism suite locks): the old loop visited every slot once,
+    /// cyclically from the cursor, skipping idle ones — each skip advanced
+    /// the cursor and reset the quota. Jumping straight to the next ready
+    /// slot lands in the identical state (cursor at that slot, quota fresh
+    /// unless the cursor was already there), pulls the same endpoints in
+    /// the same order, and a no-transmit pass ended with the cursor back
+    /// where it started (a full lap) and the quota reset — reproduced in
+    /// the epilogue.
     pub fn try_transmit(&mut self, ctx: &mut NodeCtx) {
-        if self.busy || self.paused || !self.link_up || self.endpoints.is_empty() {
+        if self.busy || self.paused || !self.link_up || self.live == 0 {
             return;
         }
         let Some(link) = self.link else { return };
-        let n = self.endpoints.len();
-        let mut attempts = 0;
-        while attempts < n {
-            let ix = self.cursor;
-            if !self.endpoints[ix].has_pending() {
-                self.advance();
-                attempts += 1;
-                continue;
+        let cursor0 = self.cursor;
+        // Each ready endpoint is offered at most once per pass (the old
+        // scan's single lap); a `None` pull consumes one unit.
+        let mut budget = self.ready.count();
+        while budget > 0 {
+            let Some(slot) = self.ready.next_from(self.cursor as usize) else { break };
+            let slot = slot as u32;
+            if slot != self.cursor {
+                // Skipped over idle slots: the scan reset the quota at each.
+                self.cursor = slot;
+                self.quota_left = self.round_quota;
             }
-            let pulled = self.run_endpoint(ix, ctx, |ep, ectx| ep.pull(ectx));
+            debug_assert!(
+                self.slots[slot as usize].ep.as_deref().is_some_and(|e| e.has_pending()),
+                "ready bit set for a non-pending endpoint"
+            );
+            let pulled = self.run_endpoint(slot as usize, ctx, |ep, ectx| ep.pull(ectx));
             match pulled {
                 Some(pr) => {
                     let (bytes, is_data, is_retx, flow, psn, cause) = {
@@ -226,7 +408,8 @@ impl Host {
                     }
                     self.quota_left -= bytes as i64;
                     if self.quota_left <= 0 {
-                        self.advance();
+                        self.cursor = self.next_slot(slot);
+                        self.quota_left = self.round_quota;
                     }
                     let tx = tx_time(bytes, link.gbps);
                     self.busy = true;
@@ -239,11 +422,16 @@ impl Host {
                 }
                 None => {
                     // Pacing: the endpoint owes us a timer. Move on.
-                    self.advance();
-                    attempts += 1;
+                    self.cursor = self.next_slot(slot);
+                    self.quota_left = self.round_quota;
+                    budget -= 1;
                 }
             }
         }
+        // No transmit: the historical scan made exactly one full lap,
+        // ending with the cursor where it began and a fresh quota.
+        self.cursor = cursor0;
+        self.quota_left = self.round_quota;
     }
 
     /// Ingress port of a host is always 0 (single NIC).

@@ -31,6 +31,7 @@ pub mod host;
 pub mod link;
 pub mod packet;
 pub mod pool;
+pub mod ready;
 pub mod routing;
 pub mod shard;
 pub mod sim;
@@ -39,14 +40,17 @@ pub mod switch;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod twheel;
 
 pub use dcp_telemetry::RetxCause;
 pub use endpoint::{deliver, pull_owned, Completion, CompletionKind, Endpoint, EndpointCtx};
 pub use equeue::EventQueue;
 pub use fault::{FaultPlane, FaultVerdict};
+pub use host::QpRef;
 pub use link::Link;
 pub use packet::{FlowId, NodeId, Packet, PktDesc, PktExt, PortId};
 pub use pool::{PacketPool, PktRef};
+pub use ready::ReadySet;
 pub use routing::LoadBalance;
 pub use shard::{env_shards, env_threads};
 pub use sim::{Event, Node, NodeCtx, Simulator};
@@ -54,3 +58,4 @@ pub use stats::{Conservation, NetStats, TransportStats};
 pub use switch::{EcnConfig, PfcConfig, SwitchConfig};
 pub use time::{bdp_bytes, fiber_delay_km, tx_time, Nanos, MS, NS, SEC, US};
 pub use topology::Topology;
+pub use twheel::TimerWheel;

@@ -1,0 +1,224 @@
+//! Ready-set bitmap for the host QP scheduler.
+//!
+//! The §4.3 scheduler round-robins a byte quota over endpoints that have
+//! something to send. With connection tables in the thousands-to-millions
+//! a linear cursor scan pays O(installed) per transmission opportunity;
+//! this structure tracks `has_pending()` as a hierarchical bitmap so the
+//! scheduler pays O(active): membership updates flip one bit per level and
+//! `next_from` — "first ready slot at or after the cursor, cyclically" —
+//! is a masked `ctz` walk up and back down the summary levels.
+//!
+//! Level 0 is one bit per slot; each summary level has one bit per word of
+//! the level below, so a million slots need three levels above the base
+//! (15625 → 245 → 4 → 1 words) and any query touches at most ~8 words.
+
+/// Hierarchical bitmap over slot indices; see module docs.
+#[derive(Default)]
+pub struct ReadySet {
+    /// `levels[0]` is the slot bitmap; `levels[k][i]` summarizes whether
+    /// word `i` of `levels[k-1]` is non-zero. The top level is one word.
+    levels: Vec<Vec<u64>>,
+    count: usize,
+}
+
+impl ReadySet {
+    pub fn new() -> Self {
+        ReadySet::default()
+    }
+
+    /// Number of set bits — the active-QP population.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Grows the bitmap to cover slot `i` (and rebuilds summary levels as
+    /// the base widens). Amortized O(1) per slot over a table's growth.
+    fn ensure(&mut self, i: usize) {
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        let words = i / 64 + 1;
+        if self.levels[0].len() < words {
+            self.levels[0].resize(words, 0);
+        }
+        // Add/extend summary levels until the top level is a single word.
+        let mut k = 0;
+        while self.levels[k].len() > 1 {
+            let need = self.levels[k].len().div_ceil(64);
+            if self.levels.len() == k + 1 {
+                self.levels.push(vec![0; need]);
+                // Rebuild the fresh level from the one below.
+                for w in 0..self.levels[k].len() {
+                    if self.levels[k][w] != 0 {
+                        self.levels[k + 1][w / 64] |= 1 << (w % 64);
+                    }
+                }
+            } else if self.levels[k + 1].len() < need {
+                self.levels[k + 1].resize(need, 0);
+            }
+            k += 1;
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.levels.first().and_then(|b| b.get(i / 64)).is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Sets or clears bit `i` to `ready`.
+    pub fn assign(&mut self, i: usize, ready: bool) {
+        if ready {
+            self.insert(i);
+        } else {
+            self.remove(i);
+        }
+    }
+
+    pub fn insert(&mut self, i: usize) {
+        self.ensure(i);
+        let (mut w, mut b) = (i / 64, i % 64);
+        if self.levels[0][w] & (1 << b) != 0 {
+            return;
+        }
+        self.count += 1;
+        for k in 0..self.levels.len() {
+            let was = self.levels[k][w];
+            self.levels[k][w] = was | (1 << b);
+            if was != 0 {
+                break; // summaries above are already set
+            }
+            (w, b) = (w / 64, w % 64);
+        }
+    }
+
+    pub fn remove(&mut self, i: usize) {
+        if !self.contains(i) {
+            return;
+        }
+        self.count -= 1;
+        let (mut w, mut b) = (i / 64, i % 64);
+        for k in 0..self.levels.len() {
+            self.levels[k][w] &= !(1 << b);
+            if self.levels[k][w] != 0 {
+                break; // word still non-empty: summaries stay set
+            }
+            (w, b) = (w / 64, w % 64);
+        }
+    }
+
+    /// First set bit at index `>= from`, or `None`.
+    fn scan_from(&self, from: usize) -> Option<usize> {
+        let base = self.levels.first()?;
+        let w = from / 64;
+        if w >= base.len() {
+            return None;
+        }
+        let m = base[w] & (!0u64 << (from % 64));
+        if m != 0 {
+            return Some(w * 64 + m.trailing_zeros() as usize);
+        }
+        // Climb: find the next non-empty word after `w`, one summary level
+        // at a time, then descend back to the exact bit.
+        let mut pos = w + 1; // candidate index in level-k bit space
+        for k in 1..self.levels.len() {
+            let lvl = &self.levels[k];
+            let word = pos / 64;
+            if word < lvl.len() {
+                let m = lvl[word] & (!0u64 << (pos % 64));
+                if m != 0 {
+                    let mut p = word * 64 + m.trailing_zeros() as usize;
+                    for down in (0..k).rev() {
+                        let b = &self.levels[down];
+                        p = p * 64 + b[p].trailing_zeros() as usize;
+                    }
+                    return Some(p);
+                }
+            }
+            pos = word + 1;
+        }
+        None
+    }
+
+    /// First set bit at or after `start`, wrapping to the beginning — the
+    /// scheduler's cyclic "next active QP from the cursor". `None` iff the
+    /// set is empty.
+    pub fn next_from(&self, start: usize) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        self.scan_from(start).or_else(|| self.scan_from(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Randomized ops mirrored against a naive Vec<bool> reference,
+    /// including cyclic next_from queries at every step.
+    #[test]
+    fn matches_naive_reference() {
+        const N: usize = 3_000;
+        let mut s = ReadySet::new();
+        let mut naive = vec![false; N];
+        let mut state: u64 = 0xdead_beef_cafe_f00d;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..60_000 {
+            let i = (rng() % N as u64) as usize;
+            match rng() % 3 {
+                0 => {
+                    s.insert(i);
+                    naive[i] = true;
+                }
+                1 => {
+                    s.remove(i);
+                    naive[i] = false;
+                }
+                _ => {
+                    let start = (rng() % N as u64) as usize;
+                    let expect = (start..N).chain(0..start).find(|&j| naive[j]);
+                    assert_eq!(s.next_from(start), expect, "start={start}");
+                }
+            }
+            assert_eq!(s.count(), naive.iter().filter(|&&b| b).count());
+        }
+    }
+
+    #[test]
+    fn sparse_million_slot_queries_land() {
+        let mut s = ReadySet::new();
+        // Touch the top of a million-slot space, then only a handful ready.
+        s.insert(999_999);
+        s.remove(999_999);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.next_from(0), None);
+        for &i in &[3usize, 70_000, 512_123, 999_998] {
+            s.insert(i);
+        }
+        assert_eq!(s.next_from(0), Some(3));
+        assert_eq!(s.next_from(4), Some(70_000));
+        assert_eq!(s.next_from(70_001), Some(512_123));
+        assert_eq!(s.next_from(999_999), Some(3), "wraps");
+        assert!(s.contains(512_123) && !s.contains(512_122));
+    }
+
+    #[test]
+    fn idempotent_ops_keep_count_exact() {
+        let mut s = ReadySet::new();
+        s.insert(42);
+        s.insert(42);
+        assert_eq!(s.count(), 1);
+        s.remove(42);
+        s.remove(42);
+        assert_eq!(s.count(), 0);
+        s.assign(7, true);
+        s.assign(7, false);
+        assert_eq!(s.next_from(0), None);
+    }
+}

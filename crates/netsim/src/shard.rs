@@ -38,6 +38,7 @@ use crate::sim::{Event, Node, NodeCtx, Simulator};
 use crate::stats::NetStats;
 use crate::time::Nanos;
 use crate::topology::Topology;
+use crate::twheel::TimerWheel;
 use dcp_rdma::headers::DcpTag;
 use dcp_telemetry::{DropClass, Probe, ProbeEvent};
 use rand::rngs::StdRng;
@@ -49,14 +50,27 @@ use std::sync::{Barrier, Mutex, OnceLock};
 /// "No pending event" sentinel timestamp.
 pub(crate) const IDLE: Nanos = Nanos::MAX;
 
-/// `DCP_SHARDS` (default 1), parsed once per process.
+/// `DCP_SHARDS` (default 1), parsed once per process. `auto` picks a shard
+/// count from the machine: sharding costs window-close barriers and mailbox
+/// sorting, which only pay for themselves with real parallelism, so `auto`
+/// resolves to 1 on single-threaded hosts (see EXPERIMENTS.md, the
+/// `fig14_clos_1024_sh8` note) and to the worker-thread count (capped at 8
+/// — partition quality degrades beyond pod boundaries) otherwise.
 pub fn env_shards() -> usize {
     static SHARDS: OnceLock<usize> = OnceLock::new();
     *SHARDS.get_or_init(|| match std::env::var("DCP_SHARDS") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("auto") => {
+            let threads = env_threads();
+            if threads < 2 {
+                1
+            } else {
+                threads.min(8)
+            }
+        }
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!("DCP_SHARDS={v:?} is not a positive integer; using 1");
+                eprintln!("DCP_SHARDS={v:?} is not a positive integer or \"auto\"; using 1");
                 1
             }
         },
@@ -146,6 +160,13 @@ pub(crate) struct Shard {
     pub(crate) mail_seq: u64,
     /// Reused staging vector for sorting incoming mail at delivery.
     pub(crate) mail_scratch: Vec<MailEntry>,
+    /// Endpoint timers, segregated from the calendar queue: a mostly-idle
+    /// million-QP host keeps its armed RTOs here at O(1) arm/fire instead
+    /// of carrying one calendar entry per idle QP. Shares the `seq`
+    /// counter, so both structures merge into one `(at, seq)` total order.
+    pub(crate) twheel: TimerWheel<Event>,
+    /// High-water mark of `queue.len() + twheel.len()`.
+    pub(crate) peak_pending: usize,
 }
 
 impl Shard {
@@ -164,6 +185,8 @@ impl Shard {
             bufp: BufProbe::default(),
             mail_seq: 0,
             mail_scratch: Vec::new(),
+            twheel: TimerWheel::new(),
+            peak_pending: 0,
         }
     }
 
@@ -171,7 +194,51 @@ impl Shard {
     pub(crate) fn schedule(&mut self, at: Nanos, ev: Event) {
         debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
         self.seq += 1;
-        self.queue.insert(at, self.seq, ev);
+        match ev {
+            Event::EndpointTimer { .. } => self.twheel.insert(at, self.seq, ev),
+            _ => self.queue.insert(at, self.seq, ev),
+        }
+        self.peak_pending = self.peak_pending.max(self.queue.len() + self.twheel.len());
+    }
+
+    /// Pending events in this shard (calendar queue + timer wheel).
+    #[inline]
+    pub(crate) fn pending(&self) -> usize {
+        self.queue.len() + self.twheel.len()
+    }
+
+    /// `(at, seq)` of the shard's earliest pending event across both
+    /// structures. The shared `seq` counter makes the comparison exact.
+    #[inline]
+    pub(crate) fn next_key(&mut self) -> Option<(Nanos, u64)> {
+        match (self.queue.next_key(), self.twheel.next_key()) {
+            (Some(q), Some(t)) => Some(q.min(t)),
+            (q, t) => q.or(t),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn next_at(&mut self) -> Option<Nanos> {
+        self.next_key().map(|(at, _)| at)
+    }
+
+    /// Pops the shard's globally earliest event — the merged order is
+    /// byte-identical to the historical single-queue order because both
+    /// structures key on the same `(at, seq)` space.
+    #[inline]
+    pub(crate) fn pop_next(&mut self) -> Option<(Nanos, u64, Event)> {
+        match (self.queue.next_key(), self.twheel.next_key()) {
+            (Some(q), Some(t)) => {
+                if t < q {
+                    self.twheel.pop()
+                } else {
+                    self.queue.pop()
+                }
+            }
+            (Some(_), None) => self.queue.pop(),
+            (None, Some(_)) => self.twheel.pop(),
+            (None, None) => None,
+        }
     }
 }
 
@@ -223,14 +290,14 @@ pub(crate) struct EngineShared<'a> {
 /// Runs shard `ix` through one window: every pending event strictly before
 /// `w_end` (including ones the shard emits to itself inside the window).
 pub(crate) fn run_window(shard: &mut Shard, ix: usize, sh: &EngineShared<'_>, w_end: Nanos) {
-    while shard.queue.next_at().is_some_and(|at| at < w_end) {
+    while shard.next_at().is_some_and(|at| at < w_end) {
         process_next(shard, ix, sh);
     }
 }
 
 /// Pops and dispatches the shard's earliest event; returns its timestamp.
 pub(crate) fn process_next(shard: &mut Shard, ix: usize, sh: &EngineShared<'_>) -> Nanos {
-    let (at, _seq, ev) = shard.queue.pop().expect("process_next on empty shard queue");
+    let (at, _seq, ev) = shard.pop_next().expect("process_next on empty shard queue");
     debug_assert!(at >= shard.now);
     shard.now = at;
     shard.events += 1;
@@ -250,7 +317,9 @@ fn dispatch(shard: &mut Shard, ix: usize, sh: &EngineShared<'_>, node_id: NodeId
         (Node::Host(h), Event::PacketArrive { pkt, .. }) => h.on_packet(pkt, ctx),
         (Node::Host(h), Event::PortFree { .. }) => h.on_port_free(ctx),
         (Node::Host(h), Event::Pfc { pause, .. }) => h.on_pfc(pause, ctx),
-        (Node::Host(h), Event::EndpointTimer { ep, token, .. }) => h.on_timer(ep, token, ctx),
+        (Node::Host(h), Event::EndpointTimer { slot, gen, token, .. }) => {
+            h.on_timer(slot, gen, token, ctx)
+        }
         (Node::Switch(sw), Event::PacketArrive { port, pkt, .. }) => sw.on_packet(port, pkt, ctx),
         (Node::Switch(sw), Event::PortFree { port, .. }) => sw.on_port_free(port, ctx),
         (Node::Switch(sw), Event::Pfc { port, pause, .. }) => sw.on_pfc(port, pause, ctx),
@@ -486,7 +555,7 @@ impl Simulator {
 
     /// Earliest pending node event across all shards, or [`IDLE`].
     pub(crate) fn shards_next_at(&mut self) -> Nanos {
-        self.shards.iter_mut().filter_map(|s| s.queue.next_at()).min().unwrap_or(IDLE)
+        self.shards.iter_mut().filter_map(|s| s.next_at()).min().unwrap_or(IDLE)
     }
 
     /// Earliest pending control event, or [`IDLE`].
@@ -501,7 +570,7 @@ impl Simulator {
             let (shards, sh) = self.engine_core();
             let mut cursor = w.cursor;
             while cursor < sh.n {
-                match shards[cursor].queue.next_at() {
+                match shards[cursor].next_at() {
                     Some(at) if at < w.w_end => {
                         if at > limit {
                             self.serial_window = Some(SerialWindow { w_end: w.w_end, cursor });
@@ -735,7 +804,7 @@ impl Simulator {
         }
         {
             let s0 = &mut self.shards[0];
-            if s0.events > 0 || !s0.queue.is_empty() || !s0.pool.is_empty() {
+            if s0.events > 0 || s0.pending() > 0 || !s0.pool.is_empty() {
                 return false;
             }
         }
@@ -931,7 +1000,7 @@ fn session_worker(
             if sh.probe_on {
                 std::mem::swap(&mut shard.bufp.buf, &mut *slots[*ix].lock().unwrap());
             }
-            next_at[*ix].store(shard.queue.next_at().unwrap_or(IDLE), Ordering::Relaxed);
+            next_at[*ix].store(shard.next_at().unwrap_or(IDLE), Ordering::Relaxed);
             comp_len[*ix].store(shard.completions.len(), Ordering::Relaxed);
         }
         barrier.wait();

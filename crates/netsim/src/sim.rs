@@ -17,7 +17,7 @@
 
 use crate::endpoint::{Completion, Endpoint};
 use crate::fault::{FaultPlane, FaultVerdict};
-use crate::host::Host;
+use crate::host::{Host, QpRef};
 use crate::link::Link;
 use crate::packet::{FlowId, NodeId, PortId};
 use crate::pool::{PacketPool, PktRef};
@@ -47,8 +47,12 @@ pub enum Event {
     PortFree { node: NodeId, port: PortId },
     /// A PFC PAUSE (`pause = true`) or RESUME frame arrives at `node`.
     Pfc { node: NodeId, port: PortId, pause: bool },
-    /// A transport timer fires on endpoint `ep` of host `node`.
-    EndpointTimer { node: NodeId, ep: usize, token: u64 },
+    /// A transport timer fires on the endpoint in connection-table `slot`
+    /// of host `node`. The generation stamp makes timers armed by a since-
+    /// removed endpoint detectably stale: the host drops them at fire time
+    /// (the event is still dispatched and counted — the fire-and-filter
+    /// discipline transports already rely on for their own `gen` tokens).
+    EndpointTimer { node: NodeId, slot: u32, gen: u32, token: u64 },
     /// A scheduled control-plane action fires: the installed
     /// [`FaultPlane`] (if any) interprets `token` (e.g. "apply fault-plan
     /// entry #3 now"). Not addressed to a node — it acts on the simulator.
@@ -292,9 +296,19 @@ impl Simulator {
         self.host_mut(b).link = Some(Link::new(a, Host::PORT, gbps, delay));
     }
 
-    /// Installs a transport endpoint for `flow` on `host`.
-    pub fn install_endpoint(&mut self, host: NodeId, flow: FlowId, ep: Box<dyn Endpoint>) {
-        self.host_mut(host).install(flow, ep);
+    /// Installs a transport endpoint for `flow` on `host`; returns its
+    /// generational connection-table handle.
+    pub fn install_endpoint(&mut self, host: NodeId, flow: FlowId, ep: Box<dyn Endpoint>) -> QpRef {
+        self.host_mut(host).install(flow, ep)
+    }
+
+    /// Uninstalls the endpoint behind `qp` on `host`, returning it for
+    /// recycling. Its counters are folded into the host's retired
+    /// accumulator (so [`Simulator::all_endpoint_stats`] keeps counting
+    /// them) and any timers it left armed die on the generation check.
+    /// `None` when the handle is stale.
+    pub fn remove_endpoint(&mut self, host: NodeId, qp: QpRef) -> Option<Box<dyn Endpoint>> {
+        self.host_mut(host).remove(qp)
     }
 
     /// Posts a Work Request on `flow`'s sender endpoint and kicks the NIC.
@@ -534,7 +548,7 @@ impl Simulator {
     /// The exact pre-sharding event loop: one queue, events (including
     /// controls) in `(at, seq)` order.
     fn step_single(&mut self) -> Option<Nanos> {
-        let (at, _seq, ev) = self.shards[0].queue.pop()?;
+        let (at, _seq, ev) = self.shards[0].pop_next()?;
         debug_assert!(at >= self.clock);
         self.clock = at;
         self.shards[0].now = at;
@@ -559,7 +573,9 @@ impl Simulator {
             (Node::Host(h), Event::PacketArrive { pkt, .. }) => h.on_packet(pkt, ctx),
             (Node::Host(h), Event::PortFree { .. }) => h.on_port_free(ctx),
             (Node::Host(h), Event::Pfc { pause, .. }) => h.on_pfc(pause, ctx),
-            (Node::Host(h), Event::EndpointTimer { ep, token, .. }) => h.on_timer(ep, token, ctx),
+            (Node::Host(h), Event::EndpointTimer { slot, gen, token, .. }) => {
+                h.on_timer(slot, gen, token, ctx)
+            }
             (Node::Switch(sw), Event::PacketArrive { port, pkt, .. }) => {
                 sw.on_packet(port, pkt, ctx)
             }
@@ -597,7 +613,7 @@ impl Simulator {
     /// returns `None` (without advancing) otherwise or when idle.
     pub fn step_bounded(&mut self, limit: Nanos) -> Option<Nanos> {
         if self.shards.len() == 1 {
-            return match self.shards[0].queue.next_at() {
+            return match self.shards[0].next_at() {
                 Some(at) if at <= limit => self.step_single(),
                 _ => None,
             };
@@ -641,7 +657,7 @@ impl Simulator {
     /// Runs until the queue is empty or the clock passes `t`.
     pub fn run_until(&mut self, t: Nanos) {
         if self.shards.len() == 1 {
-            while let Some(at) = self.shards[0].queue.next_at() {
+            while let Some(at) = self.shards[0].next_at() {
                 if at > t {
                     break;
                 }
@@ -661,13 +677,13 @@ impl Simulator {
     /// is printed to stderr — a stalled run leaves a trace, not a boolean.
     pub fn run_to_quiescence(&mut self, deadline: Nanos) -> bool {
         if self.shards.len() == 1 {
-            while let Some(at) = self.shards[0].queue.next_at() {
+            while let Some(at) = self.shards[0].next_at() {
                 if at > deadline {
                     if let Some(dump) = self.flight_dump() {
                         eprintln!(
                             "run_to_quiescence: deadline {deadline} missed at t={} with {} pending events\n{dump}",
                             self.clock,
-                            self.shards[0].queue.len(),
+                            self.shards[0].pending(),
                         );
                     }
                     return false;
@@ -738,7 +754,7 @@ impl Simulator {
     }
 
     pub fn pending_events(&self) -> usize {
-        self.shards.iter().map(|s| s.queue.len()).sum::<usize>() + self.controls.len()
+        self.shards.iter().map(|s| s.pending()).sum::<usize>() + self.controls.len()
     }
 
     /// Total events dispatched so far (controls included).
@@ -750,7 +766,7 @@ impl Simulator {
     /// sum of per-shard high-water marks — an upper bound on the true
     /// simultaneous peak (shards may peak at different times).
     pub fn peak_pending_events(&self) -> usize {
-        self.shards.iter().map(|s| s.queue.peak_len()).sum()
+        self.shards.iter().map(|s| s.peak_pending).sum()
     }
 
     /// Aggregated fabric counters across all switches, plus the engine's
@@ -778,6 +794,9 @@ impl Simulator {
                 for ep in h.endpoints() {
                     total.merge(&ep.stats());
                 }
+                // Removed endpoints' lifetime counters, so churn never
+                // breaks the conservation identities.
+                total.merge(h.retired_stats());
             }
         }
         total

@@ -1,0 +1,401 @@
+//! Hierarchical timer wheel for endpoint timers.
+//!
+//! Transport timers (RTO, pacing, CC ticks) are the one event class whose
+//! pending population scales with *installed* connections rather than with
+//! traffic: a million idle QPs with armed retransmission timeouts is a
+//! million far-future entries. Keeping them in the calendar queue
+//! ([`crate::equeue::EventQueue`]) makes every rotation and every width
+//! adaptation pay for state that almost never fires soon; this wheel gives
+//! timer arming O(1) pushes into power-of-two slots and only materializes a
+//! heap for the slice of time actually being executed.
+//!
+//! Layout, from soonest to latest:
+//!
+//! * `due`: min-heap of entries below `due_start + W0` (W0 = 2^12 ns). The
+//!   only structure `pop` touches directly. Late inserts (an endpoint
+//!   arming a timer closer than the wheel origin) land here too — a heap
+//!   absorbs them in order without any structural motion.
+//! * `levels`: [`LEVELS`] levels of 64 slots; level `l` buckets entries by
+//!   bits `[12 + 6l, 12 + 6(l+1))` of their timestamp. An entry lives at
+//!   the *highest* level where its slot digit differs from `due_start`'s,
+//!   so each entry cascades down at most [`LEVELS`] times over its life.
+//!   Per-level occupancy bitmaps make "next expiring slot" a `ctz`.
+//! * `overflow`: min-heap past the 2^42 ns (~73 min) horizon.
+//!
+//! Ordering contract — identical to the calendar queue's: keys are
+//! `(at, seq)` with `seq` unique and monotone (the owning shard's event
+//! counter, shared with its calendar queue so the two structures merge into
+//! one total order), and `pop` returns entries in exactly ascending key
+//! order.
+//!
+//! `next_key` is `&self` and exact: the wheel maintains `cached_min`
+//! (lowered on insert, recomputed from `due` after pop). The wheel origin
+//! only advances inside `pop` — peeking never reorganizes, so an engine
+//! that polls `next_key` every step cannot drag `due_start` ahead of
+//! simulation time and degrade near-future inserts into the heap.
+
+use crate::time::Nanos;
+use std::collections::BinaryHeap;
+
+/// log2 of the due-window width: 4096 ns.
+const W0_LOG2: u32 = 12;
+/// log2 of the per-level fan-out (64 slots → one `u64` occupancy word).
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel horizon: 2^(12 + 6·5) = 2^42 ns ≈ 73 minutes.
+const LEVELS: usize = 5;
+
+#[inline]
+fn shift(level: usize) -> u32 {
+    W0_LOG2 + SLOT_BITS * level as u32
+}
+
+/// Base-64 digit of `at` at `level` (bits `[shift(level), shift(level+1))`).
+#[inline]
+fn digit(at: Nanos, level: usize) -> usize {
+    ((at >> shift(level)) & (SLOTS as Nanos - 1)) as usize
+}
+
+/// Everything above the wheel horizon — entries whose top differs from the
+/// origin's wait in `overflow`.
+#[inline]
+fn top(at: Nanos) -> Nanos {
+    at >> shift(LEVELS)
+}
+
+struct Entry<T> {
+    at: Nanos,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Entry<T> {
+    fn key(&self) -> (Nanos, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, o: &Self) -> bool {
+        self.key() == o.key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+// Reversed: `BinaryHeap<Entry>` becomes a min-queue, and `BinaryHeap::from`
+// can heapify a slot's `Vec` storage in place (same trick as the calendar
+// queue).
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        o.key().cmp(&self.key())
+    }
+}
+
+/// Deterministic hierarchical timer wheel keyed on `(time, seq)`; see
+/// module docs.
+pub struct TimerWheel<T> {
+    /// Wheel origin, W0-aligned. Every level/overflow entry is at or past
+    /// `due_start + W0`; `due` holds everything earlier.
+    due_start: Nanos,
+    due: BinaryHeap<Entry<T>>,
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    /// Per-level slot-occupancy bitmaps.
+    occ: [u64; LEVELS],
+    overflow: BinaryHeap<Entry<T>>,
+    len: usize,
+    peak_len: usize,
+    /// Exact minimum key over all entries; `None` when empty.
+    cached_min: Option<(Nanos, u64)>,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new() -> Self {
+        TimerWheel {
+            due_start: 0,
+            due: BinaryHeap::new(),
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            occ: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            len: 0,
+            peak_len: 0,
+            cached_min: None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of pending entries over the wheel's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Exact `(at, seq)` of the earliest pending entry — O(1), no
+    /// reorganization.
+    #[inline]
+    pub fn next_key(&self) -> Option<(Nanos, u64)> {
+        self.cached_min
+    }
+
+    /// Routes an entry to `due`, a level slot, or overflow. Shared by
+    /// `insert` and cascades, so placement is always against the current
+    /// origin.
+    fn place(&mut self, e: Entry<T>) {
+        let at = e.at;
+        if at < self.due_start + (1 << W0_LOG2) {
+            self.due.push(e);
+            return;
+        }
+        if top(at) != top(self.due_start) {
+            self.overflow.push(e);
+            return;
+        }
+        // Highest level where the digit differs from the origin's; such a
+        // level exists because `at >= due_start + W0` with an equal top.
+        let mut l = LEVELS - 1;
+        while digit(at, l) == digit(self.due_start, l) {
+            debug_assert!(l > 0, "all digits equal but at >= due_start + W0");
+            l -= 1;
+        }
+        let s = digit(at, l);
+        self.levels[l][s].push(e);
+        self.occ[l] |= 1 << s;
+    }
+
+    /// Inserts an entry. `(at, seq)` must be unique with `seq` monotone
+    /// across calls; `at` may not precede the last popped time.
+    pub fn insert(&mut self, at: Nanos, seq: u64, item: T) {
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+        if self.cached_min.is_none_or(|m| (at, seq) < m) {
+            self.cached_min = Some((at, seq));
+        }
+        self.place(Entry { at, seq, item });
+    }
+
+    /// Removes and returns the earliest entry as `(at, seq, item)`.
+    pub fn pop(&mut self) -> Option<(Nanos, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.due.is_empty() {
+            self.advance();
+        }
+        let e = self.due.pop().expect("advance refills due");
+        self.len -= 1;
+        // Keep `due` primed so `cached_min` stays an O(1) exact peek. This
+        // advance happens at pop time — the popped entry was the global
+        // minimum, so the origin only ever moves to where execution already
+        // is, never ahead of it.
+        if self.due.is_empty() && self.len > 0 {
+            self.advance();
+        }
+        self.cached_min = self.due.peek().map(|d| d.key());
+        debug_assert_eq!(self.cached_min.is_none(), self.len == 0);
+        Some((e.at, e.seq, e.item))
+    }
+
+    /// Moves the origin to the next expiring slot and cascades it, until
+    /// `due` is non-empty. Caller guarantees `len > 0` and `due` empty.
+    fn advance(&mut self) {
+        debug_assert!(self.due.is_empty() && self.len > 0);
+        loop {
+            let Some(l) = (0..LEVELS).find(|&l| self.occ[l] != 0) else {
+                // Only overflow left: jump the origin to its minimum and
+                // migrate everything sharing that top region.
+                let at = self.overflow.peek().expect("len > 0 with empty wheel").at;
+                self.due_start = (at >> W0_LOG2) << W0_LOG2;
+                self.migrate_overflow();
+                debug_assert!(!self.due.is_empty(), "overflow min lands in the due window");
+                return;
+            };
+            // Every occupied slot digit exceeds the origin's at its level
+            // (placement invariant), so the raw ctz is the earliest slot.
+            let s = self.occ[l].trailing_zeros() as usize;
+            debug_assert!(s > digit(self.due_start, l));
+            let sh = shift(l);
+            let above = shift(l + 1);
+            self.due_start = ((self.due_start >> above) << above) | ((s as Nanos) << sh);
+            self.occ[l] &= !(1 << s);
+            let v = std::mem::take(&mut self.levels[l][s]);
+            if l == 0 {
+                // The whole slot is the new due window [due_start,
+                // due_start + W0): heapify in place, recycle the storage.
+                debug_assert!(self.due.is_empty());
+                let old = std::mem::replace(&mut self.due, BinaryHeap::from(v));
+                self.levels[0][s] = old.into_vec();
+            } else {
+                // Re-place one level down (placement is order-agnostic:
+                // every destination orders by the unique `(at, seq)` key),
+                // then keep the drained storage on this level. The origin
+                // moves through slot indices monotonically, so the next
+                // inserts at this level land in the *following* slot —
+                // hand it the buffer if it has none (the cold-slot case:
+                // a level-l slot is only revisited every 64^(l+1) windows,
+                // long after its last capacity would otherwise have been
+                // dropped); otherwise the slot cycle is already warm and
+                // the buffer stays where it was.
+                let mut v = v;
+                while let Some(e) = v.pop() {
+                    self.place(e);
+                }
+                let next = (s + 1) % SLOTS;
+                if self.levels[l][next].capacity() == 0 {
+                    self.levels[l][next] = v;
+                } else {
+                    self.levels[l][s] = v;
+                }
+            }
+            if !self.due.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Pulls overflow entries that entered the wheel's top region back onto
+    /// the levels (or into `due`).
+    fn migrate_overflow(&mut self) {
+        let t = top(self.due_start);
+        while self.overflow.peek().is_some_and(|e| top(e.at) == t) {
+            let e = self.overflow.pop().expect("peeked");
+            self.place(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Interleaved insert/pop against a reference sort, mixing the due
+    /// window, every wheel level, and overflow. Inserts respect
+    /// `at >= last popped time` like the engine does.
+    #[test]
+    fn interleaved_matches_reference_sort() {
+        let mut w = TimerWheel::new();
+        let mut reference: Vec<(Nanos, u64)> = Vec::new();
+        let mut state: u64 = 0x00c0_ffee_d00d_1234;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut seq = 0u64;
+        let mut now: Nanos = 0;
+        let mut popped = Vec::new();
+        for _ in 0..20_000 {
+            if rng() % 3 != 0 || w.is_empty() {
+                seq += 1;
+                let delta = match rng() % 10 {
+                    0..=2 => rng() % 4_000,             // due window
+                    3..=5 => rng() % 250_000,           // levels 0–1
+                    6..=7 => rng() % 1_000_000_000,     // levels 2–4
+                    8 => rng() % 100_000_000_000,       // level 4-ish
+                    _ => (1 << 42) + rng() % (1 << 43), // overflow
+                };
+                let at = now + delta;
+                w.insert(at, seq, seq as u32);
+                reference.push((at, seq));
+            } else {
+                let next = w.next_key().expect("non-empty");
+                let (at, s, _) = w.pop().unwrap();
+                assert_eq!((at, s), next, "next_key must be the exact pop key");
+                now = at;
+                popped.push((at, s));
+            }
+        }
+        while let Some((at, s, _)) = w.pop() {
+            popped.push((at, s));
+        }
+        reference.sort_unstable();
+        assert_eq!(popped, reference);
+        assert!(w.is_empty() && w.next_key().is_none());
+    }
+
+    /// Same-timestamp entries must come out in seq order (the determinism
+    /// tiebreak), wherever they were stored.
+    #[test]
+    fn seq_breaks_ties() {
+        let mut w = TimerWheel::new();
+        for seq in 1..=50u64 {
+            w.insert(1_000_000, seq, ());
+        }
+        for expect in 1..=50u64 {
+            assert_eq!(w.pop().map(|(_, s, _)| s), Some(expect));
+        }
+    }
+
+    /// A pop may advance the origin past a later insert's timestamp; such
+    /// late inserts must still come out in exact order (they ride the due
+    /// heap).
+    #[test]
+    fn late_inserts_after_origin_advance() {
+        let mut w = TimerWheel::new();
+        w.insert(10_000_000, 1, 1u32);
+        assert_eq!(w.pop().map(|(at, ..)| at), Some(10_000_000));
+        // Origin is now ~10 ms; arm timers "in the past" relative to it
+        // (legal: the engine's clock is only at 10 ms).
+        w.insert(10_000_100, 2, 2);
+        w.insert(10_000_050, 3, 3);
+        w.insert(12_000_000, 4, 4);
+        assert_eq!(w.next_key(), Some((10_000_050, 3)));
+        assert_eq!(w.pop().map(|(at, seq, _)| (at, seq)), Some((10_000_050, 3)));
+        assert_eq!(w.pop().map(|(at, seq, _)| (at, seq)), Some((10_000_100, 2)));
+        assert_eq!(w.pop().map(|(at, seq, _)| (at, seq)), Some((12_000_000, 4)));
+    }
+
+    /// next_key never reorganizes: a far-future minimum peeked many times
+    /// must not stop near-future inserts from ordering correctly.
+    #[test]
+    fn peek_does_not_advance_origin() {
+        let mut w = TimerWheel::new();
+        w.insert(3_000_000_000, 1, 1u32); // 3 s out
+        for _ in 0..100 {
+            assert_eq!(w.next_key(), Some((3_000_000_000, 1)));
+        }
+        // A near-future timer armed after all that peeking still wins.
+        w.insert(5_000, 2, 2);
+        assert_eq!(w.next_key(), Some((5_000, 2)));
+        assert_eq!(w.pop().map(|(at, ..)| at), Some(5_000));
+        assert_eq!(w.pop().map(|(at, ..)| at), Some(3_000_000_000));
+    }
+
+    /// A million armed far-future timers: inserts are O(1) slot pushes and
+    /// the wheel drains them in exact order (spot-checked via checksum
+    /// against the insertion set).
+    #[test]
+    fn million_timers_drain_in_order() {
+        let mut w = TimerWheel::new();
+        let n = 1_000_000u64;
+        for i in 0..n {
+            // Spread over ~4 ms like a fleet of armed RTOs.
+            let at = 1_000_000 + (i * 2_654_435_761) % 4_000_000;
+            w.insert(at, i + 1, ());
+        }
+        assert_eq!(w.len(), n as usize);
+        let mut last = (0, 0);
+        let mut count = 0u64;
+        while let Some((at, seq, _)) = w.pop() {
+            assert!((at, seq) > last, "out of order at entry {count}");
+            last = (at, seq);
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+}

@@ -224,6 +224,13 @@ impl RecvQueue {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Empties the queue and rewinds the SSN cursor, keeping the buffer
+    /// capacity — used when a QP slot is recycled for a new connection.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.front_ssn = 0;
+    }
 }
 
 /// A retransmission entry: the metadata the DCP Rx path extracts from a

@@ -169,6 +169,10 @@ impl CongestionControl for Dcqcn {
         }
         Some(now + self.cfg.alpha_timer.min(self.cfg.rate_timer))
     }
+
+    fn reset(&mut self) {
+        *self = Dcqcn::new(self.cfg);
+    }
 }
 
 #[cfg(test)]

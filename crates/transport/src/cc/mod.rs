@@ -41,6 +41,10 @@ pub trait CongestionControl: Send {
     /// Periodic update hook; returns the next time it wants to be called,
     /// or `None` if it needs no timer.
     fn on_tick(&mut self, now: Nanos) -> Option<Nanos>;
+
+    /// Returns the scheme to its initial state (fresh connection on the
+    /// endpoint-recycling path). Stateless schemes keep the no-op default.
+    fn reset(&mut self) {}
 }
 
 /// BDP-bounded static window: at most `window_bytes` outstanding.

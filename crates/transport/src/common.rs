@@ -58,6 +58,20 @@ impl FlowCfg {
             data_tag: sender.data_tag,
         }
     }
+
+    /// Rebinds this config to a new connection identity in place — the
+    /// endpoint-recycling path (`Endpoint::recycle`). Derived fields (QPNs,
+    /// sport) are recomputed exactly as [`FlowCfg::sender`] /
+    /// [`FlowCfg::receiver_of`] would; `mtu` and `data_tag` are transport
+    /// properties and survive.
+    pub fn rebind(&mut self, flow: FlowId, local: NodeId, remote: NodeId, is_sender: bool) {
+        self.flow = flow;
+        self.local = local;
+        self.remote = remote;
+        let (snd, rcv) = (Qpn(flow.0 * 2), Qpn(flow.0 * 2 + 1));
+        (self.local_qpn, self.remote_qpn) = if is_sender { (snd, rcv) } else { (rcv, snd) };
+        self.sport = (flow.0 as u16).wrapping_mul(2654435761u32 as u16) | 1;
+    }
 }
 
 /// One outstanding message on the sender: the WQE plus its PSN range.
@@ -132,22 +146,35 @@ impl TxBook {
     /// generation.
     pub fn retire_below(&mut self, emsn: u32) -> Vec<MsgState> {
         let mut out = Vec::new();
+        self.retire_below_into(emsn, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TxBook::retire_below`]: appends retired messages to
+    /// a caller-owned scratch vector (hot paths reuse one across calls).
+    pub fn retire_below_into(&mut self, emsn: u32, out: &mut Vec<MsgState>) {
         while let Some(front) = self.msgs.front() {
             if front.wqe.msn < emsn {
-                out.push(*self.msgs.front().unwrap());
+                out.push(*front);
                 self.msgs.pop_front();
             } else {
                 break;
             }
         }
         self.emsn = self.emsn.max(emsn);
-        out
     }
 
     /// Retires every message whose PSN range ends at or below `cum_psn`
     /// (cumulative-ACK transports). Returns completed messages.
     pub fn retire_psn_below(&mut self, cum_psn: u32) -> Vec<MsgState> {
         let mut out = Vec::new();
+        self.retire_psn_below_into(cum_psn, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TxBook::retire_psn_below`]; see
+    /// [`TxBook::retire_below_into`].
+    pub fn retire_psn_below_into(&mut self, cum_psn: u32, out: &mut Vec<MsgState>) {
         while let Some(front) = self.msgs.front() {
             if front.first_psn + front.pkt_count <= cum_psn {
                 out.push(*front);
@@ -157,7 +184,17 @@ impl TxBook {
                 break;
             }
         }
-        out
+    }
+
+    /// Resets the book to its freshly-constructed state, keeping the
+    /// message deque's capacity — the recycling path.
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+        self.next_msn = 0;
+        self.next_ssn = 0;
+        self.next_psn = 0;
+        self.emsn = 0;
+        self.posted_bytes = 0;
     }
 
     pub fn next_psn(&self) -> u32 {
@@ -346,6 +383,11 @@ impl CnpGen {
                 true
             }
         }
+    }
+
+    /// Forgets the last-CNP timestamp (fresh connection on recycle).
+    pub fn reset(&mut self) {
+        self.last = None;
     }
 }
 

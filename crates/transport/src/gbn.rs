@@ -11,6 +11,7 @@ use crate::cc::CongestionControl;
 use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, Placement, TxBook};
 use crate::rxcore::RxCore;
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
+use dcp_netsim::packet::{FlowId, NodeId};
 use dcp_netsim::packet::{Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
@@ -55,6 +56,8 @@ pub struct GbnSender {
     cc_tick_armed: bool,
     uid: u64,
     stats: TransportStats,
+    /// Reused buffer for retired messages (no per-ACK allocation).
+    retire_scratch: Vec<crate::common::MsgState>,
 }
 
 impl GbnSender {
@@ -74,6 +77,7 @@ impl GbnSender {
             cc_tick_armed: false,
             uid: 0,
             stats: TransportStats::default(),
+            retire_scratch: Vec::new(),
         }
     }
 
@@ -88,7 +92,10 @@ impl GbnSender {
     }
 
     fn retire(&mut self, epsn: u32, ctx: &mut EndpointCtx) {
-        for m in self.book.retire_psn_below(epsn) {
+        let mut done = std::mem::take(&mut self.retire_scratch);
+        done.clear();
+        self.book.retire_psn_below_into(epsn, &mut done);
+        for m in &done {
             ctx.completions.push(Completion {
                 host: self.cfg.local,
                 flow: self.cfg.flow,
@@ -99,6 +106,7 @@ impl GbnSender {
                 at: ctx.now,
             });
         }
+        self.retire_scratch = done;
     }
 }
 
@@ -230,6 +238,25 @@ impl Endpoint for GbnSender {
     fn is_done(&self) -> bool {
         self.book.is_empty()
     }
+
+    fn recycle(&mut self, flow: FlowId, local: NodeId, remote: NodeId) -> bool {
+        self.cfg.rebind(flow, local, remote, true);
+        self.book.clear();
+        self.cc.reset();
+        self.snd_una = 0;
+        self.snd_nxt = 0;
+        self.max_sent = 0;
+        self.retx_cause = RetxCause::Unknown;
+        // rto_gen stays monotone: a previous life's RTO that somehow slips
+        // past the host's slot-generation filter still mismatches here.
+        self.rto_gen += 1;
+        self.rto_armed = false;
+        self.pace_armed = false;
+        self.cc_tick_armed = false;
+        self.uid = 0;
+        self.stats = TransportStats::default();
+        true
+    }
 }
 
 /// Go-Back-N receiver: in-order acceptance, NAK on gaps.
@@ -308,6 +335,16 @@ impl Endpoint for GbnReceiver {
 
     fn is_done(&self) -> bool {
         self.out.is_empty()
+    }
+
+    fn recycle(&mut self, flow: FlowId, local: NodeId, remote: NodeId) -> bool {
+        self.cfg.rebind(flow, local, remote, false);
+        self.rx.recycle(local, flow);
+        self.cnp.reset();
+        self.nak_outstanding = false;
+        self.out.clear();
+        self.uid = 0;
+        true
     }
 }
 

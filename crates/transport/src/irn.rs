@@ -17,7 +17,7 @@ use crate::cc::CongestionControl;
 use crate::common::{ack_packet, data_packet, desc_at, tokens, CnpGen, FlowCfg, Placement, TxBook};
 use crate::rxcore::{Accept, RxCore};
 use dcp_netsim::endpoint::{Completion, CompletionKind, Endpoint, EndpointCtx};
-use dcp_netsim::packet::{Packet, PktExt};
+use dcp_netsim::packet::{FlowId, NodeId, Packet, PktExt};
 use dcp_netsim::pool::PktRef;
 use dcp_netsim::stats::TransportStats;
 use dcp_netsim::time::{Nanos, US};
@@ -63,6 +63,8 @@ pub struct IrnSender {
     cc_tick_armed: bool,
     uid: u64,
     stats: TransportStats,
+    /// Reused buffer for retired messages (no per-ACK allocation).
+    retire_scratch: Vec<crate::common::MsgState>,
 }
 
 impl IrnSender {
@@ -86,6 +88,7 @@ impl IrnSender {
             cc_tick_armed: false,
             uid: 0,
             stats: TransportStats::default(),
+            retire_scratch: Vec::new(),
         }
     }
 
@@ -116,7 +119,10 @@ impl IrnSender {
         while self.sacked.remove(&self.snd_una) {
             self.snd_una += 1;
         }
-        for m in self.book.retire_psn_below(self.snd_una) {
+        let mut done = std::mem::take(&mut self.retire_scratch);
+        done.clear();
+        self.book.retire_psn_below_into(self.snd_una, &mut done);
+        for m in &done {
             ctx.completions.push(Completion {
                 host: self.cfg.local,
                 flow: self.cfg.flow,
@@ -127,6 +133,7 @@ impl IrnSender {
                 at: ctx.now,
             });
         }
+        self.retire_scratch = done;
         if self.in_recovery && self.snd_una >= self.recovery_point {
             self.in_recovery = false;
             self.retx_done.clear();
@@ -285,6 +292,29 @@ impl Endpoint for IrnSender {
     fn is_done(&self) -> bool {
         self.book.is_empty()
     }
+
+    fn recycle(&mut self, flow: FlowId, local: NodeId, remote: NodeId) -> bool {
+        self.cfg.rebind(flow, local, remote, true);
+        self.book.clear();
+        self.cc.reset();
+        self.snd_una = 0;
+        self.snd_nxt = 0;
+        self.max_sent = 0;
+        // B-tree bitmaps release their nodes here (§4.5's point: bitmap
+        // state costs allocation churn that DCP's counters avoid).
+        self.sacked.clear();
+        self.in_recovery = false;
+        self.recovery_point = 0;
+        self.retx_q.clear();
+        self.retx_done.clear();
+        self.rto_gen += 1;
+        self.rto_armed = false;
+        self.pace_armed = false;
+        self.cc_tick_armed = false;
+        self.uid = 0;
+        self.stats = TransportStats::default();
+        true
+    }
 }
 
 /// IRN receiver: order-tolerant placement; SACK on every OOO arrival.
@@ -342,6 +372,15 @@ impl Endpoint for IrnReceiver {
 
     fn is_done(&self) -> bool {
         self.out.is_empty()
+    }
+
+    fn recycle(&mut self, flow: FlowId, local: NodeId, remote: NodeId) -> bool {
+        self.cfg.rebind(flow, local, remote, false);
+        self.rx.recycle(local, flow);
+        self.cnp.reset();
+        self.out.clear();
+        self.uid = 0;
+        true
     }
 }
 

@@ -151,6 +151,22 @@ impl RxCore {
     pub fn is_quiescent(&self) -> bool {
         self.received.is_empty() && self.msg_ends.is_empty()
     }
+
+    /// Resets the core for a fresh connection (the endpoint-recycling
+    /// path). Counters restart at zero — the host's retired accumulator
+    /// holds the previous life's numbers. Note the B-trees release their
+    /// nodes on `clear` and re-allocate as the next connection runs; that
+    /// per-connection allocation churn is intrinsic to bitmap receivers
+    /// (§4.5) and shows up in the `churn` benchmark, by design.
+    pub fn recycle(&mut self, host: NodeId, flow: FlowId) {
+        self.host = host;
+        self.flow = flow;
+        self.epsn = 0;
+        self.received.clear();
+        self.msg_ends.clear();
+        self.msg_bytes.clear();
+        self.stats = TransportStats::default();
+    }
 }
 
 #[cfg(test)]
