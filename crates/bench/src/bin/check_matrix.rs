@@ -39,7 +39,7 @@ const ADV_SEED: u64 = 0xad5e;
 /// Loss-model root seed for the BER+reorder composition.
 const PLAN_SEED: u64 = 0xfa11;
 
-/// The 7 transport schemes, identical to `fault_matrix`.
+/// The 8 transport schemes, identical to `fault_matrix`.
 fn schemes() -> Vec<(&'static str, TransportKind, SwitchConfig)> {
     let mut mp = SwitchConfig::lossless(LoadBalance::Ecmp);
     mp.ecn = Some(EcnConfig::default_100g());
@@ -51,6 +51,7 @@ fn schemes() -> Vec<(&'static str, TransportKind, SwitchConfig)> {
         ("MP-RDMA", TransportKind::MpRdma, mp),
         ("RACK-TLP", TransportKind::RackTlp, SwitchConfig::lossy(LoadBalance::Ecmp)),
         ("Timeout-only", TransportKind::TimeoutOnly, SwitchConfig::lossy(LoadBalance::Ecmp)),
+        ("EC (k8m2, AR)", TransportKind::Ec, SwitchConfig::lossy(LoadBalance::AdaptiveRouting)),
     ]
 }
 
@@ -101,7 +102,7 @@ fn matrix_ber_plan(scale: Scale) -> FaultPlan {
     let (_, _, hosts_per_leaf) = scale.clos_dims();
     let (sim, topo) = build_clos(SEED, SwitchConfig::lossy(LoadBalance::Ecmp), scale, US);
     FaultPlan::new(PLAN_SEED)
-        .with_loss_on(&fabric_cables(&sim, &topo, hosts_per_leaf), LossModel::Ber { ber: 1e-5 })
+        .with_loss_on(&fabric_cables(&sim, &topo, hosts_per_leaf), LossModel::wire_ber(1e-5))
         .sorted()
 }
 
@@ -197,7 +198,7 @@ fn main() {
         .map_or("check_repro.json", |w| w[1].as_str());
     let (n_flows, load) = if quick { (80, 0.2) } else { (scale.flows().min(1200), 0.25) };
     println!(
-        "Conformance matrix — 7 transports × 5 adversary profiles, CLOS {} ({} flows{})",
+        "Conformance matrix — 8 transports × 5 adversary profiles, CLOS {} ({} flows{})",
         scale.label(),
         n_flows,
         if quick { ", --quick smoke" } else { "" },

@@ -4,7 +4,7 @@
 //! ```text
 //! USAGE: dcp_sim [KEY=VALUE]...
 //!
-//!   transport=dcp|gbn|irn|mprdma|rack|timeout   (default dcp)
+//!   transport=dcp|gbn|irn|mprdma|rack|timeout|ec (default dcp)
 //!   cc=none|bdp|dcqcn                           (default per transport)
 //!   lb=ecmp|ar|spray|flowlet                    (default ar)
 //!   topo=clos|testbed                           (default clos)
@@ -57,6 +57,7 @@ fn main() {
         "mprdma" => TransportKind::MpRdma,
         "rack" => TransportKind::RackTlp,
         "timeout" => TransportKind::TimeoutOnly,
+        "ec" => TransportKind::Ec,
         other => panic!("unknown transport {other:?}"),
     };
     let lb = match get("lb", "ar").as_str() {

@@ -88,7 +88,7 @@ fn run_ber(fan_in: usize, ber: f64, with_entry: bool) -> (u64, u64, u64, Option<
         // The testbed's single cross cable sits on s1's first post-host
         // port; the loss model covers both directions.
         let plan = FaultPlan::new(0x7ab1e5)
-            .with_loss_on(&[(topo.leaves[0], fan_in)], LossModel::Ber { ber })
+            .with_loss_on(&[(topo.leaves[0], fan_in)], LossModel::wire_ber(ber))
             .sorted();
         FaultEngine::install(&mut sim, plan);
     }

@@ -170,6 +170,7 @@ pub fn default_cc(kind: TransportKind) -> CcKind {
         TransportKind::Irn
         | TransportKind::RackTlp
         | TransportKind::TimeoutOnly
+        | TransportKind::Ec
         | TransportKind::Gbn => bdp_cc(),
         TransportKind::MpRdma => CcKind::None,
         TransportKind::Dcp => CcKind::Dcqcn { gbps: 100.0 },

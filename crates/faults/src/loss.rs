@@ -39,6 +39,28 @@ impl LossModel {
         LossModel::GilbertElliott { p_gb, p_bg, loss_good: 0.0, loss_bad: 0.9 }
     }
 
+    /// Wire bit-error rate — the Table 5 knob. Named so benchmarks stop
+    /// re-spelling the literal: `wire_ber(1e-5)` reads as the cell label.
+    pub fn wire_ber(ber: f64) -> Self {
+        LossModel::Ber { ber }
+    }
+
+    /// Long-haul WAN burst profile: short error bursts (mean 2 packets,
+    /// `1/p_bg`) entered often enough for ~1.8 % stationary loss — a badly
+    /// degraded long-haul wave, not a clean one. Bursts this short sit
+    /// inside one erasure-coding generation's repair budget, while any
+    /// retransmission-based transport pays a full WAN RTT per burst — the
+    /// regime SDR-RDMA targets.
+    pub fn wan_burst() -> Self {
+        LossModel::bursty(0.01, 0.5)
+    }
+
+    /// In-fabric bursty degradation (optical link misbehaving): mean burst
+    /// 10 packets, entered with p 5e-4 — the fault_matrix "Bursty" cell.
+    pub fn fabric_bursty() -> Self {
+        LossModel::bursty(0.0005, 0.1)
+    }
+
     /// Long-run expected per-packet loss probability, for `wire_bytes`-sized
     /// packets (only [`LossModel::Ber`] depends on the size).
     pub fn expected_loss(&self, wire_bytes: usize) -> f64 {
@@ -203,6 +225,40 @@ mod tests {
         // Bursty: losses cluster, so there are far fewer runs than losses.
         let mean_burst = f64::from(lost) / f64::from(bursts);
         assert!(mean_burst > 2.0, "mean burst {mean_burst} — not bursty");
+    }
+
+    /// Pins the named presets' burst-length distributions. The EC repair
+    /// budget is sized against `wan_burst()`'s mean burst, so a silent
+    /// parameter change here would invalidate the WAN fault_matrix cells.
+    #[test]
+    fn named_presets_pin_burst_length_distribution() {
+        assert_eq!(LossModel::wire_ber(1e-5), LossModel::Ber { ber: 1e-5 });
+        // Measure mean burst length (consecutive bad-state residence) per
+        // preset against the geometric-law mean 1/p_bg.
+        for (model, want_mean, tol) in
+            [(LossModel::wan_burst(), 2.0, 0.2), (LossModel::fabric_bursty(), 10.0, 1.0)]
+        {
+            let LossModel::GilbertElliott { p_bg, loss_bad, .. } = model else {
+                panic!("preset must be Gilbert–Elliott")
+            };
+            assert_eq!(1.0 / p_bg, want_mean, "preset mean burst drifted");
+            assert_eq!(loss_bad, 0.9);
+            let mut l = LinkLoss::new(model, 1234);
+            let (mut bursts, mut bad_pkts, mut prev) = (0u32, 0u32, false);
+            for _ in 0..400_000 {
+                l.roll(1000);
+                let x = l.in_bad_state();
+                bad_pkts += x as u32;
+                bursts += (x && !prev) as u32;
+                prev = x;
+            }
+            let mean = f64::from(bad_pkts) / f64::from(bursts);
+            assert!((mean - want_mean).abs() < tol, "mean burst {mean}, want {want_mean}");
+        }
+        // Stationary loss of the WAN preset sits near 1.8 % — lossy enough
+        // that retransmission RTTs dominate, not so lossy the link is dead.
+        let p = LossModel::wan_burst().expected_loss(1098);
+        assert!(p > 0.012 && p < 0.025, "wan_burst stationary loss {p}");
     }
 
     #[test]

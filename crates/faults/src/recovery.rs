@@ -87,6 +87,35 @@ impl RecoveryTracker {
         None
     }
 
+    /// Total time delivered goodput sat below `frac` of its pre-fault
+    /// baseline, from the first fault to the last delivery — the integral
+    /// form of recovery. [`RecoveryTracker::goodput_recovery_time`] times
+    /// the first post-clear return to baseline and so quantizes to one bin
+    /// for any transport that heals quickly; this metric instead charges
+    /// every depressed bin, so a transport that rides *through* the fault
+    /// (zero-RTT erasure repair) scores near zero while one that stalls
+    /// and heals by RTO pays for the whole outage. `None` when there was
+    /// no fault or no pre-fault baseline.
+    pub fn degraded_time(&self, frac: f64) -> Option<Nanos> {
+        let s = self.state.lock().unwrap();
+        let fault_bin = (s.first_fault_at? / s.bin_ns) as usize;
+        if fault_bin == 0 {
+            return None; // No pre-fault window to baseline against.
+        }
+        let baseline =
+            s.bins[..fault_bin.min(s.bins.len())].iter().sum::<u64>() as f64 / fault_bin as f64;
+        if baseline <= 0.0 {
+            return None;
+        }
+        // Trailing empty bins are the run winding down, not the fault.
+        let last = s.bins.iter().rposition(|&b| b > 0)?;
+        if last < fault_bin {
+            return Some(0);
+        }
+        let depressed = s.bins[fault_bin..=last].iter().filter(|&&b| (b as f64) < frac * baseline);
+        Some(depressed.count() as Nanos * s.bin_ns)
+    }
+
     /// Total delivered bytes seen (sanity hook for tests).
     pub fn delivered_bytes(&self) -> u64 {
         self.state.lock().unwrap().bins.iter().sum()
@@ -203,6 +232,42 @@ mod tests {
         // 100% threshold not met until bin 10.
         assert_eq!(t.goodput_recovery_time(1.0), Some(200));
         assert_eq!(t.delivered_bytes(), 5000 + 10 + 900 + 1000);
+    }
+
+    #[test]
+    fn degraded_time_charges_every_depressed_bin() {
+        let t = RecoveryTracker::new(100);
+        let mut events = Vec::new();
+        // Bins 0..5: healthy 1000 B/bin baseline.
+        for b in 0..5u64 {
+            events.push((b * 100 + 10, delivery(1000)));
+        }
+        events.push((500, ProbeEvent::Fault { node: 8, port: 4, kind: FaultKind::Link }));
+        // Bins 5,6 starved, bin 7 partially back, bins 8,9 healthy, then
+        // the run winds down (trailing emptiness is not degradation).
+        events.push((610, delivery(10)));
+        events.push((710, delivery(700)));
+        events.push((810, delivery(1000)));
+        events.push((910, delivery(1000)));
+        feed(&t, &events);
+        // At 80%: bins 5 (0 B — nothing recorded), 6 (10 B) and 7 (700 B)
+        // are below 800 B ⇒ 3 bins × 100 ns.
+        assert_eq!(t.degraded_time(0.8), Some(300));
+        // At 50%: bin 7's 700 B clears the bar ⇒ 2 bins.
+        assert_eq!(t.degraded_time(0.5), Some(200));
+        // A transport that rides through the fault scores zero.
+        let t2 = RecoveryTracker::new(100);
+        let mut events = Vec::new();
+        for b in 0..8u64 {
+            events.push((b * 100 + 10, delivery(1000)));
+        }
+        events.push((500, ProbeEvent::Fault { node: 8, port: 4, kind: FaultKind::Link }));
+        feed(&t2, &events);
+        assert_eq!(t2.degraded_time(0.8), Some(0));
+        // No fault ⇒ no figure.
+        let t3 = RecoveryTracker::new(100);
+        feed(&t3, &[(10, delivery(1000))]);
+        assert_eq!(t3.degraded_time(0.8), None);
     }
 
     #[test]

@@ -75,6 +75,25 @@ pub enum PktExt {
     TcpAck {
         ack_seq: u64,
     },
+    /// Erasure-coded transport shard tag: the generation's first data PSN,
+    /// this shard's index within it (`shard < k` ⇒ data, else repair), and
+    /// the generation geometry (k data + m repair shards). `k`/`m` ride on
+    /// every shard so the receiver can decode generations whose first
+    /// packets were lost.
+    EcShard {
+        gen_psn: u32,
+        shard: u8,
+        k: u8,
+        m: u8,
+    },
+    /// Erasure-coded selective-repeat NACK: bitmap of the generation's data
+    /// shards still missing after the repair budget was exhausted (bit i ⇔
+    /// PSN `gen_psn + i`; u32 keeps `PktExt` at 16 bytes and caps k at 32 —
+    /// the codec itself goes to k + m ≤ 256).
+    EcNack {
+        gen_psn: u32,
+        missing: u32,
+    },
 }
 
 /// Packed form of `Option<PacketDescriptor>`.

@@ -17,6 +17,10 @@
 //!   sender recovers only by RTO (§6.3);
 //! * [`swtcp`] — a software-stack throughput/latency *model* standing in
 //!   for kernel TCP in the Fig. 8 comparison;
+//! * [`ec`] — SDR-RDMA-style erasure-coded transport: k data + m repair
+//!   shards per generation (GF(2^8) Reed-Solomon, XOR fast path), any
+//!   k-of-(k+m) decode, selective-repeat bitmap-NACK fallback beyond the
+//!   repair budget;
 //! * [`cc`] — DCQCN and window-based congestion control, decoupled from
 //!   reliability as §3 requires.
 //!
@@ -26,6 +30,7 @@
 
 pub mod cc;
 pub mod common;
+pub mod ec;
 pub mod gbn;
 pub mod irn;
 pub mod mprdma;
@@ -37,4 +42,5 @@ pub mod timeout_only;
 pub use common::{
     ack_packet, data_packet, desc_at, CnpGen, FlowCfg, MsgState, Placement, RttEstimator, TxBook,
 };
+pub use ec::{ec_pair, EcConfig, EcReceiver, EcSender};
 pub use rxcore::{Accept, RxCore};

@@ -95,12 +95,40 @@ impl RxCore {
             return Accept::Rejected;
         }
         let desc = pkt.desc.unpack().expect("data packet carries descriptor");
+        let msn = pkt.msn().expect("data packet carries MSN");
+        self.ingest(psn, msn, &desc, ctx)
+    }
+
+    /// Accepts a shard the transport reconstructed locally (erasure-coded
+    /// repair): identical placement/completion bookkeeping to [`RxCore::on_data`],
+    /// except `pkts_received` is *not* bumped — the recovered packet never
+    /// crossed the wire, and the conservation identity only counts arrivals.
+    pub fn on_recovered(
+        &mut self,
+        psn: u32,
+        msn: u32,
+        desc: &dcp_rdma::segment::PacketDescriptor,
+        ctx: &mut EndpointCtx,
+    ) -> Accept {
+        if psn < self.epsn || self.received.contains(&psn) {
+            // A late wire retransmission beat the decode to this PSN.
+            return Accept::Duplicate;
+        }
+        self.ingest(psn, msn, desc, ctx)
+    }
+
+    fn ingest(
+        &mut self,
+        psn: u32,
+        msn: u32,
+        desc: &dcp_rdma::segment::PacketDescriptor,
+        ctx: &mut EndpointCtx,
+    ) -> Accept {
         // Direct placement: Write packets carry their address; Send packets
         // land in a flow-local staging area (modelled at offset addressing).
         let addr = desc.remote_addr.unwrap_or(desc.offset);
         self.placement.place(addr, desc.offset, desc.payload_len);
         self.stats.goodput_bytes += desc.payload_len as u64;
-        let msn = pkt.msn().expect("data packet carries MSN");
         *self.msg_bytes.entry(msn).or_insert(0) += desc.payload_len as u64;
         if desc.opcode.is_last() {
             self.msg_ends.insert(

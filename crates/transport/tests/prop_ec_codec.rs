@@ -1,0 +1,136 @@
+//! Property tests on the Reed–Solomon erasure codec: any ≤ m erasures
+//! decode back to the exact original bytes, for random (k, m) geometries
+//! and shard sizes — the invariant the EC transport's zero-RTT repair path
+//! stands on. Also pins the failure mode: > m erasures must be *reported*
+//! (`TooManyErasures`), never silently mis-decoded — that error is what
+//! sends the transport down its selective-repeat NACK fallback.
+
+use dcp_transport::ec::codec::RsCodec;
+use proptest::prelude::*;
+
+/// Random (k, m, shard_len) geometry plus a payload pool to stripe across
+/// it (generated at maximum size, sliced to `k · len` by the caller — flat
+/// strategies keep the proptest macro's type recursion shallow).
+fn geometry() -> impl Strategy<Value = (usize, usize, usize, Vec<u8>)> {
+    (1usize..=16, 1usize..=4, 1usize..=96, proptest::collection::vec(any::<u8>(), 16 * 96))
+        .prop_map(|(k, m, len, pool)| (k, m, len, pool[..k * len].to_vec()))
+}
+
+/// Splits `data` into `k` shards of `len` bytes.
+fn shard(data: &[u8], k: usize, len: usize) -> Vec<&[u8]> {
+    (0..k).map(|i| &data[i * len..(i + 1) * len]).collect()
+}
+
+proptest! {
+    // encode → erase any subset of ≤ m shards (data and repair alike) →
+    // reconstruct restores the data shards byte-exactly.
+    #[test]
+    fn decode_restores_exact_bytes_after_up_to_m_erasures(
+        (k, m, len, data) in geometry(),
+        pick in any::<u64>(),
+    ) {
+        let codec = RsCodec::new(k, m);
+        let repair = codec.encode(&shard(&data, k, len));
+        prop_assert_eq!(repair.len(), m);
+
+        // Choose up to m erasure positions out of the k + m shards,
+        // deterministically from `pick`.
+        let n = k + m;
+        let mut erased = vec![false; n];
+        let mut left = m;
+        let mut bits = pick;
+        for e in erased.iter_mut() {
+            if left > 0 && bits & 1 == 1 {
+                *e = true;
+                left -= 1;
+            }
+            bits >>= 1;
+        }
+
+        let mut shards: Vec<Option<Vec<u8>>> = (0..n)
+            .map(|i| {
+                if erased[i] {
+                    None
+                } else if i < k {
+                    Some(data[i * len..(i + 1) * len].to_vec())
+                } else {
+                    Some(repair[i - k].clone())
+                }
+            })
+            .collect();
+        codec.reconstruct(&mut shards).expect("≤ m erasures must decode");
+        for i in 0..k {
+            prop_assert_eq!(
+                shards[i].as_deref(),
+                Some(&data[i * len..(i + 1) * len]),
+                "data shard {} differs after decode", i
+            );
+        }
+    }
+
+    // Erasing more than m shards — with at least one *data* shard gone —
+    // must surface `TooManyErasures` so the transport can fall back to
+    // selective-repeat retransmission, never a silent wrong decode.
+    #[test]
+    fn beyond_m_erasures_is_reported_not_misdecoded(
+        (k, m, len, data) in geometry(),
+    ) {
+        let codec = RsCodec::new(k, m);
+        let repair = codec.encode(&shard(&data, k, len));
+        let n = k + m;
+        // Erase the first m + 1 shards; the first is always a data shard.
+        let mut shards: Vec<Option<Vec<u8>>> = (0..n)
+            .map(|i| {
+                if i <= m {
+                    None
+                } else if i < k {
+                    Some(data[i * len..(i + 1) * len].to_vec())
+                } else {
+                    Some(repair[i - k].clone())
+                }
+            })
+            .collect();
+        let err = codec.reconstruct(&mut shards).expect_err("> m erasures must error");
+        prop_assert!(err.present < err.needed,
+            "error should report a shortfall of survivors: {err:?}");
+        prop_assert_eq!(err.needed, codec.data_shards());
+        // Surviving shards are left untouched.
+        for i in (m + 1)..k {
+            prop_assert_eq!(shards[i].as_deref(), Some(&data[i * len..(i + 1) * len]));
+        }
+    }
+
+    // The XOR fast path (m = 1) and the general Cauchy path agree: a
+    // single-data-shard erasure decodes identically through both.
+    #[test]
+    fn xor_fast_path_matches_general_matrix(
+        (k, len) in (2usize..=12, 1usize..=64),
+        data in proptest::collection::vec(any::<u8>(), 12 * 64),
+        lost in 0usize..12,
+    ) {
+        prop_assume!(lost < k);
+        let data = &data[..k * len];
+        let xor = RsCodec::new(k, 1);
+        let wide = RsCodec::new(k, 2);
+        let rx = xor.encode(&shard(data, k, len));
+        let rw = wide.encode(&shard(data, k, len));
+
+        let rebuild = |repair: &[Vec<u8>], m: usize, codec: &RsCodec| {
+            let mut shards: Vec<Option<Vec<u8>>> = (0..k + m)
+                .map(|i| {
+                    if i == lost {
+                        None
+                    } else if i < k {
+                        Some(data[i * len..(i + 1) * len].to_vec())
+                    } else {
+                        Some(repair[i - k].clone())
+                    }
+                })
+                .collect();
+            codec.reconstruct(&mut shards).unwrap();
+            shards[lost].clone().unwrap()
+        };
+        prop_assert_eq!(rebuild(&rx, 1, &xor), rebuild(&rw, 2, &wide));
+        prop_assert_eq!(rebuild(&rx, 1, &xor), data[lost * len..(lost + 1) * len].to_vec());
+    }
+}

@@ -13,6 +13,7 @@ use dcp_rdma::headers::DcpTag;
 use dcp_rdma::qp::WorkReqOp;
 use dcp_transport::cc::{CongestionControl, Dcqcn, DcqcnConfig, NoCc, StaticWindow};
 use dcp_transport::common::{FlowCfg, Placement};
+use dcp_transport::ec::{ec_pair, EcConfig};
 use dcp_transport::gbn::{gbn_pair, GbnConfig};
 use dcp_transport::irn::{irn_pair, IrnConfig};
 use dcp_transport::mprdma::{mprdma_pair, MpRdmaConfig};
@@ -35,6 +36,8 @@ pub enum TransportKind {
     TimeoutOnly,
     /// DCP.
     Dcp,
+    /// Erasure-coded (SDR-RDMA-style k+m generations, SR-NACK fallback).
+    Ec,
 }
 
 /// Which congestion control senders run.
@@ -69,6 +72,8 @@ pub struct RunOpts {
     pub rto: Nanos,
     /// DCP-RNIC configuration (coarse fallback timeout et al.).
     pub dcp: DcpConfig,
+    /// Erasure-coding configuration (generation geometry, NACK timers).
+    pub ec: EcConfig,
     /// Message size flows are chunked into when posted. The default mirrors
     /// [`dcp_core::config::MSG_CHUNK_BYTES`]; fault experiments use smaller
     /// messages because whole-message fallback resends (DCP's coarse
@@ -82,6 +87,7 @@ impl Default for RunOpts {
         RunOpts {
             rto: 200_000,
             dcp: DcpConfig::default(),
+            ec: EcConfig::default(),
             chunk: dcp_core::config::MSG_CHUNK_BYTES,
         }
     }
@@ -93,6 +99,11 @@ impl RunOpts {
         let mut o = RunOpts::default();
         o.rto = o.rto.max(2 * rtt);
         o.dcp.coarse_timeout = o.dcp.coarse_timeout.max(4 * rtt);
+        // EC's receiver NACK must wait long enough for repair shards that
+        // are still in flight; its sender RTO is the last resort, priced
+        // like the baselines'.
+        o.ec.rto = o.ec.rto.max(2 * rtt);
+        o.ec.nack_delay = o.ec.nack_delay.max(rtt / 8);
         o
     }
 }
@@ -148,6 +159,12 @@ pub fn endpoint_pair_opts(
         }
         TransportKind::Dcp => {
             let (t, r) = dcp_pair(cfg, opts.dcp, cc.build(), Placement::Virtual);
+            (Box::new(t), Box::new(r))
+        }
+        TransportKind::Ec => {
+            let mut ecfg = opts.ec;
+            ecfg.rto = ecfg.rto.max(opts.rto);
+            let (t, r) = ec_pair(cfg, ecfg, cc.build(), Placement::Virtual);
             (Box::new(t), Box::new(r))
         }
     }

@@ -45,6 +45,11 @@ fn all_transports_complete_websearch() {
             SwitchConfig::lossy(LoadBalance::Ecmp),
         ),
         (TransportKind::Dcp, CcKind::None, dcp_switch_config(LoadBalance::AdaptiveRouting, 16)),
+        (
+            TransportKind::Ec,
+            CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+            SwitchConfig::lossy(LoadBalance::AdaptiveRouting),
+        ),
     ];
     for (kind, cc, cfg) in cases {
         let (mut sim, topo) = small_clos(1, cfg);
