@@ -18,7 +18,7 @@
 //! workload for the CI smoke run, which fails on any oracle or liveness
 //! violation.
 
-use dcp_bench::{build_clos, default_cc, sweep, Scale};
+use dcp_bench::{build_clos, default_cc, fabric_cables, sweep, Scale};
 use dcp_check::{
     shrink_repro, Adversary, AdversaryProfile, DeliveryOracle, Liveness, Repro, Watchdog,
     WatchdogConfig,
@@ -26,7 +26,7 @@ use dcp_check::{
 use dcp_core::dcp_switch_config;
 use dcp_faults::{FaultEngine, FaultPlan, LossModel};
 use dcp_netsim::switch::SwitchConfig;
-use dcp_netsim::{EcnConfig, LoadBalance, NodeId, PortId, Simulator, Topology, MS, SEC, US};
+use dcp_netsim::{EcnConfig, LoadBalance, MS, SEC, US};
 use dcp_telemetry::{Fanout, FlightRecorder};
 use dcp_workloads::{poisson_flows, run_flows_opts, unfinished, RunOpts, SizeDist, TransportKind};
 use rand::rngs::StdRng;
@@ -65,17 +65,6 @@ fn profiles() -> Vec<(&'static str, AdversaryProfile, bool)> {
         ("delay-jitter", AdversaryProfile::delay_jitter(), false),
         ("ber+reorder", AdversaryProfile::reorder(), true),
     ]
-}
-
-/// Every leaf-side uplink `(leaf, port)` — the fabric cables BER applies to.
-fn fabric_cables(sim: &Simulator, topo: &Topology, hosts_per_leaf: usize) -> Vec<(NodeId, PortId)> {
-    let mut cables = Vec::new();
-    for &leaf in &topo.leaves {
-        for port in hosts_per_leaf..sim.switch(leaf).ports.len() {
-            cables.push((leaf, port));
-        }
-    }
-    cables
 }
 
 struct Cell {

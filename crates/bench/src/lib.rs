@@ -157,6 +157,22 @@ pub fn build_clos(
     (sim, topo)
 }
 
+/// Every leaf-side uplink `(leaf, port)` — the fabric cables loss models
+/// and flap plans apply to (host-facing ports are `0..hosts_per_leaf`).
+pub fn fabric_cables(
+    sim: &Simulator,
+    topo: &Topology,
+    hosts_per_leaf: usize,
+) -> Vec<(dcp_netsim::NodeId, dcp_netsim::PortId)> {
+    let mut cables = Vec::new();
+    for &leaf in &topo.leaves {
+        for port in hosts_per_leaf..sim.switch(leaf).ports.len() {
+            cables.push((leaf, port));
+        }
+    }
+    cables
+}
+
 /// Default BDP-window CC for the window-based baselines.
 pub fn bdp_cc() -> CcKind {
     CcKind::Bdp { gbps: 100.0, rtt: 12 * US }

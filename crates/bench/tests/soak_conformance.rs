@@ -1,0 +1,223 @@
+//! Soak-harness conformance: the window-barrier hook and the per-tenant
+//! plumbing must be *observers*, never *participants*.
+//!
+//! Two contracts pin this:
+//!
+//! 1. A run driven through `run_flows_hooked` with read-only in-run
+//!    assertions (conservation, delivery oracle, watchdog-style reads) at
+//!    every window barrier is **byte-identical** to the same run driven
+//!    hookless through `run_flows_opts` — barriers bound engine advances,
+//!    they never reorder events.
+//! 2. Mid-run `SetLossModel` swaps under the EC transport with
+//!    tenant-tagged flows and per-tenant WRR engaged still deliver
+//!    exactly once, balance strict conservation, and stay bit-identical
+//!    across worker counts and repeated runs (per shard count, exactly as
+//!    the sharded engine's contract specifies).
+
+use dcp_check::DeliveryOracle;
+use dcp_faults::{FaultEngine, FaultEvent, FaultPlan, LossModel};
+use dcp_netsim::switch::SwitchConfig;
+use dcp_netsim::time::{MS, SEC, US};
+use dcp_netsim::{topology, LoadBalance, NodeId, PortId, Simulator, Topology};
+use dcp_workloads::{
+    run_flows_hooked, run_flows_opts, tenant_mix, unfinished, CcKind, FlowRecord, RunOpts,
+    SizeDist, TenantId, TenantKind, TenantSpec, TransportKind,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_clos(seed: u64) -> (Simulator, Topology) {
+    let mut sim = Simulator::new(seed);
+    let cfg = SwitchConfig::lossy(LoadBalance::AdaptiveRouting);
+    let topo = topology::clos(&mut sim, cfg, 2, 4, 4, 100.0, 100.0, US, US);
+    (sim, topo)
+}
+
+/// Every leaf uplink — where the flap plan and loss models sit.
+fn fabric_cables(sim: &Simulator, topo: &Topology, hosts_per_leaf: usize) -> Vec<(NodeId, PortId)> {
+    let mut cables = Vec::new();
+    for &leaf in &topo.leaves {
+        for port in hosts_per_leaf..sim.switch(leaf).ports.len() {
+            cables.push((leaf, port));
+        }
+    }
+    cables
+}
+
+/// Two Poisson tenants — enough to tag every flow and give the WRR two
+/// classes to arbitrate.
+fn two_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            id: TenantId(0),
+            name: "websearch",
+            weight: 4,
+            slo_p999: 100.0,
+            kind: TenantKind::Poisson { dist: SizeDist::websearch(), load: 0.15 },
+        },
+        TenantSpec {
+            id: TenantId(1),
+            name: "storage",
+            weight: 2,
+            slo_p999: 200.0,
+            kind: TenantKind::Poisson { dist: SizeDist::storage(), load: 0.10 },
+        },
+    ]
+}
+
+/// The complete observable outcome of one run, for digest comparison:
+/// engine clock, endpoint/net counters, and every flow's tenant + FCT.
+fn outcome(sim: &Simulator, records: &[FlowRecord]) -> Vec<u64> {
+    let eps = sim.all_endpoint_stats();
+    let net = sim.net_stats();
+    let mut d = vec![
+        sim.now(),
+        eps.data_pkts,
+        eps.pkts_received,
+        eps.retx_pkts,
+        eps.duplicates,
+        net.fault_drops,
+        net.data_drops,
+    ];
+    for r in records {
+        d.push(u64::from(r.spec.tenant.0));
+        d.push(r.fct.unwrap_or(0));
+    }
+    d
+}
+
+/// One DCP run under a link-flap plan with tenant WRR engaged, driven
+/// either hookless or with read-only barrier assertions every 100 µs.
+fn dcp_flap_run(hooked: bool) -> (Vec<u64>, u64) {
+    let (mut sim, topo) = small_clos(31);
+    let cables = fabric_cables(&sim, &topo, 4);
+    let (sw, port) = cables[0];
+    let plan = FaultPlan::new(0x50a1)
+        .at(300 * US, FaultEvent::LinkDown { sw, port })
+        .at(700 * US, FaultEvent::LinkUp { sw, port })
+        .sorted();
+    let oracle = DeliveryOracle::new();
+    sim.set_probe(oracle.probe());
+    FaultEngine::install(&mut sim, plan);
+    for &host in &topo.hosts {
+        sim.host_mut(host).set_tenant_weights(&[4, 2]);
+    }
+    let mut rng = StdRng::seed_from_u64(32);
+    let flows = tenant_mix(&mut rng, &two_tenants(), topo.hosts.len(), 100.0, MS);
+    let opts = RunOpts { chunk: 64 << 10, ..Default::default() };
+    let mut barriers = 0u64;
+    let records = if hooked {
+        let o = oracle.clone();
+        let mut hook = |sim: &mut Simulator| -> Result<(), String> {
+            barriers += 1;
+            let c = sim.check_conservation(false);
+            if !c.is_ok() {
+                return Err(format!("in-run conservation: {:?}", c.violations));
+            }
+            let v = o.violations();
+            if !v.is_empty() {
+                return Err(v.join("\n"));
+            }
+            Ok(())
+        };
+        run_flows_hooked(
+            &mut sim,
+            &topo,
+            TransportKind::Dcp,
+            CcKind::Dcqcn { gbps: 100.0 },
+            &flows,
+            10 * SEC,
+            opts,
+            Some((100 * US, &mut hook)),
+        )
+        .expect("read-only barrier assertions hold")
+    } else {
+        run_flows_opts(
+            &mut sim,
+            &topo,
+            TransportKind::Dcp,
+            CcKind::Dcqcn { gbps: 100.0 },
+            &flows,
+            10 * SEC,
+            opts,
+        )
+    };
+    assert_eq!(unfinished(&records), 0, "every flow finishes after the flap heals");
+    assert!(sim.run_to_quiescence(SEC));
+    oracle.final_check().expect("exactly-once delivery");
+    (outcome(&sim, &records), barriers)
+}
+
+/// Contract 1: the soak's in-run assertions cannot perturb the simulation.
+/// Same seed, hook on vs hook off ⇒ identical clock, counters, tenants
+/// and per-flow FCTs.
+#[test]
+fn hooked_run_is_byte_identical_to_hookless() {
+    let (hookless, _) = dcp_flap_run(false);
+    let (hooked, barriers) = dcp_flap_run(true);
+    assert!(barriers > 5, "the barrier hook must actually have fired (got {barriers})");
+    assert_eq!(hooked, hookless, "window barriers must not reorder events");
+}
+
+/// One EC run with a mid-run loss-model swap: clean fabric, then
+/// Gilbert–Elliott WAN burst loss on every uplink at 1 ms, healed at
+/// 2 ms. Tenant-tagged flows, WRR engaged.
+fn ec_losswap_run(shards: usize, workers: usize) -> Vec<u64> {
+    let (mut sim, topo) = {
+        let mut sim = Simulator::new(17);
+        sim.disable_auto_partition();
+        let cfg = SwitchConfig::lossy(LoadBalance::AdaptiveRouting);
+        let topo = topology::clos(&mut sim, cfg, 2, 4, 4, 100.0, 100.0, US, US);
+        (sim, topo)
+    };
+    if shards > 1 {
+        assert!(sim.partition(&topo, shards), "small clos must partition");
+        sim.set_workers(workers);
+    }
+    let cables = fabric_cables(&sim, &topo, 4);
+    let mut plan = FaultPlan::new(0x10ca);
+    for &(sw, port) in &cables {
+        plan = plan
+            .at(MS, FaultEvent::SetLossModel { sw, port, model: Some(LossModel::wan_burst()) })
+            .at(2 * MS, FaultEvent::SetLossModel { sw, port, model: None });
+    }
+    let oracle = DeliveryOracle::new();
+    sim.set_probe(oracle.probe());
+    FaultEngine::install(&mut sim, plan.sorted());
+    for &host in &topo.hosts {
+        sim.host_mut(host).set_tenant_weights(&[4, 2]);
+    }
+    let mut rng = StdRng::seed_from_u64(18);
+    let flows = tenant_mix(&mut rng, &two_tenants(), topo.hosts.len(), 100.0, 3 * MS);
+    let opts = RunOpts { chunk: 64 << 10, ..Default::default() };
+    let records = run_flows_opts(
+        &mut sim,
+        &topo,
+        TransportKind::Ec,
+        CcKind::Bdp { gbps: 100.0, rtt: 12 * US },
+        &flows,
+        10 * SEC,
+        opts,
+    );
+    assert_eq!(unfinished(&records), 0, "every flow finishes once the model heals");
+    assert!(sim.run_to_quiescence(SEC), "fabric must drain");
+    oracle.final_check().expect("exactly-once delivery across the loss-model swap");
+    assert!(
+        sim.net_stats().fault_drops > 0,
+        "the mid-run SetLossModel must actually have dropped packets"
+    );
+    let cons = sim.check_conservation(true);
+    assert!(cons.is_ok(), "strict conservation violated: {:?}", cons.violations);
+    outcome(&sim, &records)
+}
+
+/// Contract 2: mid-run loss-model swaps under EC with tenants tagged stay
+/// deterministic — serial reruns match, and for a fixed shard count the
+/// worker count is invisible.
+#[test]
+fn ec_mid_run_loss_swap_is_deterministic() {
+    let serial = ec_losswap_run(1, 1);
+    assert_eq!(serial, ec_losswap_run(1, 1), "serial reruns must match");
+    let sharded = ec_losswap_run(2, 1);
+    assert_eq!(sharded, ec_losswap_run(2, 2), "2 shards: 1 vs 2 workers");
+}

@@ -169,6 +169,19 @@ impl Endpoint for DcpSender {
                             at: ctx.now,
                         });
                     }
+                    // The coarse fallback resends a message's *unsent* tail
+                    // PSNs as retransmissions; if that retry round completes
+                    // the message, `snd_nxt` can still point inside the
+                    // retired PSN range. Skip the hole — the book only pops
+                    // from the front, so the first live PSN is the new front
+                    // message's origin (or `next_psn` on an empty book), and
+                    // everything below it is delivered.
+                    let first_live = self
+                        .book
+                        .una_msn()
+                        .and_then(|msn| self.book.by_msn(msn))
+                        .map_or(self.book.next_psn(), |m| m.first_psn);
+                    self.snd_nxt = self.snd_nxt.max(first_live);
                     // Progress: reset the coarse fallback timer (§4.5).
                     if self.book.is_empty() {
                         self.coarse_armed = false;
@@ -491,5 +504,42 @@ mod tests {
         deliver(&mut s, &mut pool, ho(0, 3), 6000, &mut t, &mut c, &mut r);
         assert_eq!(s.retransq_len(), 0, "HO for an acknowledged message is dropped");
         assert!(!s.has_pending());
+    }
+
+    /// A starved sender has sent only 3 of message 0's 8 packets when the
+    /// coarse fallback fires and resends the *whole* message — unsent tail
+    /// included. The retry round completes the message, and its eMSN ACK
+    /// retires it while `snd_nxt` still points inside the retired PSN
+    /// range. The next pull must skip the hole and emit message 1's first
+    /// packet as new data (this used to panic on `book.locate(snd_nxt)`).
+    #[test]
+    fn coarse_resend_of_unsent_tail_survives_retirement() {
+        let mut s = sender(RetransMode::Batched);
+        s.post(2, WorkReqOp::Write { remote_addr: 0, rkey: 0 }, 8 * 1024);
+        let (mut pool, mut t, mut c, mut r) =
+            (PacketPool::new(), vec![], vec![], StdRng::seed_from_u64(0));
+        for _ in 0..3 {
+            pull_owned(&mut s, &mut pool, 0, &mut t, &mut c, &mut r).unwrap();
+        }
+        assert_eq!(s.stats().data_pkts, 3);
+        // Egress stays starved past the coarse timeout: whole-message
+        // resend of message 0 is queued, but nothing can leave yet.
+        let (at, tok) =
+            t.iter().find(|(_, tok)| tokens::kind(*tok) == tokens::RTO).copied().unwrap();
+        s.on_timer(tok, &mut ctx(at, &mut pool, &mut t, &mut c, &mut r));
+        assert_eq!(s.stats().timeouts, 1);
+        // The receiver completes message 0 off the resend round; its ACK
+        // retires it from the book while snd_nxt = 3 points inside it.
+        let rcfg = FlowCfg::receiver_of(&cfg());
+        let mut ack = ack_packet(&rcfg, PktExt::None, 1, 0);
+        ack.header.aeth = Some(Aeth { syndrome: 0, emsn: 1 });
+        deliver(&mut s, &mut pool, ack, at + 1000, &mut t, &mut c, &mut r);
+        assert_eq!(c.len(), 1, "message 0 completes");
+        // Stale timeout-round entries for the retired message drain
+        // silently; the first live packet is message 1's PSN 8, new data.
+        let p = pull_owned(&mut s, &mut pool, at + 1000, &mut t, &mut c, &mut r)
+            .expect("sender must keep sending message 1");
+        assert_eq!(p.psn(), 8, "snd_nxt skipped the retired hole");
+        assert!(!p.is_retx, "message 1's packets are new data, not retransmissions");
     }
 }

@@ -62,8 +62,15 @@ impl RecoveryTracker {
 
     /// Latency from the last `FaultCleared` until delivered goodput first
     /// sustains `frac` of its pre-fault baseline (mean bin over the window
-    /// before the fault), quantized to the bin width. `None` when there was
-    /// no fault, no pre-fault baseline, or goodput never recovered.
+    /// before the fault). `None` when there was no fault, no pre-fault
+    /// baseline, or goodput never recovered.
+    ///
+    /// Within the first qualifying bin the recovery instant is
+    /// interpolated assuming uniform delivery: a bin that accumulated `b ≥
+    /// threshold` bytes crossed the threshold `bin_ns · threshold / b` into
+    /// the bin. Without this, every transport that heals within one bin of
+    /// the clear reports the identical quantized figure and the metric
+    /// can't rank them.
     pub fn goodput_recovery_time(&self, frac: f64) -> Option<Nanos> {
         let s = self.state.lock().unwrap();
         let fault_bin = (s.first_fault_at? / s.bin_ns) as usize;
@@ -79,9 +86,11 @@ impl RecoveryTracker {
         let clear_bin = (clear / s.bin_ns) as usize;
         // First bin strictly after the clear instant's bin, so a partially
         // faulted bin can't count as recovered.
+        let threshold = frac * baseline;
         for (i, &b) in s.bins.iter().enumerate().skip(clear_bin + 1) {
-            if b as f64 >= frac * baseline {
-                return Some((i as Nanos) * s.bin_ns - clear);
+            if b as f64 >= threshold {
+                let within = (s.bin_ns as f64 * threshold / b as f64) as Nanos;
+                return Some((i as Nanos) * s.bin_ns + within.min(s.bin_ns) - clear);
             }
         }
         None
@@ -227,11 +236,37 @@ mod tests {
         events.push((1010, delivery(1000)));
         feed(&t, &events);
         assert_eq!(t.cleared_at(), Some(800));
-        // 80% threshold first met in bin 9 ⇒ 900 − 800 = 100 ns.
-        assert_eq!(t.goodput_recovery_time(0.8), Some(100));
-        // 100% threshold not met until bin 10.
-        assert_eq!(t.goodput_recovery_time(1.0), Some(200));
+        // 80% threshold first met in bin 9 (900 B ≥ 800 B), crossed
+        // 100·800/900 = 88 ns into the bin ⇒ 900 + 88 − 800 = 188 ns.
+        assert_eq!(t.goodput_recovery_time(0.8), Some(188));
+        // 100% threshold not met until bin 10, crossed exactly at its end.
+        assert_eq!(t.goodput_recovery_time(1.0), Some(300));
         assert_eq!(t.delivered_bytes(), 5000 + 10 + 900 + 1000);
+    }
+
+    #[test]
+    fn goodput_recovery_separates_within_bin_speeds() {
+        // Two transports both qualify in the bin right after the clear;
+        // the faster one (more bytes in that bin) must score lower. Before
+        // interpolation both collapsed to the same quantized figure.
+        let run = |recovered_bytes: u64| {
+            let t = RecoveryTracker::new(100);
+            let mut events = Vec::new();
+            for b in 0..5u64 {
+                events.push((b * 100 + 10, delivery(1000)));
+            }
+            events.push((500, ProbeEvent::Fault { node: 8, port: 4, kind: FaultKind::Link }));
+            events
+                .push((590, ProbeEvent::FaultCleared { node: 8, port: 4, kind: FaultKind::Link }));
+            events.push((610, delivery(recovered_bytes)));
+            feed(&t, &events);
+            t.goodput_recovery_time(0.8).expect("both recover in bin 6")
+        };
+        let fast = run(1600); // crossed 800 B at 50 ns into the bin
+        let slow = run(800); // needed the whole bin
+        assert_eq!(fast, 600 + 50 - 590);
+        assert_eq!(slow, 600 + 100 - 590);
+        assert!(fast < slow);
     }
 
     #[test]

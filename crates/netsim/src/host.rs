@@ -34,6 +34,73 @@ use dcp_telemetry::ProbeEvent;
 /// Default per-round quota of the QP scheduler (§4.3: 16 KB ≈ PCIe BDP).
 pub const ROUND_QUOTA: i64 = 16 * 1024;
 
+/// Byte-served counters rescale (halve) past this, like the switch WRR —
+/// ratios survive, overflow can't happen.
+const SERVED_RESCALE: u64 = 1 << 50;
+
+/// Per-tenant weighted-round-robin state at host egress. Engaged only by
+/// [`Host::set_tenant_weights`]; hosts that never call it keep the
+/// historical single-class scheduler byte-for-byte (the determinism suite
+/// locks those traces).
+///
+/// The pick rule generalizes the switch's ctrl-vs-data WRR: among tenants
+/// with ready QPs, serve the one with the smallest `served/weight` (ties to
+/// the lower tenant id), so over any busy interval tenant byte shares
+/// converge to the weight vector regardless of per-tenant QP counts.
+struct HostQos {
+    /// Relative egress weights; tenants beyond the table get weight 1.
+    weights: Vec<u64>,
+    /// Bytes served per tenant (rescaled in lockstep).
+    served: Vec<u64>,
+    /// Within-tenant round-robin cursor, one per tenant.
+    cursors: Vec<u32>,
+    /// Within-tenant byte quota, mirroring the single-class `quota_left`.
+    quotas: Vec<i64>,
+    /// Ready-slot count per tenant, maintained incrementally so the pick
+    /// never scans tenants with nothing to send.
+    ready_per: Vec<u32>,
+}
+
+impl HostQos {
+    fn weight(&self, t: usize) -> u64 {
+        self.weights.get(t).copied().unwrap_or(1).max(1)
+    }
+
+    /// Grows the per-tenant vectors to cover tenant `t`.
+    fn ensure(&mut self, t: usize, round_quota: i64) {
+        if t >= self.served.len() {
+            self.served.resize(t + 1, 0);
+            self.cursors.resize(t + 1, 0);
+            self.quotas.resize(t + 1, round_quota);
+            self.ready_per.resize(t + 1, 0);
+        }
+    }
+
+    /// The ready tenant with the smallest served/weight ratio, compared by
+    /// cross-multiplication (exact in u128; no float drift in the digest).
+    fn pick(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for t in 0..self.ready_per.len() {
+            if self.ready_per[t] == 0 {
+                continue;
+            }
+            best = match best {
+                None => Some(t),
+                Some(b) => {
+                    let lhs = self.served[t] as u128 * self.weight(b) as u128;
+                    let rhs = self.served[b] as u128 * self.weight(t) as u128;
+                    if lhs < rhs {
+                        Some(t)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best
+    }
+}
+
 /// Entries per page of the `FlowId → slot` table.
 const PAGE: usize = 256;
 /// "No slot" sentinel in page-table entries.
@@ -82,6 +149,11 @@ pub struct Host {
     cursor: u32,
     quota_left: i64,
     round_quota: i64,
+    /// Tenant tag per slot (parallel to `slots`; 0 = default tenant). Tags
+    /// are inert until [`Host::set_tenant_weights`] engages QoS.
+    tenant_of: Vec<u8>,
+    /// Per-tenant WRR state; `None` keeps the historical scheduler.
+    qos: Option<HostQos>,
     /// Scratch buffers reused across `run_endpoint` calls so the steady
     /// state allocates nothing per event.
     timers_scratch: Vec<(Nanos, u64)>,
@@ -105,9 +177,64 @@ impl Host {
             cursor: 0,
             quota_left: ROUND_QUOTA,
             round_quota: ROUND_QUOTA,
+            tenant_of: Vec::new(),
+            qos: None,
             timers_scratch: Vec::new(),
             comps_scratch: Vec::new(),
         }
+    }
+
+    /// Engages per-tenant WRR at this host's egress: `weights[t]` is tenant
+    /// `t`'s relative share (tenants beyond the table weigh 1). Hosts that
+    /// never call this keep the single-class scheduler byte-identically.
+    /// Safe to call mid-run; ready counts are rebuilt from the slab.
+    pub fn set_tenant_weights(&mut self, weights: &[u64]) {
+        let mut q = HostQos {
+            weights: weights.to_vec(),
+            served: Vec::new(),
+            cursors: Vec::new(),
+            quotas: Vec::new(),
+            ready_per: Vec::new(),
+        };
+        let max_t = self
+            .tenant_of
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(weights.len().saturating_sub(1) as u8);
+        q.ensure(max_t as usize, self.round_quota);
+        for slot in 0..self.slots.len() {
+            if self.ready.contains(slot) {
+                q.ready_per[self.tenant_of[slot] as usize] += 1;
+            }
+        }
+        self.qos = Some(q);
+    }
+
+    /// Tags `flow`'s QP with its tenant. A no-op for scheduling until
+    /// [`Host::set_tenant_weights`] engages QoS; tags are always recorded
+    /// so QoS can also be engaged mid-run.
+    pub fn set_flow_tenant(&mut self, flow: FlowId, tenant: u8) {
+        let slot =
+            self.slot_of(flow).unwrap_or_else(|| panic!("no endpoint for flow {flow:?}")) as usize;
+        let old = self.tenant_of[slot];
+        if old == tenant {
+            return;
+        }
+        if let Some(q) = &mut self.qos {
+            q.ensure(tenant as usize, self.round_quota);
+            if self.ready.contains(slot) {
+                q.ready_per[old as usize] -= 1;
+                q.ready_per[tenant as usize] += 1;
+            }
+        }
+        self.tenant_of[slot] = tenant;
+    }
+
+    /// The tenant tag of `flow`'s QP, if installed.
+    pub fn flow_tenant(&self, flow: FlowId) -> Option<u8> {
+        Some(self.tenant_of[self.slot_of(flow)? as usize])
     }
 
     /// Slot serving `flow`, through the page table.
@@ -151,11 +278,15 @@ impl Host {
                 debug_assert!(e.ep.is_none());
                 e.flow = flow;
                 e.ep = Some(ep);
+                // Recycled slots start over in the default tenant; the
+                // ready bit is clear, so no QoS count moves.
+                self.tenant_of[s as usize] = 0;
                 s
             }
             None => {
                 let s = self.slots.len() as u32;
                 self.slots.push(QpEntry { gen: 0, flow, ep: Some(ep) });
+                self.tenant_of.push(0);
                 s
             }
         };
@@ -180,7 +311,7 @@ impl Host {
         let flow = e.flow;
         self.retired.merge(&ep.stats());
         self.unmap_flow(flow);
-        self.ready.remove(qp.slot as usize);
+        self.set_ready(qp.slot as usize, false);
         self.free.push(qp.slot);
         self.live -= 1;
         Some(ep)
@@ -233,6 +364,23 @@ impl Host {
     #[inline]
     fn refresh_ready(&mut self, slot: usize) {
         let pending = self.slots[slot].ep.as_deref().is_some_and(|e| e.has_pending());
+        self.set_ready(slot, pending);
+    }
+
+    /// Single write path for ready bits: when QoS is engaged, the
+    /// per-tenant ready counts move with the bit transitions.
+    #[inline]
+    fn set_ready(&mut self, slot: usize, pending: bool) {
+        if let Some(q) = &mut self.qos {
+            if self.ready.contains(slot) != pending {
+                let t = self.tenant_of[slot] as usize;
+                if pending {
+                    q.ready_per[t] += 1;
+                } else {
+                    q.ready_per[t] -= 1;
+                }
+            }
+        }
         self.ready.assign(slot, pending);
     }
 
@@ -366,6 +514,9 @@ impl Host {
             return;
         }
         let Some(link) = self.link else { return };
+        if self.qos.is_some() {
+            return self.try_transmit_qos(link, ctx);
+        }
         let cursor0 = self.cursor;
         // Each ready endpoint is offered at most once per pass (the old
         // scan's single lap); a `None` pull consumes one unit.
@@ -385,39 +536,12 @@ impl Host {
             let pulled = self.run_endpoint(slot as usize, ctx, |ep, ectx| ep.pull(ectx));
             match pulled {
                 Some(pr) => {
-                    let (bytes, is_data, is_retx, flow, psn, cause) = {
-                        let pkt = &mut ctx.pool[pr];
-                        pkt.sent_at = ctx.now;
-                        (
-                            pkt.wire_bytes(),
-                            pkt.is_data(),
-                            pkt.is_retx,
-                            pkt.flow.0,
-                            pkt.psn(),
-                            pkt.retx_cause,
-                        )
-                    };
-                    if ctx.probe.is_some() && is_data {
-                        let node = self.id.0;
-                        let wire = bytes as u32;
-                        if is_retx {
-                            ctx.emit(|| ProbeEvent::Retx { node, flow, psn, bytes: wire, cause });
-                        } else {
-                            ctx.emit(|| ProbeEvent::Tx { node, flow, psn, bytes: wire });
-                        }
-                    }
+                    let bytes = self.launch(pr, link, ctx);
                     self.quota_left -= bytes as i64;
                     if self.quota_left <= 0 {
                         self.cursor = self.next_slot(slot);
                         self.quota_left = self.round_quota;
                     }
-                    let tx = tx_time(bytes, link.gbps);
-                    self.busy = true;
-                    ctx.out.push((ctx.now + tx, Event::PortFree { node: self.id, port: 0 }));
-                    ctx.out.push((
-                        ctx.now + tx + link.delay,
-                        Event::PacketArrive { node: link.to, port: link.to_port, pkt: pr },
-                    ));
                     return;
                 }
                 None => {
@@ -432,6 +556,101 @@ impl Host {
         // ending with the cursor where it began and a fresh quota.
         self.cursor = cursor0;
         self.quota_left = self.round_quota;
+    }
+
+    /// Per-tenant WRR pass: pick the most underserved ready tenant, then
+    /// round-robin within it (each tenant keeps its own cursor and byte
+    /// quota, so within a tenant the schedule looks exactly like the
+    /// single-class scan over that tenant's QPs).
+    fn try_transmit_qos(&mut self, link: Link, ctx: &mut NodeCtx) {
+        let mut budget = self.ready.count();
+        while budget > 0 {
+            let Some(t) = self.qos.as_ref().expect("qos engaged").pick() else { break };
+            // Next ready slot of tenant `t`, cyclically from its cursor.
+            // Bounded: each miss steps past one ready slot of another
+            // tenant, and `ready_per[t] > 0` guarantees a hit.
+            let mut cur = self.qos.as_ref().expect("qos engaged").cursors[t] as usize;
+            let mut found = None;
+            for _ in 0..self.ready.count() {
+                let Some(s) = self.ready.next_from(cur) else { break };
+                if self.tenant_of[s] as usize == t {
+                    found = Some(s as u32);
+                    break;
+                }
+                cur = if s + 1 >= self.slots.len() { 0 } else { s + 1 };
+            }
+            let Some(slot) = found else {
+                debug_assert!(false, "tenant {t} counted ready but owns no ready slot");
+                break;
+            };
+            {
+                let rq = self.round_quota;
+                let q = self.qos.as_mut().expect("qos engaged");
+                if slot != q.cursors[t] {
+                    q.cursors[t] = slot;
+                    q.quotas[t] = rq;
+                }
+            }
+            let pulled = self.run_endpoint(slot as usize, ctx, |ep, ectx| ep.pull(ectx));
+            match pulled {
+                Some(pr) => {
+                    let bytes = self.launch(pr, link, ctx);
+                    let next = self.next_slot(slot);
+                    let rq = self.round_quota;
+                    let q = self.qos.as_mut().expect("qos engaged");
+                    q.served[t] = q.served[t].saturating_add(bytes as u64);
+                    if q.served[t] > SERVED_RESCALE {
+                        for s in &mut q.served {
+                            *s >>= 1;
+                        }
+                    }
+                    q.quotas[t] -= bytes as i64;
+                    if q.quotas[t] <= 0 {
+                        q.cursors[t] = next;
+                        q.quotas[t] = rq;
+                    }
+                    return;
+                }
+                None => {
+                    // Pacing: the endpoint owes us a timer. Move on within
+                    // the tenant; its served bytes are unchanged.
+                    let next = self.next_slot(slot);
+                    let rq = self.round_quota;
+                    let q = self.qos.as_mut().expect("qos engaged");
+                    q.cursors[t] = next;
+                    q.quotas[t] = rq;
+                    budget -= 1;
+                }
+            }
+        }
+    }
+
+    /// Puts a pulled packet on the wire: stamps it, emits the Tx/Retx
+    /// probe, occupies the port and schedules its arrival. Returns the
+    /// wire bytes charged to the scheduler.
+    fn launch(&mut self, pr: PktRef, link: Link, ctx: &mut NodeCtx) -> usize {
+        let (bytes, is_data, is_retx, flow, psn, cause) = {
+            let pkt = &mut ctx.pool[pr];
+            pkt.sent_at = ctx.now;
+            (pkt.wire_bytes(), pkt.is_data(), pkt.is_retx, pkt.flow.0, pkt.psn(), pkt.retx_cause)
+        };
+        if ctx.probe.is_some() && is_data {
+            let node = self.id.0;
+            let wire = bytes as u32;
+            if is_retx {
+                ctx.emit(|| ProbeEvent::Retx { node, flow, psn, bytes: wire, cause });
+            } else {
+                ctx.emit(|| ProbeEvent::Tx { node, flow, psn, bytes: wire });
+            }
+        }
+        let tx = tx_time(bytes, link.gbps);
+        self.busy = true;
+        ctx.out.push((ctx.now + tx, Event::PortFree { node: self.id, port: 0 }));
+        ctx.out.push((
+            ctx.now + tx + link.delay,
+            Event::PacketArrive { node: link.to, port: link.to_port, pkt: pr },
+        ));
+        bytes
     }
 
     /// Ingress port of a host is always 0 (single NIC).

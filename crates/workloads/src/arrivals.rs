@@ -6,6 +6,14 @@ use dcp_netsim::time::{Nanos, SEC};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// Which tenant a flow belongs to. Tenant 0 is the default ("untenanted")
+/// id every legacy generator emits; the multi-tenant soak mixes tag their
+/// flows so the id rides through [`FlowSpec`], the runner's endpoint
+/// registration (host-egress WRR keys on it) and per-tenant telemetry
+/// summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TenantId(pub u8);
+
 /// One flow to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowSpec {
@@ -16,6 +24,25 @@ pub struct FlowSpec {
     pub start: Nanos,
     /// Marks incast flows so results can be reported separately (Fig. 2b).
     pub incast: bool,
+    /// Owning tenant; 0 for single-tenant experiments.
+    pub tenant: TenantId,
+}
+
+impl FlowSpec {
+    /// Builder-style tenant tag.
+    pub fn with_tenant(mut self, t: TenantId) -> Self {
+        self.tenant = t;
+        self
+    }
+}
+
+/// Tags every flow in `flows` with `tenant` (the multi-tenant mixes tag
+/// whole generator outputs at once).
+pub fn tag_tenant(mut flows: Vec<FlowSpec>, tenant: TenantId) -> Vec<FlowSpec> {
+    for f in &mut flows {
+        f.tenant = tenant;
+    }
+    flows
 }
 
 /// Poisson arrivals of randomly sized flows between random host pairs,
@@ -49,9 +76,49 @@ pub fn poisson_flows(
             bytes: dist.sample(rng),
             start: (t * SEC as f64) as Nanos,
             incast: false,
+            tenant: TenantId(0),
         });
     }
     flows
+}
+
+/// [`poisson_flows`], but bounded by a time horizon instead of a flow
+/// count — the soak harness dimensions tenants by how long they must keep
+/// offering load, not by how many flows that happens to take.
+pub fn poisson_flows_until(
+    rng: &mut StdRng,
+    dist: &SizeDist,
+    n_hosts: usize,
+    host_gbps: f64,
+    load: f64,
+    horizon: Nanos,
+) -> Vec<FlowSpec> {
+    assert!(n_hosts >= 2);
+    let bytes_per_sec = load * host_gbps * 1e9 / 8.0 * n_hosts as f64;
+    let lambda = bytes_per_sec / dist.mean();
+    let mut t = 0.0f64;
+    let mut flows = Vec::new();
+    loop {
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        t += -u.ln() / lambda;
+        let start = (t * SEC as f64) as Nanos;
+        if start >= horizon {
+            return flows;
+        }
+        let src = rng.random_range(0..n_hosts);
+        let mut dst = rng.random_range(0..n_hosts - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        flows.push(FlowSpec {
+            src,
+            dst,
+            bytes: dist.sample(rng),
+            start,
+            incast: false,
+            tenant: TenantId(0),
+        });
+    }
 }
 
 /// Periodic N-to-1 incast: every burst, `fan_in` random senders each send
@@ -83,7 +150,7 @@ pub fn incast_flows(
             }
         }
         for src in senders {
-            flows.push(FlowSpec { src, dst, bytes, start: t, incast: true });
+            flows.push(FlowSpec { src, dst, bytes, start: t, incast: true, tenant: TenantId(0) });
         }
         t += period.max(1);
     }
@@ -136,9 +203,46 @@ mod tests {
     }
 
     #[test]
+    fn poisson_until_respects_horizon_and_load() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = SizeDist::websearch();
+        let horizon = SEC / 100;
+        let flows = poisson_flows_until(&mut rng, &dist, 64, 100.0, 0.3, horizon);
+        assert!(!flows.is_empty());
+        assert!(flows.iter().all(|f| f.start < horizon && f.src != f.dst));
+        let total_bytes: u64 = flows.iter().map(|f| f.bytes).sum();
+        let offered = total_bytes as f64 * 8.0 / (horizon as f64 / SEC as f64) / 1e9;
+        let want = 0.3 * 100.0 * 64.0;
+        assert!((offered - want).abs() / want < 0.15, "offered {offered:.0} vs {want:.0}");
+    }
+
+    #[test]
+    fn tag_tenant_tags_every_flow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let flows = poisson_flows(&mut rng, &SizeDist::websearch(), 8, 100.0, 0.2, 50);
+        assert!(flows.iter().all(|f| f.tenant == TenantId(0)));
+        let tagged = tag_tenant(flows, TenantId(2));
+        assert!(tagged.iter().all(|f| f.tenant == TenantId(2)));
+    }
+
+    #[test]
     fn merge_sorts_by_start() {
-        let a = vec![FlowSpec { src: 0, dst: 1, bytes: 1, start: 10, incast: false }];
-        let b = vec![FlowSpec { src: 1, dst: 0, bytes: 1, start: 5, incast: true }];
+        let a = vec![FlowSpec {
+            src: 0,
+            dst: 1,
+            bytes: 1,
+            start: 10,
+            incast: false,
+            tenant: TenantId(0),
+        }];
+        let b = vec![FlowSpec {
+            src: 1,
+            dst: 0,
+            bytes: 1,
+            start: 5,
+            incast: true,
+            tenant: TenantId(0),
+        }];
         let m = merge(a, b);
         assert_eq!(m[0].start, 5);
     }

@@ -2,10 +2,12 @@
 //! generators can drive the simulator) and export per-flow results.
 //!
 //! Formats:
-//! * flow trace: `src,dst,bytes,start_ns[,incast]` per line, `#` comments;
+//! * flow trace: `src,dst,bytes,start_ns[,incast[,tenant]]` per line, `#`
+//!   comments (the two trailing fields default to `0`, so legacy traces
+//!   parse unchanged);
 //! * results: `src,dst,bytes,start_ns,incast,fct_ns,retx,timeouts,duplicates`.
 
-use crate::arrivals::FlowSpec;
+use crate::arrivals::{FlowSpec, TenantId};
 use crate::runner::FlowRecord;
 
 /// Error from trace parsing.
@@ -32,10 +34,10 @@ pub fn parse_trace(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() < 4 || fields.len() > 5 {
+        if fields.len() < 4 || fields.len() > 6 {
             return Err(TraceError {
                 line: ix + 1,
-                message: format!("expected 4-5 fields, got {}", fields.len()),
+                message: format!("expected 4-6 fields, got {}", fields.len()),
             });
         }
         let parse = |f: &str, what: &str| {
@@ -50,16 +52,23 @@ pub fn parse_trace(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
         let bytes = parse(fields[2], "bytes")?;
         let start = parse(fields[3], "start_ns")?;
         let incast = fields.get(4).is_some_and(|f| *f == "1" || *f == "true");
-        flows.push(FlowSpec { src, dst, bytes, start, incast });
+        let tenant = match fields.get(5) {
+            Some(f) => TenantId(parse(f, "tenant")? as u8),
+            None => TenantId(0),
+        };
+        flows.push(FlowSpec { src, dst, bytes, start, incast, tenant });
     }
     Ok(flows)
 }
 
 /// Serializes flow specs back to trace CSV.
 pub fn trace_to_csv(flows: &[FlowSpec]) -> String {
-    let mut s = String::from("# src,dst,bytes,start_ns,incast\n");
+    let mut s = String::from("# src,dst,bytes,start_ns,incast,tenant\n");
     for f in flows {
-        s.push_str(&format!("{},{},{},{},{}\n", f.src, f.dst, f.bytes, f.start, f.incast as u8));
+        s.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            f.src, f.dst, f.bytes, f.start, f.incast as u8, f.tenant.0
+        ));
     }
     s
 }
@@ -92,8 +101,22 @@ mod tests {
     #[test]
     fn parse_roundtrip() {
         let flows = vec![
-            FlowSpec { src: 0, dst: 3, bytes: 4096, start: 100, incast: false },
-            FlowSpec { src: 2, dst: 1, bytes: 1 << 20, start: 5000, incast: true },
+            FlowSpec {
+                src: 0,
+                dst: 3,
+                bytes: 4096,
+                start: 100,
+                incast: false,
+                tenant: TenantId(0),
+            },
+            FlowSpec {
+                src: 2,
+                dst: 1,
+                bytes: 1 << 20,
+                start: 5000,
+                incast: true,
+                tenant: TenantId(2),
+            },
         ];
         let csv = trace_to_csv(&flows);
         assert_eq!(parse_trace(&csv).unwrap(), flows);
@@ -120,7 +143,14 @@ mod tests {
     #[test]
     fn results_csv_has_header_and_blank_fct_for_unfinished() {
         let rec = FlowRecord {
-            spec: FlowSpec { src: 0, dst: 1, bytes: 9, start: 7, incast: false },
+            spec: FlowSpec {
+                src: 0,
+                dst: 1,
+                bytes: 9,
+                start: 7,
+                incast: false,
+                tenant: TenantId(0),
+            },
             fct: None,
             tx: TransportStats { retx_pkts: 3, timeouts: 1, ..Default::default() },
             rx: TransportStats { duplicates: 2, ..Default::default() },

@@ -228,12 +228,44 @@ pub fn run_flows_opts(
     deadline: Nanos,
     opts: RunOpts,
 ) -> Vec<FlowRecord> {
+    run_flows_hooked(sim, topo, kind, cc, flows, deadline, opts, None)
+        .expect("hookless run cannot fail")
+}
+
+/// A mid-run window barrier callback: read-only invariant checks (lenient
+/// conservation, delivery-oracle scan, liveness verdict) run here while
+/// traffic is still flowing. Returning `Err` aborts the run with the
+/// violation; the completed-so-far records are discarded by the caller,
+/// which typically shrinks the scenario to a repro instead.
+pub type WindowHook<'a> = &'a mut dyn FnMut(&mut Simulator) -> Result<(), String>;
+
+/// [`run_flows_opts`] with an optional `(window, hook)` barrier: the hook
+/// fires every `window` simulated nanoseconds between event batches.
+///
+/// Barriers only *bound* how far the engine advances between injections —
+/// they never reorder events (the calendar pops the same `(time, seq)`
+/// total order regardless of where the driving loop pauses), so a run with
+/// a read-only hook is byte-identical to the same run without one. The
+/// `soak_midrun` integration test pins exactly that digest equality.
+#[allow(clippy::too_many_arguments)]
+pub fn run_flows_hooked(
+    sim: &mut Simulator,
+    topo: &Topology,
+    kind: TransportKind,
+    cc: CcKind,
+    flows: &[FlowSpec],
+    deadline: Nanos,
+    opts: RunOpts,
+    mut hook: Option<(Nanos, WindowHook)>,
+) -> Result<Vec<FlowRecord>, String> {
     let mut order: Vec<usize> = (0..flows.len()).collect();
     order.sort_by_key(|&i| flows[i].start);
     let mut fct: HashMap<u32, Nanos> = HashMap::new();
     let mut msgs_left: HashMap<u32, u64> = HashMap::new();
     let mut remaining = flows.len();
     let mut next = 0usize;
+    let window = hook.as_ref().map_or(Nanos::MAX, |(w, _)| (*w).max(1));
+    let mut next_barrier = if hook.is_some() { window } else { Nanos::MAX };
     while remaining > 0 {
         // Inject everything due now.
         while next < order.len() && flows[order[next]].start <= sim.now() {
@@ -244,6 +276,12 @@ pub fn run_flows_opts(
             let (tx, rx) = endpoint_pair_opts(kind, cc, flow_id, src, dst, opts);
             sim.install_endpoint(src, flow_id, tx);
             sim.install_endpoint(dst, flow_id, rx);
+            if f.tenant.0 != 0 {
+                // Both ends carry the tag: data leaves the source under the
+                // tenant's egress weight, ACK-class traffic the sink's.
+                sim.host_mut(src).set_flow_tenant(flow_id, f.tenant.0);
+                sim.host_mut(dst).set_flow_tenant(flow_id, f.tenant.0);
+            }
             let n = post_chunked(sim, src, flow_id, f.bytes, opts.chunk);
             msgs_left.insert(ix as u32, n);
             next += 1;
@@ -251,19 +289,29 @@ pub fn run_flows_opts(
         if sim.now() >= deadline {
             break;
         }
-        // Advance: to the next arrival if the queue outruns it, else batch
-        // to the next completion boundary (whole lookahead windows when the
-        // engine is sharded).
+        // Advance: to the next arrival or window barrier if the queue
+        // outruns them, else batch to the next completion boundary (whole
+        // lookahead windows when the engine is sharded).
         if next < order.len() {
-            let next_start = flows[order[next]].start;
+            let next_start = flows[order[next]].start.min(next_barrier);
             if sim.advance_bounded(next_start).is_none() {
-                // Queue empty or next event beyond the arrival: jump.
+                // Queue empty or next event beyond the bound: jump.
                 sim.run_until(next_start.min(deadline));
+                fire_barrier(sim, &mut hook, &mut next_barrier, window)?;
                 continue;
+            }
+        } else if next_barrier < Nanos::MAX {
+            if sim.advance_bounded(next_barrier).is_none() {
+                if sim.pending_events() == 0 {
+                    break;
+                }
+                // Next event past the barrier: jump to it and check.
+                sim.run_until(next_barrier.min(deadline));
             }
         } else if sim.advance().is_none() {
             break;
         }
+        fire_barrier(sim, &mut hook, &mut next_barrier, window)?;
         sim.for_each_completion(|c| {
             if c.kind == CompletionKind::RecvComplete {
                 let ix = c.flow.0 - 1;
@@ -285,7 +333,7 @@ pub fn run_flows_opts(
         let c = sim.check_conservation(false);
         debug_assert!(c.is_ok(), "flow conservation violated: {:?}", c.violations);
     }
-    flows
+    Ok(flows
         .iter()
         .enumerate()
         .map(|(ix, &spec)| {
@@ -306,5 +354,22 @@ pub fn run_flows_opts(
                 },
             }
         })
-        .collect()
+        .collect())
+}
+
+/// Fires the window hook if the clock has crossed the barrier, then
+/// re-arms the barrier at the next window boundary past `now`.
+fn fire_barrier(
+    sim: &mut Simulator,
+    hook: &mut Option<(Nanos, WindowHook)>,
+    next_barrier: &mut Nanos,
+    window: Nanos,
+) -> Result<(), String> {
+    if let Some((_, h)) = hook {
+        if sim.now() >= *next_barrier {
+            h(sim)?;
+            *next_barrier = (sim.now() / window + 1) * window;
+        }
+    }
+    Ok(())
 }

@@ -208,7 +208,14 @@ mod tests {
 
     fn rec(bytes: u64, fct: Nanos) -> FlowRecord {
         FlowRecord {
-            spec: FlowSpec { src: 0, dst: 1, bytes, start: 0, incast: false },
+            spec: FlowSpec {
+                src: 0,
+                dst: 1,
+                bytes,
+                start: 0,
+                incast: false,
+                tenant: crate::arrivals::TenantId(0),
+            },
             fct: Some(fct),
             tx: TransportStats::default(),
             rx: TransportStats::default(),

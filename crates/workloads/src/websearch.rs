@@ -54,6 +54,26 @@ impl SizeDist {
         ])
     }
 
+    /// A cloud block/object storage mix: dominated by small metadata and
+    /// 4–64 KB block ops, with a heavy tail of multi-MB object reads —
+    /// shorter-bodied but longer-tailed than WebSearch (p50 ≈ 16 KB while
+    /// ~5% of flows exceed 4 MB). Mean ≈ 1.0 MB. Used as the storage
+    /// tenant's size law in the multi-tenant soak.
+    pub fn storage() -> Self {
+        SizeDist::new(vec![
+            (1.0, 0.0),
+            (512.0, 0.05),
+            (4_096.0, 0.25),
+            (16_384.0, 0.50),
+            (65_536.0, 0.70),
+            (262_144.0, 0.82),
+            (1_048_576.0, 0.90),
+            (4_194_304.0, 0.95),
+            (16_777_216.0, 0.99),
+            (67_108_864.0, 1.0),
+        ])
+    }
+
     /// Inverse-CDF sample.
     pub fn sample(&self, rng: &mut StdRng) -> u64 {
         let u: f64 = rng.random();
